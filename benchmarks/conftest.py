@@ -1,0 +1,28 @@
+"""Benchmark fixtures: one shared PKI, deterministic RNG, report printing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.scenarios import Pki
+from repro.crypto.drbg import HmacDrbg
+
+
+@pytest.fixture(scope="session")
+def bench_rng() -> HmacDrbg:
+    return HmacDrbg(b"benchmarks")
+
+
+@pytest.fixture(scope="session")
+def bench_pki(bench_rng) -> Pki:
+    return Pki(rng=bench_rng.fork(b"pki"))
+
+
+@pytest.fixture
+def rng(request) -> HmacDrbg:
+    return HmacDrbg(request.node.nodeid.encode())
+
+
+def emit(report: str) -> None:
+    """Print a experiment report so it lands in the benchmark log."""
+    print("\n" + report + "\n")

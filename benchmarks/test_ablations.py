@@ -1,0 +1,139 @@
+"""Ablations on mbTLS's design choices (DESIGN.md §5).
+
+(a) Unique per-hop keys vs a shared session key: what breaks without them
+    (change secrecy P1C and path integrity P4).
+(b) Middlebox count sweep: handshake latency stays flat while server CPU
+    grows — the property that makes server-side middleboxes affordable.
+(c) Filter-strictness counterfactual: how Table 2 would look in a world
+    where networks killed unknown TLS record types.
+"""
+
+from collections import Counter
+
+from conftest import emit
+
+from repro.bench.population import generate_population
+from repro.bench.scenarios import build_chain_network, run_fetch
+from repro.bench.tables import render_table
+from repro.bench.threats import change_secrecy, path_skip
+from repro.bench.viability import run_population
+from repro.core.config import MiddleboxRole
+from repro.crypto.drbg import HmacDrbg
+from repro.netsim.driver import CpuMeter
+
+
+def test_ablation_per_hop_keys(benchmark):
+    """Remove unique per-hop keys (the shared-key baseline) and both P1C
+    and P4 fall; with them, both hold."""
+
+    def run():
+        return {
+            ("per-hop", "change-secrecy"): change_secrecy("mbtls").defended,
+            ("shared", "change-secrecy"): change_secrecy("shared").defended,
+            ("per-hop", "path-integrity"): path_skip("mbtls").defended,
+            ("shared", "path-integrity"): path_skip("shared").defended,
+        }
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [keys, prop, "holds" if defended else "BROKEN"]
+        for (keys, prop), defended in outcomes.items()
+    ]
+    emit(render_table("Ablation (a) — per-hop keys", ["keying", "property", "result"], rows))
+    assert outcomes[("per-hop", "change-secrecy")]
+    assert not outcomes[("shared", "change-secrecy")]
+    assert outcomes[("per-hop", "path-integrity")]
+    assert not outcomes[("shared", "path-integrity")]
+
+
+def test_ablation_middlebox_count(benchmark, bench_pki, bench_rng):
+    """Sweep 0-3 server-side middleboxes: latency ~flat, server CPU grows."""
+
+    def run():
+        measurements = []
+        for count in range(4):
+            mbox_hosts = [f"mb{i}" for i in range(count)]
+            names = ["client"] + mbox_hosts + ["server"]
+            # A short server-side tail: middleboxes near the server.
+            latencies = [0.040] + [0.002] * count
+            network = build_chain_network(latencies, names)
+            meters = {name: CpuMeter(name) for name in names}
+            result = run_fetch(
+                network,
+                bench_pki,
+                bench_rng.fork(b"count-%d" % count),
+                protocol="mbtls",
+                middlebox_hosts=[(host, MiddleboxRole.SERVER_SIDE) for host in mbox_hosts],
+                meters=meters,
+            )
+            assert result.ok
+            measurements.append(
+                (
+                    count,
+                    result.handshake_seconds,
+                    meters["server"].seconds,
+                )
+            )
+        return measurements
+
+    measurements = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [count, f"{handshake*1000:.1f} ms", f"{cpu*1000:.2f} ms"]
+        for count, handshake, cpu in measurements
+    ]
+    emit(
+        render_table(
+            "Ablation (b) — server-side middlebox count sweep",
+            ["middleboxes", "handshake latency", "server CPU"],
+            rows,
+        )
+    )
+    base_latency = measurements[0][1]
+    for count, handshake, _cpu in measurements:
+        # Latency stays within 25% of the no-middlebox baseline: the
+        # secondary handshakes ride inside the primary's flights.
+        assert handshake < base_latency * 1.25, (count, handshake, base_latency)
+    # Server CPU strictly grows with middlebox count.
+    cpus = [cpu for _, _, cpu in measurements]
+    assert cpus[0] < cpus[-1]
+
+
+def test_ablation_strict_filters(benchmark, bench_pki):
+    """Counterfactual Table 2: networks that reset on unknown ContentTypes
+    would break mbTLS discovery — quantifying how much the observed
+    payload-agnostic behaviour of deployed filters matters."""
+    rng = HmacDrbg(b"strict-filters")
+
+    def run():
+        results = {}
+        for strict_fraction in (0.0, 0.5, 1.0):
+            sites = generate_population(
+                rng.fork(b"pop-%d" % int(strict_fraction * 100)),
+                counts={"Enterprise": 6, "Residential": 10, "Hosting": 10},
+                strict_fraction=strict_fraction,
+            )
+            site_results, _ = run_population(
+                sites, bench_pki, rng.fork(b"run-%d" % int(strict_fraction * 100))
+            )
+            ok = sum(1 for result in site_results if result.data_ok)
+            results[strict_fraction] = (ok, len(sites))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [f"{fraction:.0%} strict", f"{ok}/{total}"]
+        for fraction, (ok, total) in sorted(results.items())
+    ]
+    emit(
+        render_table(
+            "Ablation (c) — viability under counterfactual strict filters",
+            ["strict-filter share", "working sessions"],
+            rows,
+        )
+    )
+    ok_observed, total = results[0.0]
+    assert ok_observed == total  # the observed world: everything works
+    ok_strict, total = results[1.0]
+    assert ok_strict == 0  # fully strict world: discovery always breaks
+    ok_half, total = results[0.5]
+    assert 0 < ok_half < total

@@ -1,0 +1,68 @@
+"""Figure 5 — Handshake CPU Microbenchmarks.
+
+Per-party CPU time for a single handshake across the paper's seven
+configurations. Absolute times differ (pure Python vs OpenSSL); the shape
+claims under test:
+
+  * with no middlebox, TLS and mbTLS cost about the same;
+  * the mbTLS middlebox is CHEAPER than split TLS (one handshake, not two);
+  * client-side middleboxes do not increase server load;
+  * server load grows roughly linearly with server-side middleboxes, each
+    adding about one client-role handshake (a fraction of the baseline).
+"""
+
+from conftest import emit
+
+from repro.bench.cpu import measure_all
+from repro.bench.tables import render_table
+
+TRIALS = 5
+
+
+def test_fig5_handshake_cpu(benchmark):
+    results = benchmark.pedantic(
+        lambda: measure_all(trials=TRIALS), rounds=1, iterations=1
+    )
+    by_name = {result.configuration: result for result in results}
+
+    rows = [
+        [
+            result.configuration,
+            f"{result.client * 1000:.2f}",
+            f"{result.middlebox * 1000:.2f}",
+            f"{result.server * 1000:.2f}",
+        ]
+        for result in results
+    ]
+    emit(
+        render_table(
+            f"Figure 5 — Handshake CPU time per party (ms, median of {TRIALS})",
+            ["configuration", "client", "middlebox", "server"],
+            rows,
+        )
+    )
+
+    tls = by_name["tls"]
+    mbtls0 = by_name["mbtls-0"]
+    split = by_name["split-1"]
+    mbtls1c = by_name["mbtls-1c"]
+    mbtls1s = by_name["mbtls-1s"]
+    mbtls2s = by_name["mbtls-2s"]
+    mbtls3s = by_name["mbtls-3s"]
+
+    # Shape 1: mbTLS ≈ TLS without middleboxes (within 40%).
+    assert abs(mbtls0.server - tls.server) / tls.server < 0.4
+    assert abs(mbtls0.client - tls.client) / tls.client < 0.4
+
+    # Shape 2: the mbTLS middlebox is cheaper than the split-TLS middlebox.
+    assert mbtls1c.middlebox < split.middlebox
+
+    # Shape 3: client-side middleboxes don't load the server (within 35%).
+    assert abs(mbtls1c.server - mbtls0.server) / mbtls0.server < 0.35
+
+    # Shape 4: server cost grows monotonically with server-side middleboxes,
+    # each adding one client-role handshake — a fraction of the baseline
+    # server handshake (the paper measured ~20%; see EXPERIMENTS.md).
+    assert mbtls1s.server < mbtls2s.server < mbtls3s.server
+    per_mbox = (mbtls3s.server - mbtls1s.server) / 2
+    assert 0.08 * mbtls0.server < per_mbox < 0.80 * mbtls0.server

@@ -1,0 +1,84 @@
+"""Figure 6 — mbTLS vs TLS latency across inter-datacenter paths.
+
+Fetch a small object over every (client, mbox, server) region permutation,
+comparing plain TLS (the middlebox host is a pure packet relay — the
+worst-case baseline the paper uses) against mbTLS with a discovered
+client-side middlebox. The claim: mbTLS keeps the handshake's four-flight
+shape, so latency inflation is negligible (the paper measured +0.7% mean,
++1.2% worst case).
+"""
+
+from conftest import emit
+
+from repro.bench.scenarios import run_fetch
+from repro.bench.tables import render_table
+from repro.bench.topologies import build_wan, path_permutations
+from repro.core.config import MiddleboxRole
+
+
+def _run_all(bench_pki, bench_rng):
+    rows = []
+    deltas = []
+    for client_region, mbox_region, server_region in path_permutations():
+        label = f"{client_region}-{mbox_region}-{server_region}"
+        tls = run_fetch(
+            build_wan(client_region, mbox_region, server_region),
+            bench_pki,
+            bench_rng.fork(b"tls-" + label.encode()),
+            protocol="tls",
+        )
+        mbtls = run_fetch(
+            build_wan(client_region, mbox_region, server_region),
+            bench_pki,
+            bench_rng.fork(b"mb-" + label.encode()),
+            protocol="mbtls",
+            middlebox_hosts=[("mbox", MiddleboxRole.CLIENT_SIDE)],
+            server_is_mbtls=False,
+        )
+        assert tls.ok and mbtls.ok
+        assert len(mbtls.client_middleboxes) == 1
+        delta = (mbtls.handshake_seconds - tls.handshake_seconds) / tls.handshake_seconds
+        deltas.append(delta)
+        rows.append(
+            [
+                label,
+                f"{tls.handshake_seconds * 1000:.0f}",
+                f"{mbtls.handshake_seconds * 1000:.0f}",
+                f"{tls.total_seconds * 1000:.0f}",
+                f"{mbtls.total_seconds * 1000:.0f}",
+                f"{delta * 100:+.1f}%",
+            ]
+        )
+    return rows, deltas
+
+
+def test_fig6_wan_latency(benchmark, bench_pki, bench_rng):
+    rows, deltas = benchmark.pedantic(
+        lambda: _run_all(bench_pki, bench_rng), rounds=1, iterations=1
+    )
+    emit(
+        render_table(
+            "Figure 6 — handshake/total latency across 12 WAN paths (ms)",
+            [
+                "path (client-mbox-server)",
+                "TLS hs",
+                "mbTLS hs",
+                "TLS total",
+                "mbTLS total",
+                "hs delta",
+            ],
+            rows,
+        )
+    )
+    mean_delta = sum(deltas) / len(deltas)
+    worst = max(deltas)
+    emit(f"mean handshake delta: {mean_delta*100:+.2f}%   worst: {worst*100:+.2f}%")
+    # The paper's claim is "no meaningful inflation" (they measured +0.7%
+    # mean, +1.2% worst). Our middleboxes optimistically split TCP at SYN
+    # time, which SAVES part of the connection-setup RTT on these paths, so
+    # the reproduction comes out slightly *faster* than the relay baseline
+    # (see EXPERIMENTS.md). Assert the claim itself — no inflation — plus a
+    # sanity floor on the speedup.
+    assert mean_delta < 0.02, "mbTLS must not inflate handshake latency"
+    assert worst < 0.05
+    assert mean_delta > -0.30, "speedup beyond split-TCP savings is a bug"

@@ -1,0 +1,92 @@
+"""Figure 7 — SGX (Non-)Overhead: middlebox throughput vs buffer size.
+
+Sweeps the forwarding-loop cost model over the paper's buffer sizes
+(512 B - 12 KB) in the four configurations {encryption, no encryption} x
+{enclave, no enclave}. Shape claims:
+
+  * running inside the enclave does NOT noticeably reduce throughput
+    (interrupt handling dominates boundary crossings);
+  * with encryption, throughput plateaus around 7 Gbps (crypto-bound);
+  * throughput grows with buffer size (per-buffer overheads amortize).
+"""
+
+from conftest import emit
+
+from repro.bench.tables import render_series
+from repro.sgx.syscalls import SgxCostModel
+
+BUFFER_SIZES = [512, 1024, 2048, 4096, 8192, 12288]
+CONFIGS = [
+    ("no-enc / no-enclave", False, False),
+    ("no-enc / enclave", False, True),
+    ("enc / no-enclave", True, False),
+    ("enc / enclave", True, True),
+]
+
+
+def _sweep(model: SgxCostModel):
+    series = {}
+    for label, encryption, enclave in CONFIGS:
+        series[label] = [
+            (size, model.throughput(size, enclave=enclave, encryption=encryption).throughput_gbps)
+            for size in BUFFER_SIZES
+        ]
+    return series
+
+
+def test_fig7_sgx_throughput(benchmark):
+    model = SgxCostModel()
+    series = benchmark.pedantic(lambda: _sweep(model), rounds=1, iterations=1)
+    emit(
+        render_series(
+            "Figure 7 — middlebox throughput (Gbps) vs buffer size",
+            series,
+            x_label="buffer bytes",
+            y_label="Gbps",
+        )
+    )
+
+    by_label = {label: dict(points) for label, points in series.items()}
+
+    # Shape 1: the enclave is nearly free at every buffer size.
+    for encryption in (False, True):
+        plain_label = f"{'enc' if encryption else 'no-enc'} / no-enclave"
+        enclave_label = f"{'enc' if encryption else 'no-enc'} / enclave"
+        for size in BUFFER_SIZES:
+            ratio = by_label[enclave_label][size] / by_label[plain_label][size]
+            assert ratio > 0.85, (encryption, size, ratio)
+
+    # Shape 2: encrypted throughput plateaus around 7 Gbps at large buffers.
+    top = by_label["enc / no-enclave"][12288]
+    prev = by_label["enc / no-enclave"][8192]
+    assert 5.0 < top < 9.0
+    assert (top - prev) / prev < 0.15
+
+    # Shape 3: unencrypted forwarding reaches ~10 Gbps at 12 KB buffers.
+    assert by_label["no-enc / no-enclave"][12288] > 8.0
+
+    # Shape 4: throughput is monotone in buffer size for every config.
+    for label, points in series.items():
+        values = [gbps for _, gbps in points]
+        assert values == sorted(values), label
+
+
+def test_fig7_async_syscalls_dont_matter(benchmark):
+    """The SCONE-style asynchronous-syscall optimization barely moves
+    throughput for I/O-heavy middleboxes — the paper's §5.3 takeaway."""
+    sync_model = SgxCostModel(async_syscalls=False)
+    async_model = SgxCostModel(async_syscalls=True)
+
+    def measure():
+        return [
+            (
+                size,
+                sync_model.throughput(size, enclave=True, encryption=True).throughput_gbps,
+                async_model.throughput(size, enclave=True, encryption=True).throughput_gbps,
+            )
+            for size in BUFFER_SIZES
+        ]
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for size, sync_gbps, async_gbps in rows:
+        assert (async_gbps - sync_gbps) / sync_gbps < 0.12, size

@@ -1,0 +1,65 @@
+"""§5.1 legacy interoperability — the "Alexa top 500" experiment.
+
+The paper's modified curl fetched the root document of the top-500 sites
+through an mbTLS proxy:
+
+    500 total; 385 HTTPS; 308 succeeded; 19 invalid/expired certificates;
+    40 lacked AES256-GCM; 13 redirect-handling failures; 5 unknown.
+
+This bench reruns the experiment against the synthetic population (same
+defect mix, real mbTLS client + middlebox + plain-TLS servers) and asserts
+the identical breakdown.
+"""
+
+from conftest import emit
+
+from repro.bench.alexa import PAPER_COUNTS, generate_alexa_population
+from repro.bench.interop import FetchOutcome, run_alexa
+from repro.bench.tables import render_table
+
+
+def test_legacy_interop_alexa500(benchmark, bench_pki, bench_rng):
+    servers = generate_alexa_population(bench_rng.fork(b"alexa-pop"))
+
+    def run():
+        return run_alexa(servers, bench_pki, bench_rng.fork(b"alexa-run"))
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        ["total sites", PAPER_COUNTS["total"], len(servers)],
+        [
+            "support HTTPS",
+            PAPER_COUNTS["https"],
+            len(servers) - counts[FetchOutcome.NO_HTTPS],
+        ],
+        ["successful fetches", PAPER_COUNTS["success"], counts[FetchOutcome.SUCCESS]],
+        [
+            "invalid/expired certificate",
+            PAPER_COUNTS["bad_certificate"],
+            counts[FetchOutcome.BAD_CERTIFICATE],
+        ],
+        [
+            "no AES256-GCM in common",
+            PAPER_COUNTS["no_common_cipher"],
+            counts[FetchOutcome.NO_COMMON_CIPHER],
+        ],
+        ["redirect handling", PAPER_COUNTS["redirect"], counts[FetchOutcome.REDIRECT]],
+        ["unknown failures", PAPER_COUNTS["unknown"], counts[FetchOutcome.UNKNOWN]],
+    ]
+    emit(
+        render_table(
+            "§5.1 Legacy interoperability (mbTLS client + proxy vs legacy servers)",
+            ["category", "paper", "measured"],
+            rows,
+        )
+    )
+
+    assert counts[FetchOutcome.SUCCESS] == PAPER_COUNTS["success"]
+    assert counts[FetchOutcome.BAD_CERTIFICATE] == PAPER_COUNTS["bad_certificate"]
+    assert counts[FetchOutcome.NO_COMMON_CIPHER] == PAPER_COUNTS["no_common_cipher"]
+    assert counts[FetchOutcome.REDIRECT] == PAPER_COUNTS["redirect"]
+    assert counts[FetchOutcome.UNKNOWN] == PAPER_COUNTS["unknown"]
+    assert counts[FetchOutcome.NO_HTTPS] == (
+        PAPER_COUNTS["total"] - PAPER_COUNTS["https"]
+    )

@@ -1,0 +1,142 @@
+"""§3.5 session resumption: full vs abbreviated mbTLS sessions.
+
+The paper's claim: "each sub-handshake ... is replaced with a standard
+abbreviated handshake", cutting a round trip from the handshake and the
+asymmetric crypto from every party — with no fresh attestation needed.
+This bench measures both effects on a client - middlebox - server path.
+"""
+
+from conftest import emit
+
+from repro.bench.tables import render_table
+from repro.core.config import (
+    MbTLSEndpointConfig,
+    MiddleboxConfig,
+    MiddleboxRole,
+    SessionEstablished,
+)
+from repro.core.drivers import MiddleboxService, open_mbtls
+from repro.core.resumption import MiddleboxSessionStore
+from repro.crypto.drbg import HmacDrbg
+from repro.netsim.driver import CpuMeter, EngineDriver
+from repro.netsim.network import Network
+from repro.tls.config import TLSConfig
+from repro.tls.engine import TLSServerEngine
+from repro.tls.events import ApplicationData
+from repro.tls.session import ClientSessionStore, ServerSessionCache
+
+
+def _run_pair(bench_pki, seed: bytes):
+    """Run two sessions sharing resumption state; return per-run stats."""
+    rng = HmacDrbg(seed)
+    client_sessions = ClientSessionStore()
+    middlebox_sessions = MiddleboxSessionStore()
+    mbox_cache = ServerSessionCache()
+    server_cache = ServerSessionCache()
+    stats = []
+
+    for run in range(2):
+        run_rng = rng.fork(b"run%d" % run)
+        network = Network()
+        for name in ("client", "mbox", "server"):
+            network.add_host(name)
+        network.add_link("client", "mbox", 0.010)
+        network.add_link("mbox", "server", 0.030)
+        meters = {name: CpuMeter(name) for name in ("client", "mbox", "server")}
+
+        MiddleboxService(
+            network.host("mbox"),
+            lambda: MiddleboxConfig(
+                name="mbox",
+                tls=TLSConfig(
+                    rng=run_rng.fork(b"mb"),
+                    credential=bench_pki.credential("mbox"),
+                    session_cache=mbox_cache,
+                ),
+                role=MiddleboxRole.CLIENT_SIDE,
+            ),
+            meter=meters["mbox"],
+        )
+
+        def accept(socket, source):
+            engine = TLSServerEngine(
+                TLSConfig(
+                    rng=run_rng.fork(b"srv"),
+                    credential=bench_pki.credential("server"),
+                    session_cache=server_cache,
+                )
+            )
+            driver = EngineDriver(engine, socket, meter=meters["server"])
+            driver.on_event = (
+                lambda event: driver.send_application_data(b"pong")
+                if isinstance(event, ApplicationData)
+                else None
+            )
+            driver.start()
+
+        network.host("server").listen(443, accept)
+
+        outcome = {}
+
+        def on_event(event):
+            if isinstance(event, SessionEstablished):
+                outcome["handshake"] = network.sim.now
+                outcome["resumed"] = event.resumed
+                driver.send_application_data(b"ping")
+            elif isinstance(event, ApplicationData):
+                outcome["done"] = network.sim.now
+
+        engine, driver = open_mbtls(
+            network.host("client"),
+            "server",
+            MbTLSEndpointConfig(
+                tls=TLSConfig(
+                    rng=run_rng.fork(b"cli"),
+                    trust_store=bench_pki.trust,
+                    server_name="server",
+                    session_store=client_sessions,
+                ),
+                middlebox_trust_store=bench_pki.trust,
+                middlebox_session_store=middlebox_sessions,
+            ),
+            on_event=on_event,
+            meter=meters["client"],
+        )
+        network.sim.run()
+        stats.append(
+            {
+                "resumed": outcome["resumed"],
+                "handshake_ms": outcome["handshake"] * 1000,
+                "client_cpu_ms": meters["client"].seconds * 1000,
+                "server_cpu_ms": meters["server"].seconds * 1000,
+                "mbox_cpu_ms": meters["mbox"].seconds * 1000,
+            }
+        )
+    return stats
+
+
+def test_mbtls_resumption_savings(benchmark, bench_pki):
+    stats = benchmark.pedantic(
+        lambda: _run_pair(bench_pki, b"resumption-bench"), rounds=1, iterations=1
+    )
+    full, resumed = stats
+    emit(
+        render_table(
+            "§3.5 — full vs resumed mbTLS session (1 client-side middlebox)",
+            ["run", "handshake ms", "client CPU ms", "mbox CPU ms", "server CPU ms"],
+            [
+                ["full", f"{full['handshake_ms']:.0f}", f"{full['client_cpu_ms']:.2f}",
+                 f"{full['mbox_cpu_ms']:.2f}", f"{full['server_cpu_ms']:.2f}"],
+                ["resumed", f"{resumed['handshake_ms']:.0f}",
+                 f"{resumed['client_cpu_ms']:.2f}", f"{resumed['mbox_cpu_ms']:.2f}",
+                 f"{resumed['server_cpu_ms']:.2f}"],
+            ],
+        )
+    )
+    assert not full["resumed"] and resumed["resumed"]
+    # One full round trip saved on the handshake.
+    assert resumed["handshake_ms"] < full["handshake_ms"] - 50
+    # The asymmetric crypto disappears from every party.
+    assert resumed["client_cpu_ms"] < 0.6 * full["client_cpu_ms"]
+    assert resumed["mbox_cpu_ms"] < 0.6 * full["mbox_cpu_ms"]
+    assert resumed["server_cpu_ms"] < 0.6 * full["server_cpu_ms"]

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""The attack gauntlet: Table 1 live.
+
+Runs every concrete attack from the paper's threat model against TLS,
+mbTLS, and the baselines, and prints the resulting threat/defense matrix —
+including where the *baselines* fall over, which is the point of mbTLS's
+per-hop keys and SGX protection.
+
+Run:  python examples/attack_gauntlet.py
+"""
+
+from repro.bench.tables import render_table
+from repro.bench.threats import run_all_threats
+
+
+def main() -> None:
+    print("executing adversarial scenarios (wiretaps, code substitution,")
+    print("record splicing, memory dumps) ...\n")
+    outcomes = run_all_threats()
+    rows = [
+        [
+            outcome.threat,
+            outcome.protocol,
+            "DEFENDED" if outcome.defended else "** VULNERABLE **",
+            outcome.mechanism,
+        ]
+        for outcome in outcomes
+    ]
+    print(
+        render_table(
+            "Table 1 — threats and defenses, executed",
+            ["threat", "protocol", "outcome", "defense mechanism"],
+            rows,
+        )
+    )
+    vulnerable = [o for o in outcomes if not o.defended]
+    print(
+        f"\n{len(outcomes) - len(vulnerable)} defended, {len(vulnerable)} "
+        "vulnerable — each vulnerability is a baseline design mbTLS fixes:"
+    )
+    for outcome in vulnerable:
+        print(f"  - {outcome.protocol}: {outcome.threat}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""A service provider deploys its own edge middleboxes (§3.5, "Trust",
+third scenario): the *server* adds caching proxies in edge ISPs, discovered
+in-band, verified by certificate — the Google-Edge-Network use case from
+the paper's introduction. The client is a completely legacy TLS client.
+
+Shows: server-side announcement and discovery, a shared web cache serving
+repeat requests from the edge, and endpoint isolation (the legacy client
+neither knows nor needs to know the middlebox exists).
+
+Run:  python examples/edge_cdn.py
+"""
+
+from repro import (
+    CertificateAuthority,
+    EngineDriver,
+    HmacDrbg,
+    MbTLSEndpointConfig,
+    MiddleboxConfig,
+    MiddleboxRole,
+    MiddleboxService,
+    Network,
+    SessionEstablished,
+    TLSClientEngine,
+    TLSConfig,
+    TrustStore,
+    serve_mbtls,
+)
+from repro.apps.cache import CacheApp, SharedCacheStore
+from repro.apps.http import HttpClient, HttpParser, HttpResponse
+from repro.tls.events import ApplicationData, HandshakeComplete
+
+
+def main() -> None:
+    rng = HmacDrbg(b"edge-cdn")
+    ca = CertificateAuthority("root", rng.fork(b"ca"))
+    trust = TrustStore([ca.certificate])
+    origin_cred = ca.issue_credential("origin.example")
+    edge_cred = ca.issue_credential("edge.origin.example")
+
+    net = Network()
+    for name in ("alice", "bob", "edge-isp", "origin.example"):
+        net.add_host(name)
+    # Two users in the same edge ISP, an ocean away from the origin.
+    net.add_link("alice", "edge-isp", 0.004)
+    net.add_link("bob", "edge-isp", 0.006)
+    net.add_link("edge-isp", "origin.example", 0.070)
+
+    # --- the origin: an mbTLS server expecting its own edge boxes -------
+    store = SharedCacheStore()
+    origin_hits = {"count": 0}
+
+    def make_origin_config():
+        return MbTLSEndpointConfig(
+            tls=TLSConfig(rng=rng.fork(b"origin"), credential=origin_cred),
+            middlebox_trust_store=trust,
+            # The origin only admits middleboxes carrying ITS domain's certs.
+            approve_middlebox=lambda info: info.name.endswith(".origin.example"),
+        )
+
+    def on_origin_event(engine, driver, event):
+        if isinstance(event, SessionEstablished):
+            names = [m.name for m in event.middleboxes]
+            print(f"  origin: session up, edge middleboxes: {names}")
+        if isinstance(event, ApplicationData):
+            parser = HttpParser(parse_requests=True)
+            for request in parser.feed(event.data):
+                origin_hits["count"] += 1
+                body = f"content of {request.path} (render #{origin_hits['count']})"
+                driver.send_application_data(
+                    HttpResponse(status=200, body=body.encode()).encode()
+                )
+
+    serve_mbtls(net.host("origin.example"), make_origin_config,
+                on_event=on_origin_event)
+
+    # --- the edge cache, announced server-side ---------------------------
+    MiddleboxService(
+        net.host("edge-isp"),
+        lambda: MiddleboxConfig(
+            name="edge.origin.example",
+            tls=TLSConfig(rng=rng.fork(b"edge"), credential=edge_cred),
+            role=MiddleboxRole.SERVER_SIDE,
+            served_servers=frozenset({"origin.example"}),
+            process=CacheApp(store),
+        ),
+    )
+
+    # --- two LEGACY TLS clients ------------------------------------------
+    def browse(user: str, path: str) -> None:
+        http = HttpClient()
+        engine = TLSClientEngine(
+            TLSConfig(rng=rng.fork(user.encode()), trust_store=trust,
+                      server_name="origin.example")
+        )
+        sock = net.host(user).connect("origin.example", 443)
+
+        def on_event(event):
+            if isinstance(event, HandshakeComplete):
+                driver.send_application_data(HttpClient.get(path, "origin.example"))
+            elif isinstance(event, ApplicationData):
+                for response in http.on_data(event.data):
+                    cache_state = response.header("x-cache") or "MISS"
+                    print(f"  {user}: {path} -> {response.body.decode()!r} "
+                          f"[{cache_state}]")
+
+        driver = EngineDriver(engine, sock, on_event=on_event)
+        driver.start()
+        net.sim.run()
+
+    print("Alice fetches /video (cold cache -> origin renders it):")
+    browse("alice", "/video")
+    print("Bob fetches /video (same edge ISP -> served from the edge cache):")
+    browse("bob", "/video")
+
+    print(f"\norigin renders: {origin_hits['count']} | "
+          f"cache hits: {store.hits} | entries: {list(store.entries)}")
+    assert origin_hits["count"] == 1 and store.hits == 1
+    print("The second user was served at the edge; neither client was")
+    print("upgraded, and the origin authenticated its own middlebox.")
+
+
+if __name__ == "__main__":
+    main()

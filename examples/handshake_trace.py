@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Render the mbTLS handshake ladder — the paper's Figure 3, live.
+
+Sets up a client, one discovered client-side middlebox, and a legacy TLS
+server, wiretaps every hop, runs a session, and prints the time-ordered
+record ladder: the primary handshake, the interleaved secondary handshake
+riding Encapsulated records, key-material delivery, and the re-encrypted
+data phase.
+
+Run:  python examples/handshake_trace.py
+"""
+
+from repro import (
+    CertificateAuthority,
+    EngineDriver,
+    HmacDrbg,
+    MbTLSEndpointConfig,
+    MiddleboxConfig,
+    MiddleboxRole,
+    MiddleboxService,
+    Network,
+    SessionEstablished,
+    TLSConfig,
+    TLSServerEngine,
+    TrustStore,
+    open_mbtls,
+)
+from repro.netsim import GlobalAdversary, render_trace, trace_session
+from repro.tls.events import ApplicationData
+
+
+def main() -> None:
+    rng = HmacDrbg(b"figure-3")
+    ca = CertificateAuthority("root", rng.fork(b"ca"))
+    trust = TrustStore([ca.certificate])
+
+    net = Network()
+    for name in ("client", "mbox", "server"):
+        net.add_host(name)
+    net.add_link("client", "mbox", 0.002)
+    net.add_link("mbox", "server", 0.002)
+    adversary = GlobalAdversary(net)
+
+    def accept(sock, source):
+        engine = TLSServerEngine(
+            TLSConfig(rng=rng.fork(b"srv"), credential=ca.issue_credential("server"))
+        )
+        driver = EngineDriver(engine, sock)
+        driver.on_event = (
+            lambda event: driver.send_application_data(b"response-payload")
+            if isinstance(event, ApplicationData)
+            else None
+        )
+        driver.start()
+
+    net.host("server").listen(443, accept)
+
+    MiddleboxService(
+        net.host("mbox"),
+        lambda: MiddleboxConfig(
+            name="mbox",
+            tls=TLSConfig(rng=rng.fork(b"mb"), credential=ca.issue_credential("mbox")),
+            role=MiddleboxRole.CLIENT_SIDE,
+        ),
+    )
+
+    def on_event(event):
+        if isinstance(event, SessionEstablished):
+            driver.send_application_data(b"request-payload")
+
+    engine, driver = open_mbtls(
+        net.host("client"),
+        "server",
+        MbTLSEndpointConfig(
+            tls=TLSConfig(rng=rng.fork(b"cli"), trust_store=trust,
+                          server_name="server"),
+            middlebox_trust_store=trust,
+        ),
+        on_event=on_event,
+    )
+    net.sim.run()
+
+    print("The mbTLS handshake, as observed by a global wiretap (Figure 3):\n")
+    print(render_trace(trace_session(adversary)))
+    print("\nNote the paper's choreography: the middlebox answers the")
+    print("double-duty ClientHello on subchannel 1 *before* forwarding the")
+    print("primary ServerHello, the secondary handshake finishes inside the")
+    print("primary's flights, and the data phase is re-encrypted per hop")
+    print("(the ApplicationData ciphertexts differ on the two hops).")
+
+
+if __name__ == "__main__":
+    main()

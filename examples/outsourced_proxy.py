@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Outsourced middlebox on untrusted infrastructure (the paper's §3.2 core
+scenario): the middlebox *service provider* (MSP) runs its proxy on a
+*middlebox infrastructure provider* (MIP) that is actively malicious.
+
+Demonstrates:
+  1. With SGX, the session keys live only inside the enclave — the MIP's
+     full memory dump contains none of them, and the client verifies the
+     proxy's code identity through remote attestation bound to the
+     handshake (P1A, P3B).
+  2. When the MIP swaps the proxy binary for a backdoored build, the
+     measurement changes and the client refuses to hand over session keys.
+
+Run:  python examples/outsourced_proxy.py
+"""
+
+from repro import (
+    AttestationService,
+    CertificateAuthority,
+    EnclaveCode,
+    EngineDriver,
+    HmacDrbg,
+    MbTLSEndpointConfig,
+    MiddleboxConfig,
+    MiddleboxRole,
+    MiddleboxService,
+    Network,
+    Platform,
+    SessionEstablished,
+    TLSConfig,
+    TLSServerEngine,
+    TrustStore,
+    open_mbtls,
+)
+from repro.apps.proxy import HeaderInsertingProxy
+from repro.core.config import MiddleboxRejected
+from repro.tls.events import ApplicationData
+
+
+def build_world(rng, enclave, arena, trust, ca, verifier):
+    server_cred = ca.issue_credential("api.example")
+    proxy_cred = ca.issue_credential("flywheel.msp.example")
+    net = Network()
+    for name in ("client", "cloud", "api.example"):
+        net.add_host(name)
+    net.add_link("client", "cloud", 0.005)
+    net.add_link("cloud", "api.example", 0.015)
+
+    def accept(sock, source):
+        engine = TLSServerEngine(TLSConfig(rng=rng.fork(b"srv"), credential=server_cred))
+        driver = EngineDriver(engine, sock)
+        driver.on_event = (
+            lambda event: driver.send_application_data(b"api-response")
+            if isinstance(event, ApplicationData)
+            else None
+        )
+        driver.start()
+
+    net.host("api.example").listen(443, accept)
+
+    MiddleboxService(
+        net.host("cloud"),
+        lambda: MiddleboxConfig(
+            name="flywheel.msp.example",
+            tls=TLSConfig(
+                rng=rng.fork(b"proxy"),
+                credential=proxy_cred,
+                enclave=enclave,          # terminate TLS inside the enclave
+                on_secret=arena.store,    # where derived keys physically live
+            ),
+            role=MiddleboxRole.CLIENT_SIDE,
+            process=HeaderInsertingProxy(),
+        ),
+    )
+
+    events = []
+    config = MbTLSEndpointConfig(
+        tls=TLSConfig(rng=rng.fork(b"cli"), trust_store=trust,
+                      server_name="api.example"),
+        middlebox_trust_store=trust,
+        require_middlebox_attestation=True,
+        middlebox_attestation_verifier=verifier,
+    )
+
+    def on_event(event):
+        events.append(event)
+        if isinstance(event, SessionEstablished):
+            driver.send_application_data(b"GET /data")
+
+    engine, driver = open_mbtls(net.host("client"), "api.example", config,
+                                on_event=on_event)
+    net.sim.run()
+    return engine, events
+
+
+def main() -> None:
+    rng = HmacDrbg(b"outsourced")
+    ca = CertificateAuthority("root", rng.fork(b"ca"))
+    trust = TrustStore([ca.certificate])
+    intel = AttestationService(rng.fork(b"intel"))
+
+    audited_build = EnclaveCode(
+        name="flywheel-proxy", version="2.4.1", image=b"audited proxy binary"
+    )
+    verifier = intel.verifier(expected_measurements={audited_build.measurement})
+
+    # ---- Act 1: honest launch on a malicious MIP -----------------------
+    print("=== Act 1: audited proxy in an enclave on a hostile cloud ===")
+    mip = Platform(intel, malicious=True)
+    enclave = mip.launch_enclave(audited_build)
+    arena = mip.arena_for(enclave)
+    engine, events = build_world(rng.fork(b"act1"), enclave, arena, trust, ca, verifier)
+
+    established = [e for e in events if isinstance(e, SessionEstablished)][0]
+    proxy = established.middleboxes[0]
+    print(f"middlebox joined: {proxy.name}")
+    print(f"verified code measurement: {proxy.measurement.hex()[:16]}...")
+    print(f"secrets held in enclave memory: {len(arena.all_bytes())}")
+    stolen = mip.dump_visible_secrets()
+    print(f"secrets the MIP can read from its own hardware: {len(stolen)}")
+    assert stolen == set()
+
+    # ---- Act 2: the MIP swaps the binary --------------------------------
+    print("\n=== Act 2: the MIP substitutes a backdoored proxy build ===")
+    evil_mip = Platform(intel, malicious=True)
+    evil_mip.plant_code_substitution(
+        EnclaveCode(name="flywheel-proxy", version="2.4.1", image=b"backdoored")
+    )
+    evil_enclave = evil_mip.launch_enclave(audited_build)
+    evil_arena = evil_mip.arena_for(evil_enclave)
+    engine, events = build_world(
+        rng.fork(b"act2"), evil_enclave, evil_arena, trust, ca, verifier
+    )
+    rejections = [e for e in events if isinstance(e, MiddleboxRejected)]
+    established = [e for e in events if isinstance(e, SessionEstablished)][0]
+    print(f"client rejected the middlebox: {rejections[0].reason}")
+    print(f"middleboxes holding session keys: {list(established.middleboxes)}")
+    assert established.middleboxes == ()
+    print("\nThe substituted code changed the enclave measurement; attestation")
+    print("failed, so the backdoored proxy never received session keys — the")
+    print("session completed end-to-end with the middlebox as a blind relay.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""mbTLS reproduction: secure communication for more than two parties.
+
+A from-scratch Python implementation of the CoNEXT 2017 paper *And Then
+There Were More: Secure Communication for More Than Two Parties* (Naylor et
+al.): the mbTLS protocol, the TLS 1.2 engine it extends, a simulated SGX
+substrate for outsourced middleboxes, a discrete-event network for the
+evaluation, the baselines it is compared against, and middlebox
+applications.
+
+Public API highlights:
+
+* ``repro.core`` — mbTLS endpoints and middleboxes.
+* ``repro.tls`` — the sans-IO TLS 1.2 engine (also usable standalone).
+* ``repro.sgx`` — simulated enclaves and remote attestation.
+* ``repro.netsim`` — the discrete-event network simulator.
+* ``repro.baselines`` — split TLS, shared-key, mcTLS, relays.
+* ``repro.apps`` — HTTP substrate and middlebox applications.
+* ``repro.bench`` — harnesses regenerating every table/figure in the paper.
+"""
+
+from repro.core import (
+    MbTLSClientEngine,
+    MbTLSEndpointConfig,
+    MbTLSMiddlebox,
+    MbTLSServerEngine,
+    MiddleboxConfig,
+    MiddleboxRole,
+    MiddleboxService,
+    SessionEstablished,
+    open_mbtls,
+    serve_mbtls,
+)
+from repro.crypto import HmacDrbg, system_rng
+from repro.errors import ReproError
+from repro.netsim import EngineDriver, Network, Simulator
+from repro.pki import CertificateAuthority, Credential, TrustStore
+from repro.sgx import AttestationService, EnclaveCode, Platform
+from repro.tls import TLSClientEngine, TLSConfig, TLSServerEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MbTLSClientEngine",
+    "MbTLSEndpointConfig",
+    "MbTLSMiddlebox",
+    "MbTLSServerEngine",
+    "MiddleboxConfig",
+    "MiddleboxRole",
+    "MiddleboxService",
+    "SessionEstablished",
+    "open_mbtls",
+    "serve_mbtls",
+    "HmacDrbg",
+    "system_rng",
+    "ReproError",
+    "EngineDriver",
+    "Network",
+    "Simulator",
+    "CertificateAuthority",
+    "Credential",
+    "TrustStore",
+    "AttestationService",
+    "EnclaveCode",
+    "Platform",
+    "TLSClientEngine",
+    "TLSConfig",
+    "TLSServerEngine",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Middlebox applications and the HTTP substrate they operate on."""
+
+from repro.apps.base import AppApi, MiddleboxApp
+from repro.apps.cache import CacheApp, SharedCacheStore
+from repro.apps.compression import Compressor, Decompressor
+from repro.apps.http import (
+    HttpClient,
+    HttpParser,
+    HttpRequest,
+    HttpResponse,
+    HttpServerApp,
+)
+from repro.apps.ids import IntrusionDetector, Signature
+from repro.apps.proxy import HeaderInsertingProxy
+
+__all__ = [
+    "AppApi",
+    "MiddleboxApp",
+    "CacheApp",
+    "SharedCacheStore",
+    "Compressor",
+    "Decompressor",
+    "HttpClient",
+    "HttpParser",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServerApp",
+    "IntrusionDetector",
+    "Signature",
+    "HeaderInsertingProxy",
+]

@@ -1,0 +1,52 @@
+"""Middlebox application interface.
+
+A middlebox application processes the plaintext stream a joined mbTLS
+middlebox exposes. Two shapes are supported by
+:class:`~repro.core.middlebox.MbTLSMiddlebox`:
+
+* a plain callable ``process(direction, data) -> data`` for pure
+  transformations (header rewriting, compression, ...);
+* a :class:`MiddleboxApp` subclass for applications that need to drop
+  traffic or originate their own (caches answering from local state,
+  IDSes killing flows).
+"""
+
+from __future__ import annotations
+
+__all__ = ["MiddleboxApp", "AppApi"]
+
+
+class AppApi:
+    """What an application may do besides transforming the current chunk.
+
+    Handed to :meth:`MiddleboxApp.on_data`; backed by the middlebox's
+    per-hop record states, so injected data is properly encrypted for the
+    adjacent hop.
+    """
+
+    def __init__(self, send_to_client, send_to_server) -> None:
+        self.send_to_client = send_to_client
+        self.send_to_server = send_to_server
+
+
+class MiddleboxApp:
+    """Base class for stateful middlebox applications."""
+
+    def on_data(self, direction: str, data: bytes, api: AppApi) -> bytes | None:
+        """Handle one plaintext chunk.
+
+        Args:
+            direction: ``"c2s"`` or ``"s2c"``.
+            data: the decrypted application bytes.
+            api: side-channel for originating or redirecting traffic.
+
+        Returns:
+            Bytes to forward onward (possibly transformed), or ``None`` to
+            consume the chunk (forward nothing).
+        """
+        return data
+
+    def __call__(self, direction: str, data: bytes) -> bytes:
+        """Allow use where a plain process callable is expected."""
+        result = self.on_data(direction, data, AppApi(lambda _: None, lambda _: None))
+        return result if result is not None else b""

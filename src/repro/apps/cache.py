@@ -1,0 +1,78 @@
+"""A caching middlebox (web cache) — and the state-poisoning caveat of §4.2.
+
+On a cache hit the middlebox answers the client from local state and
+consumes the request; on a miss it forwards the request and remembers the
+response. Because an mbTLS *client* knows every hop key on its side of the
+session, a malicious client can inject a forged response on the
+cache-to-server hop and poison entries served to other clients — the paper
+documents this as an inherent limitation for client-side shared-state
+middleboxes, and ``tests/test_security_properties.py`` reproduces it.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppApi, MiddleboxApp
+from repro.apps.http import HttpParser, HttpResponse
+
+__all__ = ["CacheApp", "SharedCacheStore"]
+
+
+class SharedCacheStore:
+    """Cache state shared across connections (and therefore across clients)."""
+
+    def __init__(self) -> None:
+        self.entries: dict[str, HttpResponse] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> HttpResponse | None:
+        response = self.entries.get(key)
+        if response is not None:
+            self.hits += 1
+        return response
+
+    def put(self, key: str, response: HttpResponse) -> None:
+        self.entries[key] = response
+
+
+class CacheApp(MiddleboxApp):
+    """Per-connection cache logic over a shared store."""
+
+    def __init__(self, store: SharedCacheStore) -> None:
+        self.store = store
+        self._request_parser = HttpParser(parse_requests=True)
+        self._response_parser = HttpParser(parse_requests=False)
+        self._awaiting: list[str] = []  # cache keys of forwarded requests
+
+    @staticmethod
+    def _key(request) -> str:
+        return f"{request.header('host') or ''}{request.path}"
+
+    def on_data(self, direction: str, data: bytes, api: AppApi) -> bytes | None:
+        if direction == "c2s":
+            out = bytearray()
+            for request in self._request_parser.feed(data):
+                key = self._key(request)
+                cached = self.store.get(key)
+                if cached is not None and request.method == "GET":
+                    served = HttpResponse(
+                        status=cached.status,
+                        reason=cached.reason,
+                        headers=list(cached.headers) + [("X-Cache", "HIT")],
+                        body=cached.body,
+                    )
+                    api.send_to_client(served.encode())
+                else:
+                    self.store.misses += 1
+                    self._awaiting.append(key)
+                    out += request.encode()
+            return bytes(out) if out else None
+        # Server-to-client: fill the cache as responses stream past.
+        out = bytearray()
+        for response in self._response_parser.feed(data):
+            if self._awaiting:
+                key = self._awaiting.pop(0)
+                if response.status == 200:
+                    self.store.put(key, response)
+            out += response.encode()
+        return bytes(out) if out else None

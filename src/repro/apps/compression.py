@@ -1,0 +1,64 @@
+"""Compression-proxy middleboxes (the Flywheel-style use case from §1).
+
+Deployed as a *pair* of cooperating middleboxes: a compressor near the
+server shrinks server-to-client traffic, and a decompressor near the client
+restores it — exactly the kind of arbitrary-computation middlebox that
+BlindBox's searchable encryption cannot support (§2.2) and mbTLS can.
+
+Chunks are framed (length-prefixed) so the peer can decompress a stream
+that TCP re-segmented arbitrarily.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.apps.base import AppApi, MiddleboxApp
+
+__all__ = ["Compressor", "Decompressor"]
+
+_HEADER = 4
+
+
+class Compressor(MiddleboxApp):
+    """Compresses one direction of the stream into framed zlib chunks."""
+
+    def __init__(self, direction: str = "s2c", level: int = 6) -> None:
+        self.direction = direction
+        self.level = level
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def on_data(self, direction: str, data: bytes, api: AppApi) -> bytes | None:
+        if direction != self.direction:
+            return data
+        compressed = zlib.compress(data, self.level)
+        self.bytes_in += len(data)
+        self.bytes_out += len(compressed) + _HEADER
+        return len(compressed).to_bytes(_HEADER, "big") + compressed
+
+    @property
+    def ratio(self) -> float:
+        return self.bytes_out / self.bytes_in if self.bytes_in else 1.0
+
+
+class Decompressor(MiddleboxApp):
+    """Reverses :class:`Compressor` framing on the same direction."""
+
+    def __init__(self, direction: str = "s2c") -> None:
+        self.direction = direction
+        self._buffer = bytearray()
+
+    def on_data(self, direction: str, data: bytes, api: AppApi) -> bytes | None:
+        if direction != self.direction:
+            return data
+        self._buffer += data
+        out = bytearray()
+        while len(self._buffer) >= _HEADER:
+            length = int.from_bytes(self._buffer[:_HEADER], "big")
+            if len(self._buffer) < _HEADER + length:
+                break
+            chunk = bytes(self._buffer[_HEADER : _HEADER + length])
+            del self._buffer[: _HEADER + length]
+            out += zlib.decompress(chunk)
+        return bytes(out) if out else None

@@ -1,0 +1,199 @@
+"""Minimal HTTP/1.1: messages, incremental parsing, and server/client helpers.
+
+The paper's prototype middlebox is "a simple HTTP proxy that performs HTTP
+header insertion"; the examples and benchmarks drive HTTP over TLS/mbTLS,
+so a small but real HTTP substrate is required. Supported: request/response
+framing with Content-Length bodies, header manipulation, and incremental
+parsing over a byte stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DecodeError
+
+__all__ = ["HttpRequest", "HttpResponse", "HttpParser", "HttpServerApp", "HttpClient"]
+
+_CRLF = b"\r\n"
+_HEADER_END = b"\r\n\r\n"
+
+
+def _render_headers(headers: list[tuple[str, str]]) -> bytes:
+    return b"".join(
+        f"{name}: {value}\r\n".encode() for name, value in headers
+    )
+
+
+def _parse_headers(block: bytes) -> list[tuple[str, str]]:
+    headers = []
+    for line in block.split(_CRLF):
+        if not line:
+            continue
+        name, _, value = line.partition(b":")
+        if not _:
+            raise DecodeError(f"malformed header line: {line!r}")
+        headers.append((name.decode().strip(), value.decode().strip()))
+    return headers
+
+
+@dataclass
+class HttpRequest:
+    """An HTTP/1.1 request."""
+
+    method: str
+    path: str
+    headers: list[tuple[str, str]] = field(default_factory=list)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def header(self, name: str) -> str | None:
+        for header_name, value in self.headers:
+            if header_name.lower() == name.lower():
+                return value
+        return None
+
+    def set_header(self, name: str, value: str) -> None:
+        self.headers = [
+            (header_name, header_value)
+            for header_name, header_value in self.headers
+            if header_name.lower() != name.lower()
+        ]
+        self.headers.append((name, value))
+
+    def encode(self) -> bytes:
+        headers = list(self.headers)
+        if self.body and self.header("content-length") is None:
+            headers.append(("Content-Length", str(len(self.body))))
+        return (
+            f"{self.method} {self.path} {self.version}\r\n".encode()
+            + _render_headers(headers)
+            + _CRLF
+            + self.body
+        )
+
+
+@dataclass
+class HttpResponse:
+    """An HTTP/1.1 response."""
+
+    status: int
+    reason: str = "OK"
+    headers: list[tuple[str, str]] = field(default_factory=list)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def header(self, name: str) -> str | None:
+        for header_name, value in self.headers:
+            if header_name.lower() == name.lower():
+                return value
+        return None
+
+    def set_header(self, name: str, value: str) -> None:
+        self.headers = [
+            (header_name, header_value)
+            for header_name, header_value in self.headers
+            if header_name.lower() != name.lower()
+        ]
+        self.headers.append((name, value))
+
+    def encode(self) -> bytes:
+        headers = list(self.headers)
+        if self.header("content-length") is None:
+            headers.append(("Content-Length", str(len(self.body))))
+        return (
+            f"{self.version} {self.status} {self.reason}\r\n".encode()
+            + _render_headers(headers)
+            + _CRLF
+            + self.body
+        )
+
+
+class HttpParser:
+    """Incremental parser for a stream of HTTP messages (one direction)."""
+
+    def __init__(self, parse_requests: bool) -> None:
+        self._requests = parse_requests
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list:
+        """Feed bytes; returns complete messages parsed so far."""
+        self._buffer += data
+        messages = []
+        while True:
+            end = self._buffer.find(_HEADER_END)
+            if end < 0:
+                break
+            head = bytes(self._buffer[:end])
+            lines = head.split(_CRLF, 1)
+            start_line = lines[0]
+            headers = _parse_headers(lines[1]) if len(lines) > 1 else []
+            length = 0
+            for name, value in headers:
+                if name.lower() == "content-length":
+                    length = int(value)
+            total = end + len(_HEADER_END) + length
+            if len(self._buffer) < total:
+                break
+            body = bytes(self._buffer[end + len(_HEADER_END) : total])
+            del self._buffer[:total]
+            messages.append(self._build(start_line, headers, body))
+        return messages
+
+    def _build(self, start_line: bytes, headers, body: bytes):
+        parts = start_line.decode().split(" ", 2)
+        if self._requests:
+            if len(parts) != 3:
+                raise DecodeError(f"malformed request line: {start_line!r}")
+            method, path, version = parts
+            return HttpRequest(
+                method=method, path=path, headers=headers, body=body, version=version
+            )
+        if len(parts) < 2:
+            raise DecodeError(f"malformed status line: {start_line!r}")
+        version, status = parts[0], parts[1]
+        reason = parts[2] if len(parts) > 2 else ""
+        return HttpResponse(
+            status=int(status), reason=reason, headers=headers, body=body,
+            version=version,
+        )
+
+
+class HttpServerApp:
+    """Serves HTTP over any engine driver (TLS or mbTLS).
+
+    Args:
+        handler: ``handler(request) -> HttpResponse``.
+    """
+
+    def __init__(self, handler) -> None:
+        self._handler = handler
+        self._parser = HttpParser(parse_requests=True)
+        self.requests_served = 0
+
+    def on_data(self, data: bytes, send) -> None:
+        """Feed received plaintext; ``send(bytes)`` transmits responses."""
+        for request in self._parser.feed(data):
+            response = self._handler(request)
+            self.requests_served += 1
+            send(response.encode())
+
+
+class HttpClient:
+    """Collects responses for requests sent over an established session."""
+
+    def __init__(self) -> None:
+        self._parser = HttpParser(parse_requests=False)
+        self.responses: list[HttpResponse] = []
+
+    def on_data(self, data: bytes) -> list[HttpResponse]:
+        fresh = self._parser.feed(data)
+        self.responses.extend(fresh)
+        return fresh
+
+    @staticmethod
+    def get(path: str, host: str, headers: list[tuple[str, str]] | None = None) -> bytes:
+        request = HttpRequest(method="GET", path=path, headers=[("Host", host)])
+        for name, value in headers or []:
+            request.set_header(name, value)
+        return request.encode()

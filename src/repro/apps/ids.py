@@ -1,0 +1,61 @@
+"""A pattern-matching intrusion detection middlebox.
+
+The IDS scans both directions of the plaintext stream for signatures
+(matching across chunk boundaries), and either logs matches or blocks the
+offending chunk. This is the middlebox class BlindBox targets with
+searchable encryption; under mbTLS the IDS simply sees plaintext inside its
+enclave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import AppApi, MiddleboxApp
+
+__all__ = ["Signature", "IntrusionDetector"]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """One detection rule."""
+
+    name: str
+    pattern: bytes
+    block: bool = False  # True: drop the chunk; False: log only
+
+
+@dataclass
+class Alert:
+    signature: str
+    direction: str
+    offset_hint: int
+
+
+class IntrusionDetector(MiddleboxApp):
+    """Signature matcher with cross-chunk carryover."""
+
+    def __init__(self, signatures: list[Signature]) -> None:
+        self.signatures = list(signatures)
+        self.alerts: list[Alert] = []
+        self.blocked_chunks = 0
+        self._carry = {"c2s": b"", "s2c": b""}
+        self._max_pattern = max((len(s.pattern) for s in signatures), default=1)
+
+    def on_data(self, direction: str, data: bytes, api: AppApi) -> bytes | None:
+        window = self._carry[direction] + data
+        blocked = False
+        for signature in self.signatures:
+            index = window.find(signature.pattern)
+            if index >= 0:
+                self.alerts.append(
+                    Alert(signature=signature.name, direction=direction,
+                          offset_hint=index)
+                )
+                if signature.block:
+                    blocked = True
+        self._carry[direction] = window[-(self._max_pattern - 1):] if self._max_pattern > 1 else b""
+        if blocked:
+            self.blocked_chunks += 1
+            return None
+        return data

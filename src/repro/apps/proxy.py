@@ -1,0 +1,42 @@
+"""The paper's prototype middlebox application: an HTTP header-inserting
+proxy (§5, "Prototype Implementation").
+
+Buffers the client-to-server stream, parses each HTTP request, inserts
+proxy headers (``Via`` and ``X-Forwarded-For``-style), and forwards the
+re-serialized request. Responses pass through untouched.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppApi, MiddleboxApp
+from repro.apps.http import HttpParser
+
+__all__ = ["HeaderInsertingProxy"]
+
+
+class HeaderInsertingProxy(MiddleboxApp):
+    """Inserts headers into HTTP requests passing through the middlebox."""
+
+    def __init__(
+        self,
+        via: str = "1.1 mbtls-proxy",
+        extra_headers: list[tuple[str, str]] | None = None,
+    ) -> None:
+        self._via = via
+        self._extra = extra_headers or []
+        self._parser = HttpParser(parse_requests=True)
+        self.requests_seen = 0
+
+    def on_data(self, direction: str, data: bytes, api: AppApi) -> bytes | None:
+        if direction != "c2s":
+            return data
+        out = bytearray()
+        for request in self._parser.feed(data):
+            self.requests_seen += 1
+            request.set_header("Via", self._via)
+            for name, value in self._extra:
+                request.set_header(name, value)
+            out += request.encode()
+        # Forward only complete, rewritten requests; partial requests stay
+        # buffered until their remainder arrives.
+        return bytes(out) if out else None

@@ -1,0 +1,41 @@
+"""Baseline protocols the paper compares against (and their weaknesses)."""
+
+from repro.baselines.blindbox import (
+    BlindBoxDetector,
+    EncryptedRule,
+    RuleAuthority,
+    TokenStream,
+)
+
+from repro.baselines.mctls import (
+    ContextKeys,
+    ContextPermission,
+    McTLSContext,
+    McTLSParty,
+    McTLSSession,
+)
+from repro.baselines.relay import SpliceRelayService
+from repro.baselines.shared_key import (
+    KeySharingClient,
+    KeySharingMiddlebox,
+    KeySharingService,
+)
+from repro.baselines.split_tls import SplitTLSMiddlebox, SplitTLSService
+
+__all__ = [
+    "BlindBoxDetector",
+    "EncryptedRule",
+    "RuleAuthority",
+    "TokenStream",
+    "ContextKeys",
+    "ContextPermission",
+    "McTLSContext",
+    "McTLSParty",
+    "McTLSSession",
+    "SpliceRelayService",
+    "KeySharingClient",
+    "KeySharingMiddlebox",
+    "KeySharingService",
+    "SplitTLSMiddlebox",
+    "SplitTLSService",
+]

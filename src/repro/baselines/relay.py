@@ -1,0 +1,46 @@
+"""Transparent relays — the TLS baseline of Figure 6.
+
+Two flavours:
+
+* a *path relay* is just a host on the route with no interceptor; the
+  network forwards through it with link latency only ("the middlebox simply
+  relays packets", the worst case to compare mbTLS against);
+* a :class:`SpliceRelayService` terminates TCP and splices bytes — an
+  application-layer relay with no TLS processing, used to isolate the cost
+  of split TCP from the cost of split TLS.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.driver import CpuMeter
+from repro.netsim.network import Host, InterceptedFlow
+
+__all__ = ["SpliceRelayService"]
+
+
+class SpliceRelayService:
+    """Splits TCP at a host and splices bytes verbatim in both directions."""
+
+    def __init__(self, host: Host, port: int = 443, meter: CpuMeter | None = None) -> None:
+        self.host = host
+        self.meter = meter if meter is not None else CpuMeter(host.name)
+        self.connections = 0
+        self.bytes_relayed = 0
+        host.intercept(port, self._on_intercept)
+
+    def _on_intercept(self, flow: InterceptedFlow) -> None:
+        self.connections += 1
+        down = flow.socket
+        up = flow.dial_onward()
+
+        def forward(dst):
+            def on_data(data: bytes) -> None:
+                self.bytes_relayed += len(data)
+                if not dst.closed:
+                    dst.send(data)
+            return on_data
+
+        down.on_data(forward(up))
+        up.on_data(forward(down))
+        down.on_close(lambda: up.close() if not up.closed else None)
+        up.on_close(lambda: down.close() if not down.closed else None)

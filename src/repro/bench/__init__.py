@@ -1,0 +1,42 @@
+"""Benchmark harness: populations, topologies, scenario runners, renderers."""
+
+from repro.bench.alexa import (
+    PAPER_COUNTS,
+    ServerDefect,
+    SyntheticServer,
+    generate_alexa_population,
+)
+from repro.bench.cpu import CONFIGURATIONS, HandshakeCpu, measure_all, measure_configuration
+from repro.bench.population import NETWORK_TYPE_COUNTS, ClientSite, generate_population
+from repro.bench.scenarios import FetchResult, Pki, build_chain_network, run_fetch
+from repro.bench.tables import render_series, render_table
+from repro.bench.threats import THREATS, Scenario, ThreatOutcome, run_all_threats
+from repro.bench.topologies import ONE_WAY_LATENCY, REGIONS, build_wan, path_permutations
+
+__all__ = [
+    "PAPER_COUNTS",
+    "ServerDefect",
+    "SyntheticServer",
+    "generate_alexa_population",
+    "CONFIGURATIONS",
+    "HandshakeCpu",
+    "measure_all",
+    "measure_configuration",
+    "NETWORK_TYPE_COUNTS",
+    "ClientSite",
+    "generate_population",
+    "FetchResult",
+    "Pki",
+    "build_chain_network",
+    "run_fetch",
+    "render_series",
+    "render_table",
+    "THREATS",
+    "Scenario",
+    "ThreatOutcome",
+    "run_all_threats",
+    "ONE_WAY_LATENCY",
+    "REGIONS",
+    "build_wan",
+    "path_permutations",
+]

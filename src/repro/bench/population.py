@@ -1,0 +1,103 @@
+"""The Table 2 client-network population: 241 sites across nine network
+types, each with a middlebox/filter disposition.
+
+§5.1 measured whether real networks' firewalls, normalizers, or IDSes drop
+mbTLS handshakes (new record types + extension) — across 241 vantage points
+they never did, because deployed filters do not rewrite TCP payloads of
+flows they don't terminate. We reproduce the experiment over a synthetic
+population with exactly the paper's site counts; the filter-policy mix is
+the model's knob, with PASSTHROUGH dominating as observed, plus
+grammar-checking filters in managed networks (which also pass mbTLS).
+
+The hypothetical strict policies (DROP_UNKNOWN_TYPES / RESET_ON_UNKNOWN)
+are *not* part of the observed population; the ablation benchmark turns
+them on to show what would break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import HmacDrbg
+from repro.netsim.filters import FilterPolicy
+
+__all__ = ["NETWORK_TYPE_COUNTS", "ClientSite", "generate_population"]
+
+# Table 2's breakdown of distinct sites by network type.
+NETWORK_TYPE_COUNTS: dict[str, int] = {
+    "Enterprise": 6,
+    "University": 11,
+    "Residential": 34,
+    "Public": 1,
+    "Mobile": 2,
+    "Hosting": 56,
+    "Colocation Services": 35,
+    "Data Center": 19,
+    "Uncategorized": 77,
+}
+
+# Observed-world filter mix per network type: (policy, probability) pairs.
+# Managed networks run flow-aware filters (grammar checks); nobody rewrites
+# payloads of flows they do not terminate — hence no strict policies here.
+_FILTER_MIX: dict[str, list[tuple[FilterPolicy, float]]] = {
+    "Enterprise": [(FilterPolicy.GRAMMAR_CHECK, 0.7), (FilterPolicy.PASSTHROUGH, 0.3)],
+    "University": [(FilterPolicy.GRAMMAR_CHECK, 0.5), (FilterPolicy.PASSTHROUGH, 0.5)],
+    "Residential": [(FilterPolicy.PASSTHROUGH, 1.0)],
+    "Public": [(FilterPolicy.GRAMMAR_CHECK, 0.5), (FilterPolicy.PASSTHROUGH, 0.5)],
+    "Mobile": [(FilterPolicy.GRAMMAR_CHECK, 0.6), (FilterPolicy.PASSTHROUGH, 0.4)],
+    "Hosting": [(FilterPolicy.PASSTHROUGH, 1.0)],
+    "Colocation Services": [(FilterPolicy.PASSTHROUGH, 1.0)],
+    "Data Center": [(FilterPolicy.PASSTHROUGH, 1.0)],
+    "Uncategorized": [(FilterPolicy.GRAMMAR_CHECK, 0.2), (FilterPolicy.PASSTHROUGH, 0.8)],
+}
+
+
+@dataclass(frozen=True)
+class ClientSite:
+    """One vantage point: a client network with a filter disposition."""
+
+    name: str
+    network_type: str
+    filter_policy: FilterPolicy
+    latency_to_core: float  # one-way seconds to the wide-area core
+
+
+def generate_population(
+    rng: HmacDrbg,
+    counts: dict[str, int] | None = None,
+    strict_fraction: float = 0.0,
+) -> list[ClientSite]:
+    """Generate the client-site population.
+
+    Args:
+        counts: sites per network type (defaults to the paper's Table 2).
+        strict_fraction: fraction of sites forced to a hypothetical strict
+            policy (RESET_ON_UNKNOWN) — 0 for the observed world, >0 for
+            the counterfactual ablation.
+    """
+    counts = counts if counts is not None else NETWORK_TYPE_COUNTS
+    sites = []
+    for network_type, count in counts.items():
+        mix = _FILTER_MIX[network_type]
+        for index in range(count):
+            if strict_fraction > 0 and rng.random() < strict_fraction:
+                policy = FilterPolicy.RESET_ON_UNKNOWN
+            else:
+                roll = rng.random()
+                cumulative = 0.0
+                policy = mix[-1][0]
+                for candidate, probability in mix:
+                    cumulative += probability
+                    if roll < cumulative:
+                        policy = candidate
+                        break
+            latency = 0.002 + rng.random() * 0.048  # 2-50 ms to the core
+            sites.append(
+                ClientSite(
+                    name=f"{network_type.lower().replace(' ', '-')}-{index}",
+                    network_type=network_type,
+                    filter_policy=policy,
+                    latency_to_core=latency,
+                )
+            )
+    return sites

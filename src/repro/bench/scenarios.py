@@ -1,0 +1,267 @@
+"""Reusable end-to-end scenario runners.
+
+Each function wires up a network, endpoints, and middleboxes, runs the
+simulation, and returns timing/outcome measurements. The benchmarks and the
+integration tests share these builders so the numbers in EXPERIMENTS.md are
+produced by exactly the code the tests exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.split_tls import SplitTLSService
+from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig, MiddleboxRole
+from repro.core.drivers import MiddleboxService, open_mbtls, serve_mbtls
+from repro.core.config import SessionEstablished
+from repro.crypto.drbg import HmacDrbg
+from repro.netsim.driver import CpuMeter, EngineDriver
+from repro.netsim.network import Network
+from repro.pki.authority import CertificateAuthority, Credential
+from repro.pki.store import TrustStore
+from repro.tls.config import TLSConfig
+from repro.tls.engine import TLSClientEngine, TLSServerEngine
+from repro.tls.events import ApplicationData, HandshakeComplete
+
+__all__ = ["Pki", "FetchResult", "build_chain_network", "run_fetch"]
+
+
+@dataclass
+class Pki:
+    """Shared test/bench PKI: one root CA plus issued credentials.
+
+    Credentials are cached by subject so repeated scenario builds don't pay
+    RSA key generation each time.
+    """
+
+    rng: HmacDrbg
+    ca: CertificateAuthority = None
+    key_bits: int = 1024
+    _cache: dict[str, Credential] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.ca is None:
+            self.ca = CertificateAuthority("repro-root", self.rng.fork(b"ca"))
+        self.trust = TrustStore([self.ca.certificate])
+        self._shared_key = None
+
+    def credential(self, subject: str) -> Credential:
+        """A credential for ``subject``, issued over a shared bench key pair.
+
+        Key *generation* is the expensive part of our pure-Python RSA and is
+        irrelevant to the protocols under test, so population-scale benches
+        reuse one key pair across subjects; certificates stay per-subject.
+        """
+        if subject not in self._cache:
+            if self._shared_key is None:
+                from repro.crypto.rsa import generate_rsa_key
+
+                self._shared_key = generate_rsa_key(
+                    self.key_bits, self.rng.fork(b"shared")
+                )
+            leaf = self.ca.issue(subject, self._shared_key.public_key)
+            self._cache[subject] = Credential(
+                private_key=self._shared_key,
+                chain=(leaf, self.ca.certificate),
+            )
+        return self._cache[subject]
+
+    def expired_credential(self, subject: str) -> Credential:
+        """A credential whose certificate is outside its validity window."""
+        self.credential(subject)  # ensure the shared key exists
+        leaf = self.ca.issue(
+            subject, self._shared_key.public_key, not_before=1.0e6, lifetime=500.0
+        )
+        return Credential(
+            private_key=self._shared_key, chain=(leaf, self.ca.certificate)
+        )
+
+
+@dataclass
+class FetchResult:
+    """Timings from one small-object fetch."""
+
+    handshake_seconds: float
+    total_seconds: float
+    reply: bytes
+    client_middleboxes: tuple = ()
+    ok: bool = True
+
+
+def build_chain_network(
+    latencies: list[float], names: list[str] | None = None
+) -> Network:
+    """A linear topology: client - hop1 - ... - server with given latencies."""
+    network = Network()
+    count = len(latencies) + 1
+    if names is None:
+        names = ["client"] + [f"hop{i}" for i in range(1, count - 1)] + ["server"]
+    for name in names:
+        network.add_host(name)
+    for (a, b), latency in zip(zip(names, names[1:]), latencies):
+        network.add_link(a, b, latency)
+    return network
+
+
+def run_fetch(
+    network: Network,
+    pki: Pki,
+    rng: HmacDrbg,
+    protocol: str = "mbtls",
+    middlebox_hosts: list[tuple[str, str]] | None = None,
+    request: bytes = b"GET / HTTP/1.1\r\nHost: server\r\n\r\n",
+    response_size: int = 1024,
+    server_host: str = "server",
+    client_host: str = "client",
+    server_is_mbtls: bool = True,
+    meters: dict[str, CpuMeter] | None = None,
+) -> FetchResult:
+    """Fetch a small object and measure handshake + total time.
+
+    Args:
+        protocol: "tls" (plain TLS; middlebox hosts act as pure path
+            relays), "mbtls", or "split" (split TLS interception).
+        middlebox_hosts: list of (host_name, role) pairs to deploy
+            middleboxes on (role from :class:`MiddleboxRole`).
+    """
+    middlebox_hosts = middlebox_hosts or []
+    meters = meters or {}
+    server_cred = pki.credential(server_host)
+    result: dict = {}
+    response_body = b"X" * response_size
+
+    # --- middleboxes
+    if protocol == "mbtls":
+        for index, (host_name, role) in enumerate(middlebox_hosts):
+            mb_name = f"mb-{host_name}"
+            mb_cred = pki.credential(mb_name)
+
+            def make_config(mb_name=mb_name, mb_cred=mb_cred, role=role, index=index):
+                return MiddleboxConfig(
+                    name=mb_name,
+                    tls=TLSConfig(
+                        rng=rng.fork(b"mb%d" % index), credential=mb_cred
+                    ),
+                    role=role,
+                )
+
+            MiddleboxService(
+                network.host(host_name),
+                make_config,
+                meter=meters.get(host_name),
+            )
+    elif protocol == "split":
+        interception_ca = CertificateAuthority(
+            "intercept-root", rng.fork(b"intercept-ca")
+        )
+        pki.trust.add_root(interception_ca.certificate)
+        for host_name, _role in middlebox_hosts:
+            SplitTLSService(
+                network.host(host_name),
+                interception_ca,
+                rng.fork(host_name.encode()),
+                upstream_trust=pki.trust,
+                meter=meters.get(host_name),
+                key_bits=pki.key_bits,  # fair CPU comparison vs mbTLS creds
+            )
+    # protocol == "tls": middlebox hosts stay pure relays (no interceptor).
+
+    # --- server
+    if protocol == "mbtls" and server_is_mbtls:
+        def make_server_config():
+            return MbTLSEndpointConfig(
+                tls=TLSConfig(rng=rng.fork(b"server"), credential=server_cred),
+                middlebox_trust_store=pki.trust,
+            )
+
+        def on_server_event(engine, driver, event):
+            if isinstance(event, ApplicationData):
+                driver.send_application_data(response_body)
+
+        serve_mbtls(
+            network.host(server_host),
+            make_server_config,
+            on_event=on_server_event,
+            meter=meters.get(server_host),
+        )
+    else:
+        def accept(socket, source):
+            engine = TLSServerEngine(
+                TLSConfig(rng=rng.fork(b"server"), credential=server_cred)
+            )
+            driver = EngineDriver(engine, socket, meter=meters.get(server_host))
+            driver.on_event = (
+                lambda event: driver.send_application_data(response_body)
+                if isinstance(event, ApplicationData)
+                else None
+            )
+            driver.start()
+
+        network.host(server_host).listen(443, accept)
+
+    # --- client
+    received = bytearray()
+
+    def finish() -> None:
+        result["total"] = network.sim.now
+        result["reply"] = bytes(received)
+
+    if protocol == "mbtls":
+        def on_client_event(event) -> None:
+            if isinstance(event, SessionEstablished):
+                result["handshake"] = network.sim.now
+                result["middleboxes"] = event.middleboxes
+                client_driver.send_application_data(request)
+            elif isinstance(event, ApplicationData):
+                received.extend(event.data)
+                if len(received) >= response_size:
+                    finish()
+
+        client_config = MbTLSEndpointConfig(
+            tls=TLSConfig(
+                rng=rng.fork(b"client"),
+                trust_store=pki.trust,
+                server_name=server_host,
+            ),
+            middlebox_trust_store=pki.trust,
+        )
+        client_engine, client_driver = open_mbtls(
+            network.host(client_host),
+            server_host,
+            client_config,
+            on_event=on_client_event,
+            meter=meters.get(client_host),
+        )
+    else:
+        client_engine = TLSClientEngine(
+            TLSConfig(
+                rng=rng.fork(b"client"), trust_store=pki.trust, server_name=server_host
+            )
+        )
+        client_socket = network.host(client_host).connect(server_host, 443)
+
+        def on_client_event(event) -> None:
+            if isinstance(event, HandshakeComplete):
+                result["handshake"] = network.sim.now
+                client_driver.send_application_data(request)
+            elif isinstance(event, ApplicationData):
+                received.extend(event.data)
+                if len(received) >= response_size:
+                    finish()
+
+        client_driver = EngineDriver(
+            client_engine,
+            client_socket,
+            on_event=on_client_event,
+            meter=meters.get(client_host),
+        )
+        client_driver.start()
+
+    network.sim.run()
+    return FetchResult(
+        handshake_seconds=result.get("handshake", float("nan")),
+        total_seconds=result.get("total", float("nan")),
+        reply=result.get("reply", b""),
+        client_middleboxes=result.get("middleboxes", ()),
+        ok=len(received) >= response_size,
+    )

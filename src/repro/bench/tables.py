@@ -1,0 +1,31 @@
+"""Rendering helpers: print benchmark output shaped like the paper's
+tables and figures (rows/series, not graphics)."""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(title: str, headers: list[str], rows: list[list[object]]) -> str:
+    """Monospace table with a title rule."""
+    string_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in string_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, series: dict[str, list[tuple[object, float]]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """One line per (series, x) point — the data behind a figure."""
+    lines = [title, "=" * len(title), f"{x_label} -> {y_label}"]
+    for name, points in series.items():
+        for x, y in points:
+            lines.append(f"  {name:40s} {str(x):>10s}  {y:12.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,465 @@
+"""Table 1 as executable scenarios: concrete attacks against TLS, mbTLS,
+and the baselines, each returning whether the attack was *defended*.
+
+Every row of the paper's threat/defense matrix maps to a function here.
+The security test-suite asserts each outcome; the Table 1 benchmark prints
+the matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.shared_key import KeySharingService
+from repro.core.config import (
+    MbTLSEndpointConfig,
+    MiddleboxConfig,
+    MiddleboxRejected,
+    MiddleboxRole,
+    SessionEstablished,
+)
+from repro.core.drivers import MiddleboxService, open_mbtls
+from repro.crypto.drbg import HmacDrbg
+from repro.netsim.adversary import GlobalAdversary
+from repro.netsim.driver import EngineDriver
+from repro.netsim.network import Network
+from repro.pki.authority import CertificateAuthority
+from repro.pki.store import TrustStore
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import EnclaveCode, Platform
+from repro.tls.config import TLSConfig
+from repro.tls.engine import TLSClientEngine, TLSServerEngine
+from repro.tls.events import ApplicationData, HandshakeComplete
+from repro.wire.records import ContentType, RecordBuffer
+
+__all__ = ["ThreatOutcome", "Scenario", "run_all_threats", "THREATS"]
+
+SECRET_REQUEST = b"GET /secret-token-ABC123 HTTP/1.1\r\n\r\n"
+SECRET_RESPONSE = b"the-response-payload-XYZ789"
+
+
+@dataclass(frozen=True)
+class ThreatOutcome:
+    threat: str
+    protocol: str
+    defended: bool
+    mechanism: str
+
+
+class Scenario:
+    """A client / middlebox-host / server network with a global adversary."""
+
+    def __init__(self, seed: bytes) -> None:
+        self.rng = HmacDrbg(seed)
+        self.ca = CertificateAuthority("root", self.rng.fork(b"ca"))
+        self.trust = TrustStore([self.ca.certificate])
+        self.server_cred = self.ca.issue_credential("server")
+        self.mbox_cred = self.ca.issue_credential("mbox-svc")
+        self.network = Network()
+        for name in ("client", "mbox", "server"):
+            self.network.add_host(name)
+        self.network.add_link("client", "mbox", 0.001)
+        self.network.add_link("mbox", "server", 0.001)
+        self.adversary = GlobalAdversary(self.network)
+        self.client_received: list[bytes] = []
+        self.server_received: list[bytes] = []
+
+    # -- deployments -----------------------------------------------------
+
+    def deploy_mbtls(
+        self,
+        enclave=None,
+        on_secret=None,
+        verifier=None,
+        require_attestation: bool = False,
+    ):
+        service = MiddleboxService(
+            self.network.host("mbox"),
+            lambda: MiddleboxConfig(
+                name="mbox-svc",
+                tls=TLSConfig(
+                    rng=self.rng.fork(b"mb"),
+                    credential=self.mbox_cred,
+                    enclave=enclave,
+                    on_secret=on_secret,
+                ),
+                role=MiddleboxRole.CLIENT_SIDE,
+            ),
+        )
+        self._serve_plain_tls()
+        events = []
+
+        def on_event(event):
+            events.append(event)
+            if isinstance(event, SessionEstablished):
+                driver.send_application_data(SECRET_REQUEST)
+            elif isinstance(event, ApplicationData):
+                self.client_received.append(event.data)
+
+        engine, driver = open_mbtls(
+            self.network.host("client"),
+            "server",
+            MbTLSEndpointConfig(
+                tls=TLSConfig(
+                    rng=self.rng.fork(b"cli"),
+                    trust_store=self.trust,
+                    server_name="server",
+                ),
+                middlebox_trust_store=self.trust,
+                require_middlebox_attestation=require_attestation,
+                middlebox_attestation_verifier=verifier,
+            ),
+            on_event=on_event,
+        )
+        self.client_driver = driver
+        self.network.sim.run()
+        return engine, service, events
+
+    def _serve_plain_tls(self, credential=None):
+        credential = credential or self.server_cred
+
+        def accept(socket, source):
+            engine = TLSServerEngine(
+                TLSConfig(rng=self.rng.fork(b"srv"), credential=credential)
+            )
+            driver = EngineDriver(engine, socket)
+
+            def on_event(event):
+                if isinstance(event, ApplicationData):
+                    self.server_received.append(event.data)
+                    driver.send_application_data(SECRET_RESPONSE)
+
+            driver.on_event = on_event
+            driver.start()
+
+        self.network.host("server").listen(443, accept)
+
+    def run_plain_tls_fetch(self):
+        self._serve_plain_tls()
+        engine = TLSClientEngine(
+            TLSConfig(
+                rng=self.rng.fork(b"cli"), trust_store=self.trust, server_name="server"
+            )
+        )
+        socket = self.network.host("client").connect("server", 443)
+
+        def on_event(event):
+            if isinstance(event, HandshakeComplete):
+                driver.send_application_data(SECRET_REQUEST)
+            elif isinstance(event, ApplicationData):
+                self.client_received.append(event.data)
+
+        driver = EngineDriver(engine, socket, on_event=on_event)
+        driver.start()
+        self.network.sim.run()
+        return engine
+
+    # -- adversary helpers -------------------------------------------------
+
+    def app_records_between(self, a: str, b: str) -> list[bytes]:
+        """Encoded APPLICATION_DATA records observed on the a-b stream."""
+        wiretap = self.adversary.wiretap_between(a, b)
+        buffer = RecordBuffer()
+        buffer.feed(wiretap.recorder.all_bytes())
+        return [
+            record.encode()
+            for record in buffer.pop_records()
+            if record.content_type == ContentType.APPLICATION_DATA
+        ]
+
+
+# --------------------------------------------------------------------------
+# Threat scenarios (one per Table 1 row, per protocol where meaningful).
+# --------------------------------------------------------------------------
+
+
+def wire_secrecy_tls() -> ThreatOutcome:
+    scenario = Scenario(b"t1-tls")
+    scenario.run_plain_tls_fetch()
+    observed = scenario.adversary.observed_bytes()
+    defended = SECRET_REQUEST not in observed and SECRET_RESPONSE not in observed
+    assert scenario.client_received, "fetch must succeed for the test to count"
+    return ThreatOutcome("wire data read by third party", "TLS", defended, "encryption")
+
+
+def wire_secrecy_mbtls() -> ThreatOutcome:
+    scenario = Scenario(b"t1-mbtls")
+    scenario.deploy_mbtls()
+    observed = scenario.adversary.observed_bytes()
+    defended = SECRET_REQUEST not in observed and SECRET_RESPONSE not in observed
+    assert scenario.client_received
+    return ThreatOutcome("wire data read by third party", "mbTLS", defended, "encryption")
+
+
+def mip_memory_read(use_enclave: bool) -> ThreatOutcome:
+    """Can a malicious MIP read session keys from middlebox memory?"""
+    scenario = Scenario(b"t2-%d" % use_enclave)
+    attestation = AttestationService(scenario.rng.fork(b"ias"))
+    platform = Platform(attestation, malicious=True)
+    enclave = platform.launch_enclave(
+        EnclaveCode(name="mbox-svc", version="1", image=b"code")
+    )
+    arena = platform.arena_for(enclave if use_enclave else None)
+    scenario.deploy_mbtls(
+        enclave=enclave if use_enclave else None, on_secret=arena.store
+    )
+    assert scenario.client_received
+    visible = platform.dump_visible_secrets()
+    defended = len(visible) == 0
+    label = "mbTLS+SGX" if use_enclave else "mbTLS w/o enclave"
+    return ThreatOutcome(
+        "session keys read from middlebox memory by MIP",
+        label,
+        defended,
+        "secure execution environment",
+    )
+
+
+def change_secrecy(protocol: str) -> ThreatOutcome:
+    """Does an adversary learn whether the middlebox modified a record?
+
+    The middlebox forwards data *unmodified*; the adversary compares the
+    encoded APPLICATION_DATA records on the two hops. Identical bytes on
+    both hops reveal "not modified" (the naive shared-key design); with
+    per-hop keys the ciphertexts are unlinkable.
+    """
+    scenario = Scenario(b"t4-" + protocol.encode())
+    if protocol == "mbtls":
+        scenario.deploy_mbtls()
+    else:  # shared-key baseline
+        service = KeySharingService(scenario.network.host("mbox"))
+        scenario._serve_plain_tls()
+        engine = TLSClientEngine(
+            TLSConfig(
+                rng=scenario.rng.fork(b"cli"),
+                trust_store=scenario.trust,
+                server_name="server",
+            )
+        )
+        socket = scenario.network.host("client").connect("server", 443)
+
+        def on_event(event):
+            if isinstance(event, HandshakeComplete):
+                suite, key_block = engine.export_key_block()
+                service.share_keys(suite.code, key_block)
+                driver.send_application_data(SECRET_REQUEST)
+            elif isinstance(event, ApplicationData):
+                scenario.client_received.append(event.data)
+
+        driver = EngineDriver(engine, socket, on_event=on_event)
+        driver.start()
+        scenario.network.sim.run()
+    assert scenario.client_received
+    hop1 = set(scenario.app_records_between("client", "mbox"))
+    hop2 = set(scenario.app_records_between("mbox", "server"))
+    defended = not (hop1 & hop2)
+    label = "mbTLS" if protocol == "mbtls" else "shared-key baseline"
+    return ThreatOutcome(
+        "modification detectable by comparing hops", label, defended,
+        "unique per-hop keys",
+    )
+
+
+def path_skip(protocol: str) -> ThreatOutcome:
+    """Make a record skip the middlebox (P4).
+
+    The adversary suppresses a fresh client record on the client-middlebox
+    hop and injects the captured original directly on the middlebox-server
+    hop. With a shared session key the server accepts it (the sequence
+    numbers line up); with unique per-hop keys the MAC check fails.
+    """
+    from repro.netsim.adversary import DroppingTap
+
+    scenario = Scenario(b"t5-" + protocol.encode())
+    if protocol == "mbtls":
+        scenario.deploy_mbtls()
+        send_second = scenario.client_driver.send_application_data
+    else:
+        service = KeySharingService(scenario.network.host("mbox"))
+        scenario._serve_plain_tls()
+        engine = TLSClientEngine(
+            TLSConfig(
+                rng=scenario.rng.fork(b"cli"),
+                trust_store=scenario.trust,
+                server_name="server",
+            )
+        )
+        socket = scenario.network.host("client").connect("server", 443)
+
+        def on_event(event):
+            if isinstance(event, HandshakeComplete):
+                suite, key_block = engine.export_key_block()
+                service.share_keys(suite.code, key_block)
+                driver.send_application_data(SECRET_REQUEST)
+            elif isinstance(event, ApplicationData):
+                scenario.client_received.append(event.data)
+
+        driver = EngineDriver(engine, socket, on_event=on_event)
+        driver.start()
+        scenario.network.sim.run()
+        send_second = driver.send_application_data
+    assert scenario.client_received
+    server_count_before = len(scenario.server_received)
+
+    # Suppress the next client data record on hop 1 (but the wiretap's
+    # recorder, installed first, still captures it).
+    hop1 = scenario.adversary.wiretap_between("client", "mbox")
+    captured_before = len(hop1.recorder.captures)
+    hop1.stream.add_tap(
+        DroppingTap(should_drop=lambda data: data[:1] == b"\x17", limit=1)
+    )
+    send_second(b"SECOND-REQUEST")
+    scenario.network.sim.run()
+    suppressed = [
+        capture.data
+        for capture in hop1.recorder.captures[captured_before:]
+        if capture.data[:1] == b"\x17"
+    ]
+    assert suppressed, "the second record must have been captured"
+    assert len(scenario.server_received) == server_count_before
+
+    # Inject the captured original straight onto the server hop.
+    hop2 = scenario.adversary.wiretap_between("mbox", "server")
+    hop2.inject_toward("server", suppressed[0])
+    scenario.network.sim.run()
+    delivered = len(scenario.server_received) > server_count_before
+    defended = not delivered
+    label = "mbTLS" if protocol == "mbtls" else "shared-key baseline"
+    return ThreatOutcome(
+        "record skips the middlebox (path integrity)", label, defended,
+        "unique per-hop keys",
+    )
+
+
+def wire_tamper_mbtls() -> ThreatOutcome:
+    """Flip ciphertext bits on the wire; the endpoint must never deliver
+    corrupted plaintext."""
+    scenario = Scenario(b"t6")
+    engine, service, _ = scenario.deploy_mbtls()
+    # Tamper with a fresh data record on the mbox-server hop (server-bound).
+    wiretap = scenario.adversary.wiretap_between("mbox", "server")
+    before = len(scenario.server_received)
+    records = scenario.app_records_between("client", "mbox")
+    tampered = bytearray(records[0])
+    tampered[-1] ^= 0xFF
+    wiretap.inject_toward("server", bytes(tampered))
+    scenario.network.sim.run()
+    # Nothing new delivered, and everything delivered so far is untampered.
+    defended = len(scenario.server_received) == before and all(
+        data == SECRET_REQUEST for data in scenario.server_received
+    )
+    return ThreatOutcome(
+        "records modified/injected on the wire", "mbTLS", defended, "AEAD MACs"
+    )
+
+
+def replay_mbtls() -> ThreatOutcome:
+    """Replay a legitimate record on its own hop: sequence binding rejects it."""
+    scenario = Scenario(b"t7")
+    scenario.deploy_mbtls()
+    records = scenario.app_records_between("client", "mbox")
+    wiretap = scenario.adversary.wiretap_between("client", "mbox")
+    before = len(scenario.server_received)
+    wiretap.inject_toward("mbox", records[0])
+    scenario.network.sim.run()
+    defended = len(scenario.server_received) == before
+    return ThreatOutcome(
+        "record replayed on its own hop", "mbTLS", defended,
+        "sequence-bound AEAD",
+    )
+
+
+def impersonate_server() -> ThreatOutcome:
+    """A server with a certificate from an untrusted CA must be rejected."""
+    scenario = Scenario(b"t8")
+    rogue_ca = CertificateAuthority("rogue", scenario.rng.fork(b"rogue"))
+    rogue_cred = rogue_ca.issue_credential("server")
+    scenario._serve_plain_tls(credential=rogue_cred)
+    engine = TLSClientEngine(
+        TLSConfig(
+            rng=scenario.rng.fork(b"cli"), trust_store=scenario.trust,
+            server_name="server",
+        )
+    )
+    socket = scenario.network.host("client").connect("server", 443)
+    driver = EngineDriver(engine, socket)
+    driver.start()
+    scenario.network.sim.run()
+    defended = not engine.handshake_complete
+    return ThreatOutcome(
+        "key established with impostor server", "TLS/mbTLS", defended, "certificates"
+    )
+
+
+def impersonate_middlebox() -> ThreatOutcome:
+    """A middlebox presenting an untrusted certificate must not get keys."""
+    scenario = Scenario(b"t9")
+    rogue_ca = CertificateAuthority("rogue", scenario.rng.fork(b"rogue"))
+    scenario.mbox_cred = rogue_ca.issue_credential("mbox-svc")
+    engine, service, events = scenario.deploy_mbtls()
+    rejected = any(isinstance(event, MiddleboxRejected) for event in events)
+    mbox_engine = service.drivers[0].engine
+    defended = rejected and not mbox_engine.joined
+    return ThreatOutcome(
+        "middlebox operated by wrong MSP", "mbTLS", defended, "certificates"
+    )
+
+
+def wrong_middlebox_code() -> ThreatOutcome:
+    """A malicious MIP substitutes the middlebox code image."""
+    scenario = Scenario(b"t10")
+    attestation = AttestationService(scenario.rng.fork(b"ias"))
+    platform = Platform(attestation, malicious=True)
+    good_code = EnclaveCode(name="mbox-svc", version="1", image=b"good")
+    platform.plant_code_substitution(
+        EnclaveCode(name="mbox-svc", version="1", image=b"evil")
+    )
+    enclave = platform.launch_enclave(good_code)
+    verifier = attestation.verifier({good_code.measurement})
+    engine, service, events = scenario.deploy_mbtls(
+        enclave=enclave, verifier=verifier, require_attestation=True
+    )
+    rejected = any(isinstance(event, MiddleboxRejected) for event in events)
+    defended = rejected and not service.drivers[0].engine.joined
+    return ThreatOutcome(
+        "wrong middlebox software (code identity)", "mbTLS", defended,
+        "remote attestation",
+    )
+
+
+def forward_secrecy() -> ThreatOutcome:
+    """Ephemeral key exchange: two sessions share no key material, and the
+    server's long-term key never encrypts session data."""
+    outcomes = []
+    for run in range(2):
+        scenario = Scenario(b"t11-%d" % run)
+        engine = scenario.run_plain_tls_fetch()
+        outcomes.append(engine.master_secret)
+    defended = outcomes[0] != outcomes[1] and all(outcomes)
+    return ThreatOutcome(
+        "old sessions decrypted after key compromise", "TLS/mbTLS", defended,
+        "ephemeral key exchange",
+    )
+
+
+THREATS = [
+    wire_secrecy_tls,
+    wire_secrecy_mbtls,
+    lambda: mip_memory_read(use_enclave=True),
+    lambda: mip_memory_read(use_enclave=False),
+    lambda: change_secrecy("mbtls"),
+    lambda: change_secrecy("shared"),
+    lambda: path_skip("mbtls"),
+    lambda: path_skip("shared"),
+    wire_tamper_mbtls,
+    replay_mbtls,
+    impersonate_server,
+    impersonate_middlebox,
+    wrong_middlebox_code,
+    forward_secrecy,
+]
+
+
+def run_all_threats() -> list[ThreatOutcome]:
+    """Execute every Table 1 scenario."""
+    return [threat() for threat in THREATS]

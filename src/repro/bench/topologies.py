@@ -1,0 +1,56 @@
+"""WAN topology for Figure 6: four cloud regions and all 12
+client-middlebox-server permutations.
+
+One-way inter-region latencies approximate public inter-datacenter RTTs for
+Azure's Australia / US-West / US-East / UK regions at the time of the paper.
+Absolute values only set the scale; the figure's claim is the *delta*
+between TLS and mbTLS on identical paths.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.netsim.network import Network
+
+__all__ = ["REGIONS", "ONE_WAY_LATENCY", "build_wan", "path_permutations"]
+
+REGIONS = ("au", "usw", "use", "uk")
+
+# One-way latency in seconds between regions (symmetric).
+ONE_WAY_LATENCY: dict[frozenset, float] = {
+    frozenset(("au", "usw")): 0.070,
+    frozenset(("au", "use")): 0.100,
+    frozenset(("au", "uk")): 0.140,
+    frozenset(("usw", "use")): 0.035,
+    frozenset(("usw", "uk")): 0.070,
+    frozenset(("use", "uk")): 0.040,
+}
+
+
+def one_way(a: str, b: str) -> float:
+    return ONE_WAY_LATENCY[frozenset((a, b))]
+
+
+def build_wan(client_region: str, mbox_region: str, server_region: str) -> Network:
+    """A client-mbox-server chain across three distinct regions."""
+    network = Network()
+    for name in ("client", "mbox", "server"):
+        network.add_host(name)
+    network.add_link("client", "mbox", one_way(client_region, mbox_region))
+    network.add_link("mbox", "server", one_way(mbox_region, server_region))
+    return network
+
+
+def path_permutations() -> list[tuple[str, str, str]]:
+    """The 12 (client, mbox, server) region triples of Fig. 6.
+
+    Of the 24 ordered triples over 4 regions, the figure keeps one of each
+    direction-reversed pair (client<->server swapped paths have identical
+    latency), leaving 12.
+    """
+    return [
+        (client, mbox, server)
+        for client, mbox, server in permutations(REGIONS, 3)
+        if REGIONS.index(client) < REGIONS.index(server)
+    ]

@@ -1,0 +1,119 @@
+"""Table 2 runner: mbTLS handshake viability across client networks.
+
+For each client site, build client -> (site filter) -> middlebox -> server
+with the site's filter policy attached to the first hop (the client's
+access network, where §5.1's Tor exit nodes sat), run a full mbTLS
+handshake with a client-side middlebox, and record success.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.bench.population import ClientSite
+from repro.bench.scenarios import Pki
+from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig, MiddleboxRole, SessionEstablished
+from repro.core.drivers import MiddleboxService, open_mbtls
+from repro.crypto.drbg import HmacDrbg
+from repro.netsim.driver import EngineDriver
+from repro.netsim.filters import TLSFilter
+from repro.netsim.network import Network
+from repro.tls.config import TLSConfig
+from repro.tls.engine import TLSServerEngine
+from repro.tls.events import ApplicationData
+
+__all__ = ["SiteResult", "run_site", "run_population"]
+
+
+@dataclass(frozen=True)
+class SiteResult:
+    site: ClientSite
+    handshake_ok: bool
+    middlebox_joined: bool
+    data_ok: bool
+
+
+def run_site(site: ClientSite, pki: Pki, rng: HmacDrbg) -> SiteResult:
+    """Run one site's handshake through its network filter."""
+    network = Network()
+    for name in ("client", "mbox", "server"):
+        network.add_host(name)
+    network.add_link("client", "mbox", site.latency_to_core)
+    network.add_link("mbox", "server", 0.005)
+
+    # The site's filter inspects the client's access-network streams.
+    def attach_filter(stream, a, b):
+        if "client" in (a, b):
+            stream.add_tap(TLSFilter(site.filter_policy))
+
+    network.on_new_stream(attach_filter)
+
+    MiddleboxService(
+        network.host("mbox"),
+        lambda: MiddleboxConfig(
+            name="mbox",
+            tls=TLSConfig(rng=rng.fork(b"mb"), credential=pki.credential("mbox")),
+            role=MiddleboxRole.CLIENT_SIDE,
+        ),
+    )
+
+    def accept(socket, source):
+        engine = TLSServerEngine(
+            TLSConfig(rng=rng.fork(b"srv"), credential=pki.credential("server"))
+        )
+        driver = EngineDriver(engine, socket)
+        driver.on_event = (
+            lambda event: driver.send_application_data(b"pong")
+            if isinstance(event, ApplicationData)
+            else None
+        )
+        driver.start()
+
+    network.host("server").listen(443, accept)
+
+    outcome = {"established": False, "data": False, "mboxes": 0}
+
+    def on_event(event):
+        if isinstance(event, SessionEstablished):
+            outcome["established"] = True
+            outcome["mboxes"] = len(event.middleboxes)
+            driver.send_application_data(b"ping")
+        elif isinstance(event, ApplicationData):
+            outcome["data"] = True
+
+    engine, driver = open_mbtls(
+        network.host("client"),
+        "server",
+        MbTLSEndpointConfig(
+            tls=TLSConfig(
+                rng=rng.fork(b"cli"), trust_store=pki.trust, server_name="server"
+            ),
+            middlebox_trust_store=pki.trust,
+        ),
+        on_event=on_event,
+    )
+    network.sim.run(until=30.0)
+    return SiteResult(
+        site=site,
+        handshake_ok=outcome["established"],
+        middlebox_joined=outcome["mboxes"] > 0,
+        data_ok=outcome["data"],
+    )
+
+
+def run_population(
+    sites: list[ClientSite], pki: Pki, rng: HmacDrbg
+) -> tuple[list[SiteResult], dict[str, tuple[int, int]]]:
+    """Run every site; returns results and per-type (successes, total)."""
+    results = [
+        run_site(site, pki, rng.fork(site.name.encode())) for site in sites
+    ]
+    by_type: dict[str, tuple[int, int]] = {}
+    totals = Counter(result.site.network_type for result in results)
+    successes = Counter(
+        result.site.network_type for result in results if result.handshake_ok
+    )
+    for network_type, total in sorted(totals.items()):
+        by_type[network_type] = (successes.get(network_type, 0), total)
+    return results, by_type

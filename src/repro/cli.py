@@ -1,0 +1,174 @@
+"""Command-line interface: regenerate the paper's experiments without pytest.
+
+Usage::
+
+    python -m repro threats              # Table 1, executed attacks
+    python -m repro viability            # Table 2, 241 client sites
+    python -m repro interop --sites 100  # §5.1 legacy interop (Alexa-style)
+    python -m repro cpu --trials 5       # Figure 5, handshake CPU per party
+    python -m repro latency              # Figure 6, WAN handshake latency
+    python -m repro sgx                  # Figure 7, enclave throughput model
+    python -m repro all                  # everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_threats(args) -> None:
+    from repro.bench.tables import render_table
+    from repro.bench.threats import run_all_threats
+
+    outcomes = run_all_threats()
+    rows = [
+        [o.threat, o.protocol, "DEFENDED" if o.defended else "VULNERABLE", o.mechanism]
+        for o in outcomes
+    ]
+    print(render_table("Table 1 — Threats and Defenses (executed)",
+                       ["threat", "protocol", "outcome", "mechanism"], rows))
+
+
+def _cmd_viability(args) -> None:
+    from repro.bench.population import generate_population
+    from repro.bench.scenarios import Pki
+    from repro.bench.tables import render_table
+    from repro.bench.viability import run_population
+    from repro.crypto.drbg import HmacDrbg
+
+    rng = HmacDrbg(args.seed.encode())
+    pki = Pki(rng=rng.fork(b"pki"))
+    sites = generate_population(rng.fork(b"pop"))
+    if args.sites:
+        sites = sites[: args.sites]
+    print(f"running mbTLS handshakes from {len(sites)} client sites ...")
+    results, by_type = run_population(sites, pki, rng.fork(b"run"))
+    rows = [[t, f"{ok}/{total}"] for t, (ok, total) in sorted(by_type.items())]
+    rows.append(["Total", f"{sum(ok for ok, _ in by_type.values())}/{len(sites)}"])
+    print(render_table("Table 2 — handshake viability by network type",
+                       ["network type", "successful"], rows))
+
+
+def _cmd_interop(args) -> None:
+    from repro.bench.alexa import PAPER_COUNTS, generate_alexa_population
+    from repro.bench.interop import FetchOutcome, run_alexa
+    from repro.bench.scenarios import Pki
+    from repro.bench.tables import render_table
+    from repro.crypto.drbg import HmacDrbg
+
+    rng = HmacDrbg(args.seed.encode())
+    pki = Pki(rng=rng.fork(b"pki"))
+    servers = generate_alexa_population(rng.fork(b"pop"))
+    if args.sites:
+        servers = servers[: args.sites]
+    print(f"fetching from {len(servers)} legacy servers through an mbTLS proxy ...")
+    counts = run_alexa(servers, pki, rng.fork(b"run"))
+    rows = [[outcome.value, counts.get(outcome, 0)] for outcome in FetchOutcome]
+    print(render_table("§5.1 legacy interoperability", ["outcome", "sites"], rows))
+    if not args.sites:
+        print(f"(paper: {PAPER_COUNTS['success']} successes of "
+              f"{PAPER_COUNTS['total']})")
+
+
+def _cmd_cpu(args) -> None:
+    from repro.bench.cpu import measure_all
+    from repro.bench.tables import render_table
+
+    print(f"measuring handshake CPU, {args.trials} trials per configuration ...")
+    results = measure_all(trials=args.trials)
+    rows = [
+        [r.configuration, f"{r.client*1000:.2f}", f"{r.middlebox*1000:.2f}",
+         f"{r.server*1000:.2f}"]
+        for r in results
+    ]
+    print(render_table("Figure 5 — handshake CPU per party (ms, median)",
+                       ["configuration", "client", "middlebox", "server"], rows))
+
+
+def _cmd_latency(args) -> None:
+    from repro.bench.scenarios import Pki, run_fetch
+    from repro.bench.tables import render_table
+    from repro.bench.topologies import build_wan, path_permutations
+    from repro.core.config import MiddleboxRole
+    from repro.crypto.drbg import HmacDrbg
+
+    rng = HmacDrbg(args.seed.encode())
+    pki = Pki(rng=rng.fork(b"pki"))
+    rows = []
+    deltas = []
+    for client, mbox, server in path_permutations():
+        label = f"{client}-{mbox}-{server}"
+        tls = run_fetch(build_wan(client, mbox, server), pki,
+                        rng.fork(b"t" + label.encode()), protocol="tls")
+        mbtls = run_fetch(
+            build_wan(client, mbox, server), pki, rng.fork(b"m" + label.encode()),
+            protocol="mbtls",
+            middlebox_hosts=[("mbox", MiddleboxRole.CLIENT_SIDE)],
+            server_is_mbtls=False,
+        )
+        delta = (mbtls.handshake_seconds - tls.handshake_seconds) / tls.handshake_seconds
+        deltas.append(delta)
+        rows.append([label, f"{tls.handshake_seconds*1000:.0f}",
+                     f"{mbtls.handshake_seconds*1000:.0f}", f"{delta*100:+.1f}%"])
+    print(render_table("Figure 6 — handshake latency over 12 WAN paths (ms)",
+                       ["path", "TLS", "mbTLS", "delta"], rows))
+    print(f"mean delta: {sum(deltas)/len(deltas)*100:+.2f}%")
+
+
+def _cmd_sgx(args) -> None:
+    from repro.bench.tables import render_series
+    from repro.sgx.syscalls import SgxCostModel
+
+    model = SgxCostModel()
+    series = {}
+    for label, enc, encl in (
+        ("no-enc / no-enclave", False, False),
+        ("no-enc / enclave", False, True),
+        ("enc / no-enclave", True, False),
+        ("enc / enclave", True, True),
+    ):
+        series[label] = [
+            (size, model.throughput(size, enclave=encl, encryption=enc).throughput_gbps)
+            for size in (512, 1024, 2048, 4096, 8192, 12288)
+        ]
+    print(render_series("Figure 7 — throughput (Gbps) vs buffer size",
+                        series, "buffer bytes", "Gbps"))
+
+
+_COMMANDS = {
+    "threats": _cmd_threats,
+    "viability": _cmd_viability,
+    "interop": _cmd_interop,
+    "cpu": _cmd_cpu,
+    "latency": _cmd_latency,
+    "sgx": _cmd_sgx,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the mbTLS paper's tables and figures.",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS) + ["all"],
+                        help="which experiment to run")
+    parser.add_argument("--sites", type=int, default=0,
+                        help="limit population size (viability/interop)")
+    parser.add_argument("--trials", type=int, default=3,
+                        help="trials per configuration (cpu)")
+    parser.add_argument("--seed", default="repro-cli",
+                        help="deterministic seed for all randomness")
+    args = parser.parse_args(argv)
+
+    if args.command == "all":
+        for name in ("threats", "viability", "interop", "cpu", "latency", "sgx"):
+            _COMMANDS[name](args)
+            print()
+    else:
+        _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

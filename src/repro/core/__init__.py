@@ -1,0 +1,56 @@
+"""mbTLS — the paper's primary contribution.
+
+Endpoints (:class:`MbTLSClientEngine`, :class:`MbTLSServerEngine`) extend
+plain TLS 1.2 with in-band middlebox discovery, per-middlebox secondary
+handshakes multiplexed over subchannels, optional SGX attestation of
+middlebox code, and unique per-hop data keys. :class:`MbTLSMiddlebox` is the
+in-path element joining sessions on either the client or the server side.
+"""
+
+from repro.core.client import MbTLSClientEngine
+from repro.core.config import (
+    MbTLSEndpointConfig,
+    MiddleboxConfig,
+    MiddleboxInfo,
+    MiddleboxRejected,
+    MiddleboxRole,
+    SessionEstablished,
+)
+from repro.core.drivers import MiddleboxDriver, MiddleboxService, open_mbtls, serve_mbtls
+from repro.core.keys import (
+    bridge_hop_keys,
+    build_hop_chain,
+    generate_hop_keys,
+    hop_states_for_endpoint,
+    states_from_hop_keys,
+)
+from repro.core.middlebox import MbTLSMiddlebox
+from repro.core.neighbor import KeyDistribution, endpoint_keyed, neighbor_keyed
+from repro.core.resumption import MiddleboxSessionStore, RememberedMiddlebox
+from repro.core.server import MbTLSServerEngine
+
+__all__ = [
+    "MbTLSClientEngine",
+    "MbTLSEndpointConfig",
+    "MiddleboxConfig",
+    "MiddleboxInfo",
+    "MiddleboxRejected",
+    "MiddleboxRole",
+    "SessionEstablished",
+    "MiddleboxDriver",
+    "MiddleboxService",
+    "open_mbtls",
+    "serve_mbtls",
+    "bridge_hop_keys",
+    "build_hop_chain",
+    "generate_hop_keys",
+    "hop_states_for_endpoint",
+    "states_from_hop_keys",
+    "MbTLSMiddlebox",
+    "KeyDistribution",
+    "endpoint_keyed",
+    "neighbor_keyed",
+    "MiddleboxSessionStore",
+    "RememberedMiddlebox",
+    "MbTLSServerEngine",
+]

@@ -1,0 +1,200 @@
+"""Glue binding mbTLS engines to the simulated network.
+
+* :class:`MiddleboxDriver` — runs one :class:`MbTLSMiddlebox` per intercepted
+  (or directly addressed) connection, pumping both TCP segments.
+* :class:`MiddleboxService` — installs a middlebox on a host, spawning one
+  engine per connection; attaches to an interceptor (on-path) or a listener
+  (preconfigured, directly addressed).
+* :func:`serve_mbtls` / :func:`open_mbtls` — endpoint helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.client import MbTLSClientEngine
+from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig
+from repro.core.middlebox import MbTLSMiddlebox
+from repro.core.server import MbTLSServerEngine
+from repro.netsim.driver import CpuMeter, EngineDriver
+from repro.netsim.network import Host, InterceptedFlow, Network, Socket
+
+__all__ = ["MiddleboxDriver", "MiddleboxService", "serve_mbtls", "open_mbtls"]
+
+
+class MiddleboxDriver:
+    """Pumps one middlebox engine between its two sockets."""
+
+    def __init__(
+        self,
+        engine: MbTLSMiddlebox,
+        down_socket: Socket,
+        dial_up: Callable[[tuple[str, int]], Socket],
+        meter: CpuMeter | None = None,
+        on_event: Callable[[object], None] | None = None,
+    ) -> None:
+        self.engine = engine
+        self.down = down_socket
+        self.up: Socket | None = None
+        self._dial_up = dial_up
+        self.meter = meter if meter is not None else CpuMeter()
+        self.on_event = on_event
+        down_socket.on_data(self._on_down_data)
+        down_socket.on_close(self._on_down_close)
+
+    def dial_immediately(self, target: tuple[str, int]) -> None:
+        """Optimistically split: open the onward segment right away."""
+        self._bind_up(self._dial_up(target))
+
+    def _bind_up(self, socket: Socket) -> None:
+        self.up = socket
+        socket.on_data(self._on_up_data)
+        socket.on_close(self._on_up_close)
+        self._flush()
+
+    def _ensure_up(self) -> None:
+        if self.up is None and self.engine.dial_target is not None:
+            self._bind_up(self._dial_up(self.engine.dial_target))
+
+    def _on_down_data(self, data: bytes) -> None:
+        with self.meter.measure():
+            events = self.engine.receive_down(data)
+        self._dispatch(events)
+        self._ensure_up()
+        self._flush()
+
+    def _on_up_data(self, data: bytes) -> None:
+        with self.meter.measure():
+            events = self.engine.receive_up(data)
+        self._dispatch(events)
+        self._flush()
+
+    def _dispatch(self, events) -> None:
+        if self.on_event is not None:
+            for event in events:
+                self.on_event(event)
+
+    def _flush(self) -> None:
+        if self.up is not None and not self.up.closed:
+            data = self.engine.data_to_send_up()
+            if data:
+                self.up.send(data)
+        if not self.down.closed:
+            data = self.engine.data_to_send_down()
+            if data:
+                self.down.send(data)
+
+    def _on_down_close(self) -> None:
+        if self.up is not None and not self.up.closed:
+            self._flush()
+            self.up.close()
+
+    def _on_up_close(self) -> None:
+        if not self.down.closed:
+            self._flush()
+            self.down.close()
+
+
+class MiddleboxService:
+    """A middlebox deployment on one host, one engine per connection.
+
+    Args:
+        host: the host this middlebox runs on.
+        make_config: factory producing a fresh :class:`MiddleboxConfig` per
+            connection (so per-connection engines don't share TLS state);
+            a plain config is also accepted and reused.
+        port: the TCP port to intercept/listen on.
+        listen_port: if set, also accept direct connections on this port
+            (the preconfigured-middlebox deployment).
+        meter: CPU meter shared across this service's connections.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        make_config,
+        port: int = 443,
+        intercept: bool = True,
+        listen: bool = False,
+        meter: CpuMeter | None = None,
+        on_event: Callable[[object], None] | None = None,
+    ) -> None:
+        self.host = host
+        self._make_config = make_config
+        self.port = port
+        self.meter = meter if meter is not None else CpuMeter(host.name)
+        self.on_event = on_event
+        self.drivers: list[MiddleboxDriver] = []
+        if intercept:
+            host.intercept(port, self._on_intercept)
+        if listen:
+            host.listen(port, self._on_accept)
+
+    def _config(self) -> MiddleboxConfig:
+        if callable(self._make_config):
+            return self._make_config()
+        return self._make_config
+
+    def _on_intercept(self, flow: InterceptedFlow) -> None:
+        engine = MbTLSMiddlebox(
+            self._config(), destination=flow.destination, port=flow.port
+        )
+        driver = MiddleboxDriver(
+            engine,
+            flow.socket,
+            dial_up=lambda target: flow.dial_onward(),
+            meter=self.meter,
+            on_event=self.on_event,
+        )
+        driver.dial_immediately(("", flow.port))  # optimistic split
+        self.drivers.append(driver)
+
+    def _on_accept(self, socket: Socket, source: str) -> None:
+        engine = MbTLSMiddlebox(self._config(), destination=None, port=self.port)
+        driver = MiddleboxDriver(
+            engine,
+            socket,
+            dial_up=lambda target: self.host.connect(target[0], target[1]),
+            meter=self.meter,
+            on_event=self.on_event,
+        )
+        self.drivers.append(driver)
+
+
+def serve_mbtls(
+    host: Host,
+    make_config: Callable[[], MbTLSEndpointConfig],
+    on_session: Callable[[MbTLSServerEngine, EngineDriver], None] | None = None,
+    on_event: Callable[[MbTLSServerEngine, EngineDriver, object], None] | None = None,
+    port: int = 443,
+    meter: CpuMeter | None = None,
+) -> None:
+    """Run an mbTLS server on ``host``: one engine per accepted connection."""
+    service_meter = meter if meter is not None else CpuMeter(host.name)
+
+    def accept(socket: Socket, source: str) -> None:
+        engine = MbTLSServerEngine(make_config())
+        driver = EngineDriver(engine, socket, meter=service_meter)
+        if on_event is not None:
+            driver.on_event = lambda event: on_event(engine, driver, event)
+        driver.start()
+        if on_session is not None:
+            on_session(engine, driver)
+
+    host.listen(port, accept)
+
+
+def open_mbtls(
+    host: Host,
+    destination: str,
+    config: MbTLSEndpointConfig,
+    on_event: Callable[[object], None] | None = None,
+    port: int = 443,
+    meter: CpuMeter | None = None,
+) -> tuple[MbTLSClientEngine, EngineDriver]:
+    """Open an mbTLS client connection from ``host`` to ``destination``."""
+    engine = MbTLSClientEngine(config)
+    socket = host.connect(destination, port)
+    driver = EngineDriver(engine, socket, on_event=on_event, meter=meter)
+    driver.start()
+    return engine, driver

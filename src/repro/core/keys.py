@@ -1,0 +1,101 @@
+"""Per-hop key generation and installation (Figure 4).
+
+Each hop of an mbTLS session is protected by its own symmetric keys:
+
+    Client --H0-- M1 --H1-- M2 ... Mk --BRIDGE-- S1 ... Sm --Gm-- Server
+
+The client generates fresh keys for the hops on its side, the server for
+its side, and the primary TLS session's key block is the *bridge* between
+them. Middlebox ``i`` receives exactly the keys for its two adjacent hops
+in an MBTLSKeyMaterial message. Unique per-hop keys are what give mbTLS
+path integrity (P4) and value-change secrecy (P1C).
+"""
+
+from __future__ import annotations
+
+from repro.tls.ciphersuites import CipherSuite
+from repro.tls.keyschedule import KeyBlock
+from repro.tls.record_layer import ConnectionState
+from repro.wire.mbtls import HopKeys
+
+__all__ = [
+    "generate_hop_keys",
+    "bridge_hop_keys",
+    "hop_states_for_endpoint",
+    "states_from_hop_keys",
+    "build_hop_chain",
+]
+
+# The primary session's Finished messages each consumed sequence number 0,
+# so data over the bridge hop starts at sequence 1 in both directions.
+BRIDGE_START_SEQUENCE = 1
+
+
+def generate_hop_keys(suite: CipherSuite, rng) -> HopKeys:
+    """Fresh, independent keys for one hop (both directions)."""
+    return HopKeys(
+        cipher_suite=suite.code,
+        client_write_key=rng.random_bytes(suite.key_length),
+        client_write_iv=rng.random_bytes(suite.fixed_iv_length),
+        server_write_key=rng.random_bytes(suite.key_length),
+        server_write_iv=rng.random_bytes(suite.fixed_iv_length),
+    )
+
+
+def bridge_hop_keys(suite: CipherSuite, key_block: KeyBlock) -> HopKeys:
+    """The primary session's key block, expressed as a hop."""
+    return HopKeys(
+        cipher_suite=suite.code,
+        client_write_key=key_block.client_write_key,
+        client_write_iv=key_block.client_write_iv,
+        server_write_key=key_block.server_write_key,
+        server_write_iv=key_block.server_write_iv,
+        client_to_server_seq=BRIDGE_START_SEQUENCE,
+        server_to_client_seq=BRIDGE_START_SEQUENCE,
+    )
+
+
+def states_from_hop_keys(
+    suite: CipherSuite, keys: HopKeys
+) -> tuple[ConnectionState, ConnectionState]:
+    """(client_to_server_state, server_to_client_state) for one hop."""
+    c2s = ConnectionState(
+        suite, keys.client_write_key, keys.client_write_iv, keys.client_to_server_seq
+    )
+    s2c = ConnectionState(
+        suite, keys.server_write_key, keys.server_write_iv, keys.server_to_client_seq
+    )
+    return c2s, s2c
+
+
+def hop_states_for_endpoint(
+    suite: CipherSuite, keys: HopKeys, is_client: bool
+) -> tuple[ConnectionState, ConnectionState]:
+    """(read_state, write_state) for an *endpoint* adjacent to this hop."""
+    c2s, s2c = states_from_hop_keys(suite, keys)
+    if is_client:
+        return s2c, c2s  # client reads server-to-client, writes client-to-server
+    return c2s, s2c
+
+
+def build_hop_chain(
+    suite: CipherSuite,
+    middlebox_count: int,
+    rng,
+    bridge: HopKeys,
+    client_side: bool,
+) -> list[HopKeys]:
+    """The ordered hop list for one endpoint's side of the session.
+
+    For the client side the list is ``[H0, H1, ..., H_{k-1}, bridge]`` where
+    H0 is the client-adjacent hop; middlebox ``i`` (0-based, client-nearest
+    first) uses hops ``i`` (toward client) and ``i+1`` (toward server).
+
+    For the server side it is ``[bridge, G1, ..., Gm]`` where Gm is the
+    server-adjacent hop; middlebox ``i`` (0-based, client-nearest first)
+    uses hops ``i`` (toward client) and ``i+1`` (toward server).
+    """
+    fresh = [generate_hop_keys(suite, rng) for _ in range(middlebox_count)]
+    if client_side:
+        return fresh + [bridge]
+    return [bridge] + fresh

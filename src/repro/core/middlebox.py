@@ -1,0 +1,505 @@
+"""The mbTLS middlebox engine (§3.4).
+
+A middlebox sits between two TCP segments — *down* faces the client, *up*
+faces the server — and plays one of three parts per session:
+
+* **client-side**: the ClientHello carries MiddleboxSupport, so the
+  middlebox joins the client's session: it claims a subchannel, answers the
+  (double-duty) ClientHello with its own secondary ServerHello *before*
+  forwarding the primary ServerHello, completes the secondary handshake,
+  receives per-hop keys, and then re-encrypts the data stream hop to hop.
+* **server-side**: the middlebox optimistically announces itself toward the
+  server with a MiddleboxAnnouncement; if the server speaks mbTLS it opens
+  a secondary handshake (server as TLS client), otherwise the middlebox
+  notices the primary handshake completing without it, demotes itself to a
+  transparent relay, and caches the server as non-mbTLS (§3.4).
+* **relay**: forwards bytes verbatim (non-mbTLS traffic, or after rejection).
+
+The engine is sans-IO: drivers feed ``receive_down``/``receive_up`` and
+drain ``data_to_send_down``/``data_to_send_up``.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MiddleboxConfig, MiddleboxRole
+from repro.errors import DecodeError, IntegrityError
+from repro.tls.ciphersuites import suite_by_code
+from repro.tls.engine import TLSServerEngine
+from repro.tls.events import (
+    ConnectionClosed,
+    Event,
+    HandshakeComplete,
+    MiddleboxKeysInstalled,
+    RawRecordReceived,
+)
+from repro.tls.record_layer import ConnectionState
+from repro.core.keys import states_from_hop_keys
+from repro.core.mux import wrap_engine_output
+from repro.wire.extensions import ExtensionType, MiddleboxSupportExtension, ServerNameExtension
+from repro.wire.handshake import ClientHello, HandshakeBuffer, HandshakeType
+from repro.wire.mbtls import EncapsulatedRecord, KeyMaterial, MiddleboxAnnouncement
+from repro.wire.records import ContentType, Record, RecordBuffer
+
+__all__ = ["MbTLSMiddlebox"]
+
+_DOWN, _UP = 0, 1
+
+
+class MbTLSMiddlebox:
+    """One middlebox instance handling one client connection."""
+
+    MODE_WAITING = "waiting"
+    MODE_CLIENT_SIDE = "client-side"
+    MODE_SERVER_SIDE = "server-side"
+    MODE_RELAY = "relay"
+
+    def __init__(
+        self,
+        config: MiddleboxConfig,
+        destination: str | None = None,
+        port: int = 443,
+    ) -> None:
+        self.config = config
+        self.destination = destination
+        self.port = port
+        self.mode = self.MODE_WAITING
+        self.dial_target: tuple[str, int] | None = None
+        self._buffers = [RecordBuffer(), RecordBuffer()]
+        self._outboxes = [bytearray(), bytearray()]
+        self._events: list[Event] = []
+        # Secondary session (we are the TLS server toward our endpoint).
+        self._secondary: TLSServerEngine | None = None
+        self._secondary_out = RecordBuffer()
+        self.my_subchannel: int | None = None
+        self._claimed = False
+        self._client_hello_record: Record | None = None
+        self._seen_subchannels: set[int] = set()
+        # Server-side subchannel translation (down id -> up id).
+        self._subchannel_map: dict[int, int] = {}
+        self._used_up_subchannels: set[int] = set()
+        # Data plane.
+        self.keys_installed = False
+        self.rejected = False
+        self.gave_up = False
+        self._c2s_read: ConnectionState | None = None
+        self._c2s_write: ConnectionState | None = None
+        self._s2c_read: ConnectionState | None = None
+        self._s2c_write: ConnectionState | None = None
+        self._pending: tuple[list[Record], list[Record]] = ([], [])
+        self.records_processed = 0
+        self._primary_session_id: bytes = b""
+
+    # ------------------------------------------------------------------ API
+
+    def receive_down(self, data: bytes) -> list[Event]:
+        return self._receive(_DOWN, data)
+
+    def receive_up(self, data: bytes) -> list[Event]:
+        return self._receive(_UP, data)
+
+    def data_to_send_down(self) -> bytes:
+        data = bytes(self._outboxes[_DOWN])
+        self._outboxes[_DOWN].clear()
+        return data
+
+    def data_to_send_up(self) -> bytes:
+        data = bytes(self._outboxes[_UP])
+        self._outboxes[_UP].clear()
+        return data
+
+    @property
+    def joined(self) -> bool:
+        """Whether this middlebox is an authenticated session member."""
+        return self.keys_installed and not self.rejected
+
+    # ------------------------------------------------------------ internals
+
+    def _receive(self, side: int, data: bytes) -> list[Event]:
+        if self.mode == self.MODE_RELAY:
+            self._outboxes[1 - side] += data
+        else:
+            buffer = self._buffers[side]
+            buffer.feed(data)
+            try:
+                records = buffer.pop_records()
+            except DecodeError:
+                # Not TLS framing: become a transparent relay.
+                self._demote_to_relay(flush_side=side)
+                records = []
+            for record in records:
+                if self.mode == self.MODE_RELAY:
+                    self._outboxes[1 - side] += record.encode()
+                    continue
+                self._process(side, record)
+        events = self._events
+        self._events = []
+        return events
+
+    def _demote_to_relay(self, flush_side: int | None = None) -> None:
+        self.mode = self.MODE_RELAY
+        # Flush any buffered data-phase records verbatim, preserving direction.
+        for record in self._pending[0]:
+            self._outboxes[_UP] += record.encode()
+        for record in self._pending[1]:
+            self._outboxes[_DOWN] += record.encode()
+        self._pending = ([], [])
+        for side in (_DOWN, _UP):
+            raw = self._buffers[side].drain_raw()
+            if raw:
+                self._outboxes[1 - side] += raw
+
+    def _forward(self, from_side: int, record: Record) -> None:
+        self._outboxes[1 - from_side] += record.encode()
+
+    def _process(self, side: int, record: Record) -> None:
+        if self.mode == self.MODE_WAITING:
+            self._process_waiting(side, record)
+        elif self.mode == self.MODE_CLIENT_SIDE:
+            if side == _DOWN:
+                self._client_side_down(record)
+            else:
+                self._client_side_up(record)
+        elif self.mode == self.MODE_SERVER_SIDE:
+            if side == _DOWN:
+                self._server_side_down(record)
+            else:
+                self._server_side_up(record)
+
+    # ----------------------------------------------------------- role choice
+
+    def _process_waiting(self, side: int, record: Record) -> None:
+        if side != _DOWN or record.content_type != ContentType.HANDSHAKE:
+            # Anything else before a ClientHello: not our protocol; relay.
+            self._demote_to_relay()
+            self._outboxes[1 - side] += record.encode()
+            return
+        buffer = HandshakeBuffer()
+        buffer.feed(record.payload)
+        try:
+            messages = buffer.pop_messages()
+        except DecodeError:
+            self._demote_to_relay()
+            self._outboxes[_UP] += record.encode()
+            return
+        if not messages or messages[0].msg_type != HandshakeType.CLIENT_HELLO:
+            self._demote_to_relay()
+            self._outboxes[_UP] += record.encode()
+            return
+        hello = ClientHello.decode_body(messages[0].body)
+        self._decide_role(hello, record)
+
+    def _decide_role(self, hello: ClientHello, record: Record) -> None:
+        support_ext = hello.find_extension(int(ExtensionType.MIDDLEBOX_SUPPORT))
+        sni_ext = hello.find_extension(int(ExtensionType.SERVER_NAME))
+        sni = (
+            ServerNameExtension.from_extension(sni_ext).host_name if sni_ext else None
+        )
+        destination = self.destination or sni or ""
+        self._session_destination = destination
+        self.dial_target = (self._next_hop(support_ext, destination), self.port)
+
+        role = self.config.role
+        client_side = support_ext is not None and role in (
+            MiddleboxRole.AUTO,
+            MiddleboxRole.CLIENT_SIDE,
+        )
+        server_side = (
+            not client_side
+            and role in (MiddleboxRole.AUTO, MiddleboxRole.SERVER_SIDE)
+            and self.config.serves(destination)
+            and destination not in self.config.non_mbtls_servers
+        )
+        if client_side:
+            self.mode = self.MODE_CLIENT_SIDE
+            self._client_hello_record = record
+            self._forward(_DOWN, record)
+        elif server_side:
+            self.mode = self.MODE_SERVER_SIDE
+            self._forward(_DOWN, record)
+            self._announce()
+        else:
+            self._forward(_DOWN, record)
+            self._demote_to_relay()
+
+    def _next_hop(self, support_ext, destination: str) -> str:
+        """Preconfigured middleboxes dial the next listed hop; otherwise
+        (interception) continue toward the original destination."""
+        if support_ext is not None:
+            try:
+                listed = MiddleboxSupportExtension.from_extension(support_ext).middleboxes
+            except DecodeError:
+                return destination
+            if self.config.name in listed:
+                index = listed.index(self.config.name)
+                if index + 1 < len(listed):
+                    return listed[index + 1]
+        return destination
+
+    # ----------------------------------------------------------- client side
+
+    def _client_side_down(self, record: Record) -> None:
+        if record.content_type == ContentType.MBTLS_ENCAPSULATED:
+            encap = EncapsulatedRecord.from_record(record)
+            self._seen_subchannels.add(encap.subchannel_id)
+            if self._claimed and encap.subchannel_id == self.my_subchannel:
+                self._feed_secondary(encap.inner)
+            else:
+                self._forward(_DOWN, record)
+            return
+        if record.content_type == ContentType.APPLICATION_DATA or (
+            self.keys_installed and record.content_type == ContentType.ALERT
+        ):
+            self._data_plane(_DOWN, record)
+            return
+        self._forward(_DOWN, record)
+
+    def _client_side_up(self, record: Record) -> None:
+        if record.content_type == ContentType.MBTLS_ENCAPSULATED:
+            encap = EncapsulatedRecord.from_record(record)
+            self._seen_subchannels.add(encap.subchannel_id)
+            self._forward(_UP, record)
+            return
+        if record.content_type == ContentType.HANDSHAKE and not self._claimed:
+            # First handshake record from the server: the primary ServerHello.
+            # Claim the next subchannel and inject our secondary ServerHello
+            # *before* forwarding it (the paper's ordering).
+            self._note_primary_server_hello(record)
+            self._claim_subchannel()
+            self._forward(_UP, record)
+            return
+        if record.content_type == ContentType.APPLICATION_DATA or (
+            self.keys_installed and record.content_type == ContentType.ALERT
+        ):
+            self._data_plane(_UP, record)
+            return
+        self._forward(_UP, record)
+
+    def _note_primary_server_hello(self, record: Record) -> None:
+        """Extract the primary session ID: the key under which we cache our
+        secondary session for §3.5 resumption."""
+        try:
+            buffer = HandshakeBuffer()
+            buffer.feed(record.payload)
+            messages = buffer.pop_messages()
+        except DecodeError:
+            return
+        if messages and messages[0].msg_type == HandshakeType.SERVER_HELLO:
+            from repro.wire.handshake import ServerHello
+
+            try:
+                hello = ServerHello.decode_body(messages[0].body)
+            except DecodeError:
+                return
+            self._primary_session_id = hello.session_id
+
+    def _cache_secondary_session(self) -> None:
+        """Cache the secondary session under the PRIMARY session ID, so a
+        resumed primary hello (which reuses that ID) finds it (§3.5)."""
+        cache = self.config.tls.session_cache
+        if (
+            cache is None
+            or not self._primary_session_id
+            or self._secondary is None
+            or self._secondary.master_secret is None
+        ):
+            return
+        from repro.tls.session import SessionState
+
+        cache.store(
+            SessionState(
+                session_id=self._primary_session_id,
+                master_secret=self._secondary.master_secret,
+                cipher_suite=self._secondary.suite.code,
+            )
+        )
+
+    def _claim_subchannel(self) -> None:
+        self.my_subchannel = (max(self._seen_subchannels) + 1) if self._seen_subchannels else 1
+        self._claimed = True
+        self._secondary = TLSServerEngine(self.config.tls)
+        self._secondary.start()
+        assert self._client_hello_record is not None
+        self._feed_secondary(
+            Record(
+                content_type=ContentType.HANDSHAKE,
+                payload=self._client_hello_record.payload,
+            )
+        )
+
+    # ----------------------------------------------------------- server side
+
+    def _announce(self) -> None:
+        self.my_subchannel = 1
+        self._claimed = True
+        self._used_up_subchannels.add(1)
+        self._secondary = TLSServerEngine(self.config.tls)
+        self._secondary.start()
+        announcement = EncapsulatedRecord(
+            subchannel_id=self.my_subchannel,
+            inner=MiddleboxAnnouncement().to_record(),
+        )
+        self._outboxes[_UP] += announcement.to_record().encode()
+
+    def _translate_up(self, down_id: int) -> int:
+        if down_id in self._subchannel_map:
+            return self._subchannel_map[down_id]
+        up_id = down_id
+        while up_id in self._used_up_subchannels:
+            up_id = (up_id % 255) + 1
+        self._subchannel_map[down_id] = up_id
+        self._used_up_subchannels.add(up_id)
+        return up_id
+
+    def _translate_down(self, up_id: int) -> int | None:
+        for down_id, mapped in self._subchannel_map.items():
+            if mapped == up_id:
+                return down_id
+        return None
+
+    def _server_side_down(self, record: Record) -> None:
+        if record.content_type == ContentType.MBTLS_ENCAPSULATED:
+            encap = EncapsulatedRecord.from_record(record)
+            up_id = self._translate_up(encap.subchannel_id)
+            rewrapped = EncapsulatedRecord(subchannel_id=up_id, inner=encap.inner)
+            self._outboxes[_UP] += rewrapped.to_record().encode()
+            return
+        if record.content_type == ContentType.APPLICATION_DATA or (
+            self.keys_installed and record.content_type == ContentType.ALERT
+        ):
+            self._data_plane(_DOWN, record)
+            return
+        self._forward(_DOWN, record)
+
+    def _server_side_up(self, record: Record) -> None:
+        if record.content_type == ContentType.MBTLS_ENCAPSULATED:
+            encap = EncapsulatedRecord.from_record(record)
+            if encap.subchannel_id == self.my_subchannel:
+                self._feed_secondary(encap.inner)
+                return
+            down_id = self._translate_down(encap.subchannel_id)
+            if down_id is not None:
+                record = EncapsulatedRecord(
+                    subchannel_id=down_id, inner=encap.inner
+                ).to_record()
+            self._outboxes[_DOWN] += record.encode()
+            return
+        if record.content_type == ContentType.CHANGE_CIPHER_SPEC and not self._secondary_started():
+            # The server is finishing the primary handshake without having
+            # opened a secondary session with us: it does not speak mbTLS
+            # (or rejected us). Give up, relay, and remember (§3.4).
+            self.gave_up = True
+            self.config.non_mbtls_servers.add(self._session_destination)
+            self._flush_pending_verbatim()
+            self._forward(_UP, record)
+            return
+        if record.content_type == ContentType.APPLICATION_DATA or (
+            self.keys_installed and record.content_type == ContentType.ALERT
+        ):
+            self._data_plane(_UP, record)
+            return
+        self._forward(_UP, record)
+
+    def _secondary_started(self) -> bool:
+        """Whether the server engaged us (sent its secondary ClientHello)."""
+        if self._secondary is None:
+            return False
+        return self._secondary.client_random is not None
+
+    def _flush_pending_verbatim(self) -> None:
+        for record in self._pending[0]:
+            self._outboxes[_UP] += record.encode()
+        for record in self._pending[1]:
+            self._outboxes[_DOWN] += record.encode()
+        self._pending = ([], [])
+
+    # ------------------------------------------------------ secondary session
+
+    def _feed_secondary(self, inner: Record) -> None:
+        events = self._secondary.receive_bytes(inner.encode())
+        self._drain_secondary()
+        for event in events:
+            if isinstance(event, RawRecordReceived) and event.content_type == (
+                ContentType.MBTLS_KEY_MATERIAL
+            ):
+                self._install_keys(KeyMaterial.from_payload(event.payload))
+            elif isinstance(event, HandshakeComplete):
+                # Endpoint verified us; keys arrive next. Remember the
+                # secondary session for future abbreviated handshakes.
+                self._cache_secondary_session()
+            elif isinstance(event, ConnectionClosed):
+                # The endpoint rejected us: carry traffic verbatim.
+                self.rejected = True
+                self._flush_pending_verbatim()
+
+    def _drain_secondary(self) -> None:
+        side = _DOWN if self.mode == self.MODE_CLIENT_SIDE else _UP
+        self._outboxes[side] += wrap_engine_output(
+            self._secondary, self.my_subchannel, self._secondary_out
+        )
+
+    def _install_keys(self, material: KeyMaterial) -> None:
+        suite_down = suite_by_code(material.toward_client.cipher_suite)
+        suite_up = suite_by_code(material.toward_server.cipher_suite)
+        self._c2s_read, self._s2c_write = states_from_hop_keys(
+            suite_down, material.toward_client
+        )
+        self._c2s_write, self._s2c_read = states_from_hop_keys(
+            suite_up, material.toward_server
+        )
+        self.keys_installed = True
+        self._events.append(
+            MiddleboxKeysInstalled(
+                toward_client_suite=suite_down.code,
+                toward_server_suite=suite_up.code,
+            )
+        )
+        # Flush data that arrived before our keys (the False-Start case).
+        pending_down, pending_up = self._pending
+        self._pending = ([], [])
+        for record in pending_down:
+            self._data_plane(_DOWN, record)
+        for record in pending_up:
+            self._data_plane(_UP, record)
+
+    # -------------------------------------------------------------- data path
+
+    def _data_plane(self, from_side: int, record: Record) -> None:
+        if self.rejected or self.gave_up:
+            self._forward(from_side, record)
+            return
+        if not self.keys_installed:
+            self._pending[0 if from_side == _DOWN else 1].append(record)
+            return
+        if from_side == _DOWN:
+            read_state, write_state, direction = self._c2s_read, self._c2s_write, "c2s"
+        else:
+            read_state, write_state, direction = self._s2c_read, self._s2c_write, "s2c"
+        try:
+            plaintext = read_state.unprotect(record)
+        except IntegrityError:
+            # Tampered or out-of-path record: drop it (P2/P4).
+            return
+        if record.content_type == ContentType.APPLICATION_DATA:
+            plaintext = self._run_app(direction, plaintext)
+            self.records_processed += 1
+            if plaintext is None:
+                return  # the application consumed the chunk
+        out = write_state.protect(record.content_type, plaintext)
+        self._outboxes[1 - from_side] += out.encode()
+
+    def _run_app(self, direction: str, plaintext: bytes) -> bytes | None:
+        """Invoke the middlebox application, rich or plain-callable."""
+        on_data = getattr(self.config.process, "on_data", None)
+        if on_data is None:
+            return self.config.process(direction, plaintext)
+        from repro.apps.base import AppApi
+
+        def send_to_client(data: bytes) -> None:
+            record = self._s2c_write.protect(ContentType.APPLICATION_DATA, data)
+            self._outboxes[_DOWN] += record.encode()
+
+        def send_to_server(data: bytes) -> None:
+            record = self._c2s_write.protect(ContentType.APPLICATION_DATA, data)
+            self._outboxes[_UP] += record.encode()
+
+        return on_data(direction, plaintext, AppApi(send_to_client, send_to_server))

@@ -1,0 +1,51 @@
+"""Subchannel multiplexing helpers for mbTLS secondary sessions.
+
+Secondary TLS sessions ride inside Encapsulated records (ContentType 30) on
+the primary TCP stream; each complete record produced by a secondary engine
+is wrapped with its 1-byte subchannel ID, and inner records are unwrapped
+and fed back to the owning engine.
+"""
+
+from __future__ import annotations
+
+from repro.wire.mbtls import EncapsulatedRecord
+from repro.wire.records import Record, RecordBuffer
+
+__all__ = ["wrap_engine_output", "Subchannel"]
+
+
+def wrap_engine_output(engine, subchannel_id: int, buffer: RecordBuffer) -> bytes:
+    """Drain an engine's outbox, wrapping each record for the subchannel.
+
+    ``buffer`` must be dedicated to this engine: engines emit whole records,
+    but we parse defensively in case output is drained mid-record.
+    """
+    data = engine.data_to_send()
+    if not data:
+        return b""
+    buffer.feed(data)
+    out = bytearray()
+    for record in buffer.pop_records():
+        out += EncapsulatedRecord(subchannel_id=subchannel_id, inner=record).to_record().encode()
+    return bytes(out)
+
+
+class Subchannel:
+    """One secondary session: its engine plus mux state and join status."""
+
+    def __init__(self, subchannel_id: int, engine) -> None:
+        self.subchannel_id = subchannel_id
+        self.engine = engine
+        self._out_buffer = RecordBuffer()
+        self.complete = False
+        self.rejected = False
+        self.reject_reason = ""
+        self.keys_sent = False
+
+    def feed_inner(self, inner: Record) -> list:
+        """Feed one unwrapped inner record to the secondary engine."""
+        return self.engine.receive_bytes(inner.encode())
+
+    def drain(self) -> bytes:
+        """Wrapped bytes ready for the primary stream."""
+        return wrap_engine_output(self.engine, self.subchannel_id, self._out_buffer)

@@ -1,0 +1,57 @@
+"""mbTLS session resumption (§3.5).
+
+Resuming an mbTLS session replaces every sub-handshake — the primary and
+each secondary — with an abbreviated handshake. The coordination trick:
+the primary ClientHello's session ID does double duty just like the hello
+itself, so
+
+* the client remembers, per server, the secondary session of each
+  middlebox (in discovery-arrival order), keyed by the primary session ID;
+* each middlebox caches its secondary session state under the *primary*
+  session ID it observed in the primary ServerHello;
+* on resumption the middlebox finds the offered primary ID in its cache
+  and answers with an abbreviated secondary handshake.
+
+No fresh attestation is needed on resumption (the paper's argument):
+possession of the cached secondary master secret proves the peer is the
+same attested enclave, so the client carries the middlebox's measurement
+forward from the original session — it is stored in the remembered state.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.tls.session import SessionState
+
+__all__ = ["RememberedMiddlebox", "MiddleboxSessionStore"]
+
+
+@dataclass(frozen=True)
+class RememberedMiddlebox:
+    """What the client keeps about one middlebox's secondary session."""
+
+    session: SessionState
+    name: str
+    measurement: bytes | None
+
+
+class MiddleboxSessionStore:
+    """Client-side memory of middlebox secondary sessions, per server."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._capacity = capacity
+        self._entries: OrderedDict[str, list[RememberedMiddlebox]] = OrderedDict()
+
+    def remember(self, server_name: str, middleboxes: list[RememberedMiddlebox]) -> None:
+        self._entries[server_name] = list(middleboxes)
+        self._entries.move_to_end(server_name)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def lookup(self, server_name: str) -> list[RememberedMiddlebox]:
+        return list(self._entries.get(server_name, []))
+
+    def forget(self, server_name: str) -> None:
+        self._entries.pop(server_name, None)

@@ -1,0 +1,322 @@
+"""The mbTLS server endpoint (§3.4).
+
+Wraps a primary TLS server engine and adds:
+
+* acceptance of optimistic ``MiddleboxAnnouncement`` records from
+  server-side middleboxes (each on its own subchannel);
+* a secondary TLS handshake per announced middlebox, with the *server*
+  playing the TLS client role (this is why Figure 5 shows server cost
+  growing by roughly one client-handshake — ~20% — per middlebox);
+* per-hop key generation for the server side of the path and the
+  server-side data plane.
+
+A legacy TLS server would instead ignore (or choke on) the announcements —
+that behaviour lives in the plain :class:`~repro.tls.engine.TLSServerEngine`
+via ``ignore_unknown_records``.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import (
+    MbTLSEndpointConfig,
+    MiddleboxInfo,
+    MiddleboxRejected,
+    SessionEstablished,
+)
+from repro.core.keys import build_hop_chain, bridge_hop_keys, hop_states_for_endpoint
+from repro.core.mux import Subchannel
+from repro.errors import DecodeError, IntegrityError, ProtocolError
+from repro.tls.ciphersuites import suite_by_code
+from repro.tls.config import TLSConfig
+from repro.tls.engine import TLSClientEngine, TLSServerEngine
+from repro.tls.events import (
+    AlertReceived,
+    AnnouncementReceived,
+    ApplicationData,
+    ConnectionClosed,
+    Event,
+    HandshakeComplete,
+    MiddleboxJoined,
+)
+from repro.wire.alerts import Alert, AlertDescription
+from repro.wire.mbtls import EncapsulatedRecord, KeyMaterial, MiddleboxAnnouncement
+from repro.wire.records import ContentType, MAX_FRAGMENT, Record, RecordBuffer
+
+__all__ = ["MbTLSServerEngine"]
+
+
+class MbTLSServerEngine:
+    """Sans-IO mbTLS server."""
+
+    is_client = False
+
+    def __init__(self, config: MbTLSEndpointConfig) -> None:
+        self.config = config
+        self.primary = TLSServerEngine(config.tls)
+        self._records = RecordBuffer()
+        self._outbox = bytearray()
+        self._events: list[Event] = []
+        self._secondaries: dict[int, Subchannel] = {}
+        self._arrival_order: list[int] = []
+        self._middlebox_infos: dict[int, MiddleboxInfo] = {}
+        self._announcement_window_open = True
+        self.established = False
+        self._data_read = None
+        self._data_write = None
+        self.closed = False
+        self._pending_app_data: list[bytes] = []
+        self.records_dropped = 0
+
+    # ------------------------------------------------------------------ API
+
+    def start(self) -> None:
+        self.primary.start()
+
+    def data_to_send(self) -> bytes:
+        data = bytes(self._outbox)
+        self._outbox.clear()
+        return data
+
+    def receive_bytes(self, data: bytes) -> list[Event]:
+        if self.closed:
+            return []
+        try:
+            self._records.feed(data)
+            for record in self._records.pop_records():
+                self._process_record(record)
+            self._check_established()
+        except (DecodeError, IntegrityError) as exc:
+            # Unparseable or forged input on the primary stream: shut down,
+            # like a TLS stack answering with a fatal alert.
+            self.closed = True
+            self._events.append(ConnectionClosed(error=str(exc)))
+        events = self._events
+        self._events = []
+        return events
+
+    def send_application_data(self, data: bytes) -> None:
+        if not self.established:
+            # §3.5 False-Start territory: queue until keys are distributed.
+            self._pending_app_data.append(bytes(data))
+            return
+        self._send_app_now(data)
+
+    def _send_app_now(self, data: bytes) -> None:
+        if self._data_write is not None:
+            for offset in range(0, len(data), MAX_FRAGMENT):
+                record = self._data_write.protect(
+                    ContentType.APPLICATION_DATA, data[offset : offset + MAX_FRAGMENT]
+                )
+                self._outbox += record.encode()
+        else:
+            self.primary.send_application_data(data)
+            self._drain_primary()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        alert = Alert.close_notify()
+        if self._data_write is not None:
+            record = self._data_write.protect(ContentType.ALERT, alert.encode())
+            self._outbox += record.encode()
+        else:
+            self.primary.close()
+            self._drain_primary()
+        self._events.append(ConnectionClosed())
+
+    @property
+    def middleboxes(self) -> tuple[MiddleboxInfo, ...]:
+        """Joined middleboxes in path order from the client.
+
+        Each middlebox emits its own announcement before relaying those of
+        middleboxes upstream (closer to the client), so announcements reach
+        the server nearest-server-first; path order is the reverse.
+        """
+        return tuple(
+            self._middlebox_infos[sub]
+            for sub in reversed(self._arrival_order)
+            if sub in self._middlebox_infos and not self._secondaries[sub].rejected
+        )
+
+    @property
+    def resumed(self) -> bool:
+        return self.primary.resumed
+
+    # ------------------------------------------------------------ internals
+
+    def _drain_primary(self) -> None:
+        self._outbox += self.primary.data_to_send()
+
+    def _drain_secondary(self, sub: Subchannel) -> None:
+        self._outbox += sub.drain()
+
+    def _process_record(self, record: Record) -> None:
+        if record.content_type == ContentType.MBTLS_ENCAPSULATED:
+            self._process_encapsulated(EncapsulatedRecord.from_record(record))
+            return
+        if self.established and self._data_write is not None and record.content_type in (
+            ContentType.APPLICATION_DATA,
+            ContentType.ALERT,
+        ):
+            self._process_data_record(record)
+            return
+        events = self.primary.receive_bytes(record.encode())
+        self._drain_primary()
+        for event in events:
+            if isinstance(event, (ApplicationData, AlertReceived, ConnectionClosed)):
+                self._events.append(event)
+                if isinstance(event, ConnectionClosed):
+                    self.closed = True
+
+    def _process_data_record(self, record: Record) -> None:
+        try:
+            plaintext = self._data_read.unprotect(record)
+        except IntegrityError:
+            # Tampered, replayed, or cross-hop record: discard it (P2/P4).
+            self.records_dropped += 1
+            return
+        if record.content_type == ContentType.APPLICATION_DATA:
+            self._events.append(ApplicationData(data=plaintext))
+        else:
+            alert = Alert.decode(plaintext)
+            self._events.append(AlertReceived(alert=alert))
+            if alert.is_fatal or alert.is_close:
+                self.closed = True
+                self._events.append(
+                    ConnectionClosed(
+                        error=None if alert.is_close else alert.description.name.lower()
+                    )
+                )
+
+    def _process_encapsulated(self, encap: EncapsulatedRecord) -> None:
+        sub = self._secondaries.get(encap.subchannel_id)
+        if sub is None:
+            self._handle_announcement(encap)
+            return
+        events = sub.feed_inner(encap.inner)
+        self._drain_secondary(sub)
+        self._handle_secondary_events(sub, events)
+
+    def _handle_announcement(self, encap: EncapsulatedRecord) -> None:
+        try:
+            MiddleboxAnnouncement.from_record(encap.inner)
+        except DecodeError:
+            return  # not an announcement: stray subchannel traffic; drop
+        if (
+            not self.config.accept_announcements
+            or not self._announcement_window_open
+            or len(self._secondaries) >= self.config.max_middleboxes
+        ):
+            return  # behave like a legacy server: silently ignore (§3.4)
+        self._events.append(AnnouncementReceived(subchannel_id=encap.subchannel_id))
+        secondary_config = TLSConfig(
+            rng=self.config.tls.rng.fork(b"secondary-%d" % encap.subchannel_id),
+            trust_store=self.config.secondary_trust_store(),
+            server_name=None,
+            cipher_suites=self.config.tls.cipher_suites,
+            now=self.config.tls.now,
+            require_attestation=self.config.require_middlebox_attestation,
+            attestation_verifier=self.config.middlebox_attestation_verifier,
+            on_secret=self.config.tls.on_secret,
+        )
+        engine = TLSClientEngine(secondary_config)
+        engine.start()  # the server initiates: it is the TLS client here
+        sub = Subchannel(encap.subchannel_id, engine)
+        self._secondaries[encap.subchannel_id] = sub
+        self._arrival_order.append(encap.subchannel_id)
+        self._drain_secondary(sub)
+
+    def _handle_secondary_events(self, sub: Subchannel, events: list[Event]) -> None:
+        for event in events:
+            if isinstance(event, HandshakeComplete):
+                sub.complete = True
+                info = MiddleboxInfo(
+                    subchannel_id=sub.subchannel_id,
+                    certificate=sub.engine.peer_certificate,
+                    measurement=sub.engine.attested_measurement,
+                    discovered=True,
+                )
+                self._middlebox_infos[sub.subchannel_id] = info
+                if not self.config.approve_middlebox(info):
+                    sub.rejected = True
+                    self._events.append(
+                        MiddleboxRejected(
+                            subchannel_id=sub.subchannel_id,
+                            reason="application policy rejected the middlebox",
+                        )
+                    )
+                else:
+                    self._events.append(
+                        MiddleboxJoined(
+                            subchannel_id=sub.subchannel_id,
+                            name=info.name,
+                            certificate=info.certificate,
+                            measurement=info.measurement,
+                        )
+                    )
+            elif isinstance(event, ConnectionClosed) and not sub.complete:
+                sub.rejected = True
+                sub.complete = True
+                self._events.append(
+                    MiddleboxRejected(
+                        subchannel_id=sub.subchannel_id,
+                        reason=event.error or "secondary handshake failed",
+                    )
+                )
+
+    def _check_established(self) -> None:
+        if self.established or not self.primary.handshake_complete:
+            return
+        # Snapshot: anything not announced by primary completion is too late.
+        self._announcement_window_open = False
+        if any(not sub.complete for sub in self._secondaries.values()):
+            return
+        self._establish()
+
+    def _establish(self) -> None:
+        suite = suite_by_code(self.primary.suite.code)
+        # Path order from the client = reversed announcement arrival order
+        # (see the `middleboxes` property).
+        active_order = [
+            sub_id
+            for sub_id in reversed(self._arrival_order)
+            if not self._secondaries[sub_id].rejected
+        ]
+        _, key_block = self.primary.export_key_block()
+        bridge = bridge_hop_keys(suite, key_block)
+        if active_order:
+            hops = build_hop_chain(
+                suite,
+                len(active_order),
+                self.config.tls.rng,
+                bridge,
+                client_side=False,
+            )
+            for index, sub_id in enumerate(active_order):
+                sub = self._secondaries[sub_id]
+                material = KeyMaterial(
+                    toward_client=hops[index], toward_server=hops[index + 1]
+                )
+                sub.engine.send_raw_record(
+                    ContentType.MBTLS_KEY_MATERIAL, material.encode_payload()
+                )
+                sub.keys_sent = True
+                self._drain_secondary(sub)
+            self._data_read, self._data_write = hop_states_for_endpoint(
+                suite, hops[-1], is_client=False
+            )
+            for hop in hops[1:]:
+                self.config.tls.report_secret("hop_key", hop.client_write_key)
+                self.config.tls.report_secret("hop_key", hop.server_write_key)
+        self.established = True
+        self._events.append(
+            SessionEstablished(
+                cipher_suite=suite.code,
+                middleboxes=self.middleboxes,
+                resumed=self.primary.resumed,
+            )
+        )
+        for data in self._pending_app_data:
+            self._send_app_now(data)
+        self._pending_app_data.clear()

@@ -1,0 +1,40 @@
+"""Cryptographic substrate: every primitive the TLS/mbTLS stack needs.
+
+All primitives are implemented from scratch in pure Python (see DESIGN.md);
+the test suite cross-checks each against the ``cryptography`` package, which
+is used only as a test oracle.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.chacha import ChaCha20Poly1305, chacha20_block, chacha20_xor, poly1305_mac
+from repro.crypto.dh import DHGroup, DHPrivateKey, modp_group
+from repro.crypto.drbg import HmacDrbg, system_rng
+from repro.crypto.gcm import AESGCM
+from repro.crypto.kdf import hkdf, hkdf_expand, hkdf_extract, p_hash, prf
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey, generate_rsa_key
+from repro.crypto.x25519 import X25519PrivateKey, x25519, x25519_base
+
+__all__ = [
+    "AES",
+    "AESGCM",
+    "ChaCha20Poly1305",
+    "chacha20_block",
+    "chacha20_xor",
+    "poly1305_mac",
+    "DHGroup",
+    "DHPrivateKey",
+    "modp_group",
+    "HmacDrbg",
+    "system_rng",
+    "hkdf",
+    "hkdf_expand",
+    "hkdf_extract",
+    "p_hash",
+    "prf",
+    "RSAPrivateKey",
+    "RSAPublicKey",
+    "generate_rsa_key",
+    "X25519PrivateKey",
+    "x25519",
+    "x25519_base",
+]

@@ -1,0 +1,122 @@
+"""ChaCha20 stream cipher and ChaCha20-Poly1305 AEAD (RFC 8439), pure Python."""
+
+from __future__ import annotations
+
+import hmac as _hmac
+
+from repro.errors import CryptoError, IntegrityError
+
+__all__ = ["chacha20_block", "chacha20_xor", "poly1305_mac", "ChaCha20Poly1305"]
+
+_MASK32 = 0xFFFFFFFF
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)  # "expand 32-byte k"
+
+
+def _quarter_round(state: list[int], a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] ^= state[a]
+    state[d] = ((state[d] << 16) | (state[d] >> 16)) & _MASK32
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] ^= state[c]
+    state[b] = ((state[b] << 12) | (state[b] >> 20)) & _MASK32
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] ^= state[a]
+    state[d] = ((state[d] << 8) | (state[d] >> 24)) & _MASK32
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] ^= state[c]
+    state[b] = ((state[b] << 7) | (state[b] >> 25)) & _MASK32
+
+
+def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """Produce one 64-byte ChaCha20 keystream block."""
+    if len(key) != 32:
+        raise CryptoError("ChaCha20 key must be 32 bytes")
+    if len(nonce) != 12:
+        raise CryptoError("ChaCha20 nonce must be 12 bytes")
+    state = list(_CONSTANTS)
+    state += [int.from_bytes(key[i : i + 4], "little") for i in range(0, 32, 4)]
+    state.append(counter & _MASK32)
+    state += [int.from_bytes(nonce[i : i + 4], "little") for i in range(0, 12, 4)]
+
+    working = state.copy()
+    for _ in range(10):
+        _quarter_round(working, 0, 4, 8, 12)
+        _quarter_round(working, 1, 5, 9, 13)
+        _quarter_round(working, 2, 6, 10, 14)
+        _quarter_round(working, 3, 7, 11, 15)
+        _quarter_round(working, 0, 5, 10, 15)
+        _quarter_round(working, 1, 6, 11, 12)
+        _quarter_round(working, 2, 7, 8, 13)
+        _quarter_round(working, 3, 4, 9, 14)
+    return b"".join(
+        ((working[i] + state[i]) & _MASK32).to_bytes(4, "little") for i in range(16)
+    )
+
+
+def chacha20_xor(key: bytes, counter: int, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt/decrypt ``data`` with the ChaCha20 keystream."""
+    out = bytearray(len(data))
+    for offset in range(0, len(data), 64):
+        block = chacha20_block(key, counter + offset // 64, nonce)
+        chunk = data[offset : offset + 64]
+        out[offset : offset + len(chunk)] = bytes(a ^ b for a, b in zip(chunk, block))
+    return bytes(out)
+
+
+_P1305 = (1 << 130) - 5
+
+
+def poly1305_mac(key: bytes, message: bytes) -> bytes:
+    """Compute the 16-byte Poly1305 tag of ``message`` under a 32-byte key."""
+    if len(key) != 32:
+        raise CryptoError("Poly1305 key must be 32 bytes")
+    r = int.from_bytes(key[:16], "little") & 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+    s = int.from_bytes(key[16:], "little")
+    accumulator = 0
+    for offset in range(0, len(message), 16):
+        chunk = message[offset : offset + 16]
+        n = int.from_bytes(chunk, "little") + (1 << (8 * len(chunk)))
+        accumulator = ((accumulator + n) * r) % _P1305
+    return ((accumulator + s) & ((1 << 128) - 1)).to_bytes(16, "little")
+
+
+def _pad16(data: bytes) -> bytes:
+    if len(data) % 16 == 0:
+        return data
+    return data + b"\x00" * (16 - len(data) % 16)
+
+
+class ChaCha20Poly1305:
+    """ChaCha20-Poly1305 AEAD per RFC 8439 with 96-bit nonces."""
+
+    tag_length = 16
+    nonce_length = 12
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 32:
+            raise CryptoError("ChaCha20-Poly1305 key must be 32 bytes")
+        self._key = key
+
+    def _tag(self, nonce: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+        otk = chacha20_block(self._key, 0, nonce)[:32]
+        mac_data = (
+            _pad16(aad)
+            + _pad16(ciphertext)
+            + len(aad).to_bytes(8, "little")
+            + len(ciphertext).to_bytes(8, "little")
+        )
+        return poly1305_mac(otk, mac_data)
+
+    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt and authenticate; returns ciphertext || 16-byte tag."""
+        ciphertext = chacha20_xor(self._key, 1, nonce, plaintext)
+        return ciphertext + self._tag(nonce, aad, ciphertext)
+
+    def decrypt(self, nonce: bytes, data: bytes, aad: bytes = b"") -> bytes:
+        """Verify the tag and decrypt; raises IntegrityError on failure."""
+        if len(data) < self.tag_length:
+            raise IntegrityError("ciphertext shorter than Poly1305 tag")
+        ciphertext, tag = data[: -self.tag_length], data[-self.tag_length :]
+        if not _hmac.compare_digest(tag, self._tag(nonce, aad, ciphertext)):
+            raise IntegrityError("Poly1305 tag mismatch")
+        return chacha20_xor(self._key, 1, nonce, ciphertext)

@@ -1,0 +1,120 @@
+"""Finite-field Diffie-Hellman over the RFC 3526 MODP groups.
+
+The MODP primes are *derived*, not transcribed: RFC 2412 Appendix E defines
+each prime as
+
+    p = 2^b - 2^(b-64) - 1 + 2^64 * ( floor(2^(b-130) * pi) + offset )
+
+so we compute pi to the required precision with Machin's formula in integer
+arithmetic, rebuild the prime, and then verify with Miller-Rabin that both p
+and (p-1)/2 are prime. A transcription typo is therefore impossible: a wrong
+constant would fail the safe-prime check at first use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rsa import is_probable_prime
+from repro.errors import CryptoError
+
+__all__ = ["DHGroup", "modp_group", "DHPrivateKey"]
+
+# bits -> RFC 2412 / RFC 3526 offset constants.
+_MODP_OFFSETS = {768: 149686, 1024: 129093, 1536: 741804, 2048: 124476}
+
+_pi_cache: dict[int, int] = {}
+_group_cache: dict[int, "DHGroup"] = {}
+
+
+def _pi_scaled(precision_bits: int) -> int:
+    """floor(pi * 2^precision_bits) via Machin: pi = 16 atan(1/5) - 4 atan(1/239)."""
+    if precision_bits in _pi_cache:
+        return _pi_cache[precision_bits]
+    guard = 64
+    scale = 1 << (precision_bits + guard)
+
+    def atan_inverse(x: int) -> int:
+        # atan(1/x) = sum (-1)^k / ((2k+1) x^(2k+1)), in fixed point.
+        total = 0
+        term = scale // x
+        x_squared = x * x
+        k = 0
+        while term:
+            total += term // (2 * k + 1) if k % 2 == 0 else -(term // (2 * k + 1))
+            term //= x_squared
+            k += 1
+        return total
+
+    pi = 16 * atan_inverse(5) - 4 * atan_inverse(239)
+    result = pi >> guard
+    _pi_cache[precision_bits] = result
+    return result
+
+
+@dataclass(frozen=True)
+class DHGroup:
+    """A Diffie-Hellman group: safe prime ``p`` and generator ``g``."""
+
+    p: int
+    g: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.p.bit_length() + 7) // 8
+
+
+class _CheckRng:
+    """Minimal deterministic RNG for the one-time primality self-check."""
+
+    def __init__(self) -> None:
+        self._state = 0x9E3779B97F4A7C15
+
+    def randint_range(self, low: int, high: int) -> int:
+        self._state = (self._state * 6364136223846793005 + 1442695040888963407) % 2**64
+        return low + self._state % (high - low + 1)
+
+
+def modp_group(bits: int) -> DHGroup:
+    """Return the RFC 3526/2412 MODP group of the given size (cached).
+
+    Raises:
+        CryptoError: if ``bits`` is not a supported group size, or if the
+            derived prime fails the safe-prime self-check.
+    """
+    if bits in _group_cache:
+        return _group_cache[bits]
+    if bits not in _MODP_OFFSETS:
+        raise CryptoError(f"no MODP group of {bits} bits (have {sorted(_MODP_OFFSETS)})")
+    pi_part = _pi_scaled(bits - 130)
+    p = 2**bits - 2 ** (bits - 64) - 1 + 2**64 * (pi_part + _MODP_OFFSETS[bits])
+    rng = _CheckRng()
+    if not is_probable_prime(p, rng, rounds=12):
+        raise CryptoError(f"derived {bits}-bit MODP prime failed primality check")
+    if not is_probable_prime((p - 1) // 2, rng, rounds=12):
+        raise CryptoError(f"derived {bits}-bit MODP prime is not a safe prime")
+    group = DHGroup(p=p, g=2)
+    _group_cache[bits] = group
+    return group
+
+
+class DHPrivateKey:
+    """An ephemeral DH private key in a given group."""
+
+    def __init__(self, group: DHGroup, rng) -> None:
+        self.group = group
+        # Exponent of ~2x the security level of the group is sufficient and
+        # much faster than a full-size exponent.
+        exponent_bits = max(256, group.p.bit_length() // 4)
+        self._x = rng.randbits(exponent_bits) | (1 << (exponent_bits - 1))
+        self.public_value = pow(group.g, self._x, group.p)
+
+    def exchange(self, peer_public: int) -> bytes:
+        """Derive the shared secret; validates the peer's public value."""
+        p = self.group.p
+        if not 2 <= peer_public <= p - 2:
+            raise CryptoError("invalid DH public value")
+        shared = pow(peer_public, self._x, p)
+        if shared in (1, p - 1):
+            raise CryptoError("degenerate DH shared secret")
+        return shared.to_bytes(self.group.byte_length, "big")

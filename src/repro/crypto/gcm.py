@@ -1,0 +1,135 @@
+"""AES-GCM authenticated encryption (NIST SP 800-38D), pure Python.
+
+GHASH uses Shoup's byte-table method: a 256-entry table of ``b * H`` keyed
+per-instance, plus a key-independent 256-entry reduction table, giving 16
+table lookups per 128-bit block instead of a 128-iteration bit loop.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES
+from repro.errors import CryptoError, IntegrityError
+
+__all__ = ["AESGCM"]
+
+_R = 0xE1 << 120  # GCM reduction polynomial in bit-reflected representation
+
+
+def _mul_x(v: int) -> int:
+    """Multiply by x in GF(2^128), bit-reflected GCM representation."""
+    if v & 1:
+        return (v >> 1) ^ _R
+    return v >> 1
+
+
+def _build_reduction_table() -> list[int]:
+    """Table R8[b]: the reduction folded in when 8 low bits b are shifted out."""
+    table = []
+    for b in range(256):
+        v = b
+        for _ in range(8):
+            v = _mul_x(v)
+        table.append(v)
+    return table
+
+
+_R8 = _build_reduction_table()
+
+
+class _GHash:
+    """GHASH universal hash keyed by H = E_K(0^128)."""
+
+    def __init__(self, h: int) -> None:
+        # Basis entries: byte value (0x80 >> i) at the top byte is x^i * H.
+        table = [0] * 256
+        value = h
+        bit = 0x80
+        while bit:
+            table[bit] = value
+            value = _mul_x(value)
+            bit >>= 1
+        for b in range(256):
+            if b and not (b & (b - 1)):
+                continue  # powers of two already filled (0 stays 0)
+            high = 1 << (b.bit_length() - 1) if b else 0
+            if b:
+                table[b] = table[high] ^ table[b ^ high]
+        self._table = table
+
+    def _mul_h(self, z: int) -> int:
+        """Multiply an accumulated value by H using the byte tables."""
+        table = self._table
+        r8 = _R8
+        w = 0
+        # Bytes of z from most significant (low polynomial degree) are
+        # processed last: Horner over x^8.
+        for shift in range(0, 128, 8):
+            w = (w >> 8) ^ r8[w & 0xFF]
+            w ^= table[(z >> shift) & 0xFF]
+        return w
+
+    def digest(self, aad: bytes, ciphertext: bytes) -> int:
+        """GHASH(aad || pad || ciphertext || pad || len(aad) || len(ct))."""
+        y = 0
+        for chunk in (aad, ciphertext):
+            for offset in range(0, len(chunk), 16):
+                block = chunk[offset : offset + 16]
+                if len(block) < 16:
+                    block = block + b"\x00" * (16 - len(block))
+                y = self._mul_h(y ^ int.from_bytes(block, "big"))
+        lengths = (len(aad) * 8) << 64 | (len(ciphertext) * 8)
+        return self._mul_h(y ^ lengths)
+
+
+class AESGCM:
+    """AES-GCM AEAD with 96-bit nonces and 128-bit tags.
+
+    Args:
+        key: AES key (16 or 32 bytes for the TLS suites in this library).
+    """
+
+    tag_length = 16
+    nonce_length = 12
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = AES(key)
+        h = int.from_bytes(self._aes.encrypt_block(b"\x00" * 16), "big")
+        self._ghash = _GHash(h)
+
+    def _keystream_xor(self, nonce: bytes, data: bytes, initial_counter: int) -> bytes:
+        encrypt = self._aes.encrypt_block
+        out = bytearray(len(data))
+        counter = initial_counter
+        for offset in range(0, len(data), 16):
+            block = encrypt(nonce + counter.to_bytes(4, "big"))
+            chunk = data[offset : offset + 16]
+            out[offset : offset + len(chunk)] = bytes(
+                a ^ b for a, b in zip(chunk, block)
+            )
+            counter = (counter + 1) & 0xFFFFFFFF
+        return bytes(out)
+
+    def _tag(self, nonce: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+        s = self._ghash.digest(aad, ciphertext)
+        j0 = self._aes.encrypt_block(nonce + (1).to_bytes(4, "big"))
+        return (s ^ int.from_bytes(j0, "big")).to_bytes(16, "big")
+
+    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt and authenticate; returns ciphertext || 16-byte tag."""
+        if len(nonce) != self.nonce_length:
+            raise CryptoError("GCM nonce must be 12 bytes")
+        ciphertext = self._keystream_xor(nonce, plaintext, 2)
+        return ciphertext + self._tag(nonce, aad, ciphertext)
+
+    def decrypt(self, nonce: bytes, data: bytes, aad: bytes = b"") -> bytes:
+        """Verify the tag and decrypt; raises IntegrityError on failure."""
+        if len(nonce) != self.nonce_length:
+            raise CryptoError("GCM nonce must be 12 bytes")
+        if len(data) < self.tag_length:
+            raise IntegrityError("ciphertext shorter than GCM tag")
+        ciphertext, tag = data[: -self.tag_length], data[-self.tag_length :]
+        import hmac as _hmac
+
+        if not _hmac.compare_digest(tag, self._tag(nonce, aad, ciphertext)):
+            raise IntegrityError("GCM tag mismatch")
+        return self._keystream_xor(nonce, ciphertext, 2)

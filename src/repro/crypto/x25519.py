@@ -1,0 +1,89 @@
+"""X25519 Diffie-Hellman (RFC 7748), pure Python Montgomery ladder."""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+
+__all__ = ["x25519", "x25519_base", "X25519PrivateKey"]
+
+_P = 2**255 - 19
+_A24 = 121665
+
+
+def _decode_u(u: bytes) -> int:
+    if len(u) != 32:
+        raise CryptoError("X25519 public value must be 32 bytes")
+    value = int.from_bytes(u, "little")
+    return value & ((1 << 255) - 1)  # mask the high bit per RFC 7748
+
+
+def _decode_scalar(k: bytes) -> int:
+    if len(k) != 32:
+        raise CryptoError("X25519 private key must be 32 bytes")
+    raw = bytearray(k)
+    raw[0] &= 248
+    raw[31] &= 127
+    raw[31] |= 64
+    return int.from_bytes(raw, "little")
+
+
+def x25519(private_key: bytes, public_value: bytes) -> bytes:
+    """Scalar multiplication on Curve25519; returns the shared u-coordinate."""
+    k = _decode_scalar(private_key)
+    u = _decode_u(public_value)
+
+    x1 = u
+    x2, z2 = 1, 0
+    x3, z3 = u, 1
+    swap = 0
+    p = _P
+    for t in range(254, -1, -1):
+        bit = (k >> t) & 1
+        swap ^= bit
+        if swap:
+            x2, x3 = x3, x2
+            z2, z3 = z3, z2
+        swap = bit
+
+        a = (x2 + z2) % p
+        aa = a * a % p
+        b = (x2 - z2) % p
+        bb = b * b % p
+        e = (aa - bb) % p
+        c = (x3 + z3) % p
+        d = (x3 - z3) % p
+        da = d * a % p
+        cb = c * b % p
+        x3 = (da + cb) % p
+        x3 = x3 * x3 % p
+        z3 = (da - cb) % p
+        z3 = x1 * (z3 * z3 % p) % p
+        x2 = aa * bb % p
+        z2 = e * (aa + _A24 * e) % p
+
+    if swap:
+        x2, x3 = x3, x2
+        z2, z3 = z3, z2
+
+    result = x2 * pow(z2, p - 2, p) % p
+    return result.to_bytes(32, "little")
+
+
+def x25519_base(private_key: bytes) -> bytes:
+    """Compute the public value for a private key (scalar * base point 9)."""
+    return x25519(private_key, (9).to_bytes(32, "little"))
+
+
+class X25519PrivateKey:
+    """Convenience wrapper pairing a private scalar with its public value."""
+
+    def __init__(self, private_bytes: bytes) -> None:
+        self._private = private_bytes
+        self.public_bytes = x25519_base(private_bytes)
+
+    def exchange(self, peer_public: bytes) -> bytes:
+        """Derive the shared secret with a peer's public value."""
+        shared = x25519(self._private, peer_public)
+        if shared == b"\x00" * 32:
+            raise CryptoError("X25519 produced an all-zero shared secret")
+        return shared

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single except clause. Protocol-level
+failures (the ones a TLS peer would surface as an alert) derive from
+:class:`ProtocolError` and carry an alert description.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key size, invalid point, ...)."""
+
+
+class IntegrityError(CryptoError):
+    """An authentication tag or MAC check failed."""
+
+
+class ProtocolError(ReproError):
+    """A protocol violation that maps onto a TLS alert.
+
+    Attributes:
+        alert: the TLS alert description name (e.g. ``"decode_error"``).
+    """
+
+    def __init__(self, message: str, alert: str = "internal_error") -> None:
+        super().__init__(message)
+        self.alert = alert
+
+
+class DecodeError(ProtocolError):
+    """A wire message could not be parsed."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, alert="decode_error")
+
+
+class HandshakeError(ProtocolError):
+    """The handshake failed (negotiation mismatch, bad Finished, ...)."""
+
+    def __init__(self, message: str, alert: str = "handshake_failure") -> None:
+        super().__init__(message, alert=alert)
+
+
+class CertificateError(HandshakeError):
+    """Certificate validation failed."""
+
+    def __init__(self, message: str, alert: str = "bad_certificate") -> None:
+        super().__init__(message, alert=alert)
+
+
+class AttestationError(HandshakeError):
+    """An SGX attestation quote failed verification."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, alert="bad_certificate")
+
+
+class PolicyError(ReproError):
+    """An endpoint policy rejected a middlebox or configuration."""
+
+
+class NetworkError(ReproError):
+    """A simulated-network failure (connection refused, reset, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class EnclaveError(ReproError):
+    """Illegal access to, or misuse of, a simulated SGX enclave."""

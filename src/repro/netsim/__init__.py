@@ -1,0 +1,36 @@
+"""Discrete-event network simulator: the 'Internet' the protocols run over."""
+
+from repro.netsim.adversary import (
+    DroppingTap,
+    GlobalAdversary,
+    MutatingTap,
+    RecordingTap,
+    Wiretap,
+)
+from repro.netsim.driver import CpuMeter, EngineDriver
+from repro.netsim.filters import FilterPolicy, TLSFilter
+from repro.netsim.network import Host, InterceptedFlow, Network, Socket, Stream, Tap
+from repro.netsim.sim import Simulator
+from repro.netsim.trace import TraceEvent, render_trace, trace_session
+
+__all__ = [
+    "DroppingTap",
+    "GlobalAdversary",
+    "MutatingTap",
+    "RecordingTap",
+    "Wiretap",
+    "CpuMeter",
+    "EngineDriver",
+    "FilterPolicy",
+    "TLSFilter",
+    "Host",
+    "InterceptedFlow",
+    "Network",
+    "Socket",
+    "Stream",
+    "Tap",
+    "Simulator",
+    "TraceEvent",
+    "render_trace",
+    "trace_session",
+]

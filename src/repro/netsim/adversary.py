@@ -1,0 +1,140 @@
+"""Active network adversaries: the §3.1 threat model as runnable objects.
+
+An adversary attaches to streams and can observe, record, modify, drop,
+replay, and inject wire bytes. The Table 1 security benchmarks drive these
+against TLS and mbTLS sessions and check which attacks the protocols stop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.netsim.network import Host, Stream, Tap
+
+__all__ = ["RecordingTap", "MutatingTap", "DroppingTap", "Wiretap", "GlobalAdversary"]
+
+
+@dataclass
+class Capture:
+    """One observed transmission."""
+
+    sender: str
+    data: bytes
+    time: float
+
+
+class RecordingTap(Tap):
+    """Passively records everything crossing the stream."""
+
+    def __init__(self) -> None:
+        self.captures: list[Capture] = []
+
+    def process(self, sender: Host, data: bytes, stream: Stream) -> bytes | None:
+        self.captures.append(
+            Capture(sender=sender.name, data=data, time=stream.sim.now)
+        )
+        return data
+
+    def all_bytes(self) -> bytes:
+        return b"".join(capture.data for capture in self.captures)
+
+
+class MutatingTap(Tap):
+    """Applies a byte-level mutation to matching chunks (active tampering)."""
+
+    def __init__(
+        self,
+        mutate: Callable[[bytes], bytes],
+        should_mutate: Callable[[bytes], bool] = lambda data: True,
+        limit: int | None = None,
+    ) -> None:
+        self._mutate = mutate
+        self._should = should_mutate
+        self._limit = limit
+        self.mutations = 0
+
+    def process(self, sender: Host, data: bytes, stream: Stream) -> bytes | None:
+        if self._limit is not None and self.mutations >= self._limit:
+            return data
+        if self._should(data):
+            self.mutations += 1
+            return self._mutate(data)
+        return data
+
+
+class DroppingTap(Tap):
+    """Drops chunks matching a predicate (packet suppression)."""
+
+    def __init__(
+        self,
+        should_drop: Callable[[bytes], bool] = lambda data: True,
+        limit: int | None = None,
+    ) -> None:
+        self._should = should_drop
+        self._limit = limit
+        self.drops = 0
+
+    def process(self, sender: Host, data: bytes, stream: Stream) -> bytes | None:
+        if self._limit is not None and self.drops >= self._limit:
+            return data
+        if self._should(data):
+            self.drops += 1
+            return None
+        return data
+
+
+class Wiretap:
+    """A handle over one tapped stream: observe + inject + splice."""
+
+    def __init__(self, stream: Stream) -> None:
+        self.stream = stream
+        self.recorder = RecordingTap()
+        stream.add_tap(self.recorder)
+
+    def inject_toward(self, host_name: str, data: bytes) -> None:
+        """Inject raw bytes on the wire toward the named endpoint."""
+        for side, socket in enumerate(self.stream.endpoints):
+            if socket.host.name == host_name:
+                self.stream.inject(side, data)
+                return
+        raise ValueError(f"{host_name!r} is not an endpoint of this stream")
+
+    @property
+    def endpoints(self) -> tuple[str, str]:
+        return (
+            self.stream.endpoints[0].host.name,
+            self.stream.endpoints[1].host.name,
+        )
+
+
+class GlobalAdversary:
+    """The paper's global active adversary: taps every stream in a network.
+
+    Use :meth:`wiretap_between` to get the handle for a specific hop, then
+    replay/inject/splice captured bytes across hops — the exact moves the
+    path-integrity and change-secrecy analyses consider.
+    """
+
+    def __init__(self, network) -> None:
+        self.network = network
+        self.wiretaps: list[Wiretap] = []
+        network.on_new_stream(self._on_stream)
+
+    def _on_stream(self, stream: Stream, a: str, b: str) -> None:
+        self.wiretaps.append(Wiretap(stream))
+
+    def wiretap_between(self, a: str, b: str) -> Wiretap:
+        """The (most recent) wiretap on the stream between two hosts."""
+        for wiretap in reversed(self.wiretaps):
+            if set(wiretap.endpoints) == {a, b}:
+                return wiretap
+        raise ValueError(f"no stream observed between {a!r} and {b!r}")
+
+    def observed_bytes(self) -> bytes:
+        """Everything the adversary saw anywhere in the network."""
+        return b"".join(tap.recorder.all_bytes() for tap in self.wiretaps)
+
+    def add_tap_between(self, a: str, b: str, tap: Tap) -> None:
+        """Attach an active tap (mutate/drop) to an existing stream."""
+        self.wiretap_between(a, b).stream.add_tap(tap)

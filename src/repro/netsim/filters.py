@@ -1,0 +1,88 @@
+"""Firewalls and traffic normalizers — the deployability hazard of Table 2.
+
+The question §5.1 answers empirically is: do middleboxes in real networks
+(firewalls, IDSes, normalizers) drop TLS streams that carry mbTLS's new
+record types and extensions? These taps model the observed spectrum of
+filter behaviour so the Table 2 benchmark can run the same experiment over
+a synthetic population of client networks.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import DecodeError
+from repro.netsim.network import Host, Stream, Tap
+from repro.wire.records import ContentType, RecordBuffer
+
+__all__ = ["FilterPolicy", "TLSFilter"]
+
+_STANDARD_TYPES = {
+    ContentType.CHANGE_CIPHER_SPEC,
+    ContentType.ALERT,
+    ContentType.HANDSHAKE,
+    ContentType.APPLICATION_DATA,
+}
+
+
+class FilterPolicy(Enum):
+    """How a network's middlebox treats TLS streams it does not terminate.
+
+    PASSTHROUGH: forwards TCP payloads untouched (what §5.1 found everywhere:
+        filters in the wild do not meddle with payload bytes of flows they
+        don't terminate).
+    GRAMMAR_CHECK: parses record framing; forwards anything that frames as
+        TLS records (unknown content types included), kills streams that do
+        not parse at all.
+    DROP_UNKNOWN_TYPES: silently drops records whose ContentType it does not
+        recognize (a hypothetical strict normalizer; would break mbTLS
+        discovery but not legacy TLS).
+    RESET_ON_UNKNOWN: kills the whole connection on the first unknown
+        ContentType (a hypothetical paranoid firewall).
+    """
+
+    PASSTHROUGH = "passthrough"
+    GRAMMAR_CHECK = "grammar_check"
+    DROP_UNKNOWN_TYPES = "drop_unknown_types"
+    RESET_ON_UNKNOWN = "reset_on_unknown"
+
+
+class TLSFilter(Tap):
+    """A per-stream filter applying a :class:`FilterPolicy`.
+
+    Keeps an independent record parser per direction, like a real
+    flow-tracking middlebox.
+    """
+
+    def __init__(self, policy: FilterPolicy) -> None:
+        self.policy = policy
+        self._buffers: dict[str, RecordBuffer] = {}
+        self.killed = False
+        self.dropped_records = 0
+
+    def process(self, sender: Host, data: bytes, stream: Stream) -> bytes | None:
+        if self.policy == FilterPolicy.PASSTHROUGH:
+            return data
+        if self.killed:
+            return None
+        buffer = self._buffers.setdefault(sender.name, RecordBuffer())
+        buffer.feed(data)
+        forwarded = bytearray()
+        try:
+            records = buffer.pop_records()
+        except DecodeError:
+            # Not TLS at all: grammar checkers kill such flows.
+            self.killed = True
+            return None
+        for record in records:
+            if record.content_type in _STANDARD_TYPES:
+                forwarded += record.encode()
+                continue
+            if self.policy == FilterPolicy.GRAMMAR_CHECK:
+                forwarded += record.encode()
+            elif self.policy == FilterPolicy.DROP_UNKNOWN_TYPES:
+                self.dropped_records += 1
+            elif self.policy == FilterPolicy.RESET_ON_UNKNOWN:
+                self.killed = True
+                return None
+        return bytes(forwarded) if forwarded else None

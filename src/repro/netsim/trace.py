@@ -1,0 +1,128 @@
+"""Handshake tracing: render a session's message ladder (paper Figure 3).
+
+Feeds a :class:`~repro.netsim.adversary.GlobalAdversary`'s captures through
+the record parser and produces a time-ordered, human-readable ladder of
+what crossed each hop — primary handshake messages by name, Encapsulated
+records with their subchannel and inner type, announcements, key material.
+Invaluable when debugging interleaved primary/secondary handshakes, and a
+direct visualization of the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DecodeError
+from repro.netsim.adversary import GlobalAdversary
+from repro.wire.handshake import HandshakeBuffer, HandshakeType
+from repro.wire.mbtls import EncapsulatedRecord
+from repro.wire.records import ContentType, Record, RecordBuffer
+
+__all__ = ["TraceEvent", "trace_session", "render_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One record observed on one hop."""
+
+    time: float
+    sender: str
+    receiver: str
+    description: str
+
+
+def _describe_handshake_payload(payload: bytes, protected: bool) -> str:
+    """Name the handshake messages in a record payload, if parseable."""
+    buffer = HandshakeBuffer()
+    buffer.feed(payload)
+    try:
+        messages = buffer.pop_messages()
+    except DecodeError:
+        messages = []
+    if not messages or buffer.pending_bytes:
+        return "Handshake (encrypted)" if protected else "Handshake (fragment)"
+    return " + ".join(message.msg_type.name.title().replace("_", "") for message in messages)
+
+
+def _describe(record: Record, seen_ccs: set, hop: tuple[str, str]) -> str:
+    if record.content_type == ContentType.HANDSHAKE:
+        protected = hop in seen_ccs
+        return _describe_handshake_payload(record.payload, protected)
+    if record.content_type == ContentType.CHANGE_CIPHER_SPEC:
+        seen_ccs.add(hop)
+        return "ChangeCipherSpec"
+    if record.content_type == ContentType.ALERT:
+        return "Alert"
+    if record.content_type == ContentType.APPLICATION_DATA:
+        return f"ApplicationData ({len(record.payload)} B)"
+    if record.content_type == ContentType.MBTLS_ENCAPSULATED:
+        try:
+            encap = EncapsulatedRecord.from_record(record)
+        except DecodeError:
+            return "Encapsulated (malformed)"
+        inner = encap.inner
+        if inner.content_type == ContentType.MBTLS_MIDDLEBOX_ANNOUNCEMENT:
+            detail = "MiddleboxAnnouncement"
+        elif inner.content_type == ContentType.HANDSHAKE:
+            # An unparseable inner handshake record is the encrypted
+            # secondary Finished (post-CCS).
+            detail = _describe_handshake_payload(inner.payload, protected=True)
+        elif inner.content_type == ContentType.CHANGE_CIPHER_SPEC:
+            detail = "ChangeCipherSpec"
+        elif inner.content_type == ContentType.MBTLS_KEY_MATERIAL:
+            detail = "MBTLSKeyMaterial"
+        elif inner.content_type == ContentType.ALERT:
+            detail = "Alert"
+        else:
+            detail = inner.content_type.name
+        return f"Encapsulated[subch {encap.subchannel_id}] {detail}"
+    if record.content_type == ContentType.MBTLS_KEY_MATERIAL:
+        return "MBTLSKeyMaterial"
+    if record.content_type == ContentType.MBTLS_MIDDLEBOX_ANNOUNCEMENT:
+        return "MiddleboxAnnouncement"
+    return record.content_type.name
+
+
+def trace_session(adversary: GlobalAdversary) -> list[TraceEvent]:
+    """Turn every wiretap's captures into a time-ordered event ladder."""
+    events: list[TraceEvent] = []
+    for wiretap in adversary.wiretaps:
+        buffers: dict[str, RecordBuffer] = {}
+        seen_ccs: set = set()
+        host_a, host_b = wiretap.endpoints
+        for capture in wiretap.recorder.captures:
+            receiver = host_b if capture.sender == host_a else host_a
+            buffer = buffers.setdefault(capture.sender, RecordBuffer())
+            buffer.feed(capture.data)
+            try:
+                records = buffer.pop_records()
+            except DecodeError:
+                events.append(
+                    TraceEvent(capture.time, capture.sender, receiver, "(non-TLS bytes)")
+                )
+                continue
+            for record in records:
+                events.append(
+                    TraceEvent(
+                        time=capture.time,
+                        sender=capture.sender,
+                        receiver=receiver,
+                        description=_describe(
+                            record, seen_ccs, (capture.sender, receiver)
+                        ),
+                    )
+                )
+    events.sort(key=lambda event: event.time)
+    return events
+
+
+def render_trace(events: list[TraceEvent], limit: int | None = None) -> str:
+    """Format the ladder as aligned text, one line per record."""
+    lines = []
+    shown = events if limit is None else events[:limit]
+    for event in shown:
+        arrow = f"{event.sender} -> {event.receiver}"
+        lines.append(f"{event.time * 1000:8.1f} ms  {arrow:24s} {event.description}")
+    if limit is not None and len(events) > limit:
+        lines.append(f"          ... {len(events) - limit} more records")
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""PKI substrate: simplified certificates, authorities, and trust stores."""
+
+from repro.pki.authority import DEFAULT_KEY_BITS, CertificateAuthority, Credential
+from repro.pki.certificate import Certificate
+from repro.pki.store import TrustStore
+
+__all__ = [
+    "DEFAULT_KEY_BITS",
+    "CertificateAuthority",
+    "Credential",
+    "Certificate",
+    "TrustStore",
+]

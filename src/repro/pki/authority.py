@@ -1,0 +1,142 @@
+"""Certificate authorities: issuance, chains, and credentials.
+
+A :class:`CertificateAuthority` signs leaf or intermediate certificates;
+:class:`Credential` bundles a private key with its certificate chain —
+what a TLS server (or an mbTLS middlebox) presents in its handshake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.rsa import RSAPrivateKey, generate_rsa_key
+from repro.pki.certificate import Certificate
+
+__all__ = ["CertificateAuthority", "Credential", "DEFAULT_KEY_BITS"]
+
+# 1024-bit keys keep pure-Python handshakes quick while exercising the real
+# sign/verify code paths; the size is a parameter everywhere it matters.
+DEFAULT_KEY_BITS = 1024
+
+_FAR_FUTURE = 10 * 365 * 24 * 3600.0
+
+
+@dataclass
+class Credential:
+    """A private key plus the certificate chain proving its ownership."""
+
+    private_key: RSAPrivateKey
+    chain: tuple[Certificate, ...]
+
+    @property
+    def certificate(self) -> Certificate:
+        """The leaf certificate."""
+        return self.chain[0]
+
+    def encoded_chain(self) -> tuple[bytes, ...]:
+        return tuple(cert.encode() for cert in self.chain)
+
+
+class CertificateAuthority:
+    """A certificate authority that can issue leaves and intermediates.
+
+    Args:
+        name: the CA's subject name.
+        rng: randomness source for key generation.
+        key_bits: RSA modulus size for the CA key.
+        parent: if given, this CA is an intermediate signed by ``parent``;
+            otherwise it is a self-signed root.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rng,
+        key_bits: int = DEFAULT_KEY_BITS,
+        parent: "CertificateAuthority | None" = None,
+        now: float = 0.0,
+    ) -> None:
+        self.name = name
+        self._rng = rng
+        self._key = generate_rsa_key(key_bits, rng)
+        self._serial = 0
+        self._parent = parent
+        if parent is None:
+            self.certificate = self._self_sign(now)
+            self._chain_suffix: tuple[Certificate, ...] = (self.certificate,)
+        else:
+            self.certificate = parent.issue(
+                name, self._key.public_key, is_ca=True, now=now
+            )
+            self._chain_suffix = (self.certificate,) + parent._chain_suffix
+
+    def _self_sign(self, now: float) -> Certificate:
+        unsigned = Certificate(
+            subject=self.name,
+            issuer=self.name,
+            public_key=self._key.public_key,
+            serial=0,
+            not_before=now,
+            not_after=now + _FAR_FUTURE,
+            is_ca=True,
+            signature=b"",
+        )
+        return self._attach_signature(unsigned)
+
+    def _attach_signature(self, unsigned: Certificate) -> Certificate:
+        signature = self._key.sign(unsigned.tbs_bytes())
+        return Certificate(
+            subject=unsigned.subject,
+            issuer=unsigned.issuer,
+            public_key=unsigned.public_key,
+            serial=unsigned.serial,
+            not_before=unsigned.not_before,
+            not_after=unsigned.not_after,
+            is_ca=unsigned.is_ca,
+            signature=signature,
+        )
+
+    def issue(
+        self,
+        subject: str,
+        public_key,
+        is_ca: bool = False,
+        now: float = 0.0,
+        lifetime: float = 365 * 24 * 3600.0,
+        not_before: float | None = None,
+    ) -> Certificate:
+        """Issue a certificate for ``subject`` over ``public_key``."""
+        self._serial += 1
+        start = now if not_before is None else not_before
+        unsigned = Certificate(
+            subject=subject,
+            issuer=self.name,
+            public_key=public_key,
+            serial=self._serial,
+            not_before=start,
+            not_after=start + lifetime,
+            is_ca=is_ca,
+            signature=b"",
+        )
+        return self._attach_signature(unsigned)
+
+    def issue_credential(
+        self,
+        subject: str,
+        rng=None,
+        key_bits: int = DEFAULT_KEY_BITS,
+        now: float = 0.0,
+        lifetime: float = 365 * 24 * 3600.0,
+        not_before: float | None = None,
+    ) -> Credential:
+        """Generate a key pair and issue a full credential for ``subject``."""
+        key_rng = rng if rng is not None else self._rng
+        private_key = generate_rsa_key(key_bits, key_rng)
+        leaf = self.issue(
+            subject,
+            private_key.public_key,
+            now=now,
+            lifetime=lifetime,
+            not_before=not_before,
+        )
+        return Credential(private_key=private_key, chain=(leaf,) + self._chain_suffix)

@@ -1,0 +1,109 @@
+"""Simplified certificates: X.509 semantics without the ASN.1 encoding.
+
+A certificate binds a subject name to an RSA public key, carries a validity
+window and CA flag, and is signed by its issuer over the TBS ("to be
+signed") serialization. This keeps chain building, expiry, hostname
+matching, and signature validation — everything the paper's protocol logic
+touches — while dropping the encoding bureaucracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rsa import RSAPublicKey
+from repro.errors import DecodeError
+from repro.wire.codec import Reader, Writer
+
+__all__ = ["Certificate"]
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed certificate.
+
+    Attributes:
+        subject: the entity's name; for servers, the hostname clients match.
+        issuer: the signing CA's subject name (== subject if self-signed).
+        public_key: the subject's RSA public key.
+        serial: issuer-unique serial number.
+        not_before / not_after: validity window in simulated epoch seconds.
+        is_ca: whether this certificate may sign other certificates.
+        signature: issuer's signature over :meth:`tbs_bytes`.
+    """
+
+    subject: str
+    issuer: str
+    public_key: RSAPublicKey
+    serial: int
+    not_before: float
+    not_after: float
+    is_ca: bool
+    signature: bytes
+
+    def tbs_bytes(self) -> bytes:
+        """The byte string the issuer signs."""
+        writer = Writer()
+        writer.write_vector(self.subject.encode(), 2)
+        writer.write_vector(self.issuer.encode(), 2)
+        writer.write_vector(self.public_key.to_bytes(), 2)
+        writer.write_u64(self.serial)
+        writer.write_u64(int(self.not_before * 1000))
+        writer.write_u64(int(self.not_after * 1000))
+        writer.write_u8(1 if self.is_ca else 0)
+        return writer.getvalue()
+
+    def encode(self) -> bytes:
+        """Full wire encoding: TBS bytes plus the signature."""
+        return (
+            Writer()
+            .write_vector(self.tbs_bytes(), 2)
+            .write_vector(self.signature, 2)
+            .getvalue()
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Certificate":
+        outer = Reader(data)
+        tbs = outer.read_vector(2)
+        signature = outer.read_vector(2)
+        outer.expect_end()
+        reader = Reader(tbs)
+        subject = reader.read_vector(2).decode()
+        issuer = reader.read_vector(2).decode()
+        public_key = RSAPublicKey.from_bytes(reader.read_vector(2))
+        serial = reader.read_u64()
+        not_before = reader.read_u64() / 1000
+        not_after = reader.read_u64() / 1000
+        is_ca = reader.read_u8() == 1
+        reader.expect_end()
+        if not_after < not_before:
+            raise DecodeError("certificate validity window is inverted")
+        return cls(
+            subject=subject,
+            issuer=issuer,
+            public_key=public_key,
+            serial=serial,
+            not_before=not_before,
+            not_after=not_after,
+            is_ca=is_ca,
+            signature=signature,
+        )
+
+    @property
+    def is_self_signed(self) -> bool:
+        return self.subject == self.issuer
+
+    def matches_hostname(self, hostname: str) -> bool:
+        """Exact match, or wildcard match for a single left-most label."""
+        if self.subject == hostname:
+            return True
+        if self.subject.startswith("*."):
+            suffix = self.subject[1:]  # ".example.com"
+            if hostname.endswith(suffix):
+                prefix = hostname[: -len(suffix)]
+                return bool(prefix) and "." not in prefix
+        return False
+
+    def valid_at(self, now: float) -> bool:
+        return self.not_before <= now <= self.not_after

@@ -1,0 +1,95 @@
+"""Trust stores and certificate-chain validation.
+
+Validation walks the presented chain leaf-first, checking signatures,
+validity windows, CA flags, and finally anchoring in a trusted root. The
+"custom root certificate" deployment trick behind split TLS is literally
+``store.add_root(interceptor_ca.certificate)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CertificateError
+from repro.pki.certificate import Certificate
+
+__all__ = ["TrustStore"]
+
+
+class TrustStore:
+    """A set of trusted root certificates plus the validation algorithm."""
+
+    def __init__(self, roots: list[Certificate] | None = None) -> None:
+        self._roots: dict[str, Certificate] = {}
+        for root in roots or []:
+            self.add_root(root)
+
+    def add_root(self, root: Certificate) -> None:
+        """Trust ``root`` as an anchor (the split-TLS provisioning step)."""
+        self._roots[root.subject] = root
+
+    def remove_root(self, subject: str) -> None:
+        self._roots.pop(subject, None)
+
+    @property
+    def roots(self) -> tuple[Certificate, ...]:
+        return tuple(self._roots.values())
+
+    def validate_chain(
+        self,
+        chain: tuple[Certificate, ...] | list[Certificate],
+        hostname: str | None,
+        now: float,
+    ) -> Certificate:
+        """Validate a leaf-first chain; returns the verified leaf.
+
+        Raises:
+            CertificateError: on any failure, with an alert name matching
+                the TLS alert a real stack would send (``certificate_expired``,
+                ``unknown_ca``, ``bad_certificate``).
+        """
+        if not chain:
+            raise CertificateError("empty certificate chain")
+        leaf = chain[0]
+        if hostname is not None and not leaf.matches_hostname(hostname):
+            raise CertificateError(
+                f"certificate subject {leaf.subject!r} does not match "
+                f"hostname {hostname!r}"
+            )
+        for index, cert in enumerate(chain):
+            if not cert.valid_at(now):
+                raise CertificateError(
+                    f"certificate {cert.subject!r} outside validity window",
+                    alert="certificate_expired",
+                )
+            if index > 0 and not cert.is_ca:
+                raise CertificateError(
+                    f"non-CA certificate {cert.subject!r} used as issuer"
+                )
+            issuer = self._find_issuer(cert, chain[index + 1 :])
+            if issuer is None:
+                raise CertificateError(
+                    f"no trusted issuer for {cert.subject!r}", alert="unknown_ca"
+                )
+            if not issuer.public_key.verify(cert.tbs_bytes(), cert.signature):
+                raise CertificateError(
+                    f"bad signature on certificate {cert.subject!r}"
+                )
+            if issuer.subject in self._roots:
+                anchor = self._roots[issuer.subject]
+                if anchor.public_key == issuer.public_key:
+                    return leaf
+        raise CertificateError("certificate chain does not reach a trusted root",
+                               alert="unknown_ca")
+
+    def _find_issuer(
+        self, cert: Certificate, rest: tuple[Certificate, ...] | list[Certificate]
+    ) -> Certificate | None:
+        if cert.issuer in self._roots:
+            return self._roots[cert.issuer]
+        for candidate in rest:
+            if candidate.subject == cert.issuer and candidate.is_ca:
+                return candidate
+        if cert.is_self_signed:
+            # Self-signed leaf not in the store: signature is checkable but
+            # it will not anchor; report unknown CA.
+            return None
+        return None

@@ -1,0 +1,17 @@
+"""Simulated Intel SGX: enclaves, remote attestation, and an I/O cost model."""
+
+from repro.sgx.attestation import AttestationService, AttestationVerifier, Quote
+from repro.sgx.enclave import Enclave, EnclaveCode, MemoryArena, Platform
+from repro.sgx.syscalls import SgxCostModel, ThroughputResult
+
+__all__ = [
+    "AttestationService",
+    "AttestationVerifier",
+    "Quote",
+    "Enclave",
+    "EnclaveCode",
+    "MemoryArena",
+    "Platform",
+    "SgxCostModel",
+    "ThroughputResult",
+]

@@ -1,0 +1,130 @@
+"""Simulated remote attestation: quotes signed by an "Intel" authority.
+
+A quote binds an enclave measurement to 64 bytes of ``report_data``. mbTLS
+puts a hash of the handshake transcript in ``report_data``, which is what
+makes each quote fresh and unreplayable (§3.4, "Secure Environment
+Attestation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import RSAPublicKey, generate_rsa_key
+from repro.errors import AttestationError, DecodeError
+from repro.wire.codec import Reader, Writer
+
+__all__ = ["Quote", "AttestationService", "AttestationVerifier"]
+
+_REPORT_DATA_LEN = 64
+
+
+@dataclass(frozen=True)
+class Quote:
+    """An attestation quote: measurement, report data, authority signature."""
+
+    measurement: bytes
+    report_data: bytes
+    signature: bytes
+
+    def encode(self) -> bytes:
+        return (
+            Writer()
+            .write_vector(self.measurement, 2)
+            .write_vector(self.report_data, 2)
+            .write_vector(self.signature, 2)
+            .getvalue()
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Quote":
+        reader = Reader(data)
+        measurement = reader.read_vector(2)
+        report_data = reader.read_vector(2)
+        signature = reader.read_vector(2)
+        reader.expect_end()
+        if len(report_data) != _REPORT_DATA_LEN:
+            raise DecodeError("quote report_data must be 64 bytes")
+        return cls(measurement=measurement, report_data=report_data, signature=signature)
+
+    def signed_bytes(self) -> bytes:
+        return (
+            Writer()
+            .write_vector(self.measurement, 2)
+            .write_vector(self.report_data, 2)
+            .getvalue()
+        )
+
+
+class AttestationService:
+    """The root of attestation trust (Intel's provisioning/quoting key).
+
+    One instance typically serves a whole simulation; every platform's
+    quotes chain to it, and every verifier holds its public key.
+    """
+
+    def __init__(self, rng: HmacDrbg | None = None, key_bits: int = 1024) -> None:
+        rng = rng if rng is not None else HmacDrbg(b"attestation-service")
+        self._key = generate_rsa_key(key_bits, rng)
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self._key.public_key
+
+    def sign_quote(self, measurement: bytes, report_data: bytes) -> bytes:
+        """Produce an encoded quote over (measurement, report_data)."""
+        if len(report_data) > _REPORT_DATA_LEN:
+            raise AttestationError("report_data exceeds 64 bytes")
+        report_data = report_data.ljust(_REPORT_DATA_LEN, b"\x00")
+        unsigned = Quote(measurement=measurement, report_data=report_data, signature=b"")
+        signature = self._key.sign(unsigned.signed_bytes())
+        return Quote(
+            measurement=measurement, report_data=report_data, signature=signature
+        ).encode()
+
+    def verifier(
+        self, expected_measurements: set[bytes] | None = None
+    ) -> "AttestationVerifier":
+        return AttestationVerifier(self.public_key, expected_measurements)
+
+
+class AttestationVerifier:
+    """Verifies quotes against the authority key and a measurement allowlist."""
+
+    def __init__(
+        self,
+        authority_key: RSAPublicKey,
+        expected_measurements: set[bytes] | None = None,
+    ) -> None:
+        self._authority_key = authority_key
+        self.expected_measurements = expected_measurements
+
+    def verify(self, quote_bytes: bytes, expected_report_data: bytes) -> Quote:
+        """Check signature, freshness binding, and code identity.
+
+        Args:
+            quote_bytes: the encoded quote from the SGXAttestation message.
+            expected_report_data: what the verifier independently computed
+                (for mbTLS: the transcript hash at the attestation point).
+
+        Raises:
+            AttestationError: if any check fails.
+        """
+        try:
+            quote = Quote.decode(quote_bytes)
+        except DecodeError as exc:
+            raise AttestationError(f"malformed quote: {exc}") from exc
+        if not self._authority_key.verify(quote.signed_bytes(), quote.signature):
+            raise AttestationError("quote signature does not verify")
+        expected = expected_report_data.ljust(_REPORT_DATA_LEN, b"\x00")
+        if quote.report_data != expected:
+            raise AttestationError(
+                "quote report_data does not match this handshake (replay?)"
+            )
+        if (
+            self.expected_measurements is not None
+            and quote.measurement not in self.expected_measurements
+        ):
+            raise AttestationError("enclave measurement not in the expected set")
+        return quote

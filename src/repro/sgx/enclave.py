@@ -1,0 +1,145 @@
+"""Simulated SGX enclaves: isolated memory plus code measurement.
+
+The model captures exactly the two SGX features mbTLS consumes:
+
+* **Isolated execution** — secrets stored through an enclave's
+  :class:`MemoryArena` are invisible to the platform owner; secrets stored in
+  ordinary host memory are not. A malicious middlebox infrastructure
+  provider (MIP) is modelled by :meth:`Platform.dump_visible_secrets`.
+* **Code identity** — an enclave's *measurement* is the hash of its initial
+  code and configuration. A MIP that swaps the middlebox software before
+  launch necessarily changes the measurement, which remote attestation
+  (see :mod:`repro.sgx.attestation`) then exposes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import EnclaveError
+
+__all__ = ["EnclaveCode", "MemoryArena", "Enclave", "Platform"]
+
+
+@dataclass(frozen=True)
+class EnclaveCode:
+    """The code + configuration loaded into an enclave at launch.
+
+    Attributes:
+        name: human-readable application name (e.g. ``"header-proxy"``).
+        version: version string; part of the measured identity.
+        image: opaque bytes standing in for the code/data pages that SGX
+            hashes into MRENCLAVE (here: any canonical serialization of the
+            middlebox application and its configuration).
+    """
+
+    name: str
+    version: str
+    image: bytes = b""
+
+    @property
+    def measurement(self) -> bytes:
+        """The enclave measurement (MRENCLAVE analogue)."""
+        h = hashlib.sha256()
+        for part in (self.name.encode(), self.version.encode(), self.image):
+            h.update(len(part).to_bytes(4, "big"))
+            h.update(part)
+        return h.digest()
+
+
+class MemoryArena:
+    """A labelled store for secrets, attributable to enclave or host memory.
+
+    Protocol engines report every piece of key material they hold through an
+    arena (see ``TLSConfig.on_secret``); the security tests then ask the
+    platform what an adversarial MIP could read.
+    """
+
+    def __init__(self, protected: bool) -> None:
+        self.protected = protected
+        self._secrets: dict[str, list[bytes]] = {}
+
+    def store(self, label: str, secret: bytes) -> None:
+        self._secrets.setdefault(label, []).append(bytes(secret))
+
+    def secrets(self) -> dict[str, list[bytes]]:
+        return {label: list(values) for label, values in self._secrets.items()}
+
+    def all_bytes(self) -> set[bytes]:
+        return {value for values in self._secrets.values() for value in values}
+
+
+class Enclave:
+    """A launched enclave: measured code plus protected memory.
+
+    Enclaves are created through :meth:`Platform.launch_enclave` so that a
+    malicious platform gets its chance to tamper with the code image first —
+    exactly the attack remote attestation exists to catch.
+    """
+
+    def __init__(self, code: EnclaveCode, platform: "Platform") -> None:
+        self.code = code
+        self.platform = platform
+        self.memory = MemoryArena(protected=True)
+
+    @property
+    def measurement(self) -> bytes:
+        return self.code.measurement
+
+    def quote(self, report_data: bytes) -> "bytes":
+        """Produce an attestation quote binding ``report_data`` (≤64 bytes)."""
+        return self.platform.attestation_service.sign_quote(
+            self.measurement, report_data
+        )
+
+
+class Platform:
+    """The hardware + privileged software of one machine (the MIP's domain).
+
+    Args:
+        attestation_service: the simulated Intel attestation authority whose
+            key signs this platform's quotes.
+        malicious: whether the platform owner actively attacks. A malicious
+            platform can read all host (non-enclave) memory and substitute
+            enclave code at launch; it can never read enclave memory — the
+            threat model assumes the CPU is not physically compromised.
+    """
+
+    def __init__(self, attestation_service, malicious: bool = False) -> None:
+        self.attestation_service = attestation_service
+        self.malicious = malicious
+        self.host_memory = MemoryArena(protected=False)
+        self.enclaves: list[Enclave] = []
+        self._code_substitution: EnclaveCode | None = None
+
+    def plant_code_substitution(self, evil_code: EnclaveCode) -> None:
+        """(Malicious MIP) replace the next enclave's code image at launch."""
+        if not self.malicious:
+            raise EnclaveError("honest platforms do not tamper with enclave code")
+        self._code_substitution = evil_code
+
+    def launch_enclave(self, code: EnclaveCode) -> Enclave:
+        """Launch an enclave; a malicious platform may substitute the code."""
+        if self._code_substitution is not None:
+            code = self._code_substitution
+            self._code_substitution = None
+        enclave = Enclave(code, self)
+        self.enclaves.append(enclave)
+        return enclave
+
+    def arena_for(self, enclave: Enclave | None) -> MemoryArena:
+        """The memory a component runs in: enclave memory or host memory."""
+        if enclave is None:
+            return self.host_memory
+        if enclave not in self.enclaves:
+            raise EnclaveError("enclave does not belong to this platform")
+        return enclave.memory
+
+    def dump_visible_secrets(self) -> set[bytes]:
+        """Everything a platform owner with full hardware access can read.
+
+        Enclave memory is excluded: SGX encrypts and integrity-protects
+        cache lines before they reach DRAM.
+        """
+        return self.host_memory.all_bytes()

@@ -1,0 +1,67 @@
+"""From-scratch, sans-IO TLS 1.2 engine (the substrate mbTLS extends)."""
+
+from repro.tls.ciphersuites import (
+    CIPHER_SUITES,
+    DEFAULT_SUITES,
+    CipherSuite,
+    KeyExchange,
+    suite_by_code,
+)
+from repro.tls.config import TLSConfig
+from repro.tls.engine import TLSClientEngine, TLSEngine, TLSServerEngine
+from repro.tls.events import (
+    AlertReceived,
+    AnnouncementReceived,
+    ApplicationData,
+    ConnectionClosed,
+    Event,
+    HandshakeComplete,
+    MiddleboxJoined,
+    MiddleboxKeysInstalled,
+    RawRecordReceived,
+    TicketIssued,
+)
+from repro.tls.keyschedule import (
+    KeyBlock,
+    derive_key_block,
+    derive_master_secret,
+    finished_verify_data,
+)
+from repro.tls.record_layer import ConnectionState
+from repro.tls.session import (
+    ClientSessionStore,
+    ServerSessionCache,
+    SessionState,
+    TicketKeeper,
+)
+
+__all__ = [
+    "CIPHER_SUITES",
+    "DEFAULT_SUITES",
+    "CipherSuite",
+    "KeyExchange",
+    "suite_by_code",
+    "TLSConfig",
+    "TLSClientEngine",
+    "TLSEngine",
+    "TLSServerEngine",
+    "AlertReceived",
+    "AnnouncementReceived",
+    "ApplicationData",
+    "ConnectionClosed",
+    "Event",
+    "HandshakeComplete",
+    "MiddleboxJoined",
+    "MiddleboxKeysInstalled",
+    "RawRecordReceived",
+    "TicketIssued",
+    "KeyBlock",
+    "derive_key_block",
+    "derive_master_secret",
+    "finished_verify_data",
+    "ConnectionState",
+    "ClientSessionStore",
+    "ServerSessionCache",
+    "SessionState",
+    "TicketKeeper",
+]

@@ -1,0 +1,116 @@
+"""Cipher suite registry for the TLS/mbTLS stack.
+
+We implement the suites the paper's prototype cares about (DHE/ECDHE key
+exchange with AES-256-GCM) plus AES-128-GCM and ChaCha20-Poly1305 variants.
+One deliberate simplification, documented in DESIGN.md: all suites use the
+SHA-256 PRF and a GCM-style record nonce (4-byte fixed IV + 8-byte explicit
+nonce), so the record layer has a single shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+from repro.crypto.chacha import ChaCha20Poly1305
+from repro.crypto.gcm import AESGCM
+from repro.errors import HandshakeError
+
+__all__ = ["KeyExchange", "CipherSuite", "CIPHER_SUITES", "DEFAULT_SUITES", "suite_by_code"]
+
+
+class KeyExchange(Enum):
+    ECDHE_RSA = "ECDHE_RSA"
+    DHE_RSA = "DHE_RSA"
+
+
+@dataclass(frozen=True)
+class CipherSuite:
+    """A negotiable cipher suite."""
+
+    code: int
+    name: str
+    key_exchange: KeyExchange
+    key_length: int
+    fixed_iv_length: int
+    aead_factory: Callable[[bytes], object]
+
+    def new_aead(self, key: bytes):
+        return self.aead_factory(key)
+
+
+TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256 = CipherSuite(
+    code=0xC02F,
+    name="TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256",
+    key_exchange=KeyExchange.ECDHE_RSA,
+    key_length=16,
+    fixed_iv_length=4,
+    aead_factory=AESGCM,
+)
+
+TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384 = CipherSuite(
+    code=0xC030,
+    name="TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384",
+    key_exchange=KeyExchange.ECDHE_RSA,
+    key_length=32,
+    fixed_iv_length=4,
+    aead_factory=AESGCM,
+)
+
+TLS_DHE_RSA_WITH_AES_128_GCM_SHA256 = CipherSuite(
+    code=0x009E,
+    name="TLS_DHE_RSA_WITH_AES_128_GCM_SHA256",
+    key_exchange=KeyExchange.DHE_RSA,
+    key_length=16,
+    fixed_iv_length=4,
+    aead_factory=AESGCM,
+)
+
+TLS_DHE_RSA_WITH_AES_256_GCM_SHA384 = CipherSuite(
+    code=0x009F,
+    name="TLS_DHE_RSA_WITH_AES_256_GCM_SHA384",
+    key_exchange=KeyExchange.DHE_RSA,
+    key_length=32,
+    fixed_iv_length=4,
+    aead_factory=AESGCM,
+)
+
+TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256 = CipherSuite(
+    code=0xCCA8,
+    name="TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256",
+    key_exchange=KeyExchange.ECDHE_RSA,
+    key_length=32,
+    fixed_iv_length=4,
+    aead_factory=ChaCha20Poly1305,
+)
+
+CIPHER_SUITES: dict[int, CipherSuite] = {
+    suite.code: suite
+    for suite in (
+        TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+        TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384,
+        TLS_DHE_RSA_WITH_AES_128_GCM_SHA256,
+        TLS_DHE_RSA_WITH_AES_256_GCM_SHA384,
+        TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256,
+    )
+}
+
+# The paper's prototype only supported AES-256-GCM; our default offer is the
+# same, falling back to the AES-128 and ChaCha suites.
+DEFAULT_SUITES: tuple[int, ...] = (
+    TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384.code,
+    TLS_DHE_RSA_WITH_AES_256_GCM_SHA384.code,
+    TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256.code,
+    TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256.code,
+)
+
+
+def suite_by_code(code: int) -> CipherSuite:
+    """Look up a cipher suite; raises HandshakeError for unknown codes."""
+    try:
+        return CIPHER_SUITES[code]
+    except KeyError as exc:
+        raise HandshakeError(
+            f"unsupported cipher suite {code:#06x}", alert="illegal_parameter"
+        ) from exc

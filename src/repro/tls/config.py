@@ -1,0 +1,80 @@
+"""Configuration for TLS engines (client and server roles)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.crypto.drbg import HmacDrbg
+from repro.pki.authority import Credential
+from repro.pki.store import TrustStore
+from repro.tls.ciphersuites import DEFAULT_SUITES
+from repro.tls.session import ClientSessionStore, ServerSessionCache, SessionState, TicketKeeper
+from repro.wire.extensions import Extension
+
+__all__ = ["TLSConfig"]
+
+
+@dataclass
+class TLSConfig:
+    """Everything a TLS engine needs beyond the byte stream.
+
+    Attributes:
+        rng: randomness source (seed it for reproducible handshakes).
+        credential: private key + certificate chain (required for the
+            server role; optional for clients).
+        trust_store: roots used to validate the peer's chain. ``None``
+            disables certificate validation (insecure; some tests use it).
+        server_name: client role: SNI to send and hostname to validate.
+        cipher_suites: offered (client) / acceptable (server) suite codes.
+        now: clock used for certificate validation, in simulated seconds.
+        session_store / session_cache / ticket_keeper: resumption state.
+        offer_resumption: client: offer a stored session/ticket if present.
+        request_ticket: client: ask the server for a session ticket.
+        enclave: if this engine runs inside a (simulated) SGX enclave, the
+            enclave object; enables producing SGXAttestation messages.
+        attestation_verifier: verifier for peer quotes.
+        require_attestation: client: request an SGXAttestation and fail the
+            handshake if the peer does not supply a valid one.
+        on_secret: callback(label, secret_bytes) invoked for every piece of
+            key material the engine derives — wired to a
+            :class:`~repro.sgx.enclave.MemoryArena` in the security tests.
+        extra_extensions: additional ClientHello extensions (mbTLS adds
+            MiddleboxSupport through this).
+        ignore_unknown_records: legacy-endpoint behaviour knob (§3.4): if
+            True (the common case the paper verified for Chrome/Firefox
+            servers), mbTLS record types arriving at a plain TLS engine are
+            skipped; if False the engine aborts the handshake.
+        preset_client_hello: (client role, mbTLS secondary sessions) a
+            pre-existing encoded ClientHello that serves double duty: it is
+            entered into the transcript but not emitted.
+        ticket_extra: callable returning opaque bytes folded into tickets
+            this server issues (mbTLS stores primary-session keys here).
+        session_id_bits: entropy of generated session IDs.
+    """
+
+    rng: HmacDrbg
+    credential: Credential | None = None
+    trust_store: TrustStore | None = None
+    server_name: str | None = None
+    cipher_suites: tuple[int, ...] = DEFAULT_SUITES
+    now: Callable[[], float] = lambda: 0.0
+    session_store: ClientSessionStore | None = None
+    session_cache: ServerSessionCache | None = None
+    ticket_keeper: TicketKeeper | None = None
+    offer_resumption: bool = True
+    request_ticket: bool = False
+    enclave: object | None = None
+    attestation_verifier: object | None = None
+    require_attestation: bool = False
+    on_secret: Callable[[str, bytes], None] | None = None
+    extra_extensions: tuple[Extension, ...] = ()
+    ignore_unknown_records: bool = True
+    preset_client_hello: bytes | None = None
+    preset_resume_session: "SessionState | None" = None
+    ticket_extra: Callable[[], bytes] | None = None
+    dhe_group_bits: int = 1024
+
+    def report_secret(self, label: str, secret: bytes) -> None:
+        if self.on_secret is not None:
+            self.on_secret(label, secret)

@@ -1,0 +1,113 @@
+"""Events emitted by the sans-IO protocol engines.
+
+Drivers call ``engine.receive_bytes(...)`` and react to the returned events;
+this is the only channel through which engines report what happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.wire.alerts import Alert
+from repro.wire.records import ContentType
+
+__all__ = [
+    "Event",
+    "HandshakeComplete",
+    "ApplicationData",
+    "AlertReceived",
+    "ConnectionClosed",
+    "TicketIssued",
+    "RawRecordReceived",
+    "MiddleboxJoined",
+    "MiddleboxKeysInstalled",
+    "AnnouncementReceived",
+]
+
+
+class Event:
+    """Base class for engine events."""
+
+
+@dataclass(frozen=True)
+class HandshakeComplete(Event):
+    """The handshake finished and application data may flow.
+
+    Attributes:
+        cipher_suite: negotiated suite code.
+        resumed: whether this was an abbreviated (resumption) handshake.
+        peer_certificate: the validated peer leaf certificate, if any.
+        attested_measurement: the peer's verified enclave measurement, if
+            attestation was performed.
+    """
+
+    cipher_suite: int
+    resumed: bool = False
+    peer_certificate: object | None = None
+    attested_measurement: bytes | None = None
+
+
+@dataclass(frozen=True)
+class ApplicationData(Event):
+    """Decrypted application bytes."""
+
+    data: bytes
+
+
+@dataclass(frozen=True)
+class AlertReceived(Event):
+    """The peer sent an alert."""
+
+    alert: Alert
+
+
+@dataclass(frozen=True)
+class ConnectionClosed(Event):
+    """The session ended (close_notify or fatal alert)."""
+
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class TicketIssued(Event):
+    """The server issued a session ticket (client-side event)."""
+
+    ticket: bytes
+    lifetime_seconds: int
+
+
+@dataclass(frozen=True)
+class RawRecordReceived(Event):
+    """A protected record of a non-core content type arrived post-handshake.
+
+    The mbTLS layer uses this for MBTLSKeyMaterial (ContentType 31) records
+    riding inside established secondary sessions.
+    """
+
+    content_type: ContentType
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class MiddleboxJoined(Event):
+    """(mbTLS) a middlebox completed its secondary handshake with us."""
+
+    subchannel_id: int
+    name: str
+    certificate: object | None = None
+    measurement: bytes | None = None
+
+
+@dataclass(frozen=True)
+class MiddleboxKeysInstalled(Event):
+    """(mbTLS middlebox) key material arrived; the data plane is live."""
+
+    toward_client_suite: int
+    toward_server_suite: int
+
+
+@dataclass(frozen=True)
+class AnnouncementReceived(Event):
+    """(mbTLS server) a server-side middlebox announced itself."""
+
+    subchannel_id: int

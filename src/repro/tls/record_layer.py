@@ -1,0 +1,76 @@
+"""Record protection: TLS 1.2 AEAD with explicit nonces and sequence numbers.
+
+One :class:`ConnectionState` protects one direction of one hop. The AAD
+binds the receiver's sequence number, content type, version, and plaintext
+length — so replayed, reordered, or cross-hop-spliced records fail the tag
+check. This is the mechanism behind the paper's P2 (data authentication)
+and, combined with unique per-hop keys, P4 (path integrity).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IntegrityError, ProtocolError
+from repro.tls.ciphersuites import CipherSuite
+from repro.wire.records import ContentType, MAX_FRAGMENT, Record, TLS12_VERSION
+
+__all__ = ["ConnectionState", "EXPLICIT_NONCE_LENGTH"]
+
+EXPLICIT_NONCE_LENGTH = 8
+
+
+class ConnectionState:
+    """AEAD state for one direction: suite, key, fixed IV, sequence number."""
+
+    def __init__(
+        self, suite: CipherSuite, key: bytes, fixed_iv: bytes, sequence: int = 0
+    ) -> None:
+        if len(key) != suite.key_length:
+            raise ProtocolError("record key has wrong length for suite")
+        if len(fixed_iv) != suite.fixed_iv_length:
+            raise ProtocolError("record fixed IV has wrong length for suite")
+        self.suite = suite
+        self.key = key
+        self.fixed_iv = fixed_iv
+        self.sequence = sequence
+        self._aead = suite.new_aead(key)
+
+    def _aad(self, content_type: ContentType, length: int, sequence: int) -> bytes:
+        return (
+            sequence.to_bytes(8, "big")
+            + bytes([int(content_type)])
+            + TLS12_VERSION.to_bytes(2, "big")
+            + length.to_bytes(2, "big")
+        )
+
+    def protect(self, content_type: ContentType, plaintext: bytes) -> Record:
+        """Encrypt a plaintext fragment into a record."""
+        if len(plaintext) > MAX_FRAGMENT:
+            raise ProtocolError("plaintext fragment exceeds maximum size")
+        explicit_nonce = self.sequence.to_bytes(EXPLICIT_NONCE_LENGTH, "big")
+        nonce = self.fixed_iv + explicit_nonce
+        aad = self._aad(content_type, len(plaintext), self.sequence)
+        ciphertext = self._aead.encrypt(nonce, plaintext, aad)
+        self.sequence += 1
+        return Record(content_type=content_type, payload=explicit_nonce + ciphertext)
+
+    def unprotect(self, record: Record) -> bytes:
+        """Decrypt a record; raises IntegrityError on any tampering."""
+        payload = record.payload
+        if len(payload) < EXPLICIT_NONCE_LENGTH + self._aead.tag_length:
+            raise IntegrityError("protected record too short")
+        explicit_nonce = payload[:EXPLICIT_NONCE_LENGTH]
+        ciphertext = payload[EXPLICIT_NONCE_LENGTH:]
+        nonce = self.fixed_iv + explicit_nonce
+        plaintext_length = len(ciphertext) - self._aead.tag_length
+        aad = self._aad(record.content_type, plaintext_length, self.sequence)
+        plaintext = self._aead.decrypt(nonce, ciphertext, aad)
+        self.sequence += 1
+        return plaintext
+
+    def clone_at(self, sequence: int) -> "ConnectionState":
+        """A copy of this state starting at a given sequence number.
+
+        Used when hop keys are handed to a middlebox mid-stream: the
+        MBTLSKeyMaterial message carries the sequence numbers to resume from.
+        """
+        return ConnectionState(self.suite, self.key, self.fixed_iv, sequence)

@@ -1,0 +1,139 @@
+"""Session resumption state: server-side caches, tickets, client sessions.
+
+Both RFC 5246 session-ID resumption and RFC 5077 ticket resumption are
+supported. For mbTLS, tickets additionally carry the primary session's keys
+for middleboxes (§3.5, "Session Resumption") — see
+:mod:`repro.core.resumption`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.crypto.gcm import AESGCM
+from repro.errors import DecodeError, IntegrityError
+from repro.wire.codec import Reader, Writer
+
+__all__ = ["SessionState", "ClientSessionStore", "ServerSessionCache", "TicketKeeper"]
+
+
+@dataclass(frozen=True)
+class SessionState:
+    """What both sides must remember to resume a session."""
+
+    session_id: bytes
+    master_secret: bytes
+    cipher_suite: int
+    server_name: str = ""
+    extra: bytes = b""  # protocol-specific payload (mbTLS stores hop keys here)
+
+    def encode(self) -> bytes:
+        return (
+            Writer()
+            .write_vector(self.session_id, 1)
+            .write_vector(self.master_secret, 1)
+            .write_u16(self.cipher_suite)
+            .write_vector(self.server_name.encode(), 2)
+            .write_vector(self.extra, 3)
+            .getvalue()
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SessionState":
+        reader = Reader(data)
+        session_id = reader.read_vector(1)
+        master_secret = reader.read_vector(1)
+        cipher_suite = reader.read_u16()
+        server_name = reader.read_vector(2).decode()
+        extra = reader.read_vector(3)
+        reader.expect_end()
+        return cls(
+            session_id=session_id,
+            master_secret=master_secret,
+            cipher_suite=cipher_suite,
+            server_name=server_name,
+            extra=extra,
+        )
+
+
+class ClientSessionStore:
+    """Client-side session memory, keyed by server name."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._capacity = capacity
+        self._sessions: OrderedDict[str, SessionState] = OrderedDict()
+        self._tickets: OrderedDict[str, bytes] = OrderedDict()
+
+    def remember(self, server_name: str, session: SessionState) -> None:
+        self._sessions[server_name] = session
+        self._sessions.move_to_end(server_name)
+        while len(self._sessions) > self._capacity:
+            self._sessions.popitem(last=False)
+
+    def remember_ticket(self, server_name: str, ticket: bytes) -> None:
+        self._tickets[server_name] = ticket
+        self._tickets.move_to_end(server_name)
+        while len(self._tickets) > self._capacity:
+            self._tickets.popitem(last=False)
+
+    def lookup(self, server_name: str) -> SessionState | None:
+        return self._sessions.get(server_name)
+
+    def lookup_ticket(self, server_name: str) -> bytes | None:
+        return self._tickets.get(server_name)
+
+    def forget(self, server_name: str) -> None:
+        self._sessions.pop(server_name, None)
+        self._tickets.pop(server_name, None)
+
+
+class ServerSessionCache:
+    """Server-side session-ID cache with LRU eviction."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._capacity = capacity
+        self._sessions: OrderedDict[bytes, SessionState] = OrderedDict()
+
+    def store(self, session: SessionState) -> None:
+        self._sessions[session.session_id] = session
+        self._sessions.move_to_end(session.session_id)
+        while len(self._sessions) > self._capacity:
+            self._sessions.popitem(last=False)
+
+    def lookup(self, session_id: bytes) -> SessionState | None:
+        return self._sessions.get(session_id)
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+
+class TicketKeeper:
+    """Seals/unseals session tickets under a server-held AEAD key.
+
+    The ticket is opaque to the client: AES-GCM over the session state with
+    a random nonce. Only a holder of the ticket key (the issuing server, or
+    for mbTLS middlebox tickets, code inside the enclave) can open it —
+    which is why the paper notes "a new attestation is not required, because
+    only the enclave knows the key needed to decrypt the session ticket".
+    """
+
+    def __init__(self, key: bytes, rng) -> None:
+        if len(key) not in (16, 32):
+            raise ValueError("ticket key must be 16 or 32 bytes")
+        self._aead = AESGCM(key)
+        self._rng = rng
+
+    def seal(self, session: SessionState) -> bytes:
+        nonce = self._rng.random_bytes(12)
+        return nonce + self._aead.encrypt(nonce, session.encode(), b"ticket")
+
+    def unseal(self, ticket: bytes) -> SessionState | None:
+        """Open a ticket; returns None (not an error) if invalid."""
+        if len(ticket) < 12 + 16:
+            return None
+        nonce, sealed = ticket[:12], ticket[12:]
+        try:
+            return SessionState.decode(self._aead.decrypt(nonce, sealed, b"ticket"))
+        except (IntegrityError, DecodeError):
+            return None

@@ -1,0 +1,86 @@
+"""TLS alert protocol: two-byte (level, description) payloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import DecodeError
+from repro.wire.codec import Reader, Writer
+
+__all__ = ["AlertLevel", "AlertDescription", "Alert"]
+
+
+class AlertLevel(IntEnum):
+    WARNING = 1
+    FATAL = 2
+
+
+class AlertDescription(IntEnum):
+    CLOSE_NOTIFY = 0
+    UNEXPECTED_MESSAGE = 10
+    BAD_RECORD_MAC = 20
+    RECORD_OVERFLOW = 22
+    HANDSHAKE_FAILURE = 40
+    BAD_CERTIFICATE = 42
+    UNSUPPORTED_CERTIFICATE = 43
+    CERTIFICATE_REVOKED = 44
+    CERTIFICATE_EXPIRED = 45
+    CERTIFICATE_UNKNOWN = 46
+    ILLEGAL_PARAMETER = 47
+    UNKNOWN_CA = 48
+    ACCESS_DENIED = 49
+    DECODE_ERROR = 50
+    DECRYPT_ERROR = 51
+    PROTOCOL_VERSION = 70
+    INSUFFICIENT_SECURITY = 71
+    INTERNAL_ERROR = 80
+    USER_CANCELED = 90
+    NO_RENEGOTIATION = 100
+    UNSUPPORTED_EXTENSION = 110
+
+    @classmethod
+    def from_name(cls, name: str) -> "AlertDescription":
+        """Map an alert name like ``"decode_error"`` to its code."""
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            return cls.INTERNAL_ERROR
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A TLS alert message."""
+
+    level: AlertLevel
+    description: AlertDescription
+
+    @property
+    def is_fatal(self) -> bool:
+        return self.level == AlertLevel.FATAL
+
+    @property
+    def is_close(self) -> bool:
+        return self.description == AlertDescription.CLOSE_NOTIFY
+
+    def encode(self) -> bytes:
+        return Writer().write_u8(int(self.level)).write_u8(int(self.description)).getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Alert":
+        reader = Reader(data)
+        try:
+            level = AlertLevel(reader.read_u8())
+            description = AlertDescription(reader.read_u8())
+        except ValueError as exc:
+            raise DecodeError(f"malformed alert: {exc}") from exc
+        reader.expect_end()
+        return cls(level=level, description=description)
+
+    @classmethod
+    def fatal(cls, description: AlertDescription) -> "Alert":
+        return cls(level=AlertLevel.FATAL, description=description)
+
+    @classmethod
+    def close_notify(cls) -> "Alert":
+        return cls(level=AlertLevel.WARNING, description=AlertDescription.CLOSE_NOTIFY)

@@ -1,0 +1,104 @@
+"""Bounds-checked binary reader/writer for TLS wire formats.
+
+TLS uses big-endian integers and length-prefixed vectors throughout; these
+two helpers keep every message codec short and make truncated or trailing
+input a :class:`~repro.errors.DecodeError` instead of a silent bug.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodeError
+
+__all__ = ["Reader", "Writer"]
+
+
+class Reader:
+    """Sequential reader over immutable bytes with TLS-style accessors."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._offset = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._offset
+
+    def read_bytes(self, length: int) -> bytes:
+        if length < 0 or self.remaining < length:
+            raise DecodeError(
+                f"truncated input: wanted {length} bytes, have {self.remaining}"
+            )
+        chunk = self._data[self._offset : self._offset + length]
+        self._offset += length
+        return chunk
+
+    def read_uint(self, size: int) -> int:
+        return int.from_bytes(self.read_bytes(size), "big")
+
+    def read_u8(self) -> int:
+        return self.read_uint(1)
+
+    def read_u16(self) -> int:
+        return self.read_uint(2)
+
+    def read_u24(self) -> int:
+        return self.read_uint(3)
+
+    def read_u32(self) -> int:
+        return self.read_uint(4)
+
+    def read_u64(self) -> int:
+        return self.read_uint(8)
+
+    def read_vector(self, length_size: int) -> bytes:
+        """Read a TLS vector: a length of ``length_size`` bytes, then data."""
+        return self.read_bytes(self.read_uint(length_size))
+
+    def expect_end(self) -> None:
+        """Raise if any input remains (catches trailing garbage)."""
+        if self.remaining:
+            raise DecodeError(f"{self.remaining} unexpected trailing bytes")
+
+    def rest(self) -> bytes:
+        """Consume and return all remaining bytes."""
+        return self.read_bytes(self.remaining)
+
+
+class Writer:
+    """Sequential writer producing TLS wire format."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def write_bytes(self, data: bytes) -> "Writer":
+        self._parts.append(bytes(data))
+        return self
+
+    def write_uint(self, value: int, size: int) -> "Writer":
+        if value < 0 or value >= 1 << (8 * size):
+            raise ValueError(f"{value} does not fit in {size} bytes")
+        self._parts.append(value.to_bytes(size, "big"))
+        return self
+
+    def write_u8(self, value: int) -> "Writer":
+        return self.write_uint(value, 1)
+
+    def write_u16(self, value: int) -> "Writer":
+        return self.write_uint(value, 2)
+
+    def write_u24(self, value: int) -> "Writer":
+        return self.write_uint(value, 3)
+
+    def write_u32(self, value: int) -> "Writer":
+        return self.write_uint(value, 4)
+
+    def write_u64(self, value: int) -> "Writer":
+        return self.write_uint(value, 8)
+
+    def write_vector(self, data: bytes, length_size: int) -> "Writer":
+        """Write a TLS vector: length prefix of ``length_size`` bytes + data."""
+        self.write_uint(len(data), length_size)
+        return self.write_bytes(data)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)

@@ -1,0 +1,163 @@
+"""TLS hello extensions, including mbTLS's MiddleboxSupport (Appendix A.2).
+
+Extensions are (type, opaque data) pairs; known types get typed wrappers.
+Unknown extension types are preserved opaquely, which is what lets a legacy
+TLS implementation in this library ignore the mbTLS extension — the behaviour
+the paper's legacy-interoperability property depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.errors import DecodeError
+from repro.wire.codec import Reader, Writer
+
+__all__ = [
+    "ExtensionType",
+    "Extension",
+    "ServerNameExtension",
+    "SessionTicketExtension",
+    "AttestationRequestExtension",
+    "MiddleboxSupportExtension",
+    "encode_extensions",
+    "decode_extensions",
+]
+
+
+class ExtensionType(IntEnum):
+    SERVER_NAME = 0
+    SESSION_TICKET = 35
+    # Private-use code points for the mbTLS extensions.
+    MIDDLEBOX_SUPPORT = 0xFF01
+    ATTESTATION_REQUEST = 0xFF02
+
+
+@dataclass(frozen=True)
+class Extension:
+    """An opaque extension: type code plus raw data."""
+
+    extension_type: int
+    data: bytes
+
+    def encode(self) -> bytes:
+        return (
+            Writer()
+            .write_u16(self.extension_type)
+            .write_vector(self.data, 2)
+            .getvalue()
+        )
+
+
+@dataclass(frozen=True)
+class ServerNameExtension:
+    """Simplified SNI: a single hostname."""
+
+    host_name: str
+
+    extension_type = ExtensionType.SERVER_NAME
+
+    def to_extension(self) -> Extension:
+        name = self.host_name.encode()
+        data = Writer().write_vector(name, 2).getvalue()
+        return Extension(int(self.extension_type), data)
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "ServerNameExtension":
+        reader = Reader(extension.data)
+        name = reader.read_vector(2)
+        reader.expect_end()
+        return cls(host_name=name.decode())
+
+
+@dataclass(frozen=True)
+class SessionTicketExtension:
+    """RFC 5077-style session ticket (empty = "please issue one")."""
+
+    ticket: bytes = b""
+
+    extension_type = ExtensionType.SESSION_TICKET
+
+    def to_extension(self) -> Extension:
+        return Extension(int(self.extension_type), self.ticket)
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "SessionTicketExtension":
+        return cls(ticket=extension.data)
+
+
+@dataclass(frozen=True)
+class AttestationRequestExtension:
+    """Client asks the peer to include an SGXAttestation handshake message."""
+
+    extension_type = ExtensionType.ATTESTATION_REQUEST
+
+    def to_extension(self) -> Extension:
+        return Extension(int(self.extension_type), b"")
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "AttestationRequestExtension":
+        if extension.data:
+            raise DecodeError("attestation_request extension must be empty")
+        return cls()
+
+
+@dataclass(frozen=True)
+class MiddleboxSupportExtension:
+    """mbTLS MiddleboxSupport extension (Appendix A.2).
+
+    Carries zero or more "optimistic" ClientHellos that discovered
+    middleboxes may answer, plus the addresses of middleboxes the client
+    knows a priori. Its presence in a ClientHello is the in-band signal
+    that the client speaks mbTLS.
+    """
+
+    client_hellos: tuple[bytes, ...] = ()
+    middleboxes: tuple[str, ...] = field(default_factory=tuple)
+
+    extension_type = ExtensionType.MIDDLEBOX_SUPPORT
+
+    def to_extension(self) -> Extension:
+        writer = Writer()
+        writer.write_u8(len(self.client_hellos))
+        for hello in self.client_hellos:
+            writer.write_u16(len(hello))
+        for hello in self.client_hellos:
+            writer.write_bytes(hello)
+        writer.write_u8(len(self.middleboxes))
+        for address in self.middleboxes:
+            writer.write_vector(address.encode(), 2)
+        return Extension(int(self.extension_type), writer.getvalue())
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "MiddleboxSupportExtension":
+        reader = Reader(extension.data)
+        num_hellos = reader.read_u8()
+        lengths = [reader.read_u16() for _ in range(num_hellos)]
+        hellos = tuple(reader.read_bytes(length) for length in lengths)
+        num_mboxes = reader.read_u8()
+        middleboxes = tuple(
+            reader.read_vector(2).decode() for _ in range(num_mboxes)
+        )
+        reader.expect_end()
+        return cls(client_hellos=hellos, middleboxes=middleboxes)
+
+
+def encode_extensions(extensions: list[Extension]) -> bytes:
+    """Encode an extensions block (u16 total length prefix)."""
+    body = b"".join(extension.encode() for extension in extensions)
+    return Writer().write_vector(body, 2).getvalue()
+
+
+def decode_extensions(reader: Reader) -> list[Extension]:
+    """Decode an extensions block; absent block (no bytes left) is valid."""
+    if reader.remaining == 0:
+        return []
+    block = Reader(reader.read_vector(2))
+    extensions = []
+    while block.remaining:
+        extension_type = block.read_u16()
+        data = block.read_vector(2)
+        extensions.append(Extension(extension_type, data))
+    return extensions

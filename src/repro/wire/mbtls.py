@@ -1,0 +1,163 @@
+"""mbTLS wire formats from Appendix A: Encapsulated records, key material,
+and middlebox announcements.
+
+* ``EncapsulatedRecord`` (ContentType 30): 1-byte subchannel ID followed by a
+  complete inner TLS record. Secondary-session traffic between an endpoint
+  and its middleboxes is multiplexed this way over the primary TCP stream.
+* ``KeyMaterial`` (ContentType 31 inner record): the per-hop symmetric keys
+  an endpoint hands each of its middleboxes after the secondary handshake.
+* ``MiddleboxAnnouncement`` (ContentType 32 inner record): the empty message
+  a server-side middlebox uses to optimistically announce itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DecodeError
+from repro.wire.codec import Reader, Writer
+from repro.wire.records import ContentType, Record, TLS12_VERSION
+
+__all__ = ["EncapsulatedRecord", "KeyMaterial", "HopKeys", "MiddleboxAnnouncement"]
+
+
+@dataclass(frozen=True)
+class EncapsulatedRecord:
+    """An mbTLS Encapsulated record: subchannel ID + inner record."""
+
+    subchannel_id: int
+    inner: Record
+
+    def to_record(self) -> Record:
+        if not 0 <= self.subchannel_id <= 0xFF:
+            raise ValueError("subchannel ID must fit in one byte")
+        payload = bytes([self.subchannel_id]) + self.inner.encode()
+        return Record(content_type=ContentType.MBTLS_ENCAPSULATED, payload=payload)
+
+    @classmethod
+    def from_record(cls, record: Record) -> "EncapsulatedRecord":
+        if record.content_type != ContentType.MBTLS_ENCAPSULATED:
+            raise DecodeError("not an Encapsulated record")
+        if not record.payload:
+            raise DecodeError("empty Encapsulated record")
+        subchannel_id = record.payload[0]
+        inner = Record.decode(record.payload[1:])
+        return cls(subchannel_id=subchannel_id, inner=inner)
+
+
+@dataclass(frozen=True)
+class HopKeys:
+    """Symmetric state for one hop: two directional keys, IVs, sequences.
+
+    ``client_write`` protects data flowing in the client-to-server direction
+    on this hop; ``server_write`` the reverse. Sequence numbers let a
+    middlebox splice into the primary session mid-stream (e.g. on resumption
+    or when it receives keys after data started flowing).
+    """
+
+    cipher_suite: int
+    client_write_key: bytes
+    client_write_iv: bytes
+    server_write_key: bytes
+    server_write_iv: bytes
+    client_to_server_seq: int = 0
+    server_to_client_seq: int = 0
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.write_u16(TLS12_VERSION)
+        writer.write_u64(self.client_to_server_seq)
+        writer.write_u64(self.server_to_client_seq)
+        writer.write_u16(self.cipher_suite)
+        writer.write_u32(len(self.client_write_key))
+        writer.write_u32(len(self.client_write_iv))
+        writer.write_bytes(self.client_write_key)
+        writer.write_bytes(self.client_write_iv)
+        writer.write_bytes(self.server_write_key)
+        writer.write_bytes(self.server_write_iv)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: Reader) -> "HopKeys":
+        version = reader.read_u16()
+        if version != TLS12_VERSION:
+            raise DecodeError(f"unsupported version in key material: {version:#06x}")
+        c2s_seq = reader.read_u64()
+        s2c_seq = reader.read_u64()
+        cipher_suite = reader.read_u16()
+        key_len = reader.read_u32()
+        iv_len = reader.read_u32()
+        if key_len > 64 or iv_len > 64:
+            raise DecodeError("implausible key/IV length in key material")
+        client_write_key = reader.read_bytes(key_len)
+        client_write_iv = reader.read_bytes(iv_len)
+        server_write_key = reader.read_bytes(key_len)
+        server_write_iv = reader.read_bytes(iv_len)
+        return cls(
+            cipher_suite=cipher_suite,
+            client_write_key=client_write_key,
+            client_write_iv=client_write_iv,
+            server_write_key=server_write_key,
+            server_write_iv=server_write_iv,
+            client_to_server_seq=c2s_seq,
+            server_to_client_seq=s2c_seq,
+        )
+
+
+@dataclass(frozen=True)
+class KeyMaterial:
+    """MBTLSKeyMaterial: the keys for a middlebox's two adjacent hops.
+
+    ``toward_client`` protects the hop on the middlebox's client side;
+    ``toward_server`` the hop on its server side. For the middlebox adjacent
+    to the "bridge", one of these is the primary session's key block.
+    """
+
+    toward_client: HopKeys
+    toward_server: HopKeys
+
+    def encode_payload(self) -> bytes:
+        first = self.toward_client.encode()
+        return (
+            Writer()
+            .write_vector(first, 3)
+            .write_vector(self.toward_server.encode(), 3)
+            .getvalue()
+        )
+
+    def to_record(self) -> Record:
+        return Record(
+            content_type=ContentType.MBTLS_KEY_MATERIAL,
+            payload=self.encode_payload(),
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "KeyMaterial":
+        reader = Reader(payload)
+        toward_client = HopKeys.decode(Reader(reader.read_vector(3)))
+        toward_server = HopKeys.decode(Reader(reader.read_vector(3)))
+        reader.expect_end()
+        return cls(toward_client=toward_client, toward_server=toward_server)
+
+
+@dataclass(frozen=True)
+class MiddleboxAnnouncement:
+    """MBTLSMiddleboxAnnouncement: empty; presence is the signal.
+
+    We additionally carry the middlebox's claimed subchannel ID and display
+    name in the enclosing EncapsulatedRecord, matching how our announcements
+    ride subchannels (the paper's announcement body itself is empty).
+    """
+
+    def to_record(self) -> Record:
+        return Record(
+            content_type=ContentType.MBTLS_MIDDLEBOX_ANNOUNCEMENT, payload=b""
+        )
+
+    @classmethod
+    def from_record(cls, record: Record) -> "MiddleboxAnnouncement":
+        if record.content_type != ContentType.MBTLS_MIDDLEBOX_ANNOUNCEMENT:
+            raise DecodeError("not a MiddleboxAnnouncement record")
+        if record.payload:
+            raise DecodeError("MiddleboxAnnouncement must be empty")
+        return cls()

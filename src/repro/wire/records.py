@@ -1,0 +1,117 @@
+"""TLS record framing, including the three mbTLS record types (Appendix A).
+
+A record is ``type(1) || version(2) || length(2) || payload``. mbTLS adds
+ContentTypes 30 (Encapsulated), 31 (KeyMaterial), and 32
+(MiddleboxAnnouncement) alongside the standard four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import DecodeError
+from repro.wire.codec import Reader, Writer
+
+__all__ = ["ContentType", "Record", "RecordBuffer", "TLS12_VERSION", "MAX_FRAGMENT"]
+
+TLS12_VERSION = 0x0303
+MAX_FRAGMENT = 2**14
+# AEAD adds an 8-byte explicit nonce and a 16-byte tag; allow that expansion.
+MAX_CIPHERTEXT = MAX_FRAGMENT + 1024
+RECORD_HEADER_LEN = 5
+
+
+class ContentType(IntEnum):
+    """TLS record content types, extended per mbTLS Appendix A.1."""
+
+    CHANGE_CIPHER_SPEC = 20
+    ALERT = 21
+    HANDSHAKE = 22
+    APPLICATION_DATA = 23
+    MBTLS_ENCAPSULATED = 30
+    MBTLS_KEY_MATERIAL = 31
+    MBTLS_MIDDLEBOX_ANNOUNCEMENT = 32
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single TLS record (possibly carrying protected payload)."""
+
+    content_type: ContentType
+    payload: bytes
+    version: int = TLS12_VERSION
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.write_u8(int(self.content_type))
+        writer.write_u16(self.version)
+        writer.write_vector(self.payload, 2)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Record":
+        """Decode exactly one record; trailing bytes are an error."""
+        record, consumed = cls.decode_prefix(data)
+        if consumed != len(data):
+            raise DecodeError("trailing bytes after record")
+        return record
+
+    @classmethod
+    def decode_prefix(cls, data: bytes) -> tuple["Record", int]:
+        """Decode one record from the front of ``data``; returns (record, consumed)."""
+        reader = Reader(data)
+        raw_type = reader.read_u8()
+        try:
+            content_type = ContentType(raw_type)
+        except ValueError as exc:
+            raise DecodeError(f"unknown record content type {raw_type}") from exc
+        version = reader.read_u16()
+        payload = reader.read_vector(2)
+        if len(payload) > MAX_CIPHERTEXT:
+            raise DecodeError("record payload exceeds maximum size")
+        return cls(content_type=content_type, payload=payload, version=version), (
+            RECORD_HEADER_LEN + len(payload)
+        )
+
+
+class RecordBuffer:
+    """Incremental parser turning a byte stream into complete records.
+
+    Feed arbitrary chunks with :meth:`feed`; iterate complete records with
+    :meth:`pop_records`. Partial records are retained across feeds, exactly
+    how a TCP receiver must reassemble TLS records.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer += data
+
+    def pop_records(self) -> list[Record]:
+        records = []
+        while True:
+            if len(self._buffer) < RECORD_HEADER_LEN:
+                break
+            length = int.from_bytes(self._buffer[3:5], "big")
+            if length > MAX_CIPHERTEXT:
+                raise DecodeError("record payload exceeds maximum size")
+            total = RECORD_HEADER_LEN + length
+            if len(self._buffer) < total:
+                break
+            record, consumed = Record.decode_prefix(bytes(self._buffer[:total]))
+            del self._buffer[:consumed]
+            records.append(record)
+        return records
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete record."""
+        return len(self._buffer)
+
+    def drain_raw(self) -> bytes:
+        """Take the raw unparsed buffer (used when demoting to a relay)."""
+        data = bytes(self._buffer)
+        self._buffer.clear()
+        return data

@@ -1,0 +1,64 @@
+"""Shared fixtures: deterministic randomness, a session PKI, pump helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.scenarios import Pki
+from repro.crypto.drbg import HmacDrbg
+from repro.pki.authority import CertificateAuthority
+from repro.pki.store import TrustStore
+
+
+@pytest.fixture
+def rng(request) -> HmacDrbg:
+    """A fresh DRBG deterministically seeded per test."""
+    return HmacDrbg(request.node.nodeid.encode())
+
+
+@pytest.fixture(scope="session")
+def session_rng() -> HmacDrbg:
+    return HmacDrbg(b"session")
+
+
+@pytest.fixture(scope="session")
+def pki(session_rng) -> Pki:
+    """Session-wide PKI so RSA key generation is paid once."""
+    return Pki(rng=session_rng.fork(b"pki"))
+
+
+@pytest.fixture(scope="session")
+def ca(pki) -> CertificateAuthority:
+    return pki.ca
+
+
+@pytest.fixture(scope="session")
+def trust(pki) -> TrustStore:
+    return pki.trust
+
+
+def pump_engines(client, server, rounds: int = 30) -> tuple[list, list]:
+    """Drive two directly-connected sans-IO engines to quiescence.
+
+    Returns (client_events, server_events).
+    """
+    client_events: list = []
+    server_events: list = []
+    for _ in range(rounds):
+        progressed = False
+        data = client.data_to_send()
+        if data:
+            server_events += server.receive_bytes(data)
+            progressed = True
+        data = server.data_to_send()
+        if data:
+            client_events += client.receive_bytes(data)
+            progressed = True
+        if not progressed:
+            break
+    return client_events, server_events
+
+
+@pytest.fixture
+def pump():
+    return pump_engines

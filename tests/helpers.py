@@ -1,0 +1,179 @@
+"""Network-scenario helpers shared by the integration tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import (
+    MbTLSEndpointConfig,
+    MiddleboxConfig,
+    MiddleboxRole,
+    SessionEstablished,
+)
+from repro.core.drivers import MiddleboxService, open_mbtls, serve_mbtls
+from repro.netsim.driver import EngineDriver
+from repro.netsim.network import Network
+from repro.tls.config import TLSConfig
+from repro.tls.engine import TLSClientEngine, TLSServerEngine
+from repro.tls.events import ApplicationData, HandshakeComplete
+
+
+@dataclass
+class MbTLSScenario:
+    """A configurable linear client-[mboxes]-server world."""
+
+    pki: object
+    rng: object
+    mbox_specs: list  # list of (name, role, process, extra_tls_kwargs)
+    server_kind: str = "mbtls"  # or "tls"
+    client_kind: str = "mbtls"  # or "tls"
+    server_reply_prefix: bytes = b"REPLY:"
+    server_reply: object = None  # callable(data) -> bytes, overrides prefix
+    link_latency: float = 0.002
+    client_config_kwargs: dict = field(default_factory=dict)
+    client_tls_kwargs: dict = field(default_factory=dict)
+    server_config_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.network = Network()
+        self.events: list = []
+        self.server_events: list = []
+        self.client_received: list[bytes] = []
+        self.server_received: list[bytes] = []
+        self.services: list[MiddleboxService] = []
+        hosts = ["client"] + [f"mb{i}" for i in range(len(self.mbox_specs))] + ["server"]
+        for host in hosts:
+            self.network.add_host(host)
+        for a, b in zip(hosts, hosts[1:]):
+            self.network.add_link(a, b, self.link_latency)
+        self._deploy_middleboxes()
+        self._deploy_server()
+
+    def _deploy_middleboxes(self):
+        for index, (name, role, process, tls_kwargs) in enumerate(self.mbox_specs):
+            def make_config(name=name, role=role, process=process,
+                            tls_kwargs=tls_kwargs, index=index):
+                return MiddleboxConfig(
+                    name=name,
+                    tls=TLSConfig(
+                        rng=self.rng.fork(b"mb%d" % index),
+                        credential=self.pki.credential(name),
+                        **tls_kwargs,
+                    ),
+                    role=role,
+                    process=process,
+                )
+            self.services.append(
+                MiddleboxService(self.network.host(f"mb{index}"), make_config)
+            )
+
+    def _deploy_server(self):
+        credential = self.pki.credential("server")
+        if self.server_kind == "mbtls":
+            def make_config():
+                return MbTLSEndpointConfig(
+                    tls=TLSConfig(rng=self.rng.fork(b"srv"), credential=credential),
+                    middlebox_trust_store=self.pki.trust,
+                    **self.server_config_kwargs,
+                )
+
+            def on_event(engine, driver, event):
+                self.server_events.append(event)
+                if isinstance(event, ApplicationData):
+                    self.server_received.append(event.data)
+                    reply = (
+                        self.server_reply(event.data)
+                        if self.server_reply is not None
+                        else self.server_reply_prefix + event.data
+                    )
+                    if reply:
+                        driver.send_application_data(reply)
+
+            serve_mbtls(self.network.host("server"), make_config, on_event=on_event)
+        else:
+            def accept(socket, source):
+                engine = TLSServerEngine(
+                    TLSConfig(rng=self.rng.fork(b"srv"), credential=credential)
+                )
+                driver = EngineDriver(engine, socket)
+
+                def on_event(event):
+                    self.server_events.append(event)
+                    if isinstance(event, ApplicationData):
+                        self.server_received.append(event.data)
+                        reply = (
+                            self.server_reply(event.data)
+                            if self.server_reply is not None
+                            else self.server_reply_prefix + event.data
+                        )
+                        if reply:
+                            driver.send_application_data(reply)
+
+                driver.on_event = on_event
+                driver.start()
+
+            self.network.host("server").listen(443, accept)
+
+    def run_client(self, request: bytes = b"PING", auto_request: bool = True):
+        """Open the client connection, optionally send a request, run to idle."""
+
+        def on_event(event):
+            self.events.append(event)
+            if isinstance(event, (SessionEstablished, HandshakeComplete)) and auto_request:
+                self.client_driver.send_application_data(request)
+            elif isinstance(event, ApplicationData):
+                self.client_received.append(event.data)
+
+        if self.client_kind == "mbtls":
+            config = MbTLSEndpointConfig(
+                tls=TLSConfig(
+                    rng=self.rng.fork(b"cli"),
+                    trust_store=self.pki.trust,
+                    server_name="server",
+                    **self.client_tls_kwargs,
+                ),
+                middlebox_trust_store=self.pki.trust,
+                **self.client_config_kwargs,
+            )
+            self.client_engine, self.client_driver = open_mbtls(
+                self.network.host("client"), "server", config, on_event=on_event
+            )
+        else:
+            self.client_engine = TLSClientEngine(
+                TLSConfig(
+                    rng=self.rng.fork(b"cli"),
+                    trust_store=self.pki.trust,
+                    server_name="server",
+                    **self.client_tls_kwargs,
+                )
+            )
+            socket = self.network.host("client").connect("server", 443)
+            self.client_driver = EngineDriver(
+                self.client_engine, socket, on_event=on_event
+            )
+            self.client_driver.start()
+        self.network.sim.run()
+        return self
+
+    @property
+    def established_event(self) -> SessionEstablished | None:
+        for event in self.events:
+            if isinstance(event, SessionEstablished):
+                return event
+        return None
+
+    def middlebox_engine(self, index: int = 0):
+        return self.services[index].drivers[0].engine
+
+
+def identity(direction: str, data: bytes) -> bytes:
+    return data
+
+
+def tagger(tag: bytes, direction: str = "c2s"):
+    """A process callback appending a tag in one direction."""
+
+    def process(d: str, data: bytes) -> bytes:
+        return data + tag if d == direction else data
+
+    return process

@@ -1,0 +1,117 @@
+"""HTTP substrate: messages, incremental parsing, server/client helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.http import (
+    HttpClient,
+    HttpParser,
+    HttpRequest,
+    HttpResponse,
+    HttpServerApp,
+)
+from repro.errors import DecodeError
+
+
+class TestMessages:
+    def test_request_roundtrip(self):
+        request = HttpRequest(
+            method="POST", path="/submit", headers=[("Host", "x")], body=b"payload"
+        )
+        parsed = HttpParser(parse_requests=True).feed(request.encode())
+        assert len(parsed) == 1
+        assert parsed[0].method == "POST"
+        assert parsed[0].path == "/submit"
+        assert parsed[0].body == b"payload"
+        assert parsed[0].header("content-length") == "7"
+
+    def test_response_roundtrip(self):
+        response = HttpResponse(status=404, reason="Not Found", body=b"missing")
+        parsed = HttpParser(parse_requests=False).feed(response.encode())
+        assert parsed[0].status == 404
+        assert parsed[0].reason == "Not Found"
+        assert parsed[0].body == b"missing"
+
+    def test_header_case_insensitive_lookup(self):
+        request = HttpRequest(method="GET", path="/", headers=[("X-Thing", "v")])
+        assert request.header("x-thing") == "v"
+        assert request.header("missing") is None
+
+    def test_set_header_replaces(self):
+        request = HttpRequest(method="GET", path="/", headers=[("Via", "old")])
+        request.set_header("Via", "new")
+        assert [v for k, v in request.headers if k == "Via"] == ["new"]
+
+    def test_empty_body_no_duplicate_content_length(self):
+        request = HttpRequest(method="GET", path="/")
+        assert b"Content-Length" not in request.encode()
+
+
+class TestParser:
+    def test_pipelined_requests(self):
+        stream = (
+            HttpRequest(method="GET", path="/a").encode()
+            + HttpRequest(method="GET", path="/b").encode()
+        )
+        parsed = HttpParser(parse_requests=True).feed(stream)
+        assert [request.path for request in parsed] == ["/a", "/b"]
+
+    def test_partial_headers_buffered(self):
+        parser = HttpParser(parse_requests=True)
+        encoded = HttpRequest(method="GET", path="/x").encode()
+        assert parser.feed(encoded[:10]) == []
+        assert [r.path for r in parser.feed(encoded[10:])] == ["/x"]
+
+    def test_partial_body_buffered(self):
+        parser = HttpParser(parse_requests=True)
+        encoded = HttpRequest(method="PUT", path="/x", body=b"0123456789").encode()
+        split = len(encoded) - 4
+        assert parser.feed(encoded[:split]) == []
+        assert parser.feed(encoded[split:])[0].body == b"0123456789"
+
+    def test_malformed_header_rejected(self):
+        parser = HttpParser(parse_requests=True)
+        with pytest.raises(DecodeError):
+            parser.feed(b"GET / HTTP/1.1\r\nbad-header-no-colon\r\n\r\n")
+
+    def test_malformed_request_line_rejected(self):
+        parser = HttpParser(parse_requests=True)
+        with pytest.raises(DecodeError):
+            parser.feed(b"NONSENSE\r\n\r\n")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        body=st.binary(max_size=200),
+        chunk=st.integers(min_value=1, max_value=37),
+    )
+    def test_chunked_feeding_property(self, body, chunk):
+        encoded = HttpRequest(method="POST", path="/p", body=body).encode()
+        parser = HttpParser(parse_requests=True)
+        parsed = []
+        for index in range(0, len(encoded), chunk):
+            parsed += parser.feed(encoded[index : index + chunk])
+        assert len(parsed) == 1 and parsed[0].body == body
+
+
+class TestServerClient:
+    def test_server_app_serves(self):
+        app = HttpServerApp(
+            lambda request: HttpResponse(status=200, body=request.path.encode())
+        )
+        sent = []
+        app.on_data(HttpClient.get("/hello", "host.example"), sent.append)
+        assert app.requests_served == 1
+        client = HttpClient()
+        responses = client.on_data(sent[0])
+        assert responses[0].body == b"/hello"
+
+    def test_client_accumulates_responses(self):
+        client = HttpClient()
+        stream = (
+            HttpResponse(status=200, body=b"one").encode()
+            + HttpResponse(status=201, body=b"two").encode()
+        )
+        client.on_data(stream[:20])
+        client.on_data(stream[20:])
+        assert [response.status for response in client.responses] == [200, 201]

@@ -1,0 +1,145 @@
+"""Middlebox applications running inside real mbTLS sessions: the paper's
+header-inserting proxy, a cache, a compression pair, and an IDS."""
+
+import pytest
+
+from helpers import MbTLSScenario
+from repro.apps.cache import CacheApp, SharedCacheStore
+from repro.apps.compression import Compressor, Decompressor
+from repro.apps.http import HttpParser, HttpRequest, HttpResponse
+from repro.apps.ids import IntrusionDetector, Signature
+from repro.apps.proxy import HeaderInsertingProxy
+from repro.core.config import MiddleboxRole
+
+
+def http_get(path: str) -> bytes:
+    return HttpRequest(method="GET", path=path, headers=[("Host", "server")]).encode()
+
+
+def http_echo_server(data: bytes) -> bytes:
+    """Parse requests, respond 200 with the path as body."""
+    parser = HttpParser(parse_requests=True)
+    out = bytearray()
+    for request in parser.feed(data):
+        out += HttpResponse(status=200, body=request.path.encode()).encode()
+    return bytes(out)
+
+
+class TestHeaderInsertingProxy:
+    def test_inserts_via_header(self, rng, pki):
+        """The paper's prototype: an HTTP proxy doing header insertion."""
+        proxy = HeaderInsertingProxy(via="1.1 repro-proxy")
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, proxy, {})],
+            server_kind="tls",
+            server_reply=lambda data: b"",
+        ).run_client(http_get("/index.html"))
+        received = b"".join(scenario.server_received)
+        assert b"Via: 1.1 repro-proxy\r\n" in received
+        assert received.startswith(b"GET /index.html")
+        assert proxy.requests_seen == 1
+
+    def test_extra_headers_and_multiple_requests(self, rng, pki):
+        proxy = HeaderInsertingProxy(extra_headers=[("X-Forwarded-For", "client")])
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, proxy, {})],
+            server_kind="tls",
+            server_reply=lambda data: b"",
+        ).run_client(http_get("/a"))
+        scenario.client_driver.send_application_data(http_get("/b"))
+        scenario.network.sim.run()
+        received = b"".join(scenario.server_received)
+        assert received.count(b"X-Forwarded-For: client") == 2
+        assert proxy.requests_seen == 2
+
+    def test_responses_untouched(self, rng, pki):
+        proxy = HeaderInsertingProxy()
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, proxy, {})],
+            server_kind="tls",
+            server_reply=http_echo_server,
+        ).run_client(http_get("/path"))
+        assert b"".join(scenario.client_received).endswith(b"/path")
+
+
+class TestCache:
+    def test_miss_then_hit(self, rng, pki):
+        store = SharedCacheStore()
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("cache", MiddleboxRole.CLIENT_SIDE, CacheApp(store), {})],
+            server_kind="tls",
+            server_reply=http_echo_server,
+        ).run_client(http_get("/page"))
+        assert store.misses == 1 and store.hits == 0
+        server_requests_before = len(scenario.server_received)
+
+        scenario.client_driver.send_application_data(http_get("/page"))
+        scenario.network.sim.run()
+        assert store.hits == 1
+        # Served from the cache: the server saw no second request.
+        assert len(scenario.server_received) == server_requests_before
+        responses = b"".join(scenario.client_received)
+        assert b"X-Cache: HIT" in responses
+
+
+class TestCompressionPair:
+    def test_compress_then_decompress(self, rng, pki):
+        compressor = Compressor(direction="s2c")
+        decompressor = Decompressor(direction="s2c")
+        body = b"A" * 4000  # highly compressible
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[
+                # Path order from client: decompressor first, compressor
+                # nearer the server — so s2c data is compressed then restored.
+                ("decomp", MiddleboxRole.CLIENT_SIDE, decompressor, {}),
+                ("comp", MiddleboxRole.CLIENT_SIDE, compressor, {}),
+            ],
+            server_kind="tls",
+            server_reply=lambda data: body,
+        ).run_client(b"GET")
+        assert b"".join(scenario.client_received) == body
+        assert compressor.bytes_out < compressor.bytes_in
+        assert compressor.ratio < 0.1
+
+
+class TestIDS:
+    def test_logs_signature_matches(self, rng, pki):
+        ids = IntrusionDetector([Signature(name="exfil", pattern=b"SECRET-DOC")])
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("ids", MiddleboxRole.CLIENT_SIDE, ids, {})],
+            server_kind="tls",
+        ).run_client(b"uploading SECRET-DOC contents")
+        # Matched on the upload AND on the server's echo of it.
+        assert [alert.signature for alert in ids.alerts] == ["exfil", "exfil"]
+        assert {alert.direction for alert in ids.alerts} == {"c2s", "s2c"}
+        # Log-only: traffic still flows.
+        assert scenario.server_received
+
+    def test_blocks_matching_chunks(self, rng, pki):
+        ids = IntrusionDetector(
+            [Signature(name="malware", pattern=b"EVIL-BYTES", block=True)]
+        )
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("ids", MiddleboxRole.CLIENT_SIDE, ids, {})],
+            server_kind="tls",
+        ).run_client(b"payload with EVIL-BYTES inside")
+        assert ids.blocked_chunks == 1
+        assert scenario.server_received == []
+
+    def test_cross_chunk_match(self, rng, pki):
+        ids = IntrusionDetector([Signature(name="split", pattern=b"ABCDEF")])
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("ids", MiddleboxRole.CLIENT_SIDE, ids, {})],
+            server_kind="tls",
+        ).run_client(b"xxxABC")
+        scenario.client_driver.send_application_data(b"DEFyyy")
+        scenario.network.sim.run()
+        assert [alert.signature for alert in ids.alerts] == ["split"]

@@ -1,0 +1,267 @@
+"""The baseline protocols: split TLS, shared-key, mcTLS, splice relay."""
+
+import pytest
+
+from repro.baselines.mctls import ContextPermission, McTLSSession
+from repro.baselines.relay import SpliceRelayService
+from repro.baselines.split_tls import SplitTLSService
+from repro.baselines.shared_key import KeySharingService
+from repro.errors import IntegrityError, PolicyError
+from repro.netsim.driver import EngineDriver
+from repro.netsim.network import Network
+from repro.pki.authority import CertificateAuthority
+from repro.pki.store import TrustStore
+from repro.tls.config import TLSConfig
+from repro.tls.engine import TLSClientEngine, TLSServerEngine
+from repro.tls.events import ApplicationData, HandshakeComplete
+
+
+def three_host_network():
+    network = Network()
+    for name in ("client", "mbox", "server"):
+        network.add_host(name)
+    network.add_link("client", "mbox", 0.001)
+    network.add_link("mbox", "server", 0.001)
+    return network
+
+
+def run_tls_fetch(network, rng, pki, trust_store, received, server_name="server"):
+    def accept(socket, source):
+        engine = TLSServerEngine(
+            TLSConfig(rng=rng.fork(b"srv"), credential=pki.credential("server"))
+        )
+        driver = EngineDriver(engine, socket)
+        driver.on_event = (
+            lambda event: driver.send_application_data(b"PONG:" + event.data)
+            if isinstance(event, ApplicationData)
+            else None
+        )
+        driver.start()
+
+    network.host("server").listen(443, accept)
+    engine = TLSClientEngine(
+        TLSConfig(rng=rng.fork(b"cli"), trust_store=trust_store, server_name=server_name)
+    )
+    socket = network.host("client").connect("server", 443)
+
+    def on_event(event):
+        if isinstance(event, HandshakeComplete):
+            driver.send_application_data(b"PING")
+        elif isinstance(event, ApplicationData):
+            received.append(event.data)
+
+    driver = EngineDriver(engine, socket, on_event=on_event)
+    driver.start()
+    network.sim.run()
+    return engine, driver
+
+
+class TestSplitTLS:
+    def test_interception_with_provisioned_root(self, rng, pki):
+        network = three_host_network()
+        interception_ca = CertificateAuthority(
+            "corp-ca", rng.fork(b"corp"), key_bits=1024
+        )
+        service = SplitTLSService(
+            network.host("mbox"), interception_ca, rng.fork(b"svc"),
+            upstream_trust=pki.trust,
+            process=lambda d, data: data + b"!" if d == "c2s" else data,
+        )
+        # The provisioning step: the client trusts the interception root.
+        store = TrustStore([pki.ca.certificate, interception_ca.certificate])
+        received = []
+        run_tls_fetch(network, rng, pki, store, received)
+        assert received == [b"PONG:PING!"]
+        assert service.middleboxes[0].joined
+
+    def test_fails_without_provisioned_root(self, rng, pki):
+        network = three_host_network()
+        interception_ca = CertificateAuthority(
+            "corp-ca", rng.fork(b"corp2"), key_bits=1024
+        )
+        SplitTLSService(
+            network.host("mbox"), interception_ca, rng.fork(b"svc"),
+            upstream_trust=pki.trust,
+        )
+        received = []
+        engine, _ = run_tls_fetch(network, rng, pki, pki.trust, received)
+        assert received == [] and not engine.handshake_complete
+
+    def test_client_sees_fabricated_certificate(self, rng, pki):
+        """The structural weakness: the client authenticates the
+        interceptor's certificate, not the real server's."""
+        network = three_host_network()
+        interception_ca = CertificateAuthority(
+            "corp-ca", rng.fork(b"corp3"), key_bits=1024
+        )
+        SplitTLSService(
+            network.host("mbox"), interception_ca, rng.fork(b"svc"),
+            upstream_trust=pki.trust,
+        )
+        store = TrustStore([pki.ca.certificate, interception_ca.certificate])
+        received = []
+        engine, _ = run_tls_fetch(network, rng, pki, store, received)
+        assert engine.peer_certificate.issuer == "corp-ca"  # not the real CA
+
+    def test_non_validating_interceptor_accepts_rogue_server(self, rng, pki, session_rng):
+        """If the middlebox skips upstream validation the client cannot
+        tell — interception hides a rogue server entirely."""
+        rogue_ca = CertificateAuthority("rogue", session_rng.fork(b"rg"), key_bits=1024)
+        rogue_cred = rogue_ca.issue_credential("server", rng=session_rng.fork(b"rgk"))
+        network = three_host_network()
+        interception_ca = CertificateAuthority(
+            "corp-ca", rng.fork(b"corp4"), key_bits=1024
+        )
+        SplitTLSService(
+            network.host("mbox"), interception_ca, rng.fork(b"svc"),
+            upstream_trust=pki.trust,
+            validate_upstream=False,  # the misconfiguration from [23]
+        )
+
+        def accept(socket, source):
+            engine = TLSServerEngine(
+                TLSConfig(rng=rng.fork(b"srv"), credential=rogue_cred)
+            )
+            driver = EngineDriver(engine, socket)
+            driver.on_event = (
+                lambda event: driver.send_application_data(b"OWNED:" + event.data)
+                if isinstance(event, ApplicationData)
+                else None
+            )
+            driver.start()
+
+        network.host("server").listen(443, accept)
+        store = TrustStore([interception_ca.certificate])
+        engine = TLSClientEngine(
+            TLSConfig(rng=rng.fork(b"cli"), trust_store=store, server_name="server")
+        )
+        socket = network.host("client").connect("server", 443)
+        received = []
+
+        def on_event(event):
+            if isinstance(event, HandshakeComplete):
+                driver.send_application_data(b"PING")
+            elif isinstance(event, ApplicationData):
+                received.append(event.data)
+
+        driver = EngineDriver(engine, socket, on_event=on_event)
+        driver.start()
+        network.sim.run()
+        # The rogue server's data reaches the client with no alarm raised.
+        assert received == [b"OWNED:PING"]
+
+
+class TestKeySharing:
+    def test_middlebox_reads_after_key_share(self, rng, pki):
+        network = three_host_network()
+        service = KeySharingService(network.host("mbox"))
+        received = []
+
+        def accept(socket, source):
+            engine = TLSServerEngine(
+                TLSConfig(rng=rng.fork(b"srv"), credential=pki.credential("server"))
+            )
+            driver = EngineDriver(engine, socket)
+            driver.on_event = (
+                lambda event: driver.send_application_data(b"PONG")
+                if isinstance(event, ApplicationData)
+                else None
+            )
+            driver.start()
+
+        network.host("server").listen(443, accept)
+        engine = TLSClientEngine(
+            TLSConfig(rng=rng.fork(b"cli"), trust_store=pki.trust, server_name="server")
+        )
+        socket = network.host("client").connect("server", 443)
+
+        def on_event(event):
+            if isinstance(event, HandshakeComplete):
+                suite, key_block = engine.export_key_block()
+                service.share_keys(suite.code, key_block)
+                driver.send_application_data(b"SECRET-PING")
+            elif isinstance(event, ApplicationData):
+                received.append(event.data)
+
+        driver = EngineDriver(engine, socket, on_event=on_event)
+        driver.start()
+        network.sim.run()
+        assert received == [b"PONG"]
+        middlebox = service.middleboxes[0]
+        assert b"SECRET-PING" in middlebox.plaintext_seen
+        assert middlebox.records_processed >= 2
+
+
+class TestMcTLS:
+    def test_read_write_context(self, rng):
+        session = McTLSSession(rng.fork(b"c"), rng.fork(b"s"), context_ids=[1])
+        client = session.endpoint_party()
+        server = session.endpoint_party()
+        record = client.seal(1, b"headers: ok")
+        assert server.open(1, record, verify_endpoint_mac=True) == b"headers: ok"
+
+    def test_read_only_middlebox_can_read(self, rng):
+        session = McTLSSession(rng.fork(b"c"), rng.fork(b"s"), context_ids=[1])
+        client = session.endpoint_party()
+        middlebox = session.middlebox_party({1: ContextPermission.READ})
+        record = client.seal(1, b"visible")
+        assert middlebox.open(1, record) == b"visible"
+
+    def test_read_only_middlebox_modification_detected(self, rng):
+        """mcTLS's key property: a read-only middlebox cannot forge the
+        endpoint MAC, so its modifications are detected."""
+        session = McTLSSession(rng.fork(b"c"), rng.fork(b"s"), context_ids=[1])
+        client = session.endpoint_party()
+        middlebox = session.middlebox_party({1: ContextPermission.WRITE})
+        server = session.endpoint_party()
+        # A middlebox with write keys still cannot produce the endpoint MAC.
+        tampered = middlebox.seal(1, b"modified by middlebox")
+        with pytest.raises(IntegrityError):
+            server.open(1, tampered, verify_endpoint_mac=True)
+        # ... though writer-level verification accepts it.
+        assert server.open(1, tampered, verify_endpoint_mac=False)
+
+    def test_no_access_context_unreadable(self, rng):
+        session = McTLSSession(rng.fork(b"c"), rng.fork(b"s"), context_ids=[1, 2])
+        client = session.endpoint_party()
+        middlebox = session.middlebox_party({1: ContextPermission.READ})
+        record = client.seal(2, b"body: secret")
+        assert not middlebox.can_read(2)
+        with pytest.raises(PolicyError):
+            middlebox.open(2, record)
+
+    def test_contexts_cryptographically_separated(self, rng):
+        session = McTLSSession(rng.fork(b"c"), rng.fork(b"s"), context_ids=[1, 2])
+        keys_1 = session.keys_for(1, ContextPermission.WRITE)
+        keys_2 = session.keys_for(2, ContextPermission.WRITE)
+        assert keys_1.read_key != keys_2.read_key
+
+    def test_contributory_key_derivation(self, rng):
+        """Both endpoints contribute: sessions with different server halves
+        produce different context keys (the both-must-authorize property)."""
+        session_a = McTLSSession(rng.fork(b"c"), rng.fork(b"s1"), context_ids=[1])
+        session_b = McTLSSession(rng.fork(b"c"), rng.fork(b"s2"), context_ids=[1])
+        assert (
+            session_a.keys_for(1, ContextPermission.READ).read_key
+            != session_b.keys_for(1, ContextPermission.READ).read_key
+        )
+
+    def test_tampered_record_detected(self, rng):
+        session = McTLSSession(rng.fork(b"c"), rng.fork(b"s"), context_ids=[1])
+        client = session.endpoint_party()
+        server = session.endpoint_party()
+        record = bytearray(client.seal(1, b"data"))
+        record[12] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            server.open(1, bytes(record), verify_endpoint_mac=True)
+
+
+class TestSpliceRelay:
+    def test_relays_tls_unchanged(self, rng, pki):
+        network = three_host_network()
+        relay = SpliceRelayService(network.host("mbox"))
+        received = []
+        engine, _ = run_tls_fetch(network, rng, pki, pki.trust, received)
+        assert received == [b"PONG:PING"]
+        assert relay.connections == 1
+        assert relay.bytes_relayed > 0

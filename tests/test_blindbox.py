@@ -1,0 +1,109 @@
+"""The BlindBox baseline: encrypted pattern matching and its limits."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.blindbox import (
+    BlindBoxDetector,
+    RuleAuthority,
+    TokenStream,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import PolicyError
+
+
+@pytest.fixture
+def token_key(rng):
+    return rng.random_bytes(32)
+
+
+def build(token_key, patterns):
+    authority = RuleAuthority(token_key)
+    rules = [
+        authority.encrypt_rule(name, pattern) for name, pattern in patterns
+    ]
+    return TokenStream(token_key), BlindBoxDetector(rules)
+
+
+class TestMatching:
+    def test_detects_pattern_in_stream(self, token_key):
+        stream, detector = build(token_key, [("exfil", b"SECRET-DOCUMENT")])
+        matches = detector.inspect(stream.tokenize(b"...the SECRET-DOCUMENT is..."))
+        assert [match.rule for match in matches] == ["exfil"]
+
+    def test_no_false_positive(self, token_key):
+        stream, detector = build(token_key, [("exfil", b"SECRET-DOCUMENT")])
+        assert detector.inspect(stream.tokenize(b"perfectly innocent traffic")) == []
+
+    def test_match_across_chunk_boundary(self, token_key):
+        stream, detector = build(token_key, [("split", b"FORBIDDEN")])
+        matches = detector.inspect(stream.tokenize(b"xxFORB"))
+        matches += detector.inspect(stream.tokenize(b"IDDENyy"))
+        assert [match.rule for match in matches] == ["split"]
+
+    def test_no_duplicate_reports(self, token_key):
+        stream, detector = build(token_key, [("r", b"NEEDLE-X")])
+        total = []
+        for chunk in (b"..NEEDLE-X..", b"nothing", b"more nothing"):
+            total += detector.inspect(stream.tokenize(chunk))
+        assert len(total) == 1
+
+    def test_multiple_rules_and_occurrences(self, token_key):
+        stream, detector = build(
+            token_key, [("a", b"PATTERN-A"), ("b", b"PATTERN-B")]
+        )
+        matches = detector.inspect(
+            stream.tokenize(b"PATTERN-A then PATTERN-B then PATTERN-A")
+        )
+        assert sorted(match.rule for match in matches) == ["a", "a", "b"]
+
+
+class TestPrivacyProperties:
+    def test_detector_never_sees_plaintext(self, token_key):
+        """The middlebox's entire input is PRF outputs: no plaintext bytes."""
+        stream, detector = build(token_key, [("r", b"RULEWORD")])
+        plaintext = b"the quick brown fox RULEWORD jumps"
+        tokens = stream.tokenize(plaintext)
+        blob = b"".join(tokens)
+        for window in range(4, 9):
+            for start in range(len(plaintext) - window):
+                assert plaintext[start : start + window] not in blob
+
+    def test_different_keys_produce_unlinkable_tokens(self, rng):
+        key_a, key_b = rng.random_bytes(32), rng.random_bytes(32)
+        tokens_a = TokenStream(key_a).tokenize(b"same plaintext here")
+        tokens_b = TokenStream(key_b).tokenize(b"same plaintext here")
+        assert not set(tokens_a) & set(tokens_b)
+
+    def test_deterministic_within_session(self, token_key):
+        # The functional property (and the privacy cost BlindBox accepts):
+        # equal windows encrypt equally within a session.
+        a = TokenStream(token_key).tokenize(b"hello world!")
+        b = TokenStream(token_key).tokenize(b"hello world!")
+        assert a == b
+
+
+class TestLimits:
+    def test_pattern_shorter_than_window_rejected(self, token_key):
+        authority = RuleAuthority(token_key)
+        with pytest.raises(PolicyError):
+            authority.encrypt_rule("tiny", b"abc")
+
+    def test_short_token_key_rejected(self):
+        with pytest.raises(PolicyError):
+            TokenStream(b"short")
+
+    def test_cannot_transform_data(self, token_key):
+        """The design-space point: BlindBox supports *matching only* — the
+        detector API has no way to emit modified traffic."""
+        _, detector = build(token_key, [("r", b"RULEWORD")])
+        assert not hasattr(detector, "on_data")
+        assert not callable(getattr(detector, "transform", None))
+
+    @settings(max_examples=30, deadline=None)
+    @given(payload=st.binary(min_size=0, max_size=200))
+    def test_tokenizer_never_crashes(self, payload):
+        stream = TokenStream(b"k" * 32)
+        tokens = stream.tokenize(payload)
+        assert all(len(token) == 16 for token in tokens)

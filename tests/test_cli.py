@@ -1,0 +1,26 @@
+"""The experiment CLI (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_sgx_command(self, capsys):
+        assert main(["sgx"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "Gbps" in out
+
+    def test_viability_subset(self, capsys):
+        assert main(["viability", "--sites", "4", "--seed", "cli-test"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "4/4" in out
+
+    def test_interop_subset(self, capsys):
+        assert main(["interop", "--sites", "10", "--seed", "cli-test"]) == 0
+        out = capsys.readouterr().out
+        assert "legacy interoperability" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])

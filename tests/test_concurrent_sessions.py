@@ -1,0 +1,143 @@
+"""Multiple simultaneous sessions through one middlebox deployment."""
+
+import pytest
+
+from repro.core.config import (
+    MbTLSEndpointConfig,
+    MiddleboxConfig,
+    MiddleboxRole,
+    SessionEstablished,
+)
+from repro.core.drivers import MiddleboxService, open_mbtls
+from repro.netsim.driver import EngineDriver
+from repro.netsim.network import Network
+from repro.tls.config import TLSConfig
+from repro.tls.engine import TLSServerEngine
+from repro.tls.events import ApplicationData
+
+
+class TestConcurrentSessions:
+    def test_three_clients_interleaved(self, rng, pki):
+        network = Network()
+        for name in ("alice", "bob", "carol", "mbox", "server"):
+            network.add_host(name)
+        for client, latency in (("alice", 0.003), ("bob", 0.007), ("carol", 0.011)):
+            network.add_link(client, "mbox", latency)
+        network.add_link("mbox", "server", 0.005)
+
+        connection_count = {"n": 0}
+
+        def make_config():
+            connection_count["n"] += 1
+            serial = connection_count["n"]
+            return MiddleboxConfig(
+                name="mbox",
+                tls=TLSConfig(
+                    rng=rng.fork(b"mb%d" % serial),
+                    credential=pki.credential("mbox"),
+                ),
+                role=MiddleboxRole.CLIENT_SIDE,
+                process=lambda d, data: data + b"*" if d == "c2s" else data,
+            )
+
+        service = MiddleboxService(network.host("mbox"), make_config)
+
+        def accept(socket, source):
+            engine = TLSServerEngine(
+                TLSConfig(rng=rng.fork(source.encode()), credential=pki.credential("server"))
+            )
+            driver = EngineDriver(engine, socket)
+            driver.on_event = (
+                lambda event: driver.send_application_data(b"to-" + event.data)
+                if isinstance(event, ApplicationData)
+                else None
+            )
+            driver.start()
+
+        network.host("server").listen(443, accept)
+
+        received: dict[str, list[bytes]] = {}
+        drivers = {}
+        # Open all three connections before running the simulator at all, so
+        # every handshake interleaves with the others.
+        for client in ("alice", "bob", "carol"):
+            received[client] = []
+
+            def on_event(event, client=client):
+                if isinstance(event, SessionEstablished):
+                    drivers[client].send_application_data(client.encode())
+                elif isinstance(event, ApplicationData):
+                    received[client].append(event.data)
+
+            _, driver = open_mbtls(
+                network.host(client),
+                "server",
+                MbTLSEndpointConfig(
+                    tls=TLSConfig(
+                        rng=rng.fork(client.encode()),
+                        trust_store=pki.trust,
+                        server_name="server",
+                    ),
+                    middlebox_trust_store=pki.trust,
+                ),
+                on_event=on_event,
+            )
+            drivers[client] = driver
+
+        network.sim.run()
+        assert received == {
+            "alice": [b"to-alice*"],
+            "bob": [b"to-bob*"],
+            "carol": [b"to-carol*"],
+        }
+        # One independent middlebox engine per connection, all joined.
+        assert len(service.drivers) == 3
+        assert all(driver.engine.joined for driver in service.drivers)
+
+    def test_sessions_have_independent_keys(self, rng, pki):
+        network = Network()
+        for name in ("alice", "bob", "mbox", "server"):
+            network.add_host(name)
+        network.add_link("alice", "mbox", 0.003)
+        network.add_link("bob", "mbox", 0.004)
+        network.add_link("mbox", "server", 0.005)
+        MiddleboxService(
+            network.host("mbox"),
+            lambda: MiddleboxConfig(
+                name="mbox",
+                tls=TLSConfig(rng=rng.fork(b"mb"), credential=pki.credential("mbox")),
+                role=MiddleboxRole.CLIENT_SIDE,
+            ),
+        )
+
+        def accept(socket, source):
+            engine = TLSServerEngine(
+                TLSConfig(rng=rng.fork(b"s" + source.encode()),
+                          credential=pki.credential("server"))
+            )
+            EngineDriver(engine, socket).start()
+
+        network.host("server").listen(443, accept)
+
+        engines = {}
+        for client in ("alice", "bob"):
+            engine, _ = open_mbtls(
+                network.host(client),
+                "server",
+                MbTLSEndpointConfig(
+                    tls=TLSConfig(
+                        rng=rng.fork(client.encode()),
+                        trust_store=pki.trust,
+                        server_name="server",
+                    ),
+                    middlebox_trust_store=pki.trust,
+                ),
+            )
+            engines[client] = engine
+        network.sim.run()
+        assert engines["alice"].established and engines["bob"].established
+        assert (
+            engines["alice"].primary.master_secret
+            != engines["bob"].primary.master_secret
+        )
+        assert engines["alice"]._data_write.key != engines["bob"]._data_write.key

@@ -1,0 +1,134 @@
+"""Unit tests for the mbTLS plumbing: mux, KeyMaterial round trip through
+engines, endpoint configs, and the resumption store."""
+
+import pytest
+
+from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig, MiddleboxInfo
+from repro.core.mux import Subchannel, wrap_engine_output
+from repro.core.resumption import MiddleboxSessionStore, RememberedMiddlebox
+from repro.crypto.drbg import HmacDrbg
+from repro.pki.store import TrustStore
+from repro.tls.config import TLSConfig
+from repro.tls.session import SessionState
+from repro.wire.mbtls import EncapsulatedRecord
+from repro.wire.records import ContentType, Record, RecordBuffer
+
+
+class _FakeEngine:
+    def __init__(self, chunks):
+        self._chunks = list(chunks)
+
+    def data_to_send(self):
+        return self._chunks.pop(0) if self._chunks else b""
+
+
+class TestMux:
+    def test_wrap_engine_output_wraps_each_record(self):
+        records = [
+            Record(ContentType.HANDSHAKE, b"one"),
+            Record(ContentType.HANDSHAKE, b"two"),
+        ]
+        engine = _FakeEngine([b"".join(r.encode() for r in records)])
+        wrapped = wrap_engine_output(engine, 3, RecordBuffer())
+        buffer = RecordBuffer()
+        buffer.feed(wrapped)
+        outer = buffer.pop_records()
+        assert len(outer) == 2
+        for outer_record, inner in zip(outer, records):
+            encap = EncapsulatedRecord.from_record(outer_record)
+            assert encap.subchannel_id == 3
+            assert encap.inner == inner
+
+    def test_wrap_handles_split_records_across_drains(self):
+        record = Record(ContentType.HANDSHAKE, b"payload-bytes")
+        encoded = record.encode()
+        engine = _FakeEngine([encoded[:4], encoded[4:]])
+        buffer = RecordBuffer()
+        first = wrap_engine_output(engine, 1, buffer)
+        assert first == b""  # incomplete record retained
+        second = wrap_engine_output(engine, 1, buffer)
+        encap = EncapsulatedRecord.from_record(Record.decode(second))
+        assert encap.inner == record
+
+    def test_empty_output(self):
+        assert wrap_engine_output(_FakeEngine([]), 1, RecordBuffer()) == b""
+
+    def test_subchannel_feed_and_drain(self, rng, pki):
+        from repro.tls.engine import TLSServerEngine
+
+        engine = TLSServerEngine(
+            TLSConfig(rng=rng, credential=pki.credential("server"))
+        )
+        engine.start()
+        sub = Subchannel(5, engine)
+        assert sub.drain() == b""
+        assert not sub.complete and not sub.rejected
+
+
+class TestEndpointConfig:
+    def test_secondary_trust_store_fallback(self, rng, pki):
+        config = MbTLSEndpointConfig(
+            tls=TLSConfig(rng=rng, trust_store=pki.trust)
+        )
+        assert config.secondary_trust_store() is pki.trust
+
+    def test_secondary_trust_store_override(self, rng, pki):
+        other = TrustStore([])
+        config = MbTLSEndpointConfig(
+            tls=TLSConfig(rng=rng, trust_store=pki.trust),
+            middlebox_trust_store=other,
+        )
+        assert config.secondary_trust_store() is other
+
+    def test_middlebox_config_serves(self, rng):
+        config = MiddleboxConfig(name="m", tls=TLSConfig(rng=rng))
+        assert config.serves("anything")
+        scoped = MiddleboxConfig(
+            name="m", tls=TLSConfig(rng=rng),
+            served_servers=frozenset({"a.example"}),
+        )
+        assert scoped.serves("a.example") and not scoped.serves("b.example")
+
+    def test_middlebox_info_name_resolution(self, pki):
+        cert = pki.credential("mb.example").certificate
+        assert MiddleboxInfo(1, cert, None, True).name == "mb.example"
+        assert MiddleboxInfo(1, None, None, True, known_name="kept").name == "kept"
+        assert MiddleboxInfo(1, None, None, True).name == "<unauthenticated>"
+
+
+class TestMiddleboxSessionStore:
+    def _remembered(self, name: str) -> RememberedMiddlebox:
+        return RememberedMiddlebox(
+            session=SessionState(
+                session_id=b"\x01" * 32, master_secret=b"\x02" * 48,
+                cipher_suite=0xC030,
+            ),
+            name=name,
+            measurement=None,
+        )
+
+    def test_remember_and_lookup(self):
+        store = MiddleboxSessionStore()
+        store.remember("server", [self._remembered("a"), self._remembered("b")])
+        assert [m.name for m in store.lookup("server")] == ["a", "b"]
+        assert store.lookup("other") == []
+
+    def test_forget(self):
+        store = MiddleboxSessionStore()
+        store.remember("server", [self._remembered("a")])
+        store.forget("server")
+        assert store.lookup("server") == []
+
+    def test_lru_eviction(self):
+        store = MiddleboxSessionStore(capacity=2)
+        for name in ("one", "two", "three"):
+            store.remember(name, [self._remembered(name)])
+        assert store.lookup("one") == []
+        assert store.lookup("three")
+
+    def test_lookup_returns_copy(self):
+        store = MiddleboxSessionStore()
+        store.remember("server", [self._remembered("a")])
+        listing = store.lookup("server")
+        listing.append(self._remembered("b"))
+        assert len(store.lookup("server")) == 1

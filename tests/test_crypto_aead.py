@@ -1,0 +1,135 @@
+"""AEAD tests: AES-GCM and ChaCha20-Poly1305 against the oracle, tamper
+detection, and hypothesis round-trip properties."""
+
+import pytest
+from cryptography.hazmat.primitives.ciphers.aead import AESGCM as OracleGCM
+from cryptography.hazmat.primitives.ciphers.aead import (
+    ChaCha20Poly1305 as OracleChaCha,
+)
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.chacha import ChaCha20Poly1305, chacha20_xor, poly1305_mac
+from repro.crypto.gcm import AESGCM
+from repro.errors import CryptoError, IntegrityError
+
+AEADS = [
+    ("gcm128", lambda key32: AESGCM(key32[:16]), lambda key32: OracleGCM(key32[:16])),
+    ("gcm256", AESGCM, OracleGCM),
+    ("chacha", ChaCha20Poly1305, OracleChaCha),
+]
+
+
+@pytest.mark.parametrize("name,ours,oracle", AEADS, ids=[a[0] for a in AEADS])
+class TestAgainstOracle:
+    def test_encrypt_matches_oracle(self, name, ours, oracle, rng):
+        for length in (0, 1, 15, 16, 17, 100, 1000):
+            key = rng.random_bytes(32)
+            nonce = rng.random_bytes(12)
+            plaintext = rng.random_bytes(length)
+            aad = rng.random_bytes(13)
+            assert ours(key).encrypt(nonce, plaintext, aad) == oracle(key).encrypt(
+                nonce, plaintext, aad
+            )
+
+    def test_decrypt_oracle_ciphertext(self, name, ours, oracle, rng):
+        key = rng.random_bytes(32)
+        nonce = rng.random_bytes(12)
+        plaintext = b"attack at dawn"
+        sealed = oracle(key).encrypt(nonce, plaintext, b"hdr")
+        assert ours(key).decrypt(nonce, sealed, b"hdr") == plaintext
+
+    def test_empty_aad(self, name, ours, oracle, rng):
+        key = rng.random_bytes(32)
+        nonce = rng.random_bytes(12)
+        assert ours(key).encrypt(nonce, b"data") == oracle(key).encrypt(
+            nonce, b"data", None
+        )
+
+
+@pytest.mark.parametrize(
+    "factory", [AESGCM, ChaCha20Poly1305], ids=["gcm", "chacha"]
+)
+class TestTamperDetection:
+    def test_flipped_ciphertext_bit_rejected(self, factory, rng):
+        key = rng.random_bytes(32)
+        nonce = rng.random_bytes(12)
+        sealed = bytearray(factory(key).encrypt(nonce, b"hello world"))
+        sealed[0] ^= 0x01
+        with pytest.raises(IntegrityError):
+            factory(key).decrypt(nonce, bytes(sealed))
+
+    def test_flipped_tag_bit_rejected(self, factory, rng):
+        key = rng.random_bytes(32)
+        nonce = rng.random_bytes(12)
+        sealed = bytearray(factory(key).encrypt(nonce, b"hello world"))
+        sealed[-1] ^= 0x80
+        with pytest.raises(IntegrityError):
+            factory(key).decrypt(nonce, bytes(sealed))
+
+    def test_wrong_aad_rejected(self, factory, rng):
+        key = rng.random_bytes(32)
+        nonce = rng.random_bytes(12)
+        sealed = factory(key).encrypt(nonce, b"payload", b"aad-one")
+        with pytest.raises(IntegrityError):
+            factory(key).decrypt(nonce, sealed, b"aad-two")
+
+    def test_wrong_nonce_rejected(self, factory, rng):
+        key = rng.random_bytes(32)
+        sealed = factory(key).encrypt(b"\x01" * 12, b"payload")
+        with pytest.raises(IntegrityError):
+            factory(key).decrypt(b"\x02" * 12, sealed)
+
+    def test_wrong_key_rejected(self, factory, rng):
+        nonce = rng.random_bytes(12)
+        sealed = factory(rng.random_bytes(32)).encrypt(nonce, b"payload")
+        with pytest.raises(IntegrityError):
+            factory(rng.random_bytes(32)).decrypt(nonce, sealed)
+
+    def test_truncated_input_rejected(self, factory, rng):
+        with pytest.raises(IntegrityError):
+            factory(rng.random_bytes(32)).decrypt(rng.random_bytes(12), b"short")
+
+
+class TestGcmSpecifics:
+    def test_bad_nonce_length(self, rng):
+        gcm = AESGCM(rng.random_bytes(32))
+        with pytest.raises(CryptoError):
+            gcm.encrypt(b"\x00" * 11, b"data")
+        with pytest.raises(CryptoError):
+            gcm.decrypt(b"\x00" * 16, b"x" * 32)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        plaintext=st.binary(max_size=200),
+        aad=st.binary(max_size=40),
+    )
+    def test_roundtrip_property(self, plaintext, aad):
+        key = b"\x11" * 32
+        nonce = b"\x22" * 12
+        gcm = AESGCM(key)
+        assert gcm.decrypt(nonce, gcm.encrypt(nonce, plaintext, aad), aad) == plaintext
+
+
+class TestChaChaPrimitives:
+    def test_keystream_symmetry(self, rng):
+        key = rng.random_bytes(32)
+        nonce = rng.random_bytes(12)
+        data = rng.random_bytes(300)
+        once = chacha20_xor(key, 7, nonce, data)
+        assert chacha20_xor(key, 7, nonce, once) == data
+
+    def test_poly1305_key_length(self):
+        with pytest.raises(CryptoError):
+            poly1305_mac(b"short", b"message")
+
+    def test_poly1305_distinct_messages_distinct_tags(self, rng):
+        key = rng.random_bytes(32)
+        assert poly1305_mac(key, b"message-a") != poly1305_mac(key, b"message-b")
+
+    @settings(max_examples=30, deadline=None)
+    @given(plaintext=st.binary(max_size=300), aad=st.binary(max_size=40))
+    def test_roundtrip_property(self, plaintext, aad):
+        aead = ChaCha20Poly1305(b"\x33" * 32)
+        nonce = b"\x44" * 12
+        assert aead.decrypt(nonce, aead.encrypt(nonce, plaintext, aad), aad) == plaintext

@@ -1,0 +1,76 @@
+"""AES block cipher: oracle cross-checks, key schedule, error handling."""
+
+import pytest
+from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, _SBOX
+from repro.errors import CryptoError
+
+
+def oracle_encrypt(key: bytes, block: bytes) -> bytes:
+    encryptor = Cipher(algorithms.AES(key), modes.ECB()).encryptor()
+    return encryptor.update(block) + encryptor.finalize()
+
+
+class TestSbox:
+    def test_sbox_known_values(self):
+        # FIPS 197 spot checks: S(0x00)=0x63, S(0x01)=0x7c, S(0x53)=0xed.
+        assert _SBOX[0x00] == 0x63
+        assert _SBOX[0x01] == 0x7C
+        assert _SBOX[0x53] == 0xED
+
+    def test_sbox_is_permutation(self):
+        assert sorted(_SBOX) == list(range(256))
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("key_length", [16, 24, 32])
+    def test_random_blocks_match_oracle(self, key_length, rng):
+        for _ in range(20):
+            key = rng.random_bytes(key_length)
+            block = rng.random_bytes(16)
+            assert AES(key).encrypt_block(block) == oracle_encrypt(key, block)
+
+    def test_all_zero_input(self, rng):
+        key = bytes(32)
+        block = bytes(16)
+        assert AES(key).encrypt_block(block) == oracle_encrypt(key, block)
+
+    @settings(max_examples=50, deadline=None)
+    @given(key=st.binary(min_size=16, max_size=16), block=st.binary(min_size=16, max_size=16))
+    def test_property_matches_oracle(self, key, block):
+        assert AES(key).encrypt_block(block) == oracle_encrypt(key, block)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad_length", [0, 8, 15, 17, 33, 64])
+    def test_bad_key_length_rejected(self, bad_length):
+        with pytest.raises(CryptoError):
+            AES(b"k" * bad_length)
+
+    @pytest.mark.parametrize("bad_length", [0, 15, 17, 32])
+    def test_bad_block_length_rejected(self, bad_length):
+        cipher = AES(b"k" * 16)
+        with pytest.raises(CryptoError):
+            cipher.encrypt_block(b"b" * bad_length)
+
+
+class TestDeterminism:
+    def test_same_key_same_block_same_output(self):
+        cipher = AES(b"0123456789abcdef")
+        block = b"fedcba9876543210"
+        assert cipher.encrypt_block(block) == cipher.encrypt_block(block)
+
+    def test_key_sensitivity(self):
+        block = bytes(16)
+        out1 = AES(b"\x00" * 16).encrypt_block(block)
+        out2 = AES(b"\x00" * 15 + b"\x01").encrypt_block(block)
+        assert out1 != out2
+
+    def test_block_sensitivity(self):
+        cipher = AES(bytes(16))
+        assert cipher.encrypt_block(bytes(16)) != cipher.encrypt_block(
+            b"\x00" * 15 + b"\x01"
+        )

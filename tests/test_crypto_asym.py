@@ -1,0 +1,148 @@
+"""Asymmetric primitives: X25519 (vs oracle), RSA, finite-field DH."""
+
+import pytest
+from cryptography.hazmat.primitives import serialization
+from cryptography.hazmat.primitives.asymmetric.x25519 import (
+    X25519PrivateKey as OracleX25519,
+)
+
+from repro.crypto.dh import DHGroup, DHPrivateKey, modp_group
+from repro.crypto.rsa import RSAPublicKey, generate_rsa_key, is_probable_prime
+from repro.crypto.x25519 import X25519PrivateKey, x25519, x25519_base
+from repro.errors import CryptoError
+
+
+class TestX25519:
+    def test_public_key_matches_oracle(self, rng):
+        for _ in range(8):
+            private = rng.random_bytes(32)
+            oracle = OracleX25519.from_private_bytes(private)
+            expected = oracle.public_key().public_bytes(
+                serialization.Encoding.Raw, serialization.PublicFormat.Raw
+            )
+            assert x25519_base(private) == expected
+
+    def test_shared_secret_matches_oracle(self, rng):
+        alice = rng.random_bytes(32)
+        bob = rng.random_bytes(32)
+        oracle_alice = OracleX25519.from_private_bytes(alice)
+        oracle_bob = OracleX25519.from_private_bytes(bob)
+        expected = oracle_alice.exchange(oracle_bob.public_key())
+        assert x25519(alice, x25519_base(bob)) == expected
+
+    def test_exchange_commutes(self, rng):
+        alice = X25519PrivateKey(rng.random_bytes(32))
+        bob = X25519PrivateKey(rng.random_bytes(32))
+        assert alice.exchange(bob.public_bytes) == bob.exchange(alice.public_bytes)
+
+    def test_distinct_peers_distinct_secrets(self, rng):
+        alice = X25519PrivateKey(rng.random_bytes(32))
+        bob = X25519PrivateKey(rng.random_bytes(32))
+        carol = X25519PrivateKey(rng.random_bytes(32))
+        assert alice.exchange(bob.public_bytes) != alice.exchange(carol.public_bytes)
+
+    def test_bad_lengths_rejected(self):
+        with pytest.raises(CryptoError):
+            x25519(b"short", b"\x09" + b"\x00" * 31)
+        with pytest.raises(CryptoError):
+            x25519(b"\x01" * 32, b"short")
+
+    def test_all_zero_peer_rejected(self, rng):
+        # Contributory-behaviour guard: the low-order point yields zero.
+        alice = X25519PrivateKey(rng.random_bytes(32))
+        with pytest.raises(CryptoError):
+            alice.exchange(b"\x00" * 32)
+
+
+class TestRSA:
+    def test_sign_verify_roundtrip(self, rng):
+        key = generate_rsa_key(1024, rng)
+        signature = key.sign(b"the quick brown fox")
+        assert key.public_key.verify(b"the quick brown fox", signature)
+
+    def test_verify_rejects_wrong_message(self, rng):
+        key = generate_rsa_key(1024, rng)
+        signature = key.sign(b"message one")
+        assert not key.public_key.verify(b"message two", signature)
+
+    def test_verify_rejects_corrupted_signature(self, rng):
+        key = generate_rsa_key(1024, rng)
+        signature = bytearray(key.sign(b"message"))
+        signature[10] ^= 0x01
+        assert not key.public_key.verify(b"message", bytes(signature))
+
+    def test_verify_rejects_wrong_length(self, rng):
+        key = generate_rsa_key(1024, rng)
+        assert not key.public_key.verify(b"message", b"\x00" * 10)
+
+    def test_encrypt_decrypt_roundtrip(self, rng):
+        key = generate_rsa_key(1024, rng)
+        sealed = key.public_key.encrypt(b"pre-master-secret", rng)
+        assert key.decrypt(sealed) == b"pre-master-secret"
+
+    def test_decrypt_rejects_garbage(self, rng):
+        key = generate_rsa_key(1024, rng)
+        with pytest.raises(CryptoError):
+            key.decrypt(b"\x01" * key.byte_length)
+
+    def test_encrypt_rejects_oversize(self, rng):
+        key = generate_rsa_key(1024, rng)
+        with pytest.raises(CryptoError):
+            key.public_key.encrypt(b"x" * (key.byte_length - 5), rng)
+
+    def test_public_key_serialization_roundtrip(self, rng):
+        key = generate_rsa_key(1024, rng)
+        encoded = key.public_key.to_bytes()
+        assert RSAPublicKey.from_bytes(encoded) == key.public_key
+
+    def test_keygen_bit_length(self, rng):
+        key = generate_rsa_key(1024, rng)
+        assert key.n.bit_length() == 1024
+
+    def test_keygen_refuses_tiny_keys(self, rng):
+        with pytest.raises(CryptoError):
+            generate_rsa_key(256, rng)
+
+    def test_miller_rabin_known_values(self, rng):
+        assert is_probable_prime(2**127 - 1, rng)  # Mersenne prime
+        assert not is_probable_prime(2**128 - 1, rng)
+        assert not is_probable_prime(561, rng)  # Carmichael number
+        assert is_probable_prime(2, rng)
+        assert not is_probable_prime(1, rng)
+
+
+class TestDH:
+    def test_modp_1024_is_validated_safe_prime(self):
+        group = modp_group(1024)
+        # The derivation itself Miller-Rabin-checks p and (p-1)/2; re-verify
+        # the documented structure here.
+        assert group.p.bit_length() == 1024
+        assert group.p % 2 == 1
+        assert group.g == 2
+
+    def test_modp_known_prefix_suffix(self):
+        # All RFC 2412-style MODP primes start and end with 64 one-bits.
+        group = modp_group(1024)
+        ones = (1 << 64) - 1
+        assert group.p >> (1024 - 64) == ones
+        assert group.p & ones == ones
+
+    def test_unsupported_size_rejected(self):
+        with pytest.raises(CryptoError):
+            modp_group(3072)
+
+    def test_exchange_commutes(self, rng):
+        group = modp_group(1024)
+        alice = DHPrivateKey(group, rng)
+        bob = DHPrivateKey(group, rng)
+        assert alice.exchange(bob.public_value) == bob.exchange(alice.public_value)
+
+    def test_degenerate_public_values_rejected(self, rng):
+        group = modp_group(1024)
+        alice = DHPrivateKey(group, rng)
+        for bad in (0, 1, group.p - 1, group.p):
+            with pytest.raises(CryptoError):
+                alice.exchange(bad)
+
+    def test_group_cache_returns_same_object(self):
+        assert modp_group(1024) is modp_group(1024)

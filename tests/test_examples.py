@@ -1,0 +1,29 @@
+"""The examples are part of the public API surface: run each end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must narrate what they did"
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert {"quickstart.py", "outsourced_proxy.py", "edge_cdn.py",
+            "attack_gauntlet.py"} <= names

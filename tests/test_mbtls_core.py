@@ -1,0 +1,299 @@
+"""mbTLS end-to-end: discovery, announcements, legacy interop, ordering,
+approval policy, attestation — the protocol of §3.4."""
+
+import pytest
+
+from helpers import MbTLSScenario, identity, tagger
+from repro.core.config import MiddleboxRejected, MiddleboxRole, SessionEstablished
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import EnclaveCode, Platform
+from repro.tls.events import MiddleboxJoined
+
+
+class TestClientSideDiscovery:
+    def test_discovered_middlebox_joins_and_processes(self, rng, pki):
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, tagger(b"+P"), {})],
+            server_kind="tls",
+        ).run_client(b"PING")
+        assert scenario.client_received == [b"REPLY:PING+P"]
+        event = scenario.established_event
+        assert [m.name for m in event.middleboxes] == ["proxy"]
+        assert scenario.middlebox_engine().joined
+
+    def test_middlebox_joined_event_carries_certificate(self, rng, pki):
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, identity, {})],
+            server_kind="tls",
+        ).run_client()
+        joined = [e for e in scenario.events if isinstance(e, MiddleboxJoined)]
+        assert len(joined) == 1
+        assert joined[0].certificate.subject == "proxy"
+
+    def test_no_middlebox_plain_session(self, rng, pki):
+        scenario = MbTLSScenario(pki, rng, mbox_specs=[], server_kind="tls")
+        scenario.run_client(b"PING")
+        assert scenario.client_received == [b"REPLY:PING"]
+        assert scenario.established_event.middleboxes == ()
+
+    def test_two_client_side_in_path_order(self, rng, pki):
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[
+                ("near-client", MiddleboxRole.CLIENT_SIDE, tagger(b"+A"), {}),
+                ("near-server", MiddleboxRole.CLIENT_SIDE, tagger(b"+B"), {}),
+            ],
+            server_kind="tls",
+        ).run_client(b"X")
+        # Data passes near-client first: tags apply in path order.
+        assert scenario.client_received == [b"REPLY:X+A+B"]
+        assert [m.name for m in scenario.established_event.middleboxes] == [
+            "near-client",
+            "near-server",
+        ]
+
+    def test_distinct_subchannels(self, rng, pki):
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[
+                ("one", MiddleboxRole.CLIENT_SIDE, identity, {}),
+                ("two", MiddleboxRole.CLIENT_SIDE, identity, {}),
+            ],
+            server_kind="tls",
+        ).run_client()
+        subchannels = [m.subchannel_id for m in scenario.established_event.middleboxes]
+        assert len(set(subchannels)) == 2
+
+
+class TestServerSideAnnouncement:
+    def test_legacy_client_with_server_side_middlebox(self, rng, pki):
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("edge", MiddleboxRole.SERVER_SIDE, tagger(b"+E", "s2c"), {})],
+            client_kind="tls",
+            server_kind="mbtls",
+        ).run_client(b"PING")
+        assert scenario.client_received == [b"REPLY:PING+E"]
+        server_established = [
+            e for e in scenario.server_events if isinstance(e, SessionEstablished)
+        ]
+        assert [m.name for m in server_established[0].middleboxes] == ["edge"]
+
+    def test_two_server_side_in_path_order(self, rng, pki):
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[
+                ("s-near-client", MiddleboxRole.SERVER_SIDE, tagger(b"+1"), {}),
+                ("s-near-server", MiddleboxRole.SERVER_SIDE, tagger(b"+2"), {}),
+            ],
+            client_kind="tls",
+            server_kind="mbtls",
+        ).run_client(b"X")
+        assert scenario.server_received == [b"X+1+2"]
+        established = [
+            e for e in scenario.server_events if isinstance(e, SessionEstablished)
+        ][0]
+        assert [m.name for m in established.middleboxes] == [
+            "s-near-client",
+            "s-near-server",
+        ]
+
+    def test_server_side_rejected_when_announcements_disabled(self, rng, pki):
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("edge", MiddleboxRole.SERVER_SIDE, tagger(b"+E"), {})],
+            client_kind="tls",
+            server_kind="mbtls",
+            server_config_kwargs={"accept_announcements": False},
+        ).run_client(b"PING")
+        # Middlebox gives up, relays; data is untouched.
+        assert scenario.client_received == [b"REPLY:PING"]
+        assert scenario.middlebox_engine().gave_up
+
+    def test_give_up_caches_non_mbtls_server(self, rng, pki):
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("edge", MiddleboxRole.SERVER_SIDE, identity, {})],
+            client_kind="tls",
+            server_kind="tls",
+        ).run_client(b"PING")
+        assert scenario.client_received == [b"REPLY:PING"]
+        engine = scenario.middlebox_engine()
+        assert engine.gave_up
+        assert "server" in engine.config.non_mbtls_servers
+
+
+class TestBothSides:
+    def test_full_chain_two_plus_two(self, rng, pki):
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[
+                ("c1", MiddleboxRole.CLIENT_SIDE, tagger(b"A"), {}),
+                ("c2", MiddleboxRole.CLIENT_SIDE, tagger(b"B"), {}),
+                ("s1", MiddleboxRole.SERVER_SIDE, tagger(b"C"), {}),
+                ("s2", MiddleboxRole.SERVER_SIDE, tagger(b"D"), {}),
+            ],
+            server_kind="mbtls",
+        ).run_client(b"X")
+        assert scenario.server_received == [b"XABCD"]
+        assert scenario.client_received == [b"REPLY:XABCD"]
+
+    def test_endpoint_isolation(self, rng, pki):
+        """Endpoints only see their own middleboxes (§4.2)."""
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[
+                ("client-mb", MiddleboxRole.CLIENT_SIDE, identity, {}),
+                ("server-mb", MiddleboxRole.SERVER_SIDE, identity, {}),
+            ],
+            server_kind="mbtls",
+        ).run_client()
+        client_view = [m.name for m in scenario.established_event.middleboxes]
+        server_view = [
+            m.name
+            for e in scenario.server_events
+            if isinstance(e, SessionEstablished)
+            for m in e.middleboxes
+        ]
+        assert client_view == ["client-mb"]
+        assert server_view == ["server-mb"]
+
+
+class TestApprovalPolicy:
+    def test_policy_rejection_downgrades_to_relay(self, rng, pki):
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, tagger(b"+P"), {})],
+            server_kind="tls",
+            client_config_kwargs={"approve_middlebox": lambda info: False},
+        ).run_client(b"PING")
+        # Session still works; the middlebox relays without keys.
+        assert scenario.client_received == [b"REPLY:PING"]
+        assert any(isinstance(e, MiddleboxRejected) for e in scenario.events)
+        assert scenario.established_event.middleboxes == ()
+        assert not scenario.middlebox_engine().joined
+
+    def test_policy_sees_certificate_name(self, rng, pki):
+        seen = []
+
+        def policy(info):
+            seen.append(info.name)
+            return True
+
+        MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("trusted-proxy", MiddleboxRole.CLIENT_SIDE, identity, {})],
+            server_kind="tls",
+            client_config_kwargs={"approve_middlebox": policy},
+        ).run_client()
+        assert seen == ["trusted-proxy"]
+
+    def test_untrusted_middlebox_certificate_rejected(self, rng, pki, session_rng):
+        from repro.pki.authority import CertificateAuthority
+
+        rogue = CertificateAuthority("rogue", session_rng.fork(b"rogue-mb"), key_bits=1024)
+        rogue_cred = rogue.issue_credential("proxy", rng=session_rng.fork(b"rk"))
+
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, tagger(b"+P"), {})],
+            server_kind="tls",
+        )
+        # Replace the middlebox credential with the rogue one post-hoc.
+        scenario.services[0]._make_config = (
+            lambda mk=scenario.services[0]._make_config: _swap_cred(mk(), rogue_cred)
+        )
+        scenario.run_client(b"PING")
+        assert any(isinstance(e, MiddleboxRejected) for e in scenario.events)
+        assert scenario.client_received == [b"REPLY:PING"]  # relayed instead
+
+
+def _swap_cred(config, credential):
+    config.tls.credential = credential
+    return config
+
+
+class TestAttestation:
+    def test_attested_middlebox_measurement_surfaces(self, rng, pki):
+        service = AttestationService(rng.fork(b"ias"))
+        platform = Platform(service, malicious=True)
+        code = EnclaveCode(name="proxy", version="2.0", image=b"audited-build")
+        enclave = platform.launch_enclave(code)
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[
+                ("proxy", MiddleboxRole.CLIENT_SIDE, identity, {"enclave": enclave})
+            ],
+            server_kind="tls",
+            client_config_kwargs={
+                "require_middlebox_attestation": True,
+                "middlebox_attestation_verifier": service.verifier(
+                    {code.measurement}
+                ),
+            },
+        ).run_client()
+        middlebox = scenario.established_event.middleboxes[0]
+        assert middlebox.measurement == code.measurement
+
+    def test_unattested_middlebox_rejected_when_required(self, rng, pki):
+        service = AttestationService(rng.fork(b"ias"))
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, identity, {})],  # no enclave
+            server_kind="tls",
+            client_config_kwargs={
+                "require_middlebox_attestation": True,
+                "middlebox_attestation_verifier": service.verifier(None),
+            },
+        ).run_client(b"PING")
+        assert any(isinstance(e, MiddleboxRejected) for e in scenario.events)
+        assert scenario.established_event.middleboxes == ()
+        # ... but the session itself survives, relayed.
+        assert scenario.client_received == [b"REPLY:PING"]
+
+    def test_substituted_code_rejected(self, rng, pki):
+        service = AttestationService(rng.fork(b"ias"))
+        platform = Platform(service, malicious=True)
+        good = EnclaveCode(name="proxy", version="2.0", image=b"audited-build")
+        platform.plant_code_substitution(
+            EnclaveCode(name="proxy", version="2.0", image=b"backdoored")
+        )
+        enclave = platform.launch_enclave(good)
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[
+                ("proxy", MiddleboxRole.CLIENT_SIDE, identity, {"enclave": enclave})
+            ],
+            server_kind="tls",
+            client_config_kwargs={
+                "require_middlebox_attestation": True,
+                "middlebox_attestation_verifier": service.verifier(
+                    {good.measurement}
+                ),
+            },
+        ).run_client()
+        assert any(isinstance(e, MiddleboxRejected) for e in scenario.events)
+        assert scenario.established_event.middleboxes == ()
+
+
+class TestAutoRole:
+    def test_auto_joins_client_side_when_extension_present(self, rng, pki):
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("auto-mb", MiddleboxRole.AUTO, tagger(b"+A"), {})],
+            server_kind="tls",
+        ).run_client(b"X")
+        assert scenario.client_received == [b"REPLY:X+A"]
+        assert scenario.middlebox_engine().mode == "client-side"
+
+    def test_auto_announces_server_side_for_legacy_client(self, rng, pki):
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("auto-mb", MiddleboxRole.AUTO, tagger(b"+A"), {})],
+            client_kind="tls",
+            server_kind="mbtls",
+        ).run_client(b"X")
+        assert scenario.server_received == [b"X+A"]
+        assert scenario.middlebox_engine().mode == "server-side"

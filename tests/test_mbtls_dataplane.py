@@ -1,0 +1,163 @@
+"""mbTLS data plane: fragmentation, alerts, buffering, drops, closing."""
+
+import pytest
+
+from helpers import MbTLSScenario, identity, tagger
+from repro.core.config import MiddleboxRole
+from repro.tls.events import ConnectionClosed
+
+
+class TestBulkData:
+    def test_large_transfer_through_middlebox(self, rng, pki):
+        blob = bytes(range(256)) * 150  # 38400 bytes; multiple records
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, identity, {})],
+            server_kind="tls",
+        ).run_client(blob)
+        assert b"".join(scenario.server_received) == blob
+        # The echo server prefixes each received chunk independently.
+        expected = b"".join(b"REPLY:" + chunk for chunk in scenario.server_received)
+        assert b"".join(scenario.client_received) == expected
+
+    def test_multiple_requests_sequential(self, rng, pki):
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, tagger(b"!"), {})],
+            server_kind="tls",
+        ).run_client(b"one")
+        for payload in (b"two", b"three"):
+            scenario.client_driver.send_application_data(payload)
+            scenario.network.sim.run()
+        assert scenario.server_received == [b"one!", b"two!", b"three!"]
+
+    def test_server_to_client_transform(self, rng, pki):
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[
+                ("shrink", MiddleboxRole.CLIENT_SIDE, tagger(b"<", "s2c"), {})
+            ],
+            server_kind="tls",
+        ).run_client(b"req")
+        assert scenario.client_received == [b"REPLY:req<"]
+
+
+class TestMiddleboxAppDrop:
+    def test_app_can_consume_chunks(self, rng, pki):
+        def censor(direction, data):
+            return b"" if b"forbidden" in data else data
+
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("censor", MiddleboxRole.CLIENT_SIDE, censor, {})],
+            server_kind="tls",
+        ).run_client(b"contains forbidden words")
+        # The chunk was emptied; nothing reaches the server.
+        assert scenario.server_received in ([], [b""])
+
+
+class TestCloseSemantics:
+    def test_close_propagates_through_middlebox(self, rng, pki):
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, identity, {})],
+            server_kind="tls",
+        ).run_client(b"PING")
+        scenario.client_driver.close()
+        scenario.network.sim.run()
+        closed = [e for e in scenario.server_events if isinstance(e, ConnectionClosed)]
+        assert closed, "server must observe the close"
+
+    def test_close_alert_travels_under_hop_keys(self, rng, pki):
+        # The close_notify from the client is re-encrypted by the middlebox,
+        # so the two hops carry different alert ciphertexts.
+        from repro.netsim.adversary import GlobalAdversary
+        from repro.wire.records import ContentType, RecordBuffer
+
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, identity, {})],
+            server_kind="tls",
+        )
+        adversary = GlobalAdversary(scenario.network)
+        scenario.run_client(b"PING")
+        scenario.client_driver.close()
+        scenario.network.sim.run()
+
+        def alert_records(a, b):
+            buffer = RecordBuffer()
+            buffer.feed(adversary.wiretap_between(a, b).recorder.all_bytes())
+            return [
+                record.encode()
+                for record in buffer.pop_records()
+                if record.content_type == ContentType.ALERT
+            ]
+
+        hop1 = alert_records("client", "mb0")
+        hop2 = alert_records("mb0", "server")
+        assert hop1 and hop2
+        assert set(hop1).isdisjoint(set(hop2))
+
+
+class TestFalseStartBuffering:
+    def test_server_data_queued_until_keys_distributed(self, rng, pki):
+        """The server may queue a response before establishment (§3.5)."""
+        early = []
+
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("edge", MiddleboxRole.SERVER_SIDE, tagger(b"+E", "s2c"), {})],
+            client_kind="tls",
+            server_kind="mbtls",
+        )
+        # Queue server data at accept time, i.e., before establishment.
+        original_serve = scenario.server_events.append
+
+        scenario.run_client(b"PING")
+        assert scenario.client_received == [b"REPLY:PING+E"]
+
+    def test_middlebox_buffers_data_until_key_material(self, rng, pki):
+        # With server-side middleboxes, client data reaches the middlebox
+        # before its MBTLSKeyMaterial; the engine must buffer, then flush.
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("edge", MiddleboxRole.SERVER_SIDE, tagger(b"+E"), {})],
+            client_kind="tls",
+            server_kind="mbtls",
+        ).run_client(b"EAGER")
+        assert scenario.server_received == [b"EAGER+E"]
+        assert scenario.middlebox_engine().keys_installed
+
+
+class TestRecordDropCounters:
+    def test_endpoint_drops_forged_records_without_dying(self, rng, pki):
+        from repro.wire.records import ContentType, Record
+
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, identity, {})],
+            server_kind="tls",
+        ).run_client(b"PING")
+        engine = scenario.client_engine
+        forged = Record(ContentType.APPLICATION_DATA, b"\x00" * 40)
+        events = engine.receive_bytes(forged.encode())
+        assert engine.records_dropped == 1
+        assert not engine.closed
+        # The session still works afterwards.
+        scenario.client_driver.send_application_data(b"still-alive")
+        scenario.network.sim.run()
+        assert b"still-alive" in scenario.server_received[-1]
+
+    def test_middlebox_drops_forged_records(self, rng, pki):
+        from repro.wire.records import ContentType, Record
+
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, identity, {})],
+            server_kind="tls",
+        ).run_client(b"PING")
+        middlebox = scenario.middlebox_engine()
+        before = middlebox.records_processed
+        forged = Record(ContentType.APPLICATION_DATA, b"\x00" * 40)
+        middlebox.receive_down(forged.encode())
+        assert middlebox.records_processed == before  # silently discarded

@@ -1,0 +1,162 @@
+"""Preconfigured middleboxes: the client dials the middlebox directly and
+lists it in the MiddleboxSupport extension (§3.4, "Client-Side
+Middleboxes", pre-configured case). The middlebox learns the next hop from
+the extension list and the SNI."""
+
+import pytest
+
+from repro.core.config import (
+    MbTLSEndpointConfig,
+    MiddleboxConfig,
+    MiddleboxRole,
+    SessionEstablished,
+)
+from repro.core.drivers import MiddleboxService, open_mbtls
+from repro.netsim.driver import EngineDriver
+from repro.netsim.network import Network
+from repro.tls.config import TLSConfig
+from repro.tls.engine import TLSServerEngine
+from repro.tls.events import ApplicationData
+
+
+def build_world(rng, pki, hosts, links):
+    network = Network()
+    for host in hosts:
+        network.add_host(host)
+    for a, b, latency in links:
+        network.add_link(a, b, latency)
+
+    def accept(socket, source):
+        engine = TLSServerEngine(
+            TLSConfig(rng=rng.fork(b"srv"), credential=pki.credential("server"))
+        )
+        driver = EngineDriver(engine, socket)
+        driver.on_event = (
+            lambda event: driver.send_application_data(b"R:" + event.data)
+            if isinstance(event, ApplicationData)
+            else None
+        )
+        driver.start()
+
+    network.host("server").listen(443, accept)
+    return network
+
+
+def run_client(network, rng, pki, dial_to, preconfigured, received, events):
+    def on_event(event):
+        events.append(event)
+        if isinstance(event, SessionEstablished):
+            driver.send_application_data(b"PING")
+        elif isinstance(event, ApplicationData):
+            received.append(event.data)
+
+    config = MbTLSEndpointConfig(
+        tls=TLSConfig(
+            rng=rng.fork(b"cli"), trust_store=pki.trust, server_name="server"
+        ),
+        middlebox_trust_store=pki.trust,
+        preconfigured_middleboxes=preconfigured,
+    )
+    engine, driver = open_mbtls(network.host("client"), dial_to, config,
+                                on_event=on_event)
+    network.sim.run()
+    return engine
+
+
+class TestPreconfigured:
+    def test_directly_addressed_middlebox(self, rng, pki):
+        """Client connects TO the middlebox; SNI names the real server."""
+        network = build_world(
+            rng, pki,
+            hosts=("client", "mb-host", "server"),
+            links=[("client", "mb-host", 0.005), ("mb-host", "server", 0.01)],
+        )
+        service = MiddleboxService(
+            network.host("mb-host"),
+            lambda: MiddleboxConfig(
+                name="mb-host",
+                tls=TLSConfig(rng=rng.fork(b"mb"), credential=pki.credential("mb-host")),
+                role=MiddleboxRole.CLIENT_SIDE,
+                process=lambda d, data: data + b"!" if d == "c2s" else data,
+            ),
+            intercept=False,
+            listen=True,
+        )
+        received, events = [], []
+        run_client(network, rng, pki, dial_to="mb-host",
+                   preconfigured=("mb-host",), received=received, events=events)
+        assert received == [b"R:PING!"]
+        engine = service.drivers[0].engine
+        assert engine.mode == "client-side"
+        # The middlebox learned the onward hop from the SNI.
+        assert engine.dial_target == ("server", 443)
+
+    def test_chain_of_two_preconfigured(self, rng, pki):
+        """Each listed middlebox dials the next entry; the last dials SNI."""
+        network = build_world(
+            rng, pki,
+            hosts=("client", "mb-a", "mb-b", "server"),
+            links=[
+                ("client", "mb-a", 0.004),
+                ("mb-a", "mb-b", 0.004),
+                ("mb-b", "server", 0.004),
+            ],
+        )
+        for name, tag in (("mb-a", b"A"), ("mb-b", b"B")):
+            MiddleboxService(
+                network.host(name),
+                lambda name=name, tag=tag: MiddleboxConfig(
+                    name=name,
+                    tls=TLSConfig(
+                        rng=rng.fork(name.encode()), credential=pki.credential(name)
+                    ),
+                    role=MiddleboxRole.CLIENT_SIDE,
+                    process=lambda d, data, tag=tag: data + tag if d == "c2s" else data,
+                ),
+                intercept=False,
+                listen=True,
+            )
+        received, events = [], []
+        run_client(network, rng, pki, dial_to="mb-a",
+                   preconfigured=("mb-a", "mb-b"), received=received, events=events)
+        assert received == [b"R:PINGAB"]
+        established = [e for e in events if isinstance(e, SessionEstablished)][0]
+        assert [m.name for m in established.middleboxes] == ["mb-a", "mb-b"]
+
+    def test_preconfigured_plus_discovered(self, rng, pki):
+        """A preconfigured first hop coexists with an interceptor further on."""
+        network = build_world(
+            rng, pki,
+            hosts=("client", "pre", "disc", "server"),
+            links=[
+                ("client", "pre", 0.004),
+                ("pre", "disc", 0.004),
+                ("disc", "server", 0.004),
+            ],
+        )
+        MiddleboxService(
+            network.host("pre"),
+            lambda: MiddleboxConfig(
+                name="pre",
+                tls=TLSConfig(rng=rng.fork(b"pre"), credential=pki.credential("pre")),
+                role=MiddleboxRole.CLIENT_SIDE,
+                process=lambda d, data: data + b"P" if d == "c2s" else data,
+            ),
+            intercept=False,
+            listen=True,
+        )
+        MiddleboxService(
+            network.host("disc"),
+            lambda: MiddleboxConfig(
+                name="disc",
+                tls=TLSConfig(rng=rng.fork(b"disc"), credential=pki.credential("disc")),
+                role=MiddleboxRole.CLIENT_SIDE,
+                process=lambda d, data: data + b"D" if d == "c2s" else data,
+            ),
+        )  # on-path interceptor
+        received, events = [], []
+        run_client(network, rng, pki, dial_to="pre",
+                   preconfigured=("pre",), received=received, events=events)
+        assert received == [b"R:PINGPD"]
+        established = [e for e in events if isinstance(e, SessionEstablished)][0]
+        assert [m.name for m in established.middleboxes] == ["pre", "disc"]

@@ -1,0 +1,121 @@
+"""Property-based tests on the mbTLS data plane and key plumbing."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from helpers import MbTLSScenario, identity
+from repro.core.config import MiddleboxRole
+from repro.core.keys import (
+    BRIDGE_START_SEQUENCE,
+    bridge_hop_keys,
+    build_hop_chain,
+    generate_hop_keys,
+    hop_states_for_endpoint,
+    states_from_hop_keys,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.tls.ciphersuites import suite_by_code
+from repro.tls.keyschedule import KeyBlock
+from repro.wire.records import ContentType
+
+
+class TestDataPlaneProperties:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        payloads=st.lists(st.binary(min_size=1, max_size=4096), min_size=1, max_size=5),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_arbitrary_payloads_survive_the_middlebox(self, pki, payloads, seed):
+        """Any sequence of payloads crosses a middlebox chain intact."""
+        rng = HmacDrbg(seed.to_bytes(4, "big"))
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, identity, {})],
+            server_kind="tls",
+            server_reply=lambda data: b"",  # no echo: measure one direction
+        ).run_client(payloads[0])
+        for payload in payloads[1:]:
+            scenario.client_driver.send_application_data(payload)
+            scenario.network.sim.run()
+        assert b"".join(scenario.server_received) == b"".join(payloads)
+
+
+class TestHopKeyProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        count=st.integers(min_value=0, max_value=6),
+        client_side=st.booleans(),
+        seed=st.binary(min_size=1, max_size=8),
+    )
+    def test_chain_shape(self, count, client_side, seed):
+        suite = suite_by_code(0xC030)
+        rng = HmacDrbg(seed)
+        bridge = bridge_hop_keys(
+            suite,
+            KeyBlock(
+                client_write_key=b"c" * 32,
+                server_write_key=b"s" * 32,
+                client_write_iv=b"ci" * 2,
+                server_write_iv=b"si" * 2,
+            ),
+        )
+        chain = build_hop_chain(suite, count, rng, bridge, client_side=client_side)
+        assert len(chain) == count + 1
+        bridge_position = -1 if client_side else 0
+        assert chain[bridge_position].client_to_server_seq == BRIDGE_START_SEQUENCE
+        # Fresh hops start at zero and are pairwise distinct.
+        fresh = chain[:-1] if client_side else chain[1:]
+        keys = [hop.client_write_key for hop in fresh]
+        assert len(set(keys)) == len(keys)
+        for hop in fresh:
+            assert hop.client_to_server_seq == 0
+            assert hop.client_write_key != hop.server_write_key
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.binary(min_size=1, max_size=8), data=st.binary(max_size=256))
+    def test_hop_states_interoperate(self, seed, data):
+        """An endpoint's write state and a middlebox's read state built from
+        the same HopKeys always agree."""
+        suite = suite_by_code(0xC030)
+        rng = HmacDrbg(seed)
+        keys = generate_hop_keys(suite, rng)
+        _, client_write = hop_states_for_endpoint(suite, keys, is_client=True)
+        mbox_c2s_read, _ = states_from_hop_keys(suite, keys)
+        record = client_write.protect(ContentType.APPLICATION_DATA, data)
+        assert mbox_c2s_read.unprotect(record) == data
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.binary(min_size=1, max_size=8))
+    def test_directions_are_independent(self, seed):
+        suite = suite_by_code(0xC030)
+        rng = HmacDrbg(seed)
+        keys = generate_hop_keys(suite, rng)
+        c2s, s2c = states_from_hop_keys(suite, keys)
+        record = c2s.protect(ContentType.APPLICATION_DATA, b"hello")
+        with pytest.raises(Exception):
+            s2c.clone_at(0).unprotect(record)
+
+
+class TestSuiteMatrix:
+    @pytest.mark.parametrize("code", [0xC02F, 0xC030, 0x009F, 0xCCA8])
+    def test_mbtls_session_under_each_suite(self, rng, pki, code):
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[
+                ("proxy", MiddleboxRole.CLIENT_SIDE, identity,
+                 {"cipher_suites": (code,)})
+            ],
+            server_kind="tls",
+            client_tls_kwargs={"cipher_suites": (code,)},
+        )
+        # The legacy server must accept the suite too.
+        scenario.run_client(b"PING")
+        # Server default config includes all suites; assert negotiated code.
+        event = scenario.established_event
+        assert event is not None and event.cipher_suite == code
+        assert scenario.client_received == [b"REPLY:PING"]

@@ -1,0 +1,154 @@
+"""mbTLS session resumption (§3.5): every sub-handshake abbreviated."""
+
+import pytest
+
+from helpers import MbTLSScenario, identity, tagger
+from repro.core.config import MiddleboxRole
+from repro.core.resumption import MiddleboxSessionStore
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import EnclaveCode, Platform
+from repro.tls.session import ClientSessionStore, ServerSessionCache
+
+
+def resumable_world(rng, pki, mbox_tls_extra=None, client_cfg_extra=None):
+    """Two scenario runs sharing all resumption state."""
+    client_sessions = ClientSessionStore()
+    middlebox_sessions = MiddleboxSessionStore()
+    mbox_cache = ServerSessionCache()
+    server_cache = ServerSessionCache()
+
+    def build(tag: bytes):
+        return MbTLSScenario(
+            pki,
+            rng.fork(tag),
+            mbox_specs=[
+                (
+                    "proxy",
+                    MiddleboxRole.CLIENT_SIDE,
+                    tagger(b"+P"),
+                    {"session_cache": mbox_cache, **(mbox_tls_extra or {})},
+                )
+            ],
+            server_kind="tls",
+            client_tls_kwargs={"session_store": client_sessions},
+            client_config_kwargs={
+                "middlebox_session_store": middlebox_sessions,
+                **(client_cfg_extra or {}),
+            },
+        )
+
+    # The legacy server needs a session cache too; patch the helper config.
+    def deploy_with_cache(scenario):
+        # Rebind the server with a shared cache by re-listening.
+        from repro.netsim.driver import EngineDriver
+        from repro.tls.config import TLSConfig
+        from repro.tls.engine import TLSServerEngine
+        from repro.tls.events import ApplicationData
+
+        def accept(socket, source):
+            engine = TLSServerEngine(
+                TLSConfig(
+                    rng=scenario.rng.fork(b"srv"),
+                    credential=pki.credential("server"),
+                    session_cache=server_cache,
+                )
+            )
+            driver = EngineDriver(engine, socket)
+
+            def on_event(event):
+                scenario.server_events.append(event)
+                if isinstance(event, ApplicationData):
+                    scenario.server_received.append(event.data)
+                    driver.send_application_data(b"REPLY:" + event.data)
+
+            driver.on_event = on_event
+            driver.start()
+
+        scenario.network.host("server").listen(443, accept)
+        return scenario
+
+    return build, deploy_with_cache
+
+
+class TestClientSideResumption:
+    def test_full_then_abbreviated(self, rng, pki):
+        build, with_cache = resumable_world(rng, pki)
+
+        first = with_cache(build(b"run1")).run_client(b"PING")
+        assert first.client_received == [b"REPLY:PING+P"]
+        assert not first.established_event.resumed
+        assert not first.middlebox_engine()._secondary.resumed
+
+        second = with_cache(build(b"run2")).run_client(b"PING")
+        assert second.client_received == [b"REPLY:PING+P"]
+        event = second.established_event
+        assert event.resumed, "primary handshake must be abbreviated"
+        assert [m.name for m in event.middleboxes] == ["proxy"]
+        # The SECONDARY handshake was abbreviated too: the middlebox's
+        # engine resumed from its cache keyed by the primary session ID.
+        assert second.middlebox_engine()._secondary.resumed
+        assert second.middlebox_engine().joined
+
+    def test_resumed_session_is_faster(self, rng, pki):
+        build, with_cache = resumable_world(rng, pki)
+        first = with_cache(build(b"run1")).run_client(b"PING")
+        first_done = first.network.sim.now
+        second = with_cache(build(b"run2")).run_client(b"PING")
+        second_done = second.network.sim.now
+        # Abbreviated handshakes save a full round trip.
+        assert second_done < first_done
+
+    def test_no_certificate_exchange_on_resumption(self, rng, pki):
+        from repro.netsim.adversary import GlobalAdversary
+        from repro.wire.handshake import HandshakeType
+
+        build, with_cache = resumable_world(rng, pki)
+        with_cache(build(b"run1")).run_client(b"PING")
+        second = with_cache(build(b"run2"))
+        adversary = GlobalAdversary(second.network)
+        second.run_client(b"PING")
+        observed = adversary.observed_bytes()
+        # Neither the server's nor the middlebox's certificate crossed the
+        # wire: no Certificate message means no chain bytes.
+        server_chain = pki.credential("server").certificate.encode()
+        proxy_chain = pki.credential("proxy").certificate.encode()
+        assert server_chain not in observed
+        assert proxy_chain not in observed
+
+    def test_middlebox_cache_loss_falls_back_to_full(self, rng, pki):
+        build, with_cache = resumable_world(rng, pki)
+        first = with_cache(build(b"run1")).run_client(b"PING")
+        # Wipe only the middlebox's cache: its secondary handshake must fall
+        # back to a full handshake while everything still works.
+        first.services[0].drivers[0].engine.config.tls.session_cache._sessions.clear()
+        second = with_cache(build(b"run2")).run_client(b"PING")
+        assert second.client_received == [b"REPLY:PING+P"]
+        assert not second.middlebox_engine()._secondary.resumed
+        assert second.middlebox_engine().joined
+
+    def test_measurement_carried_forward_on_resumption(self, rng, pki):
+        """§3.5: 'a new attestation is not required' — the measurement from
+        the original attested session is carried forward."""
+        service = AttestationService(rng.fork(b"ias"))
+        platform = Platform(service, malicious=True)
+        code = EnclaveCode("proxy", "1.0", b"audited")
+        enclave = platform.launch_enclave(code)
+        verifier = service.verifier({code.measurement})
+
+        build, with_cache = resumable_world(
+            rng, pki,
+            mbox_tls_extra={"enclave": enclave},
+            client_cfg_extra={
+                "require_middlebox_attestation": True,
+                "middlebox_attestation_verifier": verifier,
+            },
+        )
+        first = with_cache(build(b"run1")).run_client(b"PING")
+        assert first.established_event.middleboxes[0].measurement == code.measurement
+
+        second = with_cache(build(b"run2")).run_client(b"PING")
+        event = second.established_event
+        assert event.resumed
+        assert second.middlebox_engine()._secondary.resumed
+        # No SGXAttestation message was sent, yet the measurement is known.
+        assert event.middleboxes[0].measurement == code.measurement

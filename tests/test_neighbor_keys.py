@@ -1,0 +1,70 @@
+"""The §4.2 neighbour-keyed proposal: its trade-off, quantified.
+
+Endpoint keying (mbTLS): the client can forge beyond its middleboxes
+(enabling cache poisoning) but authenticates the server directly.
+Neighbour keying: poisoning impossible, but the client no longer shares a
+key with the server — it must trust the middlebox chain to authenticate it.
+"""
+
+import pytest
+
+from repro.core.neighbor import endpoint_keyed, neighbor_keyed
+
+
+class TestEndpointKeyed:
+    def test_client_knows_every_hop(self, rng):
+        dist = endpoint_keyed(middlebox_count=2, rng=rng)
+        assert all(dist.client.knows_hop(hop) for hop in range(dist.hop_count))
+
+    def test_client_can_bypass_any_middlebox(self, rng):
+        dist = endpoint_keyed(middlebox_count=2, rng=rng)
+        assert dist.client_can_bypass_middlebox(1)
+        assert dist.client_can_bypass_middlebox(2)
+
+    def test_client_authenticates_server_directly(self, rng):
+        dist = endpoint_keyed(middlebox_count=2, rng=rng)
+        assert dist.client_authenticates_server_directly()
+
+    def test_middleboxes_only_know_adjacent_hops(self, rng):
+        dist = endpoint_keyed(middlebox_count=3, rng=rng)
+        for index, party in enumerate(dist.parties[1:-1], start=1):
+            assert sorted(party.hop_keys) == [index - 1, index]
+
+
+class TestNeighborKeyed:
+    def test_client_knows_only_its_own_hop(self, rng):
+        dist = neighbor_keyed(middlebox_count=2, rng=rng)
+        assert sorted(dist.client.hop_keys) == [0]
+
+    def test_poisoning_impossible(self, rng):
+        dist = neighbor_keyed(middlebox_count=2, rng=rng)
+        assert not dist.client_can_bypass_middlebox(1)
+        assert not dist.client_can_bypass_middlebox(2)
+
+    def test_tradeoff_no_direct_server_authentication(self, rng):
+        """The paper's stated downside of the proposal."""
+        dist = neighbor_keyed(middlebox_count=2, rng=rng)
+        assert not dist.client_authenticates_server_directly()
+
+    def test_adjacent_parties_agree(self, rng):
+        dist = neighbor_keyed(middlebox_count=3, rng=rng)
+        for hop in range(dist.hop_count):
+            left = dist.parties[hop].hop_keys[hop]
+            right = dist.parties[hop + 1].hop_keys[hop]
+            assert left == right
+
+    def test_hop_keys_pairwise_distinct(self, rng):
+        dist = neighbor_keyed(middlebox_count=3, rng=rng)
+        keys = [dist.parties[hop].hop_keys[hop] for hop in range(dist.hop_count)]
+        assert len(set(keys)) == len(keys)
+
+
+class TestComparison:
+    @pytest.mark.parametrize("count", [1, 2, 4])
+    def test_schemes_disagree_exactly_on_the_tradeoff(self, rng, count):
+        endpoint = endpoint_keyed(count, rng)
+        neighbor = neighbor_keyed(count, rng)
+        assert endpoint.client_can_bypass_middlebox(1)
+        assert not neighbor.client_can_bypass_middlebox(1)
+        assert endpoint.client_authenticates_server_directly()
+        assert not neighbor.client_authenticates_server_directly()

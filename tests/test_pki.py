@@ -1,0 +1,142 @@
+"""Certificates, authorities, chains, and trust-store validation."""
+
+import pytest
+
+from repro.errors import CertificateError, CryptoError
+from repro.pki.authority import CertificateAuthority
+from repro.pki.certificate import Certificate
+from repro.pki.store import TrustStore
+
+
+class TestCertificate:
+    def test_encode_decode_roundtrip(self, pki):
+        credential = pki.credential("host.example")
+        leaf = credential.certificate
+        assert Certificate.decode(leaf.encode()) == leaf
+
+    def test_hostname_exact_match(self, pki):
+        leaf = pki.credential("host.example").certificate
+        assert leaf.matches_hostname("host.example")
+        assert not leaf.matches_hostname("other.example")
+
+    def test_wildcard_match(self, session_rng, ca):
+        cert = ca.issue(
+            "*.cdn.example", pki_public_key(session_rng, ca), now=0.0
+        )
+        assert cert.matches_hostname("edge1.cdn.example")
+        assert not cert.matches_hostname("cdn.example")
+        assert not cert.matches_hostname("a.b.cdn.example")
+        assert not cert.matches_hostname(".cdn.example")
+
+    def test_validity_window(self, session_rng, ca):
+        cert = ca.issue(
+            "x", pki_public_key(session_rng, ca), now=100.0, lifetime=50.0
+        )
+        assert not cert.valid_at(99.0)
+        assert cert.valid_at(125.0)
+        assert not cert.valid_at(151.0)
+
+
+def pki_public_key(rng, ca):
+    """A throwaway public key (reuse the CA's own; only shape matters)."""
+    return ca.certificate.public_key
+
+
+class TestAuthority:
+    def test_root_is_self_signed(self, ca):
+        root = ca.certificate
+        assert root.is_self_signed and root.is_ca
+        assert root.public_key.verify(root.tbs_bytes(), root.signature)
+
+    def test_issue_credential_chain(self, pki):
+        credential = pki.credential("service.example")
+        assert credential.certificate.subject == "service.example"
+        assert credential.chain[-1].subject == pki.ca.name
+
+    def test_serials_increment(self, ca):
+        cert_a = ca.issue("a", ca.certificate.public_key)
+        cert_b = ca.issue("b", ca.certificate.public_key)
+        assert cert_b.serial == cert_a.serial + 1
+
+    def test_intermediate_ca(self, session_rng, ca, trust):
+        intermediate = CertificateAuthority(
+            "intermediate", session_rng.fork(b"int"), key_bits=1024, parent=ca
+        )
+        credential = intermediate.issue_credential(
+            "deep.example", rng=session_rng.fork(b"deepk")
+        )
+        # Chain: leaf -> intermediate -> root; must anchor in the root store.
+        leaf = trust.validate_chain(credential.chain, "deep.example", now=0.0)
+        assert leaf.subject == "deep.example"
+
+
+class TestTrustStore:
+    def test_validates_good_chain(self, pki):
+        credential = pki.credential("good.example")
+        leaf = pki.trust.validate_chain(credential.chain, "good.example", now=0.0)
+        assert leaf.subject == "good.example"
+
+    def test_rejects_hostname_mismatch(self, pki):
+        credential = pki.credential("good.example")
+        with pytest.raises(CertificateError):
+            pki.trust.validate_chain(credential.chain, "evil.example", now=0.0)
+
+    def test_rejects_expired(self, pki):
+        credential = pki.expired_credential("old.example")
+        with pytest.raises(CertificateError) as excinfo:
+            pki.trust.validate_chain(credential.chain, "old.example", now=0.0)
+        assert excinfo.value.alert == "certificate_expired"
+
+    def test_rejects_unknown_ca(self, session_rng, pki):
+        rogue = CertificateAuthority("rogue", session_rng.fork(b"rogue"), key_bits=1024)
+        credential = rogue.issue_credential("good.example", rng=session_rng.fork(b"rk"))
+        with pytest.raises(CertificateError) as excinfo:
+            pki.trust.validate_chain(credential.chain, "good.example", now=0.0)
+        assert excinfo.value.alert == "unknown_ca"
+
+    def test_rejects_empty_chain(self, trust):
+        with pytest.raises(CertificateError):
+            trust.validate_chain([], "x", now=0.0)
+
+    def test_rejects_tampered_certificate(self, pki):
+        credential = pki.credential("tamper.example")
+        leaf = credential.certificate
+        forged = Certificate(
+            subject="othername.example",
+            issuer=leaf.issuer,
+            public_key=leaf.public_key,
+            serial=leaf.serial,
+            not_before=leaf.not_before,
+            not_after=leaf.not_after,
+            is_ca=leaf.is_ca,
+            signature=leaf.signature,  # signature over the ORIGINAL tbs
+        )
+        with pytest.raises(CertificateError):
+            pki.trust.validate_chain(
+                (forged,) + credential.chain[1:], "othername.example", now=0.0
+            )
+
+    def test_custom_root_injection_enables_interception(self, session_rng, pki):
+        # The split-TLS provisioning step: adding the interceptor's root
+        # makes its fabricated certificates validate.
+        interceptor = CertificateAuthority(
+            "corp-interceptor", session_rng.fork(b"corp"), key_bits=1024
+        )
+        fabricated = interceptor.issue_credential(
+            "bank.example", rng=session_rng.fork(b"fk")
+        )
+        store = TrustStore([pki.ca.certificate])
+        with pytest.raises(CertificateError):
+            store.validate_chain(fabricated.chain, "bank.example", now=0.0)
+        store.add_root(interceptor.certificate)
+        assert store.validate_chain(fabricated.chain, "bank.example", now=0.0)
+
+    def test_remove_root(self, session_rng):
+        ca = CertificateAuthority("r", session_rng.fork(b"r"), key_bits=1024)
+        store = TrustStore([ca.certificate])
+        store.remove_root("r")
+        assert store.roots == ()
+
+    def test_hostname_check_skipped_when_none(self, pki):
+        credential = pki.credential("anyname.example")
+        assert pki.trust.validate_chain(credential.chain, None, now=0.0)

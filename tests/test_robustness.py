@@ -1,0 +1,138 @@
+"""Fuzz-style robustness: engines must survive hostile or garbage input by
+closing cleanly (or ignoring it), never by raising out of receive_bytes."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from helpers import MbTLSScenario, identity
+from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig, MiddleboxRole
+from repro.core.client import MbTLSClientEngine
+from repro.core.middlebox import MbTLSMiddlebox
+from repro.crypto.drbg import HmacDrbg
+from repro.tls.config import TLSConfig
+from repro.tls.engine import TLSClientEngine, TLSServerEngine
+from repro.wire.records import ContentType, Record
+
+
+class TestGarbageInput:
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(garbage=st.binary(min_size=1, max_size=300))
+    def test_tls_server_survives_garbage(self, pki, garbage):
+        engine = TLSServerEngine(
+            TLSConfig(rng=HmacDrbg(garbage[:8].ljust(8, b"\x00")),
+                      credential=pki.credential("server"))
+        )
+        engine.start()
+        engine.receive_bytes(garbage)  # must not raise
+        engine.data_to_send()
+
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(garbage=st.binary(min_size=1, max_size=300))
+    def test_tls_client_survives_garbage(self, pki, garbage):
+        engine = TLSClientEngine(
+            TLSConfig(rng=HmacDrbg(b"fuzz"), trust_store=pki.trust,
+                      server_name="server")
+        )
+        engine.start()
+        engine.data_to_send()
+        engine.receive_bytes(garbage)
+
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(garbage=st.binary(min_size=1, max_size=300))
+    def test_mbtls_client_survives_garbage(self, pki, garbage):
+        engine = MbTLSClientEngine(
+            MbTLSEndpointConfig(
+                tls=TLSConfig(rng=HmacDrbg(b"fuzz"), trust_store=pki.trust,
+                              server_name="server"),
+            )
+        )
+        engine.start()
+        engine.data_to_send()
+        engine.receive_bytes(garbage)
+
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        garbage=st.binary(min_size=1, max_size=300),
+        side=st.sampled_from(["down", "up"]),
+    )
+    def test_middlebox_survives_garbage(self, pki, garbage, side):
+        middlebox = MbTLSMiddlebox(
+            MiddleboxConfig(
+                name="m",
+                tls=TLSConfig(rng=HmacDrbg(b"fuzz"),
+                              credential=pki.credential("m")),
+                role=MiddleboxRole.CLIENT_SIDE,
+            ),
+            destination="server",
+        )
+        if side == "down":
+            middlebox.receive_down(garbage)
+        else:
+            middlebox.receive_up(garbage)
+        middlebox.data_to_send_down()
+        middlebox.data_to_send_up()
+
+
+class TestHostileRecords:
+    def _record_strategy(self):
+        return st.builds(
+            Record,
+            content_type=st.sampled_from(list(ContentType)),
+            payload=st.binary(max_size=200),
+        )
+
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(records=st.lists(st.builds(
+        Record,
+        content_type=st.sampled_from(list(ContentType)),
+        payload=st.binary(max_size=200),
+    ), min_size=1, max_size=5))
+    def test_server_survives_arbitrary_record_sequences(self, pki, records):
+        engine = TLSServerEngine(
+            TLSConfig(rng=HmacDrbg(b"records"), credential=pki.credential("server"))
+        )
+        engine.start()
+        for record in records:
+            engine.receive_bytes(record.encode())
+            engine.data_to_send()
+
+    def test_established_session_survives_injected_record_storm(self, rng, pki):
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, identity, {})],
+            server_kind="tls",
+        ).run_client(b"PING")
+        client = scenario.client_engine
+        storm_rng = HmacDrbg(b"storm")
+        for _ in range(50):
+            content_type = storm_rng.choice(
+                [ContentType.APPLICATION_DATA, ContentType.ALERT,
+                 ContentType.MBTLS_ENCAPSULATED]
+            )
+            payload = storm_rng.random_bytes(storm_rng.randint_range(1, 60))
+            if content_type == ContentType.MBTLS_ENCAPSULATED:
+                payload = bytes([storm_rng.randint_range(0, 255)]) + Record(
+                    ContentType.HANDSHAKE, payload
+                ).encode()
+            client.receive_bytes(Record(content_type, payload).encode())
+        # The genuine session still works after the storm.
+        if not client.closed:
+            scenario.client_driver.send_application_data(b"alive")
+            scenario.network.sim.run()
+            assert b"alive" in scenario.server_received[-1]

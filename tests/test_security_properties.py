@@ -1,0 +1,168 @@
+"""The paper's security properties P1-P4 as executable assertions.
+
+Each test runs a concrete attack from the §3.1 threat model (via the
+Table 1 scenario module) and asserts the documented outcome — including the
+deliberate *vulnerabilities* of the baselines, and §4.2's cache-poisoning
+caveat for mbTLS itself.
+"""
+
+import pytest
+
+from helpers import MbTLSScenario, identity
+from repro.bench import threats
+from repro.core.config import MiddleboxRole
+from repro.core.keys import states_from_hop_keys
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import EnclaveCode, Platform
+from repro.tls.ciphersuites import suite_by_code
+
+
+class TestTable1Matrix:
+    """One assertion per Table 1 row."""
+
+    def test_wire_secrecy_tls(self):
+        assert threats.wire_secrecy_tls().defended
+
+    def test_wire_secrecy_mbtls(self):
+        assert threats.wire_secrecy_mbtls().defended
+
+    def test_mip_cannot_read_enclave_keys(self):
+        assert threats.mip_memory_read(use_enclave=True).defended
+
+    def test_mip_reads_keys_without_enclave(self):
+        # The counterfactual: without SGX the MIP sees everything.
+        assert not threats.mip_memory_read(use_enclave=False).defended
+
+    def test_change_secrecy_mbtls(self):
+        assert threats.change_secrecy("mbtls").defended
+
+    def test_change_secrecy_broken_in_shared_key_baseline(self):
+        assert not threats.change_secrecy("shared").defended
+
+    def test_path_integrity_mbtls(self):
+        assert threats.path_skip("mbtls").defended
+
+    def test_path_integrity_broken_in_shared_key_baseline(self):
+        assert not threats.path_skip("shared").defended
+
+    def test_wire_tampering_rejected(self):
+        assert threats.wire_tamper_mbtls().defended
+
+    def test_replay_rejected(self):
+        assert threats.replay_mbtls().defended
+
+    def test_impostor_server_rejected(self):
+        assert threats.impersonate_server().defended
+
+    def test_wrong_msp_rejected(self):
+        assert threats.impersonate_middlebox().defended
+
+    def test_wrong_code_rejected(self):
+        assert threats.wrong_middlebox_code().defended
+
+    def test_forward_secrecy_structure(self):
+        assert threats.forward_secrecy().defended
+
+
+class TestKeyVisibility:
+    def test_no_session_secret_in_mip_memory_with_enclave(self, rng, pki):
+        """P1A against the MIP: every secret the middlebox's TLS stack
+        derives lands in enclave memory, and none is MIP-visible."""
+        service = AttestationService(rng.fork(b"ias"))
+        platform = Platform(service, malicious=True)
+        enclave = platform.launch_enclave(EnclaveCode("proxy", "1", b"code"))
+        arena = platform.arena_for(enclave)
+
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[
+                (
+                    "proxy",
+                    MiddleboxRole.CLIENT_SIDE,
+                    identity,
+                    {"enclave": enclave, "on_secret": arena.store},
+                )
+            ],
+            server_kind="tls",
+        ).run_client(b"PING")
+        assert scenario.client_received == [b"REPLY:PING"]
+        assert len(arena.all_bytes()) > 0, "secrets must have been recorded"
+        assert platform.dump_visible_secrets() == set()
+
+    def test_client_hop_keys_never_on_wire_in_clear(self, rng, pki):
+        from repro.netsim.adversary import GlobalAdversary
+
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, identity, {})],
+            server_kind="tls",
+        )
+        adversary = GlobalAdversary(scenario.network)
+        scenario.run_client(b"PING")
+        observed = adversary.observed_bytes()
+        client = scenario.client_engine
+        assert client.primary.master_secret not in observed
+        assert client.primary.key_block.client_write_key not in observed
+        # The hop keys distributed via MBTLSKeyMaterial ride encrypted.
+        assert client._data_write.key not in observed
+        assert client._data_read.key not in observed
+
+
+class TestCachePoisoningCaveat:
+    """§4.2: a malicious client can poison a shared client-side cache,
+    because it knows every hop key on its side."""
+
+    def test_malicious_client_forges_cached_response(self, rng, pki):
+        from repro.apps.cache import CacheApp, SharedCacheStore
+        from repro.core.keys import bridge_hop_keys
+        from repro.netsim.adversary import DroppingTap, GlobalAdversary
+        from repro.wire.records import ContentType
+
+        store = SharedCacheStore()
+
+        def http_reply(data: bytes) -> bytes:
+            return b"HTTP/1.1 200 OK\r\nContent-Length: 8\r\n\r\ngenuine!"
+
+        scenario = MbTLSScenario(
+            pki, rng,
+            mbox_specs=[
+                ("cache", MiddleboxRole.CLIENT_SIDE, CacheApp(store), {})
+            ],
+            server_kind="tls",
+            server_reply=http_reply,
+        )
+        adversary = GlobalAdversary(scenario.network)
+        scenario.run_client(
+            b"GET /page HTTP/1.1\r\nHost: server\r\n\r\n", auto_request=True
+        )
+        assert store.entries, "the genuine response must have been cached"
+
+        # Paper's recipe (§4.2): (1) request a page, (2) keep the server
+        # from answering (drop the forwarded request), (3) inject a forged
+        # response under the cache-server hop keys, which the malicious
+        # client KNOWS — they are its own primary-session bridge keys.
+        hop2 = adversary.wiretap_between("mb0", "server")
+        hop2.stream.add_tap(
+            DroppingTap(should_drop=lambda data: data[:1] == b"\x17", limit=1)
+        )
+        scenario.client_driver.send_application_data(
+            b"GET /victim HTTP/1.1\r\nHost: server\r\n\r\n"
+        )
+        scenario.network.sim.run()
+
+        client = scenario.client_engine
+        suite = suite_by_code(client.primary.suite.code)
+        _, key_block = client.primary.export_key_block()
+        bridge = bridge_hop_keys(suite, key_block)
+        _, s2c_state = states_from_hop_keys(suite, bridge)
+        middlebox = scenario.middlebox_engine()
+        s2c_state.sequence = middlebox._s2c_read.sequence
+        poison = b"HTTP/1.1 200 OK\r\nContent-Length: 6\r\n\r\npwned!"
+        forged = s2c_state.protect(ContentType.APPLICATION_DATA, poison)
+        hop2.inject_toward("mb0", forged.encode())
+        scenario.network.sim.run()
+
+        # The shared cache now serves the attacker's content for /victim.
+        assert any(
+            b"pwned!" in entry.body for entry in store.entries.values()
+        ), store.entries

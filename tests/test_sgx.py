@@ -1,0 +1,180 @@
+"""Simulated SGX: measurements, quotes, platform adversary, cost model."""
+
+import pytest
+
+from repro.errors import AttestationError, EnclaveError
+from repro.sgx.attestation import AttestationService, Quote
+from repro.sgx.enclave import EnclaveCode, MemoryArena, Platform
+from repro.sgx.syscalls import SgxCostModel
+
+
+class TestMeasurement:
+    def test_measurement_depends_on_every_field(self):
+        base = EnclaveCode(name="app", version="1", image=b"code")
+        assert base.measurement != EnclaveCode("app2", "1", b"code").measurement
+        assert base.measurement != EnclaveCode("app", "2", b"code").measurement
+        assert base.measurement != EnclaveCode("app", "1", b"other").measurement
+
+    def test_measurement_deterministic(self):
+        a = EnclaveCode(name="app", version="1", image=b"code")
+        b = EnclaveCode(name="app", version="1", image=b"code")
+        assert a.measurement == b.measurement
+
+    def test_no_length_extension_ambiguity(self):
+        # name/version/image boundaries are length-prefixed in the hash.
+        a = EnclaveCode(name="ab", version="c", image=b"")
+        b = EnclaveCode(name="a", version="bc", image=b"")
+        assert a.measurement != b.measurement
+
+
+class TestQuotes:
+    def test_quote_roundtrip_and_verify(self, rng):
+        service = AttestationService(rng.fork(b"ias"))
+        platform = Platform(service)
+        enclave = platform.launch_enclave(EnclaveCode("app", "1", b"x"))
+        quote_bytes = enclave.quote(b"handshake-hash")
+        verifier = service.verifier({enclave.measurement})
+        quote = verifier.verify(quote_bytes, b"handshake-hash")
+        assert quote.measurement == enclave.measurement
+
+    def test_wrong_report_data_rejected(self, rng):
+        service = AttestationService(rng.fork(b"ias"))
+        platform = Platform(service)
+        enclave = platform.launch_enclave(EnclaveCode("app", "1", b"x"))
+        quote_bytes = enclave.quote(b"session-A")
+        with pytest.raises(AttestationError):
+            service.verifier(None).verify(quote_bytes, b"session-B")
+
+    def test_replayed_quote_rejected(self, rng):
+        """A quote from one handshake cannot be replayed into another."""
+        service = AttestationService(rng.fork(b"ias"))
+        platform = Platform(service)
+        enclave = platform.launch_enclave(EnclaveCode("app", "1", b"x"))
+        old_quote = enclave.quote(b"old-transcript-hash")
+        with pytest.raises(AttestationError):
+            service.verifier(None).verify(old_quote, b"new-transcript-hash")
+
+    def test_unexpected_measurement_rejected(self, rng):
+        service = AttestationService(rng.fork(b"ias"))
+        platform = Platform(service)
+        enclave = platform.launch_enclave(EnclaveCode("app", "1", b"x"))
+        quote_bytes = enclave.quote(b"rd")
+        verifier = service.verifier({b"\x00" * 32})
+        with pytest.raises(AttestationError):
+            verifier.verify(quote_bytes, b"rd")
+
+    def test_forged_signature_rejected(self, rng):
+        service = AttestationService(rng.fork(b"ias"))
+        other_service = AttestationService(rng.fork(b"evil"))
+        platform = Platform(other_service)  # quotes signed by the wrong key
+        enclave = platform.launch_enclave(EnclaveCode("app", "1", b"x"))
+        quote_bytes = enclave.quote(b"rd")
+        with pytest.raises(AttestationError):
+            service.verifier(None).verify(quote_bytes, b"rd")
+
+    def test_malformed_quote_rejected(self, rng):
+        service = AttestationService(rng.fork(b"ias"))
+        with pytest.raises(AttestationError):
+            service.verifier(None).verify(b"not-a-quote", b"rd")
+
+    def test_oversize_report_data_rejected(self, rng):
+        service = AttestationService(rng.fork(b"ias"))
+        with pytest.raises(AttestationError):
+            service.sign_quote(b"m" * 32, b"x" * 65)
+
+
+class TestPlatform:
+    def test_host_memory_visible_to_malicious_platform(self, rng):
+        service = AttestationService(rng.fork(b"ias"))
+        platform = Platform(service, malicious=True)
+        platform.arena_for(None).store("session_key", b"super-secret")
+        assert b"super-secret" in platform.dump_visible_secrets()
+
+    def test_enclave_memory_invisible(self, rng):
+        service = AttestationService(rng.fork(b"ias"))
+        platform = Platform(service, malicious=True)
+        enclave = platform.launch_enclave(EnclaveCode("app", "1", b"x"))
+        platform.arena_for(enclave).store("session_key", b"super-secret")
+        assert platform.dump_visible_secrets() == set()
+
+    def test_honest_platform_cannot_substitute_code(self, rng):
+        service = AttestationService(rng.fork(b"ias"))
+        platform = Platform(service, malicious=False)
+        with pytest.raises(EnclaveError):
+            platform.plant_code_substitution(EnclaveCode("evil", "1", b"z"))
+
+    def test_code_substitution_changes_measurement(self, rng):
+        service = AttestationService(rng.fork(b"ias"))
+        platform = Platform(service, malicious=True)
+        good = EnclaveCode("app", "1", b"good")
+        platform.plant_code_substitution(EnclaveCode("app", "1", b"evil"))
+        enclave = platform.launch_enclave(good)
+        assert enclave.measurement != good.measurement
+
+    def test_substitution_applies_only_once(self, rng):
+        service = AttestationService(rng.fork(b"ias"))
+        platform = Platform(service, malicious=True)
+        good = EnclaveCode("app", "1", b"good")
+        platform.plant_code_substitution(EnclaveCode("app", "1", b"evil"))
+        platform.launch_enclave(good)
+        second = platform.launch_enclave(good)
+        assert second.measurement == good.measurement
+
+    def test_foreign_enclave_arena_rejected(self, rng):
+        service = AttestationService(rng.fork(b"ias"))
+        platform_a = Platform(service)
+        platform_b = Platform(service)
+        enclave = platform_a.launch_enclave(EnclaveCode("app", "1", b"x"))
+        with pytest.raises(EnclaveError):
+            platform_b.arena_for(enclave)
+
+
+class TestMemoryArena:
+    def test_store_and_enumerate(self):
+        arena = MemoryArena(protected=False)
+        arena.store("k", b"v1")
+        arena.store("k", b"v2")
+        assert arena.secrets() == {"k": [b"v1", b"v2"]}
+        assert arena.all_bytes() == {b"v1", b"v2"}
+
+
+class TestCostModel:
+    def test_enclave_overhead_is_small_for_large_buffers(self):
+        """The §5.3 headline: enclave transitions do not dominate I/O."""
+        model = SgxCostModel()
+        for buffer_size in (512, 4096, 12288):
+            plain = model.throughput(buffer_size, enclave=False, encryption=False)
+            enclaved = model.throughput(buffer_size, enclave=True, encryption=False)
+            ratio = enclaved.throughput_gbps / plain.throughput_gbps
+            assert ratio > 0.80, (buffer_size, ratio)
+
+    def test_encryption_dominates_enclave_cost(self):
+        model = SgxCostModel()
+        result = model.throughput(8192, enclave=True, encryption=True)
+        assert result.cpu_breakdown["crypto"] > result.cpu_breakdown["enclave_crossings"]
+
+    def test_interrupts_dominate_syscalls_for_large_buffers(self):
+        model = SgxCostModel()
+        breakdown = model.time_per_buffer(12288, enclave=True, encryption=False)
+        assert breakdown["interrupts"] > breakdown["enclave_crossings"]
+
+    def test_throughput_grows_with_buffer_size(self):
+        model = SgxCostModel()
+        results = [
+            model.throughput(size, enclave=True, encryption=True).throughput_gbps
+            for size in (512, 1024, 4096, 12288)
+        ]
+        assert results == sorted(results)
+
+    def test_encrypted_throughput_plateaus(self):
+        """Crypto is per-byte, so encrypted throughput saturates (~7 Gbps)."""
+        model = SgxCostModel()
+        big = model.throughput(8192, enclave=False, encryption=True).throughput_gbps
+        bigger = model.throughput(12288, enclave=False, encryption=True).throughput_gbps
+        assert abs(bigger - big) / big < 0.15
+        assert 5.0 < bigger < 9.0
+
+    def test_async_syscalls_remove_crossing_term(self):
+        model = SgxCostModel(async_syscalls=True)
+        breakdown = model.time_per_buffer(4096, enclave=True, encryption=False)
+        assert breakdown["enclave_crossings"] == 0.0

@@ -1,0 +1,305 @@
+"""The TLS 1.2 engines: handshakes, app data, resumption, alerts, failures."""
+
+import pytest
+
+from repro.tls.ciphersuites import CIPHER_SUITES
+from repro.tls.config import TLSConfig
+from repro.tls.engine import TLSClientEngine, TLSServerEngine
+from repro.tls.events import (
+    AlertReceived,
+    ApplicationData,
+    ConnectionClosed,
+    HandshakeComplete,
+    TicketIssued,
+)
+from repro.tls.session import ClientSessionStore, ServerSessionCache, TicketKeeper
+from repro.errors import ProtocolError
+
+
+def make_pair(rng, pki, client_kwargs=None, server_kwargs=None):
+    client = TLSClientEngine(
+        TLSConfig(
+            rng=rng.fork(b"client"),
+            trust_store=pki.trust,
+            server_name="server",
+            **(client_kwargs or {}),
+        )
+    )
+    server = TLSServerEngine(
+        TLSConfig(
+            rng=rng.fork(b"server"),
+            credential=pki.credential("server"),
+            **(server_kwargs or {}),
+        )
+    )
+    client.start()
+    server.start()
+    return client, server
+
+
+class TestFullHandshake:
+    @pytest.mark.parametrize("code", sorted(CIPHER_SUITES))
+    def test_every_suite_handshakes(self, rng, pki, pump, code):
+        client, server = make_pair(
+            rng, pki,
+            client_kwargs={"cipher_suites": (code,)},
+            server_kwargs={"cipher_suites": (code,)},
+        )
+        client_events, server_events = pump(client, server)
+        assert client.handshake_complete and server.handshake_complete
+        assert client.suite.code == code == server.suite.code
+        assert any(isinstance(e, HandshakeComplete) for e in client_events)
+        assert any(isinstance(e, HandshakeComplete) for e in server_events)
+
+    def test_master_secrets_agree(self, rng, pki, pump):
+        client, server = make_pair(rng, pki)
+        pump(client, server)
+        assert client.master_secret == server.master_secret
+        assert len(client.master_secret) == 48
+
+    def test_peer_certificate_surfaces(self, rng, pki, pump):
+        client, server = make_pair(rng, pki)
+        pump(client, server)
+        assert client.peer_certificate.subject == "server"
+
+    def test_application_data_both_directions(self, rng, pki, pump):
+        client, server = make_pair(rng, pki)
+        pump(client, server)
+        client.send_application_data(b"request")
+        events = server.receive_bytes(client.data_to_send())
+        assert ApplicationData(data=b"request") in events
+        server.send_application_data(b"response")
+        events = client.receive_bytes(server.data_to_send())
+        assert ApplicationData(data=b"response") in events
+
+    def test_large_data_fragmented(self, rng, pki, pump):
+        client, server = make_pair(rng, pki)
+        pump(client, server)
+        blob = bytes(range(256)) * 200  # 51200 bytes > 3 fragments
+        client.send_application_data(blob)
+        events = server.receive_bytes(client.data_to_send())
+        received = b"".join(
+            event.data for event in events if isinstance(event, ApplicationData)
+        )
+        assert received == blob
+        assert len([e for e in events if isinstance(e, ApplicationData)]) >= 4
+
+    def test_data_before_handshake_rejected(self, rng, pki):
+        client, _ = make_pair(rng, pki)
+        with pytest.raises(ProtocolError):
+            client.send_application_data(b"too early")
+
+    def test_dhe_suite_uses_group_parameter(self, rng, pki, pump):
+        client, server = make_pair(
+            rng, pki,
+            client_kwargs={"cipher_suites": (0x009F,)},
+            server_kwargs={"cipher_suites": (0x009F,), "dhe_group_bits": 1536},
+        )
+        pump(client, server)
+        assert client.handshake_complete
+
+
+class TestNegotiation:
+    def test_server_picks_its_preference(self, rng, pki, pump):
+        client, server = make_pair(
+            rng, pki,
+            client_kwargs={"cipher_suites": (0xC02F, 0xC030)},
+            server_kwargs={"cipher_suites": (0xC030, 0xC02F)},
+        )
+        pump(client, server)
+        assert client.suite.code == 0xC030
+
+    def test_no_common_suite_fails_cleanly(self, rng, pki, pump):
+        client, server = make_pair(
+            rng, pki,
+            client_kwargs={"cipher_suites": (0xC02F,)},
+            server_kwargs={"cipher_suites": (0x009F,)},
+        )
+        client_events, _ = pump(client, server)
+        assert not server.handshake_complete and server.closed
+        assert any(isinstance(e, (AlertReceived, ConnectionClosed)) for e in client_events)
+
+
+class TestCertificateFailures:
+    def test_wrong_hostname_aborts(self, rng, pki, pump):
+        client = TLSClientEngine(
+            TLSConfig(rng=rng.fork(b"c"), trust_store=pki.trust, server_name="other")
+        )
+        server = TLSServerEngine(
+            TLSConfig(rng=rng.fork(b"s"), credential=pki.credential("server"))
+        )
+        client.start(); server.start()
+        pump(client, server)
+        assert not client.handshake_complete and client.closed
+        assert client.alert_sent is not None
+
+    def test_expired_certificate_aborts(self, rng, pki, pump):
+        client = TLSClientEngine(
+            TLSConfig(rng=rng.fork(b"c"), trust_store=pki.trust, server_name="stale")
+        )
+        server = TLSServerEngine(
+            TLSConfig(rng=rng.fork(b"s"), credential=pki.expired_credential("stale"))
+        )
+        client.start(); server.start()
+        pump(client, server)
+        assert not client.handshake_complete
+        assert client.alert_sent.description.name == "CERTIFICATE_EXPIRED"
+
+    def test_server_without_credential_rejected_at_construction(self, rng):
+        with pytest.raises(ProtocolError):
+            TLSServerEngine(TLSConfig(rng=rng))
+
+
+class TestTamperedHandshake:
+    def test_corrupted_server_random_fails_at_finished(self, rng, pki, pump):
+        # Flipping a bit in the ServerHello random desynchronizes the
+        # transcript/master secret; the handshake must fail at the latest
+        # when Finished is verified.
+        client, server = make_pair(rng, pki)
+        flight1 = client.data_to_send()
+        server.receive_bytes(flight1)
+        flight2 = bytearray(server.data_to_send())
+        flight2[60] ^= 0xFF  # inside the ServerHello random
+        client.receive_bytes(bytes(flight2))
+        pump(client, server)
+        assert not client.handshake_complete or not server.handshake_complete
+        assert client.closed or server.closed
+
+    def test_corrupted_certificate_aborts_immediately(self, rng, pki):
+        client, server = make_pair(rng, pki)
+        server.receive_bytes(client.data_to_send())
+        flight2 = bytearray(server.data_to_send())
+        # Corrupt well into the Certificate message body.
+        flight2[200] ^= 0xFF
+        client.receive_bytes(bytes(flight2))
+        assert not client.handshake_complete
+        assert client.closed
+
+
+class TestResumption:
+    def test_session_id_resumption(self, rng, pki, pump):
+        store = ClientSessionStore()
+        cache = ServerSessionCache()
+        first_client, first_server = make_pair(
+            rng, pki,
+            client_kwargs={"session_store": store},
+            server_kwargs={"session_cache": cache},
+        )
+        pump(first_client, first_server)
+        assert not first_client.resumed and len(cache) == 1
+
+        second_client, second_server = make_pair(
+            rng.fork(b"2"), pki,
+            client_kwargs={"session_store": store},
+            server_kwargs={"session_cache": cache},
+        )
+        pump(second_client, second_server)
+        assert second_client.resumed and second_server.resumed
+        assert second_client.handshake_complete and second_server.handshake_complete
+        # Same master secret, fresh key block.
+        assert second_client.master_secret == first_client.master_secret
+        assert (
+            second_client.key_block.client_write_key
+            != first_client.key_block.client_write_key
+        )
+
+    def test_resumed_session_carries_data(self, rng, pki, pump):
+        store = ClientSessionStore()
+        cache = ServerSessionCache()
+        pump(*make_pair(rng, pki, {"session_store": store}, {"session_cache": cache}))
+        client, server = make_pair(
+            rng.fork(b"2"), pki, {"session_store": store}, {"session_cache": cache}
+        )
+        pump(client, server)
+        client.send_application_data(b"after-resumption")
+        events = server.receive_bytes(client.data_to_send())
+        assert ApplicationData(data=b"after-resumption") in events
+
+    def test_ticket_resumption(self, rng, pki, pump):
+        store = ClientSessionStore()
+        keeper = TicketKeeper(rng.random_bytes(32), rng.fork(b"tickets"))
+        client, server = make_pair(
+            rng, pki,
+            client_kwargs={"session_store": store, "request_ticket": True},
+            server_kwargs={"ticket_keeper": keeper},
+        )
+        client_events, _ = pump(client, server)
+        assert any(isinstance(e, TicketIssued) for e in client_events)
+        assert store.lookup_ticket("server") is not None
+
+        second_client, second_server = make_pair(
+            rng.fork(b"2"), pki,
+            client_kwargs={"session_store": store},
+            server_kwargs={"ticket_keeper": keeper},
+        )
+        pump(second_client, second_server)
+        assert second_client.resumed and second_server.resumed
+
+    def test_unknown_session_id_falls_back_to_full(self, rng, pki, pump):
+        store = ClientSessionStore()
+        cache = ServerSessionCache()
+        pump(*make_pair(rng, pki, {"session_store": store}, {"session_cache": cache}))
+        # A different server instance with an EMPTY cache: full handshake.
+        client, server = make_pair(
+            rng.fork(b"2"), pki,
+            client_kwargs={"session_store": store},
+            server_kwargs={"session_cache": ServerSessionCache()},
+        )
+        pump(client, server)
+        assert client.handshake_complete and not client.resumed
+
+    def test_bad_ticket_falls_back_to_full(self, rng, pki, pump):
+        store = ClientSessionStore()
+        store.remember_ticket("server", b"garbage-ticket-bytes")
+        keeper = TicketKeeper(rng.random_bytes(32), rng.fork(b"t"))
+        client, server = make_pair(
+            rng, pki,
+            client_kwargs={"session_store": store},
+            server_kwargs={"ticket_keeper": keeper},
+        )
+        pump(client, server)
+        assert client.handshake_complete and not client.resumed
+
+
+class TestCloseAndAlerts:
+    def test_close_notify_roundtrip(self, rng, pki, pump):
+        client, server = make_pair(rng, pki)
+        pump(client, server)
+        client.close()
+        events = server.receive_bytes(client.data_to_send())
+        assert any(isinstance(e, ConnectionClosed) for e in events)
+        assert server.alert_received.is_close
+
+    def test_send_after_close_rejected(self, rng, pki, pump):
+        client, server = make_pair(rng, pki)
+        pump(client, server)
+        client.close()
+        with pytest.raises(ProtocolError):
+            client.send_application_data(b"zombie")
+
+
+class TestLegacyToleranceKnob:
+    def test_tolerant_server_ignores_announcement_record(self, rng, pki, pump):
+        from repro.wire.mbtls import EncapsulatedRecord, MiddleboxAnnouncement
+
+        client, server = make_pair(rng, pki)
+        announcement = EncapsulatedRecord(
+            subchannel_id=1, inner=MiddleboxAnnouncement().to_record()
+        ).to_record()
+        # Announcement arrives before the ClientHello, like an eager mbox.
+        server.receive_bytes(announcement.encode())
+        pump(client, server)
+        assert server.handshake_complete
+
+    def test_strict_server_aborts_on_announcement(self, rng, pki, pump):
+        client, server = make_pair(
+            rng, pki, server_kwargs={"ignore_unknown_records": False}
+        )
+        from repro.wire.mbtls import EncapsulatedRecord, MiddleboxAnnouncement
+
+        announcement = EncapsulatedRecord(
+            subchannel_id=1, inner=MiddleboxAnnouncement().to_record()
+        ).to_record()
+        server.receive_bytes(announcement.encode())
+        pump(client, server)
+        assert not server.handshake_complete

@@ -1,0 +1,126 @@
+"""Record protection: sequence binding, reorder/replay rejection, key schedule."""
+
+import pytest
+
+from repro.errors import IntegrityError, ProtocolError
+from repro.tls.ciphersuites import CIPHER_SUITES, suite_by_code
+from repro.tls.keyschedule import (
+    derive_key_block,
+    derive_master_secret,
+    finished_verify_data,
+)
+from repro.tls.record_layer import ConnectionState
+from repro.wire.records import ContentType, MAX_FRAGMENT
+
+
+def make_states(rng, code=0xC030):
+    suite = suite_by_code(code)
+    key = rng.random_bytes(suite.key_length)
+    iv = rng.random_bytes(suite.fixed_iv_length)
+    return (
+        ConnectionState(suite, key, iv),
+        ConnectionState(suite, key, iv),
+    )
+
+
+class TestProtectUnprotect:
+    @pytest.mark.parametrize("code", sorted(CIPHER_SUITES))
+    def test_roundtrip_all_suites(self, rng, code):
+        sender, receiver = make_states(rng, code)
+        record = sender.protect(ContentType.APPLICATION_DATA, b"payload")
+        assert receiver.unprotect(record) == b"payload"
+
+    def test_sequence_advances(self, rng):
+        sender, receiver = make_states(rng)
+        for index in range(5):
+            record = sender.protect(ContentType.APPLICATION_DATA, b"%d" % index)
+            assert receiver.unprotect(record) == b"%d" % index
+        assert sender.sequence == receiver.sequence == 5
+
+    def test_content_type_bound_into_aad(self, rng):
+        sender, receiver = make_states(rng)
+        record = sender.protect(ContentType.APPLICATION_DATA, b"data")
+        forged = type(record)(
+            content_type=ContentType.ALERT, payload=record.payload
+        )
+        with pytest.raises(IntegrityError):
+            receiver.unprotect(forged)
+
+    def test_reordered_records_rejected(self, rng):
+        sender, receiver = make_states(rng)
+        first = sender.protect(ContentType.APPLICATION_DATA, b"one")
+        second = sender.protect(ContentType.APPLICATION_DATA, b"two")
+        assert receiver.unprotect(second) != b"one" if False else True
+        with pytest.raises(IntegrityError):
+            receiver.unprotect(second)  # out of order: receiver expects seq 0
+
+    def test_replay_rejected(self, rng):
+        sender, receiver = make_states(rng)
+        record = sender.protect(ContentType.APPLICATION_DATA, b"once")
+        assert receiver.unprotect(record) == b"once"
+        with pytest.raises(IntegrityError):
+            receiver.unprotect(record)
+
+    def test_cross_key_rejected(self, rng):
+        sender, _ = make_states(rng)
+        _, other_receiver = make_states(rng)
+        record = sender.protect(ContentType.APPLICATION_DATA, b"data")
+        with pytest.raises(IntegrityError):
+            other_receiver.unprotect(record)
+
+    def test_short_record_rejected(self, rng):
+        _, receiver = make_states(rng)
+        from repro.wire.records import Record
+
+        with pytest.raises(IntegrityError):
+            receiver.unprotect(Record(ContentType.APPLICATION_DATA, b"tiny"))
+
+    def test_oversize_fragment_rejected(self, rng):
+        sender, _ = make_states(rng)
+        with pytest.raises(ProtocolError):
+            sender.protect(ContentType.APPLICATION_DATA, b"x" * (MAX_FRAGMENT + 1))
+
+    def test_clone_at_resumes_sequence(self, rng):
+        sender, receiver = make_states(rng)
+        sender.protect(ContentType.APPLICATION_DATA, b"skip")  # seq 0 consumed
+        record = sender.protect(ContentType.APPLICATION_DATA, b"kept")
+        late_receiver = receiver.clone_at(1)
+        assert late_receiver.unprotect(record) == b"kept"
+
+    def test_wrong_key_length_rejected(self, rng):
+        suite = suite_by_code(0xC030)
+        with pytest.raises(ProtocolError):
+            ConnectionState(suite, b"short", b"\x00" * 4)
+        with pytest.raises(ProtocolError):
+            ConnectionState(suite, b"\x00" * 32, b"wrong-iv-len")
+
+
+class TestKeySchedule:
+    def test_master_secret_length_and_determinism(self):
+        master = derive_master_secret(b"pms", b"c" * 32, b"s" * 32)
+        assert len(master) == 48
+        assert master == derive_master_secret(b"pms", b"c" * 32, b"s" * 32)
+
+    def test_master_secret_random_separation(self):
+        a = derive_master_secret(b"pms", b"c" * 32, b"s" * 32)
+        b = derive_master_secret(b"pms", b"d" * 32, b"s" * 32)
+        assert a != b
+
+    def test_key_block_shape(self):
+        suite = suite_by_code(0xC030)
+        block = derive_key_block(b"m" * 48, b"c" * 32, b"s" * 32, suite)
+        assert len(block.client_write_key) == 32
+        assert len(block.server_write_key) == 32
+        assert len(block.client_write_iv) == 4
+        assert block.client_write_key != block.server_write_key
+
+    def test_finished_role_separation(self):
+        transcript = b"t" * 32
+        client = finished_verify_data(b"m" * 48, transcript, is_client=True)
+        server = finished_verify_data(b"m" * 48, transcript, is_client=False)
+        assert client != server and len(client) == 12
+
+    def test_finished_transcript_sensitivity(self):
+        a = finished_verify_data(b"m" * 48, b"t1" * 16, is_client=True)
+        b = finished_verify_data(b"m" * 48, b"t2" * 16, is_client=True)
+        assert a != b

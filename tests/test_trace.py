@@ -1,0 +1,73 @@
+"""The handshake tracer: the Figure-3 ladder reconstructed from wiretaps."""
+
+import pytest
+
+from helpers import MbTLSScenario, identity
+from repro.core.config import MiddleboxRole
+from repro.netsim.adversary import GlobalAdversary
+from repro.netsim.trace import render_trace, trace_session
+
+
+@pytest.fixture
+def traced_scenario(rng, pki):
+    scenario = MbTLSScenario(
+        pki, rng,
+        mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, identity, {})],
+        server_kind="tls",
+    )
+    adversary = GlobalAdversary(scenario.network)
+    scenario.run_client(b"PING")
+    return scenario, trace_session(adversary)
+
+
+class TestTrace:
+    def test_events_are_time_ordered(self, traced_scenario):
+        _, events = traced_scenario
+        times = [event.time for event in events]
+        assert times == sorted(times)
+
+    def test_figure3_message_sequence(self, traced_scenario):
+        """The ladder shows the paper's Figure 3 structure."""
+        _, events = traced_scenario
+        descriptions = [event.description for event in events]
+        # The primary ClientHello opens the session...
+        assert descriptions[0] == "ClientHello"
+        # ... and is forwarded by the middlebox.
+        assert descriptions[1] == "ClientHello"
+        # The secondary ServerHello rides a subchannel; key material follows.
+        assert any(
+            "Encapsulated[subch 1]" in description and "ServerHello" in description
+            for description in descriptions
+        )
+        assert any("MBTLSKeyMaterial" in description for description in descriptions)
+        # Application data flows at the end.
+        assert any(description.startswith("ApplicationData") for description in descriptions)
+
+    def test_secondary_hello_injected_before_primary_forwarded(self, traced_scenario):
+        """The paper's ordering: the middlebox injects its secondary
+        ServerHello before forwarding the primary one toward the client."""
+        _, events = traced_scenario
+        client_bound = [
+            event for event in events if event.receiver == "client"
+        ]
+        secondary_index = next(
+            index for index, event in enumerate(client_bound)
+            if "Encapsulated[subch 1]" in event.description
+            and "ServerHello" in event.description
+        )
+        primary_index = next(
+            index for index, event in enumerate(client_bound)
+            if event.description.startswith("ServerHello")
+        )
+        assert secondary_index < primary_index
+
+    def test_render_trace_formats(self, traced_scenario):
+        _, events = traced_scenario
+        rendered = render_trace(events, limit=5)
+        assert "ms" in rendered and "->" in rendered
+        assert "more records" in rendered
+
+    def test_encrypted_handshake_records_marked(self, traced_scenario):
+        _, events = traced_scenario
+        # The Finished messages travel after ChangeCipherSpec, encrypted.
+        assert any("encrypted" in event.description for event in events)

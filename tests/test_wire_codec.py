@@ -1,0 +1,104 @@
+"""Reader/Writer: bounds checks, round-trips, vector handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodeError
+from repro.wire.codec import Reader, Writer
+
+
+class TestWriter:
+    def test_uint_sizes(self):
+        writer = Writer()
+        writer.write_u8(0xAB).write_u16(0xCDEF).write_u24(0x123456)
+        writer.write_u32(0x789ABCDE).write_u64(1)
+        assert writer.getvalue() == bytes.fromhex("ab cdef 123456 789abcde 0000000000000001".replace(" ", ""))
+
+    def test_uint_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            Writer().write_u8(256)
+        with pytest.raises(ValueError):
+            Writer().write_u16(1 << 16)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Writer().write_u8(-1)
+
+    def test_vector(self):
+        assert Writer().write_vector(b"abc", 2).getvalue() == b"\x00\x03abc"
+
+    def test_vector_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            Writer().write_vector(b"x" * 256, 1)
+
+
+class TestReader:
+    def test_sequential_reads(self):
+        reader = Reader(b"\x01\x00\x02\x00\x00\x03hello")
+        assert reader.read_u8() == 1
+        assert reader.read_u16() == 2
+        assert reader.read_u24() == 3
+        assert reader.read_bytes(5) == b"hello"
+        reader.expect_end()
+
+    def test_truncated_read_raises(self):
+        reader = Reader(b"\x01")
+        with pytest.raises(DecodeError):
+            reader.read_u16()
+
+    def test_negative_length_raises(self):
+        with pytest.raises(DecodeError):
+            Reader(b"abc").read_bytes(-1)
+
+    def test_trailing_bytes_detected(self):
+        reader = Reader(b"\x01\x02")
+        reader.read_u8()
+        with pytest.raises(DecodeError):
+            reader.expect_end()
+
+    def test_vector_roundtrip(self):
+        data = Writer().write_vector(b"payload", 3).getvalue()
+        assert Reader(data).read_vector(3) == b"payload"
+
+    def test_truncated_vector_raises(self):
+        with pytest.raises(DecodeError):
+            Reader(b"\x00\x10abc").read_vector(2)
+
+    def test_rest(self):
+        reader = Reader(b"\x01rest-of-it")
+        reader.read_u8()
+        assert reader.rest() == b"rest-of-it"
+        assert reader.remaining == 0
+
+
+class TestRoundtripProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(
+            st.tuples(st.sampled_from([1, 2, 3, 4, 8]), st.integers(min_value=0)),
+            max_size=10,
+        )
+    )
+    def test_uint_roundtrip(self, values):
+        writer = Writer()
+        expected = []
+        for size, raw in values:
+            value = raw % (1 << (8 * size))
+            writer.write_uint(value, size)
+            expected.append((size, value))
+        reader = Reader(writer.getvalue())
+        for size, value in expected:
+            assert reader.read_uint(size) == value
+        reader.expect_end()
+
+    @settings(max_examples=100, deadline=None)
+    @given(chunks=st.lists(st.binary(max_size=50), max_size=8))
+    def test_vector_roundtrip(self, chunks):
+        writer = Writer()
+        for chunk in chunks:
+            writer.write_vector(chunk, 2)
+        reader = Reader(writer.getvalue())
+        for chunk in chunks:
+            assert reader.read_vector(2) == chunk
+        reader.expect_end()

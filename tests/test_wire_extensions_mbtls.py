@@ -1,0 +1,163 @@
+"""Extensions (including MiddleboxSupport) and the mbTLS wire messages."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodeError
+from repro.wire.codec import Reader
+from repro.wire.extensions import (
+    AttestationRequestExtension,
+    Extension,
+    MiddleboxSupportExtension,
+    ServerNameExtension,
+    SessionTicketExtension,
+    decode_extensions,
+    encode_extensions,
+)
+from repro.wire.mbtls import (
+    EncapsulatedRecord,
+    HopKeys,
+    KeyMaterial,
+    MiddleboxAnnouncement,
+)
+from repro.wire.records import ContentType, Record
+
+
+class TestExtensions:
+    def test_server_name_roundtrip(self):
+        extension = ServerNameExtension("www.example.com").to_extension()
+        assert ServerNameExtension.from_extension(extension).host_name == "www.example.com"
+
+    def test_session_ticket_roundtrip(self):
+        extension = SessionTicketExtension(b"ticket-bytes").to_extension()
+        assert SessionTicketExtension.from_extension(extension).ticket == b"ticket-bytes"
+
+    def test_attestation_request_must_be_empty(self):
+        extension = AttestationRequestExtension().to_extension()
+        assert AttestationRequestExtension.from_extension(extension) is not None
+        with pytest.raises(DecodeError):
+            AttestationRequestExtension.from_extension(
+                Extension(extension.extension_type, b"junk")
+            )
+
+    def test_extension_block_roundtrip(self):
+        extensions = [
+            ServerNameExtension("a").to_extension(),
+            Extension(0x1234, b"opaque"),
+        ]
+        block = encode_extensions(extensions)
+        assert decode_extensions(Reader(block)) == extensions
+
+    def test_absent_block_is_empty(self):
+        assert decode_extensions(Reader(b"")) == []
+
+
+class TestMiddleboxSupport:
+    def test_roundtrip_with_members(self):
+        extension = MiddleboxSupportExtension(
+            client_hellos=(b"hello-one", b"hello-two"),
+            middleboxes=("proxy.isp.example", "cache.isp.example"),
+        ).to_extension()
+        decoded = MiddleboxSupportExtension.from_extension(extension)
+        assert decoded.client_hellos == (b"hello-one", b"hello-two")
+        assert decoded.middleboxes == ("proxy.isp.example", "cache.isp.example")
+
+    def test_empty_roundtrip(self):
+        extension = MiddleboxSupportExtension().to_extension()
+        decoded = MiddleboxSupportExtension.from_extension(extension)
+        assert decoded.client_hellos == () and decoded.middleboxes == ()
+
+    def test_truncated_rejected(self):
+        extension = MiddleboxSupportExtension(client_hellos=(b"abcdef",)).to_extension()
+        with pytest.raises(DecodeError):
+            MiddleboxSupportExtension.from_extension(
+                Extension(extension.extension_type, extension.data[:-3])
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hellos=st.lists(st.binary(max_size=64), max_size=4),
+        names=st.lists(
+            st.text(
+                alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1,
+                max_size=20,
+            ),
+            max_size=4,
+        ),
+    )
+    def test_roundtrip_property(self, hellos, names):
+        extension = MiddleboxSupportExtension(
+            client_hellos=tuple(hellos), middleboxes=tuple(names)
+        ).to_extension()
+        decoded = MiddleboxSupportExtension.from_extension(extension)
+        assert decoded.client_hellos == tuple(hellos)
+        assert decoded.middleboxes == tuple(names)
+
+
+class TestEncapsulated:
+    def test_roundtrip(self):
+        inner = Record(ContentType.HANDSHAKE, b"inner-payload")
+        encap = EncapsulatedRecord(subchannel_id=7, inner=inner)
+        record = encap.to_record()
+        assert record.content_type == ContentType.MBTLS_ENCAPSULATED
+        decoded = EncapsulatedRecord.from_record(record)
+        assert decoded.subchannel_id == 7 and decoded.inner == inner
+
+    def test_subchannel_range_enforced(self):
+        inner = Record(ContentType.HANDSHAKE, b"")
+        with pytest.raises(ValueError):
+            EncapsulatedRecord(subchannel_id=256, inner=inner).to_record()
+
+    def test_wrong_outer_type_rejected(self):
+        with pytest.raises(DecodeError):
+            EncapsulatedRecord.from_record(Record(ContentType.HANDSHAKE, b"\x01"))
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(DecodeError):
+            EncapsulatedRecord.from_record(
+                Record(ContentType.MBTLS_ENCAPSULATED, b"")
+            )
+
+
+class TestKeyMaterial:
+    def _hop(self, seed: int) -> HopKeys:
+        return HopKeys(
+            cipher_suite=0xC030,
+            client_write_key=bytes([seed]) * 32,
+            client_write_iv=bytes([seed]) * 4,
+            server_write_key=bytes([seed + 1]) * 32,
+            server_write_iv=bytes([seed + 1]) * 4,
+            client_to_server_seq=seed,
+            server_to_client_seq=seed + 10,
+        )
+
+    def test_roundtrip(self):
+        material = KeyMaterial(toward_client=self._hop(1), toward_server=self._hop(5))
+        decoded = KeyMaterial.from_payload(material.encode_payload())
+        assert decoded == material
+
+    def test_record_content_type(self):
+        material = KeyMaterial(toward_client=self._hop(1), toward_server=self._hop(5))
+        assert material.to_record().content_type == ContentType.MBTLS_KEY_MATERIAL
+
+    def test_implausible_lengths_rejected(self):
+        material = KeyMaterial(toward_client=self._hop(1), toward_server=self._hop(5))
+        payload = bytearray(material.encode_payload())
+        payload[3 + 2 + 16 + 2] = 0xFF  # clobber key_len high byte
+        with pytest.raises(DecodeError):
+            KeyMaterial.from_payload(bytes(payload))
+
+
+class TestAnnouncement:
+    def test_roundtrip(self):
+        record = MiddleboxAnnouncement().to_record()
+        assert record.content_type == ContentType.MBTLS_MIDDLEBOX_ANNOUNCEMENT
+        assert MiddleboxAnnouncement.from_record(record) is not None
+
+    def test_nonempty_rejected(self):
+        with pytest.raises(DecodeError):
+            MiddleboxAnnouncement.from_record(
+                Record(ContentType.MBTLS_MIDDLEBOX_ANNOUNCEMENT, b"x")
+            )

@@ -1,0 +1,118 @@
+"""Golden-byte pins for the mbTLS wire formats (Appendix A).
+
+These tests freeze the exact on-the-wire encodings — the protocol constants
+from the paper's appendix and this implementation's layout choices — so an
+accidental format change cannot slip through refactoring.
+"""
+
+from repro.wire.alerts import Alert, AlertDescription, AlertLevel
+from repro.wire.extensions import ExtensionType, MiddleboxSupportExtension
+from repro.wire.handshake import Handshake, HandshakeType, SGXAttestation
+from repro.wire.mbtls import EncapsulatedRecord, HopKeys, KeyMaterial, MiddleboxAnnouncement
+from repro.wire.records import ContentType, Record
+
+
+class TestAppendixAConstants:
+    def test_content_type_code_points(self):
+        """Appendix A.1: mbtls_encapsulated(30), mbtls_key_material(31),
+        mbtls_middlebox_announcement(32)."""
+        assert int(ContentType.MBTLS_ENCAPSULATED) == 30
+        assert int(ContentType.MBTLS_KEY_MATERIAL) == 31
+        assert int(ContentType.MBTLS_MIDDLEBOX_ANNOUNCEMENT) == 32
+
+    def test_standard_content_types(self):
+        assert int(ContentType.CHANGE_CIPHER_SPEC) == 20
+        assert int(ContentType.ALERT) == 21
+        assert int(ContentType.HANDSHAKE) == 22
+        assert int(ContentType.APPLICATION_DATA) == 23
+
+    def test_sgx_attestation_handshake_type(self):
+        """Appendix A.2: sgx_attestation(17)."""
+        assert int(HandshakeType.SGX_ATTESTATION) == 17
+
+    def test_standard_handshake_types(self):
+        assert int(HandshakeType.CLIENT_HELLO) == 1
+        assert int(HandshakeType.SERVER_HELLO) == 2
+        assert int(HandshakeType.CERTIFICATE) == 11
+        assert int(HandshakeType.FINISHED) == 20
+
+
+class TestGoldenBytes:
+    def test_record_header(self):
+        record = Record(ContentType.MBTLS_MIDDLEBOX_ANNOUNCEMENT, b"")
+        assert record.encode() == bytes.fromhex("2003030000")
+
+    def test_announcement_in_encapsulated(self):
+        """Announcements always ride Encapsulated records; the full outer
+        bytes for subchannel 1 are fixed."""
+        encap = EncapsulatedRecord(
+            subchannel_id=1, inner=MiddleboxAnnouncement().to_record()
+        )
+        assert encap.to_record().encode() == bytes.fromhex(
+            "1e" "0303" "0006" "01" "2003030000"
+        )
+
+    def test_encapsulated_layout(self):
+        """Outer record: type 30 | version | len | subchannel | inner record."""
+        inner = Record(ContentType.HANDSHAKE, b"AB")
+        encap = EncapsulatedRecord(subchannel_id=7, inner=inner)
+        assert encap.to_record().encode() == bytes.fromhex(
+            "1e" "0303" "0008" "07" "16" "0303" "0002" "4142"
+        )
+
+    def test_alert_bytes(self):
+        alert = Alert(AlertLevel.FATAL, AlertDescription.BAD_RECORD_MAC)
+        assert alert.encode() == bytes.fromhex("0214")
+        assert Alert.close_notify().encode() == bytes.fromhex("0100")
+
+    def test_sgx_attestation_message(self):
+        message = SGXAttestation(quote=b"\xaa\xbb")
+        framed = Handshake(message.msg_type, message.encode_body()).encode()
+        assert framed == bytes.fromhex("11" "000004" "0002" "aabb")
+
+    def test_middlebox_support_extension_bytes(self):
+        extension = MiddleboxSupportExtension(
+            client_hellos=(b"\x01\x02",), middleboxes=("mb",)
+        ).to_extension()
+        assert extension.extension_type == 0xFF01
+        assert extension.encode() == bytes.fromhex(
+            "ff01"          # extension type
+            "000a"          # extension data length
+            "01"            # numHellos
+            "0002"          # helloLengths[0]
+            "0102"          # clientHellos[0]
+            "01"            # numMboxes
+            "00026d62"      # "mb" with u16 length prefix
+        )
+
+    def test_key_material_layout(self):
+        hop = HopKeys(
+            cipher_suite=0xC030,
+            client_write_key=b"\x11" * 4,   # shortened keys for readability
+            client_write_iv=b"\x22" * 2,
+            server_write_key=b"\x33" * 4,
+            server_write_iv=b"\x44" * 2,
+            client_to_server_seq=1,
+            server_to_client_seq=2,
+        )
+        expected_hop = bytes.fromhex(
+            "0303"                  # version
+            "0000000000000001"      # client_to_server_sequence
+            "0000000000000002"      # server_to_client_sequence
+            "c030"                  # cipher_suite
+            "00000004"              # key_len
+            "00000002"              # iv_len
+            "11111111" "2222"       # clientWriteKey/IV
+            "33333333" "4444"       # serverWriteKey/IV
+        )
+        assert hop.encode() == expected_hop
+        material = KeyMaterial(toward_client=hop, toward_server=hop)
+        payload = material.encode_payload()
+        assert payload == (
+            len(expected_hop).to_bytes(3, "big") + expected_hop
+        ) * 2
+        assert material.to_record().content_type == ContentType.MBTLS_KEY_MATERIAL
+
+    def test_middlebox_support_extension_code_point(self):
+        assert int(ExtensionType.MIDDLEBOX_SUPPORT) == 0xFF01
+        assert int(ExtensionType.ATTESTATION_REQUEST) == 0xFF02

@@ -1,0 +1,102 @@
+"""Record framing and the incremental RecordBuffer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodeError
+from repro.wire.records import (
+    MAX_FRAGMENT,
+    ContentType,
+    Record,
+    RecordBuffer,
+)
+
+
+class TestRecord:
+    def test_encode_decode_roundtrip(self):
+        record = Record(ContentType.HANDSHAKE, b"payload")
+        assert Record.decode(record.encode()) == record
+
+    def test_header_layout(self):
+        record = Record(ContentType.ALERT, b"\x01\x02")
+        assert record.encode() == b"\x15\x03\x03\x00\x02\x01\x02"
+
+    def test_mbtls_content_types_roundtrip(self):
+        for content_type in (
+            ContentType.MBTLS_ENCAPSULATED,
+            ContentType.MBTLS_KEY_MATERIAL,
+            ContentType.MBTLS_MIDDLEBOX_ANNOUNCEMENT,
+        ):
+            record = Record(content_type, b"x")
+            assert Record.decode(record.encode()).content_type == content_type
+
+    def test_unknown_content_type_rejected(self):
+        with pytest.raises(DecodeError):
+            Record.decode(b"\x63\x03\x03\x00\x00")
+
+    def test_trailing_bytes_rejected(self):
+        data = Record(ContentType.HANDSHAKE, b"x").encode() + b"junk"
+        with pytest.raises(DecodeError):
+            Record.decode(data)
+
+    def test_oversize_payload_rejected(self):
+        huge = (MAX_FRAGMENT + 2048).to_bytes(2, "big")
+        with pytest.raises(DecodeError):
+            Record.decode(b"\x16\x03\x03" + huge + b"x")
+
+
+class TestRecordBuffer:
+    def test_single_feed(self):
+        buffer = RecordBuffer()
+        buffer.feed(Record(ContentType.HANDSHAKE, b"abc").encode())
+        records = buffer.pop_records()
+        assert len(records) == 1 and records[0].payload == b"abc"
+
+    def test_partial_then_complete(self):
+        encoded = Record(ContentType.HANDSHAKE, b"abcdef").encode()
+        buffer = RecordBuffer()
+        buffer.feed(encoded[:3])
+        assert buffer.pop_records() == []
+        assert buffer.pending_bytes == 3
+        buffer.feed(encoded[3:])
+        assert buffer.pop_records()[0].payload == b"abcdef"
+
+    def test_coalesced_records(self):
+        buffer = RecordBuffer()
+        buffer.feed(
+            Record(ContentType.HANDSHAKE, b"one").encode()
+            + Record(ContentType.ALERT, b"\x01\x00").encode()
+        )
+        records = buffer.pop_records()
+        assert [record.content_type for record in records] == [
+            ContentType.HANDSHAKE,
+            ContentType.ALERT,
+        ]
+
+    def test_drain_raw(self):
+        buffer = RecordBuffer()
+        buffer.feed(b"\x16\x03")
+        assert buffer.drain_raw() == b"\x16\x03"
+        assert buffer.pending_bytes == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        payloads=st.lists(st.binary(max_size=100), min_size=1, max_size=10),
+        cut_points=st.lists(st.integers(min_value=1, max_value=20), max_size=20),
+    )
+    def test_arbitrary_chunking_preserves_records(self, payloads, cut_points):
+        stream = b"".join(
+            Record(ContentType.APPLICATION_DATA, payload).encode()
+            for payload in payloads
+        )
+        buffer = RecordBuffer()
+        received = []
+        position = 0
+        for cut in cut_points:
+            buffer.feed(stream[position : position + cut])
+            position += cut
+            received += buffer.pop_records()
+        buffer.feed(stream[position:])
+        received += buffer.pop_records()
+        assert [record.payload for record in received] == payloads
