@@ -80,6 +80,9 @@ class MbTLSClientEngine:
         self._middlebox_infos: dict[int, MiddleboxInfo] = {}
         self.closed = False
         self.records_dropped = 0
+        # Subchannels abandoned because their middlebox stalled or died
+        # mid-handshake (graceful degradation, not rejection-by-policy).
+        self.bypassed_subchannels: list[int] = []
         # §3.5 resumption: remembered secondary sessions, by arrival order.
         self._resume_candidates: list[RememberedMiddlebox] = []
         if config.middlebox_session_store is not None and config.tls.server_name:
@@ -151,6 +154,46 @@ class MbTLSClientEngine:
             for sub in ordered
             if sub in self._middlebox_infos and not self._secondaries[sub].rejected
         )
+
+    def bypass_pending_middleboxes(
+        self, reason: str = "secondary handshake timed out"
+    ) -> list[Event]:
+        """Give up on middleboxes whose secondary handshakes never finished.
+
+        The paper's middleboxes join *optimistically*; the mirror image is
+        that an endpoint must not wait forever for one that stalled or died
+        mid-handshake. Each pending subchannel is closed with a fatal alert
+        and excluded from the session, and if the primary handshake is done
+        the session establishes without them (degraded to the surviving
+        path members). Driven by the driver's handshake timer.
+        """
+        if self.established or self.closed:
+            return []
+        for sub in self._secondaries.values():
+            if sub.complete:
+                continue
+            sub.complete = True
+            sub.rejected = True
+            sub.reject_reason = reason
+            self.bypassed_subchannels.append(sub.subchannel_id)
+            self._send_subchannel_alert(sub.subchannel_id)
+            self._events.append(
+                MiddleboxRejected(subchannel_id=sub.subchannel_id, reason=reason)
+            )
+        self._check_established()
+        events = self._events
+        self._events = []
+        return events
+
+    def handle_transport_close(self) -> list[Event]:
+        """The TCP stream died under us (crash, reset): report cleanly."""
+        if self.closed:
+            return []
+        self.closed = True
+        self._events.append(ConnectionClosed(error="transport closed"))
+        events = self._events
+        self._events = []
+        return events
 
     @property
     def resumed(self) -> bool:

@@ -6,24 +6,74 @@
   engine per connection; attaches to an interceptor (on-path) or a listener
   (preconfigured, directly addressed).
 * :func:`serve_mbtls` / :func:`open_mbtls` — endpoint helpers.
+* :class:`RetryPolicy` / :class:`SessionSupervisor` — failure recovery:
+  handshake/idle timers, capped exponential-backoff redials, and the
+  bypass-versus-teardown degradation policy. A supervised session always
+  reaches a terminal :attr:`~SessionSupervisor.outcome`; it cannot hang.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.client import MbTLSClientEngine
-from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig
+from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig, SessionEstablished
 from repro.core.middlebox import MbTLSMiddlebox
 from repro.core.server import MbTLSServerEngine
+from repro.errors import DegradedPathError, NetworkError
 from repro.netsim.driver import CpuMeter, EngineDriver
 from repro.netsim.network import Host, InterceptedFlow, Network, Socket
+from repro.tls.events import ConnectionClosed
 
-__all__ = ["MiddleboxDriver", "MiddleboxService", "serve_mbtls", "open_mbtls"]
+__all__ = [
+    "MiddleboxDriver",
+    "MiddleboxService",
+    "serve_mbtls",
+    "open_mbtls",
+    "RetryPolicy",
+    "SessionSupervisor",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timer and retry defaults for supervised mbTLS sessions.
+
+    Attributes:
+        handshake_timeout: virtual seconds a session may take to establish
+            before the driver degrades (bypasses stalled middleboxes) or
+            fails the attempt.
+        idle_timeout: data-phase silence budget; ``None`` disables it.
+        max_attempts: total dial attempts (first try included).
+        backoff_base: first retry delay; doubles per attempt.
+        backoff_cap: upper bound on any retry delay.
+        allow_degraded: endpoint policy — may the session complete without
+            middleboxes that stalled or died (the paper's optimistic
+            fallback)? With ``False`` a degraded completion is torn down
+            and reported as failed (fail-closed).
+    """
+
+    handshake_timeout: float = 5.0
+    idle_timeout: float | None = None
+    max_attempts: int = 3
+    backoff_base: float = 0.25
+    backoff_cap: float = 4.0
+    allow_degraded: bool = True
+
+    def backoff(self, retry_index: int) -> float:
+        """Delay before retry number ``retry_index`` (0-based), capped."""
+        return min(self.backoff_base * (2.0 ** retry_index), self.backoff_cap)
 
 
 class MiddleboxDriver:
-    """Pumps one middlebox engine between its two sockets."""
+    """Pumps one middlebox engine between its two sockets.
+
+    Close handling: when either segment of the split TCP connection closes,
+    the engine gets to say goodbye (a ``close_notify`` under the hop keys,
+    plus closing its secondary subchannel) before the surviving segment is
+    shut down — no half-open forwarding state is left behind.
+    """
 
     def __init__(
         self,
@@ -44,7 +94,12 @@ class MiddleboxDriver:
 
     def dial_immediately(self, target: tuple[str, int]) -> None:
         """Optimistically split: open the onward segment right away."""
-        self._bind_up(self._dial_up(target))
+        try:
+            self._bind_up(self._dial_up(target))
+        except NetworkError:
+            # Next hop unreachable: drop the client segment so the client
+            # learns immediately instead of waiting on a wedged middlebox.
+            self._teardown_down()
 
     def _bind_up(self, socket: Socket) -> None:
         self.up = socket
@@ -54,7 +109,10 @@ class MiddleboxDriver:
 
     def _ensure_up(self) -> None:
         if self.up is None and self.engine.dial_target is not None:
-            self._bind_up(self._dial_up(self.engine.dial_target))
+            try:
+                self._bind_up(self._dial_up(self.engine.dial_target))
+            except NetworkError:
+                self._teardown_down()
 
     def _on_down_data(self, data: bytes) -> None:
         with self.meter.measure():
@@ -84,12 +142,26 @@ class MiddleboxDriver:
             if data:
                 self.down.send(data)
 
+    def _teardown_down(self) -> None:
+        with self.meter.measure():
+            events = self.engine.peer_closed_up()
+        self._dispatch(events)
+        if not self.down.closed:
+            self._flush()
+            self.down.close()
+
     def _on_down_close(self) -> None:
+        with self.meter.measure():
+            events = self.engine.peer_closed_down()
+        self._dispatch(events)
         if self.up is not None and not self.up.closed:
             self._flush()
             self.up.close()
 
     def _on_up_close(self) -> None:
+        with self.meter.measure():
+            events = self.engine.peer_closed_up()
+        self._dispatch(events)
         if not self.down.closed:
             self._flush()
             self.down.close()
@@ -122,13 +194,19 @@ class MiddleboxService:
         self.host = host
         self._make_config = make_config
         self.port = port
+        self._intercept = intercept
+        self._listen = listen
         self.meter = meter if meter is not None else CpuMeter(host.name)
         self.on_event = on_event
         self.drivers: list[MiddleboxDriver] = []
-        if intercept:
-            host.intercept(port, self._on_intercept)
-        if listen:
-            host.listen(port, self._on_accept)
+        self.reinstall()
+
+    def reinstall(self) -> None:
+        """(Re-)register on the host — also the crash-restart hook."""
+        if self._intercept:
+            self.host.intercept(self.port, self._on_intercept)
+        if self._listen:
+            self.host.listen(self.port, self._on_accept)
 
     def _config(self) -> MiddleboxConfig:
         if callable(self._make_config):
@@ -168,13 +246,26 @@ def serve_mbtls(
     on_event: Callable[[MbTLSServerEngine, EngineDriver, object], None] | None = None,
     port: int = 443,
     meter: CpuMeter | None = None,
+    policy: RetryPolicy | None = None,
 ) -> None:
-    """Run an mbTLS server on ``host``: one engine per accepted connection."""
+    """Run an mbTLS server on ``host``: one engine per accepted connection.
+
+    With a ``policy``, each accepted session gets a handshake timer: stalled
+    middlebox announcements are bypassed once it fires (or the session is
+    closed if the primary handshake itself stalled), so a broken path can
+    never wedge a server-side session open forever.
+    """
     service_meter = meter if meter is not None else CpuMeter(host.name)
 
     def accept(socket: Socket, source: str) -> None:
         engine = MbTLSServerEngine(make_config())
-        driver = EngineDriver(engine, socket, meter=service_meter)
+        driver = EngineDriver(
+            engine,
+            socket,
+            meter=service_meter,
+            handshake_timeout=policy.handshake_timeout if policy else None,
+            idle_timeout=policy.idle_timeout if policy else None,
+        )
         if on_event is not None:
             driver.on_event = lambda event: on_event(engine, driver, event)
         driver.start()
@@ -191,10 +282,151 @@ def open_mbtls(
     on_event: Callable[[object], None] | None = None,
     port: int = 443,
     meter: CpuMeter | None = None,
+    policy: RetryPolicy | None = None,
 ) -> tuple[MbTLSClientEngine, EngineDriver]:
-    """Open an mbTLS client connection from ``host`` to ``destination``."""
+    """Open an mbTLS client connection from ``host`` to ``destination``.
+
+    With a ``policy`` the single attempt is armed with its timers; for full
+    redial-with-backoff supervision use :class:`SessionSupervisor`.
+    """
     engine = MbTLSClientEngine(config)
     socket = host.connect(destination, port)
-    driver = EngineDriver(engine, socket, on_event=on_event, meter=meter)
+    driver = EngineDriver(
+        engine,
+        socket,
+        on_event=on_event,
+        meter=meter,
+        handshake_timeout=policy.handshake_timeout if policy else None,
+        idle_timeout=policy.idle_timeout if policy else None,
+    )
     driver.start()
     return engine, driver
+
+
+class SessionSupervisor:
+    """Failure-recovery wrapper around an mbTLS client session.
+
+    Dials, arms the handshake timer, and — when an attempt times out or the
+    transport resets under it — redials with capped exponential backoff
+    using a fresh engine. Every supervised session ends in exactly one
+    terminal outcome:
+
+    * ``"established"`` — full-strength session on the first attempt;
+    * ``"degraded"`` — the session works, but only after retries and/or
+      with middleboxes bypassed (allowed iff ``policy.allow_degraded``);
+    * ``"failed"`` — attempts exhausted (or degradation forbidden); the
+      last attempt was closed cleanly.
+
+    The supervisor never raises out of the event loop and never hangs: the
+    worst case is ``max_attempts`` timer horizons plus backoff.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        destination: str,
+        make_config: Callable[[], MbTLSEndpointConfig],
+        on_event: Callable[[object], None] | None = None,
+        port: int = 443,
+        meter: CpuMeter | None = None,
+        policy: RetryPolicy | None = None,
+    ) -> None:
+        self.host = host
+        self.destination = destination
+        self._make_config = make_config
+        self._user_on_event = on_event
+        self.port = port
+        self.meter = meter if meter is not None else CpuMeter(host.name)
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.attempt = 0
+        self.outcome: str | None = None
+        self.failure: str | None = None
+        self.engine: MbTLSClientEngine | None = None
+        self.driver: EngineDriver | None = None
+        self.events: list[object] = []
+        self._dial()
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def established(self) -> bool:
+        return self.outcome in ("established", "degraded")
+
+    def send_application_data(self, data: bytes) -> None:
+        if not self.established or self.driver is None:
+            raise NetworkError("session is not established")
+        if self.driver.session_over:
+            raise NetworkError("session is over")
+        self.driver.send_application_data(data)
+
+    def close(self) -> None:
+        if self.driver is not None and not self.driver.session_over:
+            self.driver.close()
+
+    # ------------------------------------------------------------ internals
+
+    def _dial(self) -> None:
+        self.attempt += 1
+        try:
+            socket = self.host.connect(self.destination, self.port)
+        except NetworkError as exc:
+            self._attempt_over(str(exc))
+            return
+        engine = MbTLSClientEngine(self._make_config())
+        self.engine = engine
+        self.driver = EngineDriver(
+            engine,
+            socket,
+            on_event=self._on_event,
+            meter=self.meter,
+            handshake_timeout=self.policy.handshake_timeout,
+            idle_timeout=self.policy.idle_timeout,
+            on_timeout=self._on_timeout,
+        )
+        self.driver.start()
+
+    def _on_event(self, event: object) -> None:
+        self.events.append(event)
+        if isinstance(event, SessionEstablished) and self.outcome is None:
+            degraded = self.attempt > 1 or bool(self.engine.bypassed_subchannels)
+            if degraded and not self.policy.allow_degraded:
+                # Fail-closed endpoint policy: a weakened path is worse
+                # than no path. Tear down with a clean close.
+                self.outcome = "failed"
+                self.failure = str(
+                    DegradedPathError("degraded session forbidden by policy")
+                )
+                self.driver.close()
+            else:
+                self.outcome = "degraded" if degraded else "established"
+        elif isinstance(event, ConnectionClosed) and self.outcome is None:
+            # The attempt died before establishing (reset, refused, fatal
+            # alert, timeout): the timeout path is handled by _on_timeout,
+            # everything else retries here.
+            if self.driver is not None and self.driver.timed_out:
+                return  # _on_timeout owns this attempt's retry
+            self._attempt_over(event.error or "connection closed")
+        if self._user_on_event is not None:
+            self._user_on_event(event)
+
+    def _on_timeout(self, kind: str) -> None:
+        if self.outcome is None and kind == "handshake":
+            self._attempt_over("handshake timeout")
+
+    def _attempt_over(self, error: str) -> None:
+        if self.outcome is not None:
+            return
+        if self.attempt >= self.policy.max_attempts:
+            self.outcome = "failed"
+            self.failure = error
+            return
+        delay = self.policy.backoff(self.attempt - 1)
+        self.host.network.sim.schedule(delay, self._redial)
+
+    def _redial(self) -> None:
+        if self.outcome is not None:
+            return
+        if not self.host.alive:
+            self._attempt_over(f"host {self.host.name} is down")
+            return
+        self._dial()

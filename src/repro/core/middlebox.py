@@ -22,7 +22,7 @@ drain ``data_to_send_down``/``data_to_send_up``.
 from __future__ import annotations
 
 from repro.core.config import MiddleboxConfig, MiddleboxRole
-from repro.errors import DecodeError, IntegrityError
+from repro.errors import CryptoError, DecodeError, IntegrityError
 from repro.tls.ciphersuites import suite_by_code
 from repro.tls.engine import TLSServerEngine
 from repro.tls.events import (
@@ -35,6 +35,7 @@ from repro.tls.events import (
 from repro.tls.record_layer import ConnectionState
 from repro.core.keys import states_from_hop_keys
 from repro.core.mux import wrap_engine_output
+from repro.wire.alerts import Alert
 from repro.wire.extensions import ExtensionType, MiddleboxSupportExtension, ServerNameExtension
 from repro.wire.handshake import ClientHello, HandshakeBuffer, HandshakeType
 from repro.wire.mbtls import EncapsulatedRecord, KeyMaterial, MiddleboxAnnouncement
@@ -88,6 +89,7 @@ class MbTLSMiddlebox:
         self._pending: tuple[list[Record], list[Record]] = ([], [])
         self.records_processed = 0
         self._primary_session_id: bytes = b""
+        self.closed = False
 
     # ------------------------------------------------------------------ API
 
@@ -112,9 +114,48 @@ class MbTLSMiddlebox:
         """Whether this middlebox is an authenticated session member."""
         return self.keys_installed and not self.rejected
 
+    def peer_closed_down(self) -> list[Event]:
+        """The client-facing segment closed; tear down toward the server."""
+        return self._handle_close(_DOWN)
+
+    def peer_closed_up(self) -> list[Event]:
+        """The server-facing segment closed; tear down toward the client."""
+        return self._handle_close(_UP)
+
+    def _handle_close(self, from_side: int) -> list[Event]:
+        """Half-open teardown: one side of the split TCP connection closed.
+
+        A joined middlebox owes the surviving side a ``close_notify`` under
+        the hop keys (so the endpoint sees a clean TLS close, not a bare
+        TCP reset), and its secondary session — if it faces the surviving
+        side — is closed too so the subchannel dies with the connection.
+        """
+        if self.closed:
+            return []
+        self.closed = True
+        surviving = 1 - from_side
+        if self.joined:
+            write_state = self._c2s_write if surviving == _UP else self._s2c_write
+            if write_state is not None:
+                record = write_state.protect(
+                    ContentType.ALERT, Alert.close_notify().encode()
+                )
+                self._outboxes[surviving] += record.encode()
+        if self._secondary is not None and not self._secondary.closed:
+            secondary_side = _DOWN if self.mode == self.MODE_CLIENT_SIDE else _UP
+            if secondary_side == surviving:
+                self._secondary.close()
+                self._drain_secondary()
+        self._events.append(ConnectionClosed())
+        events = self._events
+        self._events = []
+        return events
+
     # ------------------------------------------------------------ internals
 
     def _receive(self, side: int, data: bytes) -> list[Event]:
+        if self.closed:
+            return []
         if self.mode == self.MODE_RELAY:
             self._outboxes[1 - side] += data
         else:
@@ -130,7 +171,15 @@ class MbTLSMiddlebox:
                 if self.mode == self.MODE_RELAY:
                     self._outboxes[1 - side] += record.encode()
                     continue
-                self._process(side, record)
+                try:
+                    self._process(side, record)
+                except (DecodeError, IntegrityError, CryptoError):
+                    # A corrupted record inside otherwise-valid framing
+                    # (malformed Encapsulated wrapper, garbage key
+                    # material): drop it. Endpoint AEAD/timers catch what
+                    # the path mangled; a middlebox must never crash its
+                    # driver over hostile bytes.
+                    continue
         events = self._events
         self._events = []
         return events

@@ -66,6 +66,9 @@ class MbTLSServerEngine:
         self.closed = False
         self._pending_app_data: list[bytes] = []
         self.records_dropped = 0
+        # Subchannels abandoned because their middlebox stalled or died
+        # mid-handshake (graceful degradation, not rejection-by-policy).
+        self.bypassed_subchannels: list[int] = []
 
     # ------------------------------------------------------------------ API
 
@@ -142,6 +145,39 @@ class MbTLSServerEngine:
     @property
     def resumed(self) -> bool:
         return self.primary.resumed
+
+    def bypass_pending_middleboxes(
+        self, reason: str = "secondary handshake timed out"
+    ) -> list[Event]:
+        """Exclude middleboxes that announced but never finished their
+        secondary handshake, and establish without them if the primary is
+        done (graceful degradation; driven by the driver's timer)."""
+        if self.established or self.closed:
+            return []
+        for sub in self._secondaries.values():
+            if sub.complete:
+                continue
+            sub.complete = True
+            sub.rejected = True
+            sub.reject_reason = reason
+            self.bypassed_subchannels.append(sub.subchannel_id)
+            self._events.append(
+                MiddleboxRejected(subchannel_id=sub.subchannel_id, reason=reason)
+            )
+        self._check_established()
+        events = self._events
+        self._events = []
+        return events
+
+    def handle_transport_close(self) -> list[Event]:
+        """The TCP stream died under us (crash, reset): report cleanly."""
+        if self.closed:
+            return []
+        self.closed = True
+        self._events.append(ConnectionClosed(error="transport closed"))
+        events = self._events
+        self._events = []
+        return events
 
     # ------------------------------------------------------------ internals
 

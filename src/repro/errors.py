@@ -69,6 +69,19 @@ class NetworkError(ReproError):
     """A simulated-network failure (connection refused, reset, ...)."""
 
 
+class TimeoutError(ReproError):
+    """A protocol timer (handshake, idle, retry horizon) expired.
+
+    Shadows the builtin deliberately, like ``asyncio.TimeoutError``; callers
+    catching :class:`ReproError` see both worlds uniformly.
+    """
+
+
+class DegradedPathError(ReproError):
+    """A session could not be completed at full strength and the endpoint
+    policy forbids degraded operation (e.g. bypassing a dead middlebox)."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was used incorrectly."""
 

@@ -8,9 +8,20 @@ from repro.netsim.adversary import (
     Wiretap,
 )
 from repro.netsim.driver import CpuMeter, EngineDriver
+from repro.netsim.faults import (
+    AppliedFault,
+    ChaosTap,
+    CorruptionBurst,
+    FaultInjector,
+    FaultPlan,
+    HostCrash,
+    LinkPartition,
+    LossBurst,
+    StreamStall,
+)
 from repro.netsim.filters import FilterPolicy, TLSFilter
 from repro.netsim.network import Host, InterceptedFlow, Network, Socket, Stream, Tap
-from repro.netsim.sim import Simulator
+from repro.netsim.sim import Simulator, Timer
 from repro.netsim.trace import TraceEvent, render_trace, trace_session
 
 __all__ = [
@@ -21,6 +32,15 @@ __all__ = [
     "Wiretap",
     "CpuMeter",
     "EngineDriver",
+    "AppliedFault",
+    "ChaosTap",
+    "CorruptionBurst",
+    "FaultInjector",
+    "FaultPlan",
+    "HostCrash",
+    "LinkPartition",
+    "LossBurst",
+    "StreamStall",
     "FilterPolicy",
     "TLSFilter",
     "Host",
@@ -30,6 +50,7 @@ __all__ = [
     "Stream",
     "Tap",
     "Simulator",
+    "Timer",
     "TraceEvent",
     "render_trace",
     "trace_session",

@@ -4,6 +4,14 @@ The engine never sees the socket and the socket never sees the engine;
 the driver pumps bytes between them and hands protocol events to the
 application. It also meters real CPU time spent inside the engine,
 attributed per party — the measurement behind Figure 5.
+
+Drivers additionally own the session's *timers* (the engines are sans-IO
+and clockless): an optional handshake timeout and an optional idle
+timeout, both on the simulator's virtual clock. When the handshake timer
+fires the driver first asks the engine to degrade gracefully (bypass
+middleboxes whose secondary handshakes stalled — the paper's optimistic
+fallback), and only tears the session down if that cannot produce a
+working session. No session may hang past its timer horizon.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ import time
 from typing import Callable
 
 from repro.netsim.network import Socket
+from repro.netsim.sim import Timer
 
 __all__ = ["CpuMeter", "EngineDriver"]
 
@@ -53,6 +62,14 @@ class EngineDriver:
         socket: the simulated socket to pump.
         on_event: callback invoked for each engine event.
         meter: optional CPU meter charged for engine processing time.
+        handshake_timeout: seconds (virtual) the session may take to
+            establish before the driver degrades or fails it. ``None``
+            disables the timer (the historical behaviour).
+        idle_timeout: seconds of data-phase silence before the driver
+            closes the session cleanly. ``None`` disables it.
+        on_timeout: callback ``on_timeout(kind)`` — ``"handshake"`` or
+            ``"idle"`` — invoked when a timer ends the session; retry
+            supervisors hook this to schedule a redial.
     """
 
     def __init__(
@@ -61,13 +78,29 @@ class EngineDriver:
         socket: Socket,
         on_event: Callable[[object], None] | None = None,
         meter: CpuMeter | None = None,
+        handshake_timeout: float | None = None,
+        idle_timeout: float | None = None,
+        on_timeout: Callable[[str], None] | None = None,
     ) -> None:
         self.engine = engine
         self.socket = socket
         self.on_event = on_event
         self.meter = meter if meter is not None else CpuMeter()
+        self.on_timeout = on_timeout
+        self.timed_out: str | None = None
+        self.transport_closed = False
+        self._handshake_timer: Timer | None = None
+        self._idle_timer: Timer | None = None
+        sim = socket.host.network.sim
+        if handshake_timeout is not None:
+            self._handshake_timer = Timer(
+                sim, handshake_timeout, self._on_handshake_deadline
+            )
+        if idle_timeout is not None:
+            self._idle_timer = Timer(sim, idle_timeout, self._on_idle_deadline)
         socket.on_data(self._on_data)
         socket.on_connected(self._flush)
+        socket.on_close(self._on_transport_close)
 
     def start(self) -> None:
         """Start the engine (e.g. send the ClientHello) and flush."""
@@ -75,15 +108,21 @@ class EngineDriver:
             self.engine.start()
         self._flush()
 
+    # ------------------------------------------------------------------ pump
+
     def _on_data(self, data: bytes) -> None:
         with self.meter.measure():
             events = self.engine.receive_bytes(data)
         self._flush()
+        self._dispatch(events)
+        # Event handlers may have queued more data (e.g. an HTTP response).
+        self._flush()
+        self._service_timers()
+
+    def _dispatch(self, events) -> None:
         if self.on_event is not None:
             for event in events:
                 self.on_event(event)
-        # Event handlers may have queued more data (e.g. an HTTP response).
-        self._flush()
 
     def _flush(self) -> None:
         if not self.socket.connected or self.socket.closed:
@@ -96,9 +135,93 @@ class EngineDriver:
         with self.meter.measure():
             self.engine.send_application_data(data)
         self._flush()
+        if self._idle_timer is not None:
+            self._idle_timer.touch()
 
     def close(self) -> None:
         with self.meter.measure():
             self.engine.close()
         self._flush()
         self.socket.close()
+        self._cancel_timers()
+
+    # ---------------------------------------------------------------- timers
+
+    @property
+    def session_ready(self) -> bool:
+        """Whether the engine considers the session fully established."""
+        return bool(
+            getattr(self.engine, "established", False)
+            or getattr(self.engine, "handshake_complete", False)
+        )
+
+    @property
+    def session_over(self) -> bool:
+        return bool(getattr(self.engine, "closed", False)) or self.socket.closed
+
+    def _service_timers(self) -> None:
+        if self.session_over:
+            self._cancel_timers()
+            return
+        if self.session_ready and self._handshake_timer is not None:
+            self._handshake_timer.cancel()
+            self._handshake_timer = None
+        if self._idle_timer is not None:
+            self._idle_timer.touch()
+
+    def _cancel_timers(self) -> None:
+        if self._handshake_timer is not None:
+            self._handshake_timer.cancel()
+            self._handshake_timer = None
+        if self._idle_timer is not None:
+            self._idle_timer.cancel()
+            self._idle_timer = None
+
+    def _on_handshake_deadline(self) -> None:
+        self._handshake_timer = None
+        if self.session_ready or self.session_over:
+            return
+        # Graceful degradation first: if the primary session is up but
+        # secondary (middlebox) handshakes stalled, bypass them (§3.4's
+        # optimistic fallback) instead of killing a salvageable session.
+        bypass = getattr(self.engine, "bypass_pending_middleboxes", None)
+        if bypass is not None:
+            events = bypass("secondary handshake timed out")
+            self._flush()
+            self._dispatch(events)
+            if self.session_ready:
+                self._service_timers()
+                return
+        self._fail("handshake")
+
+    def _on_idle_deadline(self) -> None:
+        self._idle_timer = None
+        if self.session_over:
+            return
+        self._fail("idle")
+
+    def _fail(self, kind: str) -> None:
+        """Tear the session down with a clean close, never a hang."""
+        from repro.tls.events import ConnectionClosed
+
+        self.timed_out = kind
+        self._cancel_timers()
+        try:
+            with self.meter.measure():
+                self.engine.close()
+            self._flush()
+        finally:
+            self.socket.close()
+        self._dispatch([ConnectionClosed(error=f"{kind} timeout")])
+        if self.on_timeout is not None:
+            self.on_timeout(kind)
+
+    # ------------------------------------------------------------- transport
+
+    def _on_transport_close(self) -> None:
+        """The peer (or the network) closed the TCP stream under us."""
+        self.transport_closed = True
+        self._cancel_timers()
+        handle = getattr(self.engine, "handle_transport_close", None)
+        if handle is not None:
+            self._dispatch(handle())

@@ -1,0 +1,335 @@
+"""Deterministic fault injection: seeded chaos for the simulated network.
+
+The paper's deployment story assumes an imperfect network — middleboxes
+join optimistically (§3.4/P6) and Table 2 is about real paths mangling or
+dropping mbTLS traffic — so the robustness of the stack has to be tested
+against losses, stalls, partitions, and crashes, not just clean runs.
+
+This module provides that adversarial weather as *reproducible* input:
+
+* A :class:`FaultPlan` is a schedule of fault windows (loss and corruption
+  bursts, stream stalls, link partitions, host crashes). Plans can be built
+  explicitly or generated from the repo's HMAC-DRBG with
+  :meth:`FaultPlan.random`, so an entire chaos run is determined by a seed.
+* A :class:`ChaosTap` sits on every stream (built on the ordinary
+  :class:`~repro.netsim.network.Tap` hook) and applies the plan's windows to
+  the bytes crossing it. Per-chunk coin flips come from a DRBG fork, so two
+  runs with the same seed inject byte-identical faults.
+* A :class:`FaultInjector` installs taps on new streams, drives host
+  crash/restart schedules through :meth:`Network.crash_host`, and keeps an
+  ordered :attr:`log` of every fault actually applied — the determinism
+  tests compare these logs across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.crypto.drbg import HmacDrbg
+from repro.netsim.network import Host, Network, Stream, Tap
+
+__all__ = [
+    "LossBurst",
+    "CorruptionBurst",
+    "StreamStall",
+    "LinkPartition",
+    "HostCrash",
+    "FaultPlan",
+    "ChaosTap",
+    "FaultInjector",
+    "AppliedFault",
+]
+
+
+def _hop_matches(hop: frozenset | None, stream: Stream) -> bool:
+    """A link-scoped fault hits a stream if the stream's path crosses it.
+
+    ``hop`` is a frozenset of one or two host names; ``None`` matches every
+    stream. A single name matches any stream touching that host.
+    """
+    if hop is None:
+        return True
+    return hop <= set(stream.path)
+
+
+@dataclass(frozen=True)
+class LossBurst:
+    """Drop each chunk crossing matching streams with probability ``rate``
+    during [start, start+duration)."""
+
+    start: float
+    duration: float
+    rate: float = 1.0
+    hop: frozenset | None = None
+
+
+@dataclass(frozen=True)
+class CorruptionBurst:
+    """Flip one byte of each chunk with probability ``rate`` during the
+    window — the traffic normalizers and broken paths of Table 2."""
+
+    start: float
+    duration: float
+    rate: float = 1.0
+    hop: frozenset | None = None
+
+
+@dataclass(frozen=True)
+class StreamStall:
+    """Hold all bytes crossing matching streams for the window; release
+    them, in order, when it ends (bufferbloat / a wedged shaper)."""
+
+    start: float
+    duration: float
+    hop: frozenset | None = None
+
+
+@dataclass(frozen=True)
+class LinkPartition:
+    """Total blackout for streams whose path crosses the given link."""
+
+    start: float
+    duration: float
+    link: tuple[str, str] = ("", "")
+
+    @property
+    def hop(self) -> frozenset:
+        return frozenset(self.link)
+
+
+@dataclass(frozen=True)
+class HostCrash:
+    """Kill the processes on ``host`` at ``time``; optionally restart them
+    ``restart_after`` seconds later (services must re-register)."""
+
+    time: float
+    host: str = ""
+    restart_after: float | None = None
+
+
+@dataclass(frozen=True)
+class AppliedFault:
+    """One fault event that actually happened, for logs and determinism."""
+
+    time: float
+    kind: str
+    where: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of fault windows plus the seed that drives
+    per-chunk randomness. Equal plans + equal traffic = equal injections."""
+
+    faults: tuple = ()
+    seed: bytes = b"chaos"
+
+    def window_faults(self):
+        return tuple(f for f in self.faults if not isinstance(f, HostCrash))
+
+    def crashes(self) -> tuple[HostCrash, ...]:
+        return tuple(f for f in self.faults if isinstance(f, HostCrash))
+
+    def describe(self) -> str:
+        lines = [f"FaultPlan(seed={self.seed!r})"]
+        for fault in sorted(
+            self.faults, key=lambda f: getattr(f, "start", getattr(f, "time", 0.0))
+        ):
+            lines.append(f"  - {fault}")
+        return "\n".join(lines)
+
+    @classmethod
+    def random(
+        cls,
+        seed: bytes,
+        *,
+        horizon: float,
+        hops: tuple = (),
+        crashable: tuple[str, ...] = (),
+        loss_bursts: int = 2,
+        corruption_bursts: int = 1,
+        stalls: int = 1,
+        crash_probability: float = 0.5,
+    ) -> "FaultPlan":
+        """Generate a plan deterministically from ``seed``.
+
+        Windows land in the first 70% of the horizon so sessions started
+        late still have quiet air to recover in; crash times avoid t=0 so a
+        handshake is always in flight somewhere when the host dies.
+        """
+        rng = HmacDrbg(seed, personalization=b"fault-plan")
+        hop_choices: list = list(hops) + [None]
+        faults: list = []
+        for _ in range(loss_bursts):
+            start = rng.random() * horizon * 0.7
+            faults.append(
+                LossBurst(
+                    start=start,
+                    duration=0.02 + rng.random() * horizon * 0.15,
+                    rate=0.3 + rng.random() * 0.7,
+                    hop=rng.choice(hop_choices),
+                )
+            )
+        for _ in range(corruption_bursts):
+            start = rng.random() * horizon * 0.7
+            faults.append(
+                CorruptionBurst(
+                    start=start,
+                    duration=0.02 + rng.random() * horizon * 0.1,
+                    rate=0.3 + rng.random() * 0.7,
+                    hop=rng.choice(hop_choices),
+                )
+            )
+        for _ in range(stalls):
+            start = rng.random() * horizon * 0.7
+            faults.append(
+                StreamStall(
+                    start=start,
+                    duration=0.05 + rng.random() * horizon * 0.2,
+                    hop=rng.choice(hop_choices),
+                )
+            )
+        if crashable and rng.random() < crash_probability:
+            crash_at = horizon * (0.05 + rng.random() * 0.3)
+            restart = (
+                horizon * (0.1 + rng.random() * 0.2) if rng.random() < 0.5 else None
+            )
+            faults.append(
+                HostCrash(
+                    time=crash_at, host=rng.choice(list(crashable)),
+                    restart_after=restart,
+                )
+            )
+        return cls(faults=tuple(faults), seed=seed)
+
+
+class ChaosTap(Tap):
+    """Applies a :class:`FaultPlan`'s window faults to one stream.
+
+    One tap per stream; all taps share the injector's log but each owns a
+    DRBG fork (keyed by stream creation order) so coin flips don't depend
+    on how traffic interleaves across streams.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, rng: HmacDrbg, log: list[AppliedFault]
+    ) -> None:
+        self.plan = plan
+        self._rng = rng
+        self._log = log
+        # Held chunks per stall window: fault -> [(stream, toward_side, data)]
+        self._stalled: dict[StreamStall, list] = {}
+        self._release_scheduled: set[StreamStall] = set()
+
+    def _active(self, fault, now: float) -> bool:
+        return fault.start <= now < fault.start + fault.duration
+
+    def process(self, sender: Host, data: bytes, stream: Stream) -> bytes | None:
+        now = stream.sim.now
+        hop_name = f"{stream.path[0]}-{stream.path[-1]}"
+        for fault in self.plan.window_faults():
+            if not self._active(fault, now) or not _hop_matches(fault.hop, stream):
+                continue
+            if isinstance(fault, LinkPartition):
+                self._log.append(
+                    AppliedFault(now, "partition-drop", hop_name, f"{len(data)}B")
+                )
+                return None
+            if isinstance(fault, StreamStall):
+                self._stall(fault, sender, data, stream, hop_name)
+                return None
+            if isinstance(fault, LossBurst):
+                if self._rng.random() < fault.rate:
+                    self._log.append(
+                        AppliedFault(now, "loss", hop_name, f"{len(data)}B")
+                    )
+                    return None
+            elif isinstance(fault, CorruptionBurst):
+                if data and self._rng.random() < fault.rate:
+                    index = self._rng.randint_range(0, len(data) - 1)
+                    flipped = bytes([data[index] ^ 0xFF])
+                    data = data[:index] + flipped + data[index + 1 :]
+                    self._log.append(
+                        AppliedFault(now, "corrupt", hop_name, f"byte {index}")
+                    )
+        return data
+
+    def _stall(
+        self,
+        fault: StreamStall,
+        sender: Host,
+        data: bytes,
+        stream: Stream,
+        hop_name: str,
+    ) -> None:
+        side = 0 if stream.endpoints[0].host is sender else 1
+        self._stalled.setdefault(fault, []).append((stream, 1 - side, data))
+        self._log.append(
+            AppliedFault(stream.sim.now, "stall", hop_name, f"{len(data)}B held")
+        )
+        if fault not in self._release_scheduled:
+            self._release_scheduled.add(fault)
+            stream.sim.schedule_at(
+                fault.start + fault.duration, lambda: self._release(fault)
+            )
+
+    def _release(self, fault: StreamStall) -> None:
+        held = self._stalled.pop(fault, [])
+        for stream, toward_side, data in held:
+            if not stream.aborted:
+                # inject() bypasses taps, so released bytes are not re-judged.
+                stream.inject(toward_side, data)
+        if held:
+            self._log.append(
+                AppliedFault(
+                    held[0][0].sim.now, "stall-release", "", f"{len(held)} chunks"
+                )
+            )
+
+
+class FaultInjector:
+    """Installs a plan against a network and logs everything it does.
+
+    Attach *before* opening connections:
+
+        plan = FaultPlan.random(b"seed-1", horizon=5.0, crashable=("mb0",))
+        injector = FaultInjector(network, plan)
+
+    Crash/restart schedules fire through the simulator; restarts invoke any
+    callbacks registered with :meth:`on_restart` so services can re-listen.
+    """
+
+    def __init__(self, network: Network, plan: FaultPlan) -> None:
+        self.network = network
+        self.plan = plan
+        self.log: list[AppliedFault] = []
+        self._rng = HmacDrbg(plan.seed, personalization=b"chaos-taps")
+        self._tap_counter = 0
+        self._restart_hooks: dict[str, list[Callable[[], None]]] = {}
+        network.on_new_stream(self._on_stream)
+        for crash in plan.crashes():
+            network.sim.schedule_at(crash.time, lambda c=crash: self._crash(c))
+
+    def on_restart(self, host: str, hook: Callable[[], None]) -> None:
+        """Run ``hook`` when ``host`` restarts (re-register listeners)."""
+        self._restart_hooks.setdefault(host, []).append(hook)
+
+    def _on_stream(self, stream: Stream, a: str, b: str) -> None:
+        self._tap_counter += 1
+        tap_rng = self._rng.fork(b"tap-%d" % self._tap_counter)
+        stream.add_tap(ChaosTap(self.plan, tap_rng, self.log))
+
+    def _crash(self, crash: HostCrash) -> None:
+        sim = self.network.sim
+        self.log.append(AppliedFault(sim.now, "crash", crash.host))
+        self.network.crash_host(crash.host)
+        if crash.restart_after is not None:
+            sim.schedule(crash.restart_after, lambda: self._restart(crash.host))
+
+    def _restart(self, host: str) -> None:
+        self.log.append(AppliedFault(self.network.sim.now, "restart", host))
+        self.network.restart_host(host)
+        for hook in self._restart_hooks.get(host, []):
+            hook()

@@ -50,6 +50,8 @@ class Socket:
         self._side = side
         self.connected = False
         self.closed = False
+        self.aborted = False
+        self.abort_reason: str | None = None
         self._on_data: Callable[[bytes], None] | None = None
         self._on_connected: Callable[[], None] | None = None
         self._on_close: Callable[[], None] | None = None
@@ -76,9 +78,15 @@ class Socket:
     # I/O ----------------------------------------------------------------
 
     def send(self, data: bytes) -> None:
-        """Queue bytes; they flow once the connection is established."""
+        """Queue bytes; they flow once the connection is established.
+
+        Sending on a closed or aborted socket raises :class:`NetworkError`
+        (the bytes could never flow; silently queueing them would let a
+        dead connection masquerade as a slow one).
+        """
         if self.closed:
-            raise NetworkError("socket is closed")
+            reason = f": {self.abort_reason}" if self.abort_reason else ""
+            raise NetworkError(f"socket is closed{reason}")
         if not data:
             return
         if not self.connected:
@@ -116,6 +124,18 @@ class Socket:
             if self._on_close is not None:
                 self._on_close()
 
+    def _abort(self, reason: str) -> None:
+        """Hard-kill this endpoint (RST semantics): no more I/O either way."""
+        if self.closed:
+            return
+        self.closed = True
+        self.aborted = True
+        self.abort_reason = reason
+        self._pending_out.clear()
+        self._pending_in.clear()
+        if self._on_close is not None:
+            self._on_close()
+
 
 class Stream:
     """A reliable duplex byte pipe between two hosts along a path of links.
@@ -131,14 +151,17 @@ class Stream:
         b: "Host",
         latency: float,
         bandwidth: float,
+        path: tuple[str, ...] = (),
     ) -> None:
         self.network = network
         self.latency = latency
         self.bandwidth = bandwidth
+        self.path = path or (a.name, b.name)
         self.endpoints = (Socket(a, self, 0), Socket(b, self, 1))
         self.taps: list[Tap] = []
         self._next_free = [0.0, 0.0]
         self.bytes_transferred = [0, 0]
+        self.aborted = False
 
     @property
     def sim(self) -> Simulator:
@@ -149,6 +172,8 @@ class Stream:
 
     def establish(self) -> None:
         """Complete the SYN/SYN-ACK exchange (scheduled by Network)."""
+        if self.aborted:
+            return
         for socket in self.endpoints:
             socket._established()
 
@@ -168,6 +193,8 @@ class Stream:
         self._schedule_delivery(1 - toward_side, data)
 
     def _schedule_delivery(self, side: int, data: bytes) -> None:
+        if self.aborted:
+            return  # bytes in flight on a reset connection evaporate
         sim = self.sim
         serialization = len(data) * 8 / self.bandwidth
         depart = max(sim.now, self._next_free[side])
@@ -183,6 +210,22 @@ class Stream:
         peer = self.endpoints[1 - side]
         depart = max(self.sim.now, self._next_free[side])
         self.sim.schedule_at(depart + self.latency, peer._peer_closed)
+
+    def abort(self, reason: str, at_host: str | None = None) -> None:
+        """Reset the connection (host crash, refused SYN, hard failure).
+
+        The socket at ``at_host`` dies immediately; the far endpoint
+        observes the reset one propagation delay later (an RST crossing the
+        path). With ``at_host=None`` both ends die immediately.
+        """
+        if self.aborted:
+            return
+        self.aborted = True
+        for socket in self.endpoints:
+            if at_host is not None and socket.host.name != at_host:
+                self.sim.schedule(self.latency, lambda s=socket: s._abort(reason))
+            else:
+                socket._abort(reason)
 
 
 @dataclass
@@ -216,6 +259,7 @@ class Host:
     def __init__(self, network: "Network", name: str) -> None:
         self.network = network
         self.name = name
+        self.alive = True
         self._listeners: dict[int, Callable[[Socket, str], None]] = {}
         self._interceptors: dict[int, Callable[[InterceptedFlow], None]] = {}
 
@@ -232,6 +276,8 @@ class Host:
 
     def connect(self, destination: str, port: int) -> Socket:
         """Open a (possibly intercepted) connection toward ``destination``."""
+        if not self.alive:
+            raise NetworkError(f"host {self.name!r} is down")
         return self.network.connect(self.name, destination, port)
 
     def __repr__(self) -> str:
@@ -247,6 +293,7 @@ class Network:
         self._links: dict[tuple[str, str], tuple[float, float]] = {}
         self._adjacency: dict[str, list[str]] = {}
         self._stream_taps: list[Callable[[Stream, str, str], None]] = []
+        self.streams: list[Stream] = []
 
     # Topology -----------------------------------------------------------
 
@@ -309,6 +356,32 @@ class Network:
             bandwidth = min(bandwidth, link_bandwidth)
         return latency, bandwidth
 
+    # Failures -------------------------------------------------------------
+
+    def crash_host(self, name: str) -> None:
+        """Kill the processes on a host: listeners and interceptors vanish,
+        every established connection terminating there resets, and new SYNs
+        are refused until :meth:`restart_host`.
+
+        The box keeps forwarding at the packet level (links stay up), so a
+        crashed *middlebox* is transparently bypassed by later connections —
+        the degradation the paper's optimistic-announcement design allows.
+        Use a link partition to model the whole box falling off the network.
+        """
+        host = self.host(name)
+        host.alive = False
+        host._listeners.clear()
+        host._interceptors.clear()
+        for stream in self.streams:
+            if not stream.aborted and any(
+                socket.host is host for socket in stream.endpoints
+            ):
+                stream.abort(f"host {name} crashed", at_host=name)
+
+    def restart_host(self, name: str) -> None:
+        """Bring a crashed host back up (services must re-register)."""
+        self.host(name).alive = True
+
     # Taps ----------------------------------------------------------------
 
     def on_new_stream(self, hook: Callable[[Stream, str, str], None]) -> None:
@@ -338,8 +411,14 @@ class Network:
         segment = path[: split_index + 1]
         latency, bandwidth = self.path_metrics(segment)
         stream = Stream(
-            self, self.hosts[src], self.hosts[target_name], latency, bandwidth
+            self,
+            self.hosts[src],
+            self.hosts[target_name],
+            latency,
+            bandwidth,
+            path=tuple(segment),
         )
+        self.streams.append(stream)
         for hook in self._stream_taps:
             hook(stream, src, target_name)
         client_socket = stream.endpoints[0]
@@ -349,8 +428,23 @@ class Network:
 
         def on_syn() -> None:
             target = self.hosts[target_name]
+            if not target.alive:
+                # A dead host answers SYNs with a reset, not an exception in
+                # the event loop: the caller's socket sees on_close.
+                stream.abort(f"connection refused: host {target_name} is down",
+                             at_host=target_name)
+                return
             if split_index < len(path) - 1:
-                interceptor = target._interceptors[port]
+                interceptor = target._interceptors.get(port)
+                if interceptor is None:
+                    # The interceptor vanished (crash) after routing chose
+                    # this split point: reset so the caller can retry and be
+                    # routed past the dead middlebox.
+                    stream.abort(
+                        f"connection reset: interceptor on {target_name} is gone",
+                        at_host=target_name,
+                    )
+                    return
                 flow = InterceptedFlow(
                     socket=remote_socket,
                     destination=destination,

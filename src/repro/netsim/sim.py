@@ -14,7 +14,7 @@ from typing import Callable
 
 from repro.errors import SimulationError
 
-__all__ = ["Simulator", "ScheduledEvent"]
+__all__ = ["Simulator", "ScheduledEvent", "Timer"]
 
 
 class ScheduledEvent:
@@ -114,3 +114,40 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         return sum(1 for event in self._queue if not event.cancelled)
+
+
+class Timer:
+    """A cancellable, reschedulable deadline on the virtual clock.
+
+    Drivers use these for handshake and idle timeouts: ``touch()`` pushes
+    the deadline back (activity happened), ``cancel()`` disarms it, and the
+    callback fires at most once unless re-armed.
+    """
+
+    def __init__(self, sim: Simulator, timeout: float, callback: Callable[[], None]) -> None:
+        self._sim = sim
+        self.timeout = timeout
+        self._callback = callback
+        self.fired = False
+        self._event: ScheduledEvent | None = sim.schedule(timeout, self._fire)
+
+    def _fire(self) -> None:
+        self._event = None
+        self.fired = True
+        self._callback()
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None
+
+    def touch(self) -> None:
+        """Reset the deadline to ``timeout`` seconds from now."""
+        if self._event is not None:
+            self._event.cancel()
+        self.fired = False
+        self._event = self._sim.schedule(self.timeout, self._fire)
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None

@@ -1,0 +1,346 @@
+"""Chaos tests: seeded fault plans against live mbTLS sessions.
+
+The acceptance bar: under loss bursts, stalls, partitions, and crashes,
+every supervised session reaches a terminal outcome (established, degraded,
+or cleanly failed) within its timer horizon — no hangs, no exceptions out
+of the event loop — and the same seed reproduces the same outcomes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig, MiddleboxRole
+from repro.core.drivers import MiddleboxService, RetryPolicy, SessionSupervisor, serve_mbtls
+from repro.errors import NetworkError
+from repro.netsim.faults import (
+    AppliedFault,
+    ChaosTap,
+    CorruptionBurst,
+    FaultInjector,
+    FaultPlan,
+    HostCrash,
+    LinkPartition,
+    LossBurst,
+    StreamStall,
+)
+from repro.netsim.network import Network
+from repro.tls.config import TLSConfig
+from repro.tls.events import ApplicationData
+
+
+def _identity(direction, data):
+    return data
+
+
+class ChaosWorld:
+    """client -- mb0 -- server with a middlebox service and an mbTLS server."""
+
+    def __init__(self, pki, rng, plan: FaultPlan | None = None,
+                 policy: RetryPolicy | None = None):
+        self.pki = pki
+        self.rng = rng
+        self.network = Network()
+        for name in ("client", "mb0", "server"):
+            self.network.add_host(name)
+        self.network.add_link("client", "mb0", 0.002)
+        self.network.add_link("mb0", "server", 0.002)
+        self.policy = policy or RetryPolicy(
+            handshake_timeout=0.5, idle_timeout=1.0,
+            max_attempts=3, backoff_base=0.05, backoff_cap=0.4,
+        )
+        self.injector = FaultInjector(self.network, plan) if plan else None
+        self.service = MiddleboxService(
+            self.network.host("mb0"),
+            lambda: MiddleboxConfig(
+                name="mb0",
+                tls=TLSConfig(rng=self.rng.fork(b"mb"),
+                              credential=self.pki.credential("mb0")),
+                role=MiddleboxRole.CLIENT_SIDE,
+                process=_identity,
+            ),
+        )
+        if self.injector is not None:
+            self.injector.on_restart("mb0", self.service.reinstall)
+        self.server_received: list[bytes] = []
+
+        def on_server_event(engine, driver, event):
+            if isinstance(event, ApplicationData):
+                self.server_received.append(event.data)
+                if not driver.session_over:
+                    driver.send_application_data(b"ACK:" + event.data)
+
+        serve_mbtls(
+            self.network.host("server"),
+            lambda: MbTLSEndpointConfig(
+                tls=TLSConfig(rng=self.rng.fork(b"srv"),
+                              credential=self.pki.credential("server")),
+                middlebox_trust_store=self.pki.trust,
+            ),
+            on_event=on_server_event,
+            policy=self.policy,
+        )
+
+    def client_config(self) -> MbTLSEndpointConfig:
+        return MbTLSEndpointConfig(
+            tls=TLSConfig(rng=self.rng.fork(b"cli"), trust_store=self.pki.trust,
+                          server_name="server"),
+            middlebox_trust_store=self.pki.trust,
+        )
+
+    def supervise(self, start_at: float = 0.0, request: bytes | None = None):
+        holder: list[SessionSupervisor] = []
+
+        def dial():
+            def on_event(event):
+                from repro.core.config import SessionEstablished
+
+                if isinstance(event, SessionEstablished) and request is not None:
+                    holder[0].send_application_data(request)
+
+            supervisor = SessionSupervisor(
+                self.network.host("client"), "server", self.client_config,
+                on_event=on_event, policy=self.policy,
+            )
+            holder.append(supervisor)
+
+        self.network.sim.schedule_at(start_at, dial)
+        self._holders = getattr(self, "_holders", [])
+        self._holders.append(holder)
+        return holder
+
+    def supervisors(self) -> list[SessionSupervisor]:
+        return [holder[0] for holder in self._holders if holder]
+
+
+def run_chaos(pki, seed: bytes, session_starts=(0.0, 0.01, 0.3, 0.8)):
+    """One full chaos run; returns (outcomes, applied-fault kinds)."""
+    from repro.crypto.drbg import HmacDrbg
+
+    plan = FaultPlan(
+        faults=(
+            LossBurst(start=0.25, duration=0.1, rate=0.7,
+                      hop=frozenset({"client", "mb0"})),
+            LossBurst(start=0.9, duration=0.05, rate=0.5),
+            StreamStall(start=0.6, duration=0.2,
+                        hop=frozenset({"mb0", "server"})),
+            HostCrash(time=0.012, host="mb0"),
+        ),
+        seed=seed,
+    )
+    world = ChaosWorld(pki, HmacDrbg(seed, personalization=b"chaos-run"), plan)
+    for start in session_starts:
+        world.supervise(start)
+    world.network.sim.run(until=30.0)
+    outcomes = [
+        (supervisor.outcome, supervisor.attempt, supervisor.failure)
+        for supervisor in world.supervisors()
+    ]
+    kinds = [fault.kind for fault in world.injector.log]
+    return outcomes, kinds
+
+
+class TestFaultPlan:
+    def test_random_plan_is_deterministic(self):
+        kwargs = dict(horizon=5.0, hops=(frozenset({"a", "b"}),),
+                      crashable=("mb",))
+        assert FaultPlan.random(b"s1", **kwargs) == FaultPlan.random(b"s1", **kwargs)
+        assert FaultPlan.random(b"s1", **kwargs) != FaultPlan.random(b"s2", **kwargs)
+
+    def test_describe_lists_faults(self):
+        plan = FaultPlan.random(b"s", horizon=2.0, crashable=("m",),
+                                crash_probability=1.0)
+        text = plan.describe()
+        assert "LossBurst" in text and "StreamStall" in text
+
+
+class TestHostCrash:
+    def test_crash_resets_streams_and_send_raises(self):
+        network = Network()
+        for name in ("a", "b"):
+            network.add_host(name)
+        network.add_link("a", "b", 0.001)
+        closed = []
+        network.host("b").listen(80, lambda sock, src: None)
+        socket = network.host("a").connect("b", 80)
+        socket.on_close(lambda: closed.append(True))
+        network.sim.run()
+        assert socket.connected
+        network.crash_host("b")
+        network.sim.run()
+        assert closed and socket.closed
+        with pytest.raises(NetworkError):
+            socket.send(b"too late")
+
+    def test_syn_to_crashed_host_is_refused_not_raised(self):
+        network = Network()
+        for name in ("a", "b"):
+            network.add_host(name)
+        network.add_link("a", "b", 0.001)
+        network.host("b").listen(80, lambda sock, src: None)
+        network.crash_host("b")
+        closed = []
+        socket = network.host("a").connect("b", 80)
+        socket.on_close(lambda: closed.append(True))
+        network.sim.run()  # must not raise
+        assert closed and not socket.connected
+
+
+class TestCrashRecovery:
+    def test_middlebox_crash_mid_handshake_is_bypassed_by_retry(self, pki, rng):
+        """The mb dies 12 ms in (mid-handshake); the client's retry routes
+        past the dead interceptor and completes as plain mbTLS (degraded)."""
+        plan = FaultPlan(faults=(HostCrash(time=0.012, host="mb0"),), seed=b"c1")
+        world = ChaosWorld(pki, rng, plan)
+        world.supervise(0.0, request=b"hello")
+        world.network.sim.run(until=20.0)
+        (supervisor,) = world.supervisors()
+        assert supervisor.outcome == "degraded"
+        assert supervisor.attempt > 1
+        assert supervisor.engine.established
+        assert supervisor.engine.middleboxes == ()
+        # The degraded session still carried data end to end.
+        assert b"hello" in world.server_received
+
+    def test_middlebox_restart_serves_future_sessions(self, pki, rng):
+        plan = FaultPlan(
+            faults=(HostCrash(time=0.012, host="mb0", restart_after=0.1),),
+            seed=b"c2",
+        )
+        world = ChaosWorld(pki, rng, plan)
+        world.supervise(0.0)   # hits the crash, degrades via retry
+        world.supervise(2.0)   # after restart: full-strength session
+        world.network.sim.run(until=30.0)
+        first, second = world.supervisors()
+        assert first.outcome in ("degraded", "failed")
+        assert second.outcome == "established"
+        assert len(second.engine.middleboxes) == 1
+
+    def test_degradation_forbidden_fails_closed(self, pki, rng):
+        plan = FaultPlan(faults=(HostCrash(time=0.012, host="mb0"),), seed=b"c3")
+        policy = RetryPolicy(handshake_timeout=0.5, max_attempts=3,
+                             backoff_base=0.05, allow_degraded=False)
+        world = ChaosWorld(pki, rng, plan, policy=policy)
+        world.supervise(0.0)
+        world.network.sim.run(until=20.0)
+        (supervisor,) = world.supervisors()
+        assert supervisor.outcome == "failed"
+        assert "degraded" in supervisor.failure
+        assert supervisor.driver.session_over  # closed, not hanging
+
+
+class TestStallsAndPartitions:
+    def test_stalled_handshake_times_out_then_recovers(self, pki, rng):
+        """A stall covering the first dial forces a timeout; the retry
+        after the stall window completes."""
+        plan = FaultPlan(
+            faults=(StreamStall(start=0.0, duration=0.6,
+                                hop=frozenset({"client", "mb0"})),),
+            seed=b"s1",
+        )
+        world = ChaosWorld(pki, rng, plan)
+        world.supervise(0.001)
+        world.network.sim.run(until=30.0)
+        (supervisor,) = world.supervisors()
+        assert supervisor.outcome == "degraded"  # needed at least one retry
+        assert supervisor.attempt > 1
+
+    def test_partition_never_hangs_a_session(self, pki, rng):
+        plan = FaultPlan(
+            faults=(LinkPartition(start=0.0, duration=60.0,
+                                  link=("mb0", "server")),),
+            seed=b"p1",
+        )
+        world = ChaosWorld(pki, rng, plan)
+        world.supervise(0.0)
+        world.network.sim.run(until=60.0)
+        (supervisor,) = world.supervisors()
+        assert supervisor.outcome == "failed"
+        assert supervisor.attempt == world.policy.max_attempts
+
+    def test_stall_release_preserves_order(self):
+        network = Network()
+        for name in ("a", "b"):
+            network.add_host(name)
+        network.add_link("a", "b", 0.001)
+        plan = FaultPlan(
+            faults=(StreamStall(start=0.0, duration=0.05),), seed=b"o1"
+        )
+        FaultInjector(network, plan)
+        received = []
+        network.host("b").listen(
+            80, lambda sock, src: sock.on_data(received.append)
+        )
+        socket = network.host("a").connect("b", 80)
+        network.sim.run(until=0.004)
+        socket.send(b"one")
+        socket.send(b"two")
+        network.sim.run()
+        assert b"".join(received) == b"onetwo"
+        assert network.sim.now >= 0.05  # held until the stall lifted
+
+
+class TestChaosDeterminism:
+    def test_same_seed_same_outcomes(self, pki):
+        outcomes_a, log_a = run_chaos(pki, b"determinism-seed")
+        outcomes_b, log_b = run_chaos(pki, b"determinism-seed")
+        assert outcomes_a == outcomes_b
+        assert log_a == log_b
+
+    def test_every_session_reaches_a_terminal_outcome(self, pki):
+        outcomes, _ = run_chaos(pki, b"conclusive-seed")
+        assert len(outcomes) == 4
+        for outcome, attempt, failure in outcomes:
+            assert outcome in ("established", "degraded", "failed"), (
+                outcome, attempt, failure,
+            )
+
+
+class TestChaosTapUnits:
+    def test_loss_burst_drops_within_window_only(self):
+        network = Network()
+        for name in ("a", "b"):
+            network.add_host(name)
+        network.add_link("a", "b", 0.001)
+        plan = FaultPlan(
+            faults=(LossBurst(start=0.01, duration=0.02, rate=1.0),), seed=b"l1"
+        )
+        injector = FaultInjector(network, plan)
+        received = []
+        network.host("b").listen(
+            80, lambda sock, src: sock.on_data(received.append)
+        )
+        socket = network.host("a").connect("b", 80)
+        network.sim.run(until=0.005)
+        socket.send(b"before")       # outside the window: delivered
+        network.sim.run(until=0.015)
+        socket.send(b"during")       # inside: dropped
+        network.sim.run(until=0.05)
+        socket.send(b"after")        # after: delivered
+        network.sim.run()
+        assert b"".join(received) == b"beforeafter"
+        assert [f.kind for f in injector.log] == ["loss"]
+
+    def test_corruption_burst_flips_exactly_one_byte(self):
+        network = Network()
+        for name in ("a", "b"):
+            network.add_host(name)
+        network.add_link("a", "b", 0.001)
+        plan = FaultPlan(
+            faults=(CorruptionBurst(start=0.0, duration=1.0, rate=1.0),),
+            seed=b"x1",
+        )
+        injector = FaultInjector(network, plan)
+        received = []
+        network.host("b").listen(
+            80, lambda sock, src: sock.on_data(received.append)
+        )
+        socket = network.host("a").connect("b", 80)
+        network.sim.run(until=0.004)
+        original = b"payload-bytes"
+        socket.send(original)
+        network.sim.run()
+        (chunk,) = received
+        assert len(chunk) == len(original)
+        assert sum(1 for x, y in zip(chunk, original) if x != y) == 1
+        assert [f.kind for f in injector.log] == ["corrupt"]

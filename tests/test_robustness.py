@@ -1,5 +1,6 @@
 """Fuzz-style robustness: engines must survive hostile or garbage input by
-closing cleanly (or ignoring it), never by raising out of receive_bytes."""
+closing cleanly (or ignoring it), never by raising out of receive_bytes —
+during the handshake AND on an established data-phase session."""
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -10,8 +11,11 @@ from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig, MiddleboxRol
 from repro.core.client import MbTLSClientEngine
 from repro.core.middlebox import MbTLSMiddlebox
 from repro.crypto.drbg import HmacDrbg
+from repro.netsim.adversary import MutatingTap
 from repro.tls.config import TLSConfig
 from repro.tls.engine import TLSClientEngine, TLSServerEngine
+from repro.tls.events import ConnectionClosed
+from repro.wire.mbtls import EncapsulatedRecord
 from repro.wire.records import ContentType, Record
 
 
@@ -136,3 +140,112 @@ class TestHostileRecords:
             scenario.client_driver.send_application_data(b"alive")
             scenario.network.sim.run()
             assert b"alive" in scenario.server_received[-1]
+
+
+class TestEstablishedSessionRobustness:
+    """Data-phase robustness: hostile bytes on a live session must end in a
+    clean close or a dropped record — never an uncaught exception."""
+
+    def _established(self, pki, rng):
+        return MbTLSScenario(
+            pki, rng,
+            mbox_specs=[("proxy", MiddleboxRole.CLIENT_SIDE, identity, {})],
+        ).run_client(b"PING")
+
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[
+            HealthCheck.function_scoped_fixture,
+            HealthCheck.data_too_large,
+        ],
+    )
+    @given(garbage=st.binary(min_size=1, max_size=120))
+    def test_garbage_on_established_subchannel(self, pki, garbage):
+        """Garbage wrapped on the middlebox's live subchannel: the
+        secondary engine absorbs or closes; the client never raises."""
+        scenario = self._established(pki, HmacDrbg(garbage[:16].ljust(4, b"\0")))
+        client = scenario.client_engine
+        subchannel_id = next(iter(client._secondaries))
+        hostile = EncapsulatedRecord(
+            subchannel_id=subchannel_id,
+            inner=Record(ContentType.HANDSHAKE, garbage),
+        )
+        client.receive_bytes(hostile.to_record().encode())  # must not raise
+        client.data_to_send()
+
+    def test_corrupted_ciphertext_is_dropped_not_fatal(self, pki, rng):
+        """Flip a ciphertext byte of the server's reply: the client's AEAD
+        rejects the record, drops it, and the session stays usable."""
+        scenario = self._established(pki, rng)
+        stream = scenario.network.streams[0]  # client <-> mb0 segment
+
+        class FlipPayloadByte(MutatingTap):
+            def process(self, sender, data, stream):
+                if self.mutations >= 1 or sender.name != "mb0" or len(data) < 10:
+                    return data
+                self.mutations += 1
+                index = len(data) // 2  # inside the ciphertext, not the header
+                return data[:index] + bytes([data[index] ^ 0xFF]) + data[index + 1:]
+
+        stream.add_tap(FlipPayloadByte(mutate=lambda d: d))
+        scenario.client_driver.send_application_data(b"probe")
+        scenario.network.sim.run()  # must not raise out of the event loop
+        client = scenario.client_engine
+        assert not client.closed
+        assert client.records_dropped >= 1
+        # A later, untampered exchange still goes through.
+        stream.taps.clear()
+        scenario.client_driver.send_application_data(b"again")
+        scenario.network.sim.run()
+        assert b"again" in scenario.server_received[-1]
+
+    def test_corrupted_record_header_closes_cleanly(self, pki, rng):
+        """Flip the record-header byte: framing breaks; the client must
+        close with a clean ConnectionClosed, never an exception."""
+        scenario = self._established(pki, rng)
+        stream = scenario.network.streams[0]
+
+        class FlipHeaderByte(MutatingTap):
+            def process(self, sender, data, stream):
+                if self.mutations >= 1 or sender.name != "mb0" or not data:
+                    return data
+                self.mutations += 1
+                return bytes([data[0] ^ 0xFF]) + data[1:]
+
+        stream.add_tap(FlipHeaderByte(mutate=lambda d: d))
+        before_events = len(scenario.events)
+        scenario.client_driver.send_application_data(b"probe")
+        scenario.network.sim.run()  # must not raise out of the event loop
+        client = scenario.client_engine
+        assert client.closed
+        assert any(
+            isinstance(e, ConnectionClosed)
+            for e in scenario.events[before_events:]
+        )
+
+    def test_half_open_close_propagates_through_middlebox(self, pki, rng):
+        """Abruptly closing the client's socket (no TLS goodbye) must shut
+        down the onward segment with a clean close_notify, not leave the
+        server half-open forever."""
+        scenario = self._established(pki, rng)
+        scenario.client_driver.socket.close()
+        scenario.network.sim.run()
+        mb_driver = scenario.services[0].drivers[0]
+        assert mb_driver.engine.closed
+        assert mb_driver.up is not None and mb_driver.up.closed
+        closes = [
+            e for e in scenario.server_events if isinstance(e, ConnectionClosed)
+        ]
+        assert closes and closes[-1].error is None  # close_notify, not a hang
+
+    def test_server_side_close_propagates_down(self, pki, rng):
+        """Server host dies abruptly: the middlebox must notice its upstream
+        socket reset and hand the client a clean close_notify."""
+        scenario = self._established(pki, rng)
+        mb_driver = scenario.services[0].drivers[0]
+        scenario.network.crash_host("server")
+        scenario.network.sim.run()
+        assert mb_driver.engine.closed
+        assert mb_driver.down.closed
+        closes = [e for e in scenario.events if isinstance(e, ConnectionClosed)]
+        assert closes and closes[-1].error is None
