@@ -8,7 +8,6 @@
     where networks killed unknown TLS record types.
 """
 
-from collections import Counter
 
 from conftest import emit
 

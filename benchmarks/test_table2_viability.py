@@ -11,10 +11,8 @@ prints the per-type success table.
 from conftest import emit
 
 from repro.bench.population import NETWORK_TYPE_COUNTS, generate_population
-from repro.bench.scenarios import Pki
 from repro.bench.tables import render_table
 from repro.bench.viability import run_population
-from repro.crypto.drbg import HmacDrbg
 
 PAPER_TOTAL_SITES = 241
 

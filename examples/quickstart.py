@@ -24,7 +24,7 @@ from repro import (
     TrustStore,
     open_mbtls,
 )
-from repro.apps.http import HttpClient, HttpParser, HttpRequest, HttpResponse
+from repro.apps.http import HttpClient, HttpParser, HttpResponse
 from repro.apps.proxy import HeaderInsertingProxy
 from repro.tls.events import ApplicationData
 

@@ -9,7 +9,7 @@ enclave.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.apps.base import AppApi, MiddleboxApp
 

@@ -2,6 +2,8 @@
 
 from repro.baselines.blindbox import (
     BlindBoxDetector,
+    BlindBoxInspectorConnection,
+    BlindBoxStreamConnection,
     EncryptedRule,
     RuleAuthority,
     TokenStream,
@@ -11,12 +13,15 @@ from repro.baselines.mctls import (
     ContextKeys,
     ContextPermission,
     McTLSContext,
+    McTLSMiddleboxConnection,
     McTLSParty,
+    McTLSRecordConnection,
     McTLSSession,
 )
-from repro.baselines.relay import SpliceRelayService
+from repro.baselines.relay import SpliceRelay, SpliceRelayService
 from repro.baselines.shared_key import (
     KeySharingClient,
+    KeySharingConnection,
     KeySharingMiddlebox,
     KeySharingService,
 )
@@ -24,16 +29,22 @@ from repro.baselines.split_tls import SplitTLSMiddlebox, SplitTLSService
 
 __all__ = [
     "BlindBoxDetector",
+    "BlindBoxInspectorConnection",
+    "BlindBoxStreamConnection",
     "EncryptedRule",
     "RuleAuthority",
     "TokenStream",
     "ContextKeys",
     "ContextPermission",
     "McTLSContext",
+    "McTLSMiddleboxConnection",
     "McTLSParty",
+    "McTLSRecordConnection",
     "McTLSSession",
+    "SpliceRelay",
     "SpliceRelayService",
     "KeySharingClient",
+    "KeySharingConnection",
     "KeySharingMiddlebox",
     "KeySharingService",
     "SplitTLSMiddlebox",

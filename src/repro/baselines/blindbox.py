@@ -28,11 +28,20 @@ records the simplification.
 from __future__ import annotations
 
 import hmac
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.errors import PolicyError
+from repro.errors import PolicyError, ProtocolError
+from repro.io.record_plane import RecordPlane
+from repro.tls.events import ApplicationData, ConnectionClosed
 
-__all__ = ["TokenStream", "EncryptedRule", "RuleAuthority", "BlindBoxDetector"]
+__all__ = [
+    "TokenStream",
+    "EncryptedRule",
+    "RuleAuthority",
+    "BlindBoxDetector",
+    "BlindBoxStreamConnection",
+    "BlindBoxInspectorConnection",
+]
 
 DEFAULT_WINDOW = 8  # sliding-window token size, like BlindBox's 8-byte tokens
 
@@ -152,3 +161,159 @@ class BlindBoxDetector:
             }
         self.matches.extend(fresh)
         return fresh
+
+
+_TOKEN_LEN = 16
+_FRAME_HEADER = 4  # u32 payload length; a zero-length frame is the close marker
+
+
+def _pop_frames(buffer: bytearray) -> list[bytes | None]:
+    """Pop complete length-framed payloads; ``None`` marks a close frame."""
+    frames: list[bytes | None] = []
+    while len(buffer) >= _FRAME_HEADER:
+        length = int.from_bytes(buffer[:_FRAME_HEADER], "big")
+        if length == 0:
+            del buffer[:_FRAME_HEADER]
+            frames.append(None)
+            continue
+        if len(buffer) < _FRAME_HEADER + length:
+            break
+        frames.append(bytes(buffer[_FRAME_HEADER : _FRAME_HEADER + length]))
+        del buffer[: _FRAME_HEADER + length]
+    return frames
+
+
+def _encode_payload(tokens: list[bytes], data: bytes) -> bytes:
+    body = len(tokens).to_bytes(2, "big") + b"".join(tokens) + data
+    return len(body).to_bytes(_FRAME_HEADER, "big") + body
+
+
+def _decode_payload(payload: bytes) -> tuple[list[bytes], bytes]:
+    count = int.from_bytes(payload[:2], "big")
+    end = 2 + count * _TOKEN_LEN
+    tokens = [payload[i : i + _TOKEN_LEN] for i in range(2, end, _TOKEN_LEN)]
+    return tokens, payload[end:]
+
+
+class BlindBoxStreamConnection:
+    """Sans-IO BlindBox endpoint: data chunks travel with their token stream.
+
+    Each outbound chunk is framed as ``u32 len | u16 n_tokens | tokens | data``
+    so the on-path detector can strip the encrypted tokens without touching the
+    data bytes (which in a full deployment are the regular TLS ciphertext; the
+    simplification is recorded in the module docstring). Implements the shared
+    :class:`repro.io.Connection` contract.
+    """
+
+    def __init__(self, token_stream: TokenStream) -> None:
+        self.tokens = token_stream
+        self._out = RecordPlane()  # coalesced outbox only; no TLS parsing
+        self._buffer = bytearray()
+        self.closed = False
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise ProtocolError("BlindBox connection already started")
+        self._started = True
+
+    def send_application_data(self, data: bytes) -> None:
+        if self.closed:
+            raise ProtocolError("cannot send application data on a closed connection")
+        self._out.queue_raw(_encode_payload(self.tokens.tokenize(data), data))
+
+    def receive_bytes(self, data: bytes) -> list:
+        if self.closed:
+            return []
+        self._buffer += data
+        events: list = []
+        for payload in _pop_frames(self._buffer):
+            if payload is None:
+                self.closed = True
+                events.append(ConnectionClosed())
+                break
+            _tokens, chunk = _decode_payload(payload)
+            events.append(ApplicationData(data=chunk))
+        return events
+
+    def data_to_send(self) -> bytes:
+        return self._out.data_to_send()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._out.queue_raw((0).to_bytes(_FRAME_HEADER, "big"))
+
+    def peer_closed(self) -> list:
+        if self.closed:
+            return []
+        self.closed = True
+        return [ConnectionClosed(error="transport closed")]
+
+
+class BlindBoxInspectorConnection:
+    """Sans-IO duplex BlindBox middlebox: matches tokens, relays frames.
+
+    The detector sees only the encrypted token stream — frames are forwarded
+    byte-for-byte, because the inspector fundamentally cannot transform the
+    data (the [Computation: limited] cell of the §2.2 design space).
+    """
+
+    def __init__(
+        self,
+        detector: BlindBoxDetector,
+        detector_up: BlindBoxDetector | None = None,
+    ) -> None:
+        self.detector_down = detector
+        self.detector_up = detector_up if detector_up is not None else detector
+        self._planes = [RecordPlane(), RecordPlane()]  # outboxes only
+        self._buffers = [bytearray(), bytearray()]
+        self.frames_inspected = 0
+        self.closed = False
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise ProtocolError("BlindBox inspector already started")
+        self._started = True
+
+    def receive_down(self, data: bytes) -> list:
+        return self._receive(0, self.detector_down, data)
+
+    def receive_up(self, data: bytes) -> list:
+        return self._receive(1, self.detector_up, data)
+
+    def _receive(self, side: int, detector: BlindBoxDetector, data: bytes) -> list:
+        if self.closed:
+            return []
+        buffer = self._buffers[side]
+        outbound = self._planes[1 - side]
+        buffer += data
+        for payload in _pop_frames(buffer):
+            if payload is None:
+                outbound.queue_raw((0).to_bytes(_FRAME_HEADER, "big"))
+                continue
+            tokens, _chunk = _decode_payload(payload)
+            detector.inspect(tokens)
+            self.frames_inspected += 1
+            outbound.queue_raw(len(payload).to_bytes(_FRAME_HEADER, "big") + payload)
+        return []
+
+    def data_to_send_down(self) -> bytes:
+        return self._planes[0].data_to_send()
+
+    def data_to_send_up(self) -> bytes:
+        return self._planes[1].data_to_send()
+
+    def peer_closed_down(self) -> list:
+        if self.closed:
+            return []
+        self.closed = True
+        return [ConnectionClosed(error="client segment closed")]
+
+    def peer_closed_up(self) -> list:
+        if self.closed:
+            return []
+        self.closed = True
+        return [ConnectionClosed(error="server segment closed")]

@@ -24,9 +24,19 @@ from enum import Enum
 
 from repro.crypto.gcm import AESGCM
 from repro.crypto.kdf import prf
-from repro.errors import IntegrityError, PolicyError
+from repro.errors import IntegrityError, PolicyError, ProtocolError
+from repro.io.record_plane import RecordPlane
+from repro.tls.events import ApplicationData, ConnectionClosed
 
-__all__ = ["ContextPermission", "ContextKeys", "McTLSContext", "McTLSSession", "McTLSParty"]
+__all__ = [
+    "ContextPermission",
+    "ContextKeys",
+    "McTLSContext",
+    "McTLSSession",
+    "McTLSParty",
+    "McTLSRecordConnection",
+    "McTLSMiddleboxConnection",
+]
 
 
 class ContextPermission(Enum):
@@ -177,3 +187,158 @@ class McTLSParty:
 
     def can_read(self, context_id: int) -> bool:
         return self.contexts[context_id].keys.read_key is not None
+
+
+_FRAME_HEADER = 4  # u32 length prefix; a zero-length frame is the close marker
+
+
+def _pop_frames(buffer: bytearray) -> list[bytes | None]:
+    """Pop complete length-framed payloads; ``None`` marks a close frame."""
+    frames: list[bytes | None] = []
+    while len(buffer) >= _FRAME_HEADER:
+        length = int.from_bytes(buffer[:_FRAME_HEADER], "big")
+        if length == 0:
+            del buffer[:_FRAME_HEADER]
+            frames.append(None)
+            continue
+        if len(buffer) < _FRAME_HEADER + length:
+            break
+        frames.append(bytes(buffer[_FRAME_HEADER : _FRAME_HEADER + length]))
+        del buffer[: _FRAME_HEADER + length]
+    return frames
+
+
+def _frame(payload: bytes) -> bytes:
+    return len(payload).to_bytes(_FRAME_HEADER, "big") + payload
+
+
+class McTLSRecordConnection:
+    """Sans-IO stream endpoint speaking length-framed mcTLS records.
+
+    mcTLS proper has no record framing of its own in this reproduction (the
+    mechanism under study is the per-context access control), so this adapter
+    supplies a minimal stream layer — a u32 length prefix per sealed record,
+    with a zero-length frame as the close marker — and implements the shared
+    :class:`repro.io.Connection` contract.
+    """
+
+    def __init__(
+        self,
+        party: McTLSParty,
+        default_context: int,
+        verify_endpoint_mac: bool = False,
+    ) -> None:
+        self.party = party
+        self.default_context = default_context
+        self.verify_endpoint_mac = verify_endpoint_mac
+        self._out = RecordPlane()  # coalesced outbox only; no TLS parsing
+        self._buffer = bytearray()
+        self.closed = False
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise ProtocolError("mcTLS connection already started")
+        self._started = True
+
+    def send_application_data(self, data: bytes, context_id: int | None = None) -> None:
+        if self.closed:
+            raise ProtocolError("cannot send application data on a closed connection")
+        context = self.default_context if context_id is None else context_id
+        self._out.queue_raw(_frame(self.party.seal(context, data)))
+
+    def receive_bytes(self, data: bytes) -> list:
+        if self.closed:
+            return []
+        self._buffer += data
+        events: list = []
+        for sealed in _pop_frames(self._buffer):
+            if sealed is None:
+                self.closed = True
+                events.append(ConnectionClosed())
+                break
+            context_id = sealed[0]
+            plaintext = self.party.open(
+                context_id, sealed, verify_endpoint_mac=self.verify_endpoint_mac
+            )
+            events.append(ApplicationData(data=plaintext))
+        return events
+
+    def data_to_send(self) -> bytes:
+        return self._out.data_to_send()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._out.queue_raw(_frame(b""))
+
+    def peer_closed(self) -> list:
+        if self.closed:
+            return []
+        self.closed = True
+        return [ConnectionClosed(error="transport closed")]
+
+
+class McTLSMiddleboxConnection:
+    """Sans-IO duplex mcTLS middlebox: inspects readable contexts in transit.
+
+    Frames are forwarded verbatim — a read-only party cannot re-seal with
+    the endpoint MAC, and forwarding unmodified bytes is exactly what keeps
+    the endpoint MAC valid end to end.
+    """
+
+    def __init__(self, party: McTLSParty) -> None:
+        self.party = party
+        self._planes = [RecordPlane(), RecordPlane()]  # outboxes only
+        self._buffers = [bytearray(), bytearray()]
+        self.records_seen = 0
+        self.plaintext_seen: list[bytes] = []
+        self.closed = False
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise ProtocolError("mcTLS middlebox already started")
+        self._started = True
+
+    def receive_down(self, data: bytes) -> list:
+        return self._receive(0, data)
+
+    def receive_up(self, data: bytes) -> list:
+        return self._receive(1, data)
+
+    def _receive(self, side: int, data: bytes) -> list:
+        if self.closed:
+            return []
+        buffer = self._buffers[side]
+        outbound = self._planes[1 - side]
+        buffer += data
+        for sealed in _pop_frames(buffer):
+            if sealed is None:
+                outbound.queue_raw(_frame(b""))
+                continue
+            self.records_seen += 1
+            context_id = sealed[0]
+            if self.party.can_read(context_id):
+                self.plaintext_seen.append(self.party.open(context_id, sealed))
+            outbound.queue_raw(_frame(sealed))
+        return []
+
+    def data_to_send_down(self) -> bytes:
+        return self._planes[0].data_to_send()
+
+    def data_to_send_up(self) -> bytes:
+        return self._planes[1].data_to_send()
+
+    def peer_closed_down(self) -> list:
+        if self.closed:
+            return []
+        self.closed = True
+        return [ConnectionClosed(error="client segment closed")]
+
+    def peer_closed_up(self) -> list:
+        if self.closed:
+            return []
+        self.closed = True
+        return [ConnectionClosed(error="server segment closed")]

@@ -5,17 +5,72 @@ Two flavours:
 * a *path relay* is just a host on the route with no interceptor; the
   network forwards through it with link latency only ("the middlebox simply
   relays packets", the worst case to compare mbTLS against);
-* a :class:`SpliceRelayService` terminates TCP and splices bytes — an
+* a :class:`SpliceRelay` terminates TCP and splices bytes — an
   application-layer relay with no TLS processing, used to isolate the cost
-  of split TCP from the cost of split TLS.
+  of split TCP from the cost of split TLS. :class:`SpliceRelayService`
+  deploys one per intercepted connection behind a
+  :class:`~repro.netsim.driver.DuplexDriver`.
 """
 
 from __future__ import annotations
 
-from repro.netsim.driver import CpuMeter
+from repro.errors import ProtocolError
+from repro.io.record_plane import RecordPlane
+from repro.netsim.driver import CpuMeter, DuplexDriver
 from repro.netsim.network import Host, InterceptedFlow
+from repro.tls.events import ConnectionClosed
 
-__all__ = ["SpliceRelayService"]
+__all__ = ["SpliceRelay", "SpliceRelayService"]
+
+
+class SpliceRelay:
+    """Sans-IO byte splice: bytes in on one segment, out on the other."""
+
+    def __init__(self) -> None:
+        # Planes are used for their coalesced outboxes only; the relay never
+        # parses records.
+        self._out_down = RecordPlane()
+        self._out_up = RecordPlane()
+        self.bytes_relayed = 0
+        self.closed = False
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise ProtocolError("relay already started")
+        self._started = True
+
+    def receive_down(self, data: bytes) -> list:
+        if self.closed:
+            return []
+        self.bytes_relayed += len(data)
+        self._out_up.queue_raw(data)
+        return []
+
+    def receive_up(self, data: bytes) -> list:
+        if self.closed:
+            return []
+        self.bytes_relayed += len(data)
+        self._out_down.queue_raw(data)
+        return []
+
+    def data_to_send_down(self) -> bytes:
+        return self._out_down.data_to_send()
+
+    def data_to_send_up(self) -> bytes:
+        return self._out_up.data_to_send()
+
+    def peer_closed_down(self) -> list:
+        if self.closed:
+            return []
+        self.closed = True
+        return [ConnectionClosed(error="client segment closed")]
+
+    def peer_closed_up(self) -> list:
+        if self.closed:
+            return []
+        self.closed = True
+        return [ConnectionClosed(error="server segment closed")]
 
 
 class SpliceRelayService:
@@ -24,23 +79,23 @@ class SpliceRelayService:
     def __init__(self, host: Host, port: int = 443, meter: CpuMeter | None = None) -> None:
         self.host = host
         self.meter = meter if meter is not None else CpuMeter(host.name)
-        self.connections = 0
-        self.bytes_relayed = 0
+        self.relays: list[SpliceRelay] = []
+        self.drivers: list[DuplexDriver] = []
         host.intercept(port, self._on_intercept)
 
+    @property
+    def connections(self) -> int:
+        return len(self.relays)
+
+    @property
+    def bytes_relayed(self) -> int:
+        return sum(relay.bytes_relayed for relay in self.relays)
+
     def _on_intercept(self, flow: InterceptedFlow) -> None:
-        self.connections += 1
-        down = flow.socket
-        up = flow.dial_onward()
-
-        def forward(dst):
-            def on_data(data: bytes) -> None:
-                self.bytes_relayed += len(data)
-                if not dst.closed:
-                    dst.send(data)
-            return on_data
-
-        down.on_data(forward(up))
-        up.on_data(forward(down))
-        down.on_close(lambda: up.close() if not up.closed else None)
-        up.on_close(lambda: down.close() if not down.closed else None)
+        relay = SpliceRelay()
+        self.relays.append(relay)
+        driver = DuplexDriver(relay, flow.socket, meter=self.meter)
+        self.drivers.append(driver)
+        with self.meter.measure():
+            relay.start()
+        driver.bind_up(flow.dial_onward())

@@ -18,15 +18,25 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.netsim.driver import CpuMeter
+from repro.errors import ProtocolError
+from repro.io.record_plane import RecordPlane
+from repro.netsim.driver import CpuMeter, DuplexDriver
 from repro.netsim.network import Host, InterceptedFlow
 from repro.tls.ciphersuites import suite_by_code
 from repro.tls.engine import TLSClientEngine
+from repro.tls.events import ConnectionClosed
 from repro.tls.keyschedule import KeyBlock
 from repro.tls.record_layer import ConnectionState
-from repro.wire.records import ContentType, Record, RecordBuffer
+from repro.wire.records import ContentType, Record
 
-__all__ = ["KeySharingClient", "KeySharingMiddlebox", "KeySharingService"]
+__all__ = [
+    "KeySharingClient",
+    "KeySharingConnection",
+    "KeySharingMiddlebox",
+    "KeySharingService",
+]
+
+_DOWN, _UP = 0, 1
 
 
 class KeySharingClient:
@@ -95,14 +105,68 @@ class KeySharingMiddlebox:
         return out
 
 
-class KeySharingService:
-    """Deploys a key-sharing middlebox as an on-path interceptor.
+class KeySharingConnection:
+    """Sans-IO duplex splice around a :class:`KeySharingMiddlebox`.
 
-    Handshake records are relayed verbatim; once keys arrive (pushed by the
-    client via :meth:`share_keys`), data records are decrypted/processed/
-    re-encrypted. Records that arrive before the keys are relayed verbatim
-    (the middlebox physically cannot do anything else).
+    Handshake records are relayed verbatim; once keys arrive, application
+    data records are decrypted/processed/re-encrypted. Records that arrive
+    before the keys are relayed verbatim (the middlebox physically cannot
+    do anything else).
     """
+
+    def __init__(self, middlebox: KeySharingMiddlebox) -> None:
+        self.middlebox = middlebox
+        self._planes = [RecordPlane(), RecordPlane()]
+        self.closed = False
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise ProtocolError("key-sharing splice already started")
+        self._started = True
+
+    def receive_down(self, data: bytes) -> list:
+        return self._receive(_DOWN, "c2s", data)
+
+    def receive_up(self, data: bytes) -> list:
+        return self._receive(_UP, "s2c", data)
+
+    def _receive(self, side: int, direction: str, data: bytes) -> list:
+        if self.closed:
+            return []
+        inbound = self._planes[side]
+        outbound = self._planes[1 - side]
+        inbound.feed(data)
+        for record in inbound.pop_records():
+            if (
+                record.content_type == ContentType.APPLICATION_DATA
+                and self.middlebox.keys_installed
+            ):
+                record = self.middlebox.handle_record(direction, record)
+            outbound.queue_encoded(record)
+        return []
+
+    def data_to_send_down(self) -> bytes:
+        return self._planes[_DOWN].data_to_send()
+
+    def data_to_send_up(self) -> bytes:
+        return self._planes[_UP].data_to_send()
+
+    def peer_closed_down(self) -> list:
+        if self.closed:
+            return []
+        self.closed = True
+        return [ConnectionClosed(error="client segment closed")]
+
+    def peer_closed_up(self) -> list:
+        if self.closed:
+            return []
+        self.closed = True
+        return [ConnectionClosed(error="server segment closed")]
+
+
+class KeySharingService:
+    """Deploys a key-sharing middlebox as an on-path interceptor."""
 
     def __init__(
         self,
@@ -114,6 +178,7 @@ class KeySharingService:
         self.host = host
         self.meter = meter if meter is not None else CpuMeter(host.name)
         self.middleboxes: list[KeySharingMiddlebox] = []
+        self.drivers: list[DuplexDriver] = []
         self._process = process
         host.intercept(port, self._on_intercept)
 
@@ -125,29 +190,9 @@ class KeySharingService:
     def _on_intercept(self, flow: InterceptedFlow) -> None:
         middlebox = KeySharingMiddlebox(self._process)
         self.middleboxes.append(middlebox)
-        down = flow.socket
-        up = flow.dial_onward()
-        buffers = {id(down): RecordBuffer(), id(up): RecordBuffer()}
-
-        def relay(src, dst, direction: str):
-            def on_data(data: bytes) -> None:
-                with self.meter.measure():
-                    buffer = buffers[id(src)]
-                    buffer.feed(data)
-                    out = bytearray()
-                    for record in buffer.pop_records():
-                        if (
-                            record.content_type == ContentType.APPLICATION_DATA
-                            and middlebox.keys_installed
-                        ):
-                            record = middlebox.handle_record(direction, record)
-                        out += record.encode()
-                if out and not dst.closed:
-                    dst.send(bytes(out))
-
-            return on_data
-
-        down.on_data(relay(down, up, "c2s"))
-        up.on_data(relay(up, down, "s2c"))
-        down.on_close(lambda: up.close() if not up.closed else None)
-        up.on_close(lambda: down.close() if not down.closed else None)
+        connection = KeySharingConnection(middlebox)
+        driver = DuplexDriver(connection, flow.socket, meter=self.meter)
+        self.drivers.append(driver)
+        with self.meter.measure():
+            connection.start()
+        driver.bind_up(flow.dial_onward())

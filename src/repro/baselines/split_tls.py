@@ -20,8 +20,8 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.netsim.driver import CpuMeter
-from repro.netsim.network import Host, InterceptedFlow, Socket
+from repro.netsim.driver import CpuMeter, DuplexDriver
+from repro.netsim.network import Host, InterceptedFlow
 from repro.pki.authority import CertificateAuthority
 from repro.pki.store import TrustStore
 from repro.tls.config import TLSConfig
@@ -85,6 +85,8 @@ class SplitTLSMiddlebox:
         self.up_engine.start()
 
     def receive_down(self, data: bytes) -> list:
+        if self.closed:
+            return []
         events = self.down_engine.receive_bytes(data)
         out = []
         for event in events:
@@ -101,6 +103,8 @@ class SplitTLSMiddlebox:
         return out
 
     def receive_up(self, data: bytes) -> list:
+        if self.closed:
+            return []
         events = self.up_engine.receive_bytes(data)
         for event in events:
             if isinstance(event, ApplicationData):
@@ -122,6 +126,24 @@ class SplitTLSMiddlebox:
 
     def data_to_send_up(self) -> bytes:
         return self.up_engine.data_to_send()
+
+    def peer_closed_down(self) -> list:
+        """The client segment died: say a clean goodbye toward the server."""
+        if self.closed:
+            return []
+        self.closed = True
+        if not self.up_engine.closed:
+            self.up_engine.close()
+        return [ConnectionClosed(error="client segment closed")]
+
+    def peer_closed_up(self) -> list:
+        """The server segment died: say a clean goodbye toward the client."""
+        if self.closed:
+            return []
+        self.closed = True
+        if not self.down_engine.closed:
+            self.down_engine.close()
+        return [ConnectionClosed(error="server segment closed")]
 
     # MbTLSMiddlebox-compatible surface for drivers.
     dial_target = None
@@ -152,6 +174,7 @@ class SplitTLSService:
         self.host = host
         self.meter = meter if meter is not None else CpuMeter(host.name)
         self.middleboxes: list[SplitTLSMiddlebox] = []
+        self.drivers: list[DuplexDriver] = []
         self._ca = interception_ca
         self._rng = rng
         self._trust = upstream_trust
@@ -195,33 +218,8 @@ class SplitTLSService:
             fabricated_credential=self._fabricate(flow.destination),
         )
         self.middleboxes.append(middlebox)
-        down = flow.socket
-        up = flow.dial_onward()
-
-        def pump() -> None:
-            if not down.closed:
-                data = middlebox.data_to_send_down()
-                if data:
-                    down.send(data)
-            if not up.closed:
-                data = middlebox.data_to_send_up()
-                if data:
-                    up.send(data)
-
-        def on_down(data: bytes) -> None:
-            with self.meter.measure():
-                middlebox.receive_down(data)
-            pump()
-
-        def on_up(data: bytes) -> None:
-            with self.meter.measure():
-                middlebox.receive_up(data)
-            pump()
-
-        down.on_data(on_down)
-        up.on_data(on_up)
-        down.on_close(lambda: up.close() if not up.closed else None)
-        up.on_close(lambda: down.close() if not down.closed else None)
+        driver = DuplexDriver(middlebox, flow.socket, meter=self.meter)
+        self.drivers.append(driver)
         with self.meter.measure():
             middlebox.start()
-        pump()
+        driver.bind_up(flow.dial_onward())

@@ -22,7 +22,7 @@ from repro.tls.ciphersuites import TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384
 from repro.tls.config import TLSConfig
 from repro.tls.engine import TLSServerEngine
 from repro.tls.events import ApplicationData
-from repro.apps.http import HttpClient, HttpParser, HttpRequest, HttpResponse
+from repro.apps.http import HttpClient, HttpParser, HttpResponse
 
 __all__ = ["FetchOutcome", "fetch_site", "run_alexa"]
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.baselines.split_tls import SplitTLSService
-from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig, MiddleboxRole
+from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig
 from repro.core.drivers import MiddleboxService, open_mbtls, serve_mbtls
 from repro.core.config import SessionEstablished
 from repro.crypto.drbg import HmacDrbg

@@ -27,6 +27,7 @@ from repro.core.keys import build_hop_chain, bridge_hop_keys, hop_states_for_end
 from repro.core.mux import Subchannel
 from repro.core.resumption import RememberedMiddlebox
 from repro.errors import DecodeError, IntegrityError, ProtocolError
+from repro.io.record_plane import RecordPlane
 from repro.tls.ciphersuites import suite_by_code
 from repro.tls.config import TLSConfig
 from repro.tls.engine import TLSClientEngine
@@ -44,7 +45,7 @@ from repro.wire.extensions import (
     MiddleboxSupportExtension,
 )
 from repro.wire.mbtls import EncapsulatedRecord, KeyMaterial
-from repro.wire.records import ContentType, MAX_FRAGMENT, Record, RecordBuffer
+from repro.wire.records import ContentType, Record
 
 __all__ = ["MbTLSClientEngine"]
 
@@ -69,14 +70,13 @@ class MbTLSClientEngine:
             extra.append(AttestationRequestExtension().to_extension())
         self._primary_config = replace(config.tls, extra_extensions=tuple(extra))
         self.primary = TLSClientEngine(self._primary_config)
-        self._records = RecordBuffer()
-        self._outbox = bytearray()
+        # The plane's read/write states are the client-adjacent hop keys,
+        # installed at establishment; before that everything is forwarded raw.
+        self._plane = RecordPlane()
         self._events: list[Event] = []
         self._secondaries: dict[int, Subchannel] = {}
         self._arrival_order: list[int] = []
         self.established = False
-        self._data_read = None
-        self._data_write = None
         self._middlebox_infos: dict[int, MiddleboxInfo] = {}
         self.closed = False
         self.records_dropped = 0
@@ -98,16 +98,14 @@ class MbTLSClientEngine:
         self._drain_primary()
 
     def data_to_send(self) -> bytes:
-        data = bytes(self._outbox)
-        self._outbox.clear()
-        return data
+        return self._plane.data_to_send()
 
     def receive_bytes(self, data: bytes) -> list[Event]:
         if self.closed:
             return []
         try:
-            self._records.feed(data)
-            for record in self._records.pop_records():
+            self._plane.feed(data)
+            for record in self._plane.pop_records():
                 self._process_record(record)
             self._check_established()
         except (DecodeError, IntegrityError) as exc:
@@ -120,14 +118,12 @@ class MbTLSClientEngine:
         return events
 
     def send_application_data(self, data: bytes) -> None:
+        if self.closed:
+            raise ProtocolError("cannot send application data on a closed connection")
         if not self.established:
             raise ProtocolError("mbTLS session not yet established")
-        if self._data_write is not None:
-            for offset in range(0, len(data), MAX_FRAGMENT):
-                record = self._data_write.protect(
-                    ContentType.APPLICATION_DATA, data[offset : offset + MAX_FRAGMENT]
-                )
-                self._outbox += record.encode()
+        if self._plane.write_state is not None:
+            self._plane.queue_application_data(data)
         else:
             self.primary.send_application_data(data)
             self._drain_primary()
@@ -137,9 +133,8 @@ class MbTLSClientEngine:
             return
         self.closed = True
         alert = Alert.close_notify()
-        if self._data_write is not None:
-            record = self._data_write.protect(ContentType.ALERT, alert.encode())
-            self._outbox += record.encode()
+        if self._plane.write_state is not None:
+            self._plane.queue_record(ContentType.ALERT, alert.encode())
         else:
             self.primary.close()
             self._drain_primary()
@@ -185,7 +180,7 @@ class MbTLSClientEngine:
         self._events = []
         return events
 
-    def handle_transport_close(self) -> list[Event]:
+    def peer_closed(self) -> list[Event]:
         """The TCP stream died under us (crash, reset): report cleanly."""
         if self.closed:
             return []
@@ -195,17 +190,30 @@ class MbTLSClientEngine:
         self._events = []
         return events
 
+    # Back-compat alias for pre-contract callers.
+    handle_transport_close = peer_closed
+
     @property
     def resumed(self) -> bool:
         return self.primary.resumed
 
+    @property
+    def _data_read(self):
+        """The client-adjacent hop read state (None until established)."""
+        return self._plane.read_state
+
+    @property
+    def _data_write(self):
+        """The client-adjacent hop write state (None until established)."""
+        return self._plane.write_state
+
     # ------------------------------------------------------------ internals
 
     def _drain_primary(self) -> None:
-        self._outbox += self.primary.data_to_send()
+        self._plane.queue_raw(self.primary.data_to_send())
 
     def _drain_secondary(self, sub: Subchannel) -> None:
-        self._outbox += sub.drain()
+        self._plane.queue_raw(sub.drain())
 
     def _emit_primary_events(self, events: list[Event]) -> None:
         for event in events:
@@ -219,7 +227,7 @@ class MbTLSClientEngine:
         if record.content_type == ContentType.MBTLS_ENCAPSULATED:
             self._process_encapsulated(EncapsulatedRecord.from_record(record))
             return
-        if self.established and self._data_write is not None and record.content_type in (
+        if self.established and self._plane.write_state is not None and record.content_type in (
             ContentType.APPLICATION_DATA,
             ContentType.ALERT,
         ):
@@ -231,7 +239,7 @@ class MbTLSClientEngine:
 
     def _process_data_record(self, record: Record) -> None:
         try:
-            plaintext = self._data_read.unprotect(record)
+            plaintext = self._plane.unprotect(record)
         except IntegrityError:
             # Tampered, replayed, or cross-hop record: discard it (P2/P4).
             self.records_dropped += 1
@@ -347,10 +355,8 @@ class MbTLSClientEngine:
     def _send_subchannel_alert(self, subchannel_id: int) -> None:
         alert = Alert.fatal(AlertDescription.ACCESS_DENIED)
         inner = Record(content_type=ContentType.ALERT, payload=alert.encode())
-        self._outbox += (
-            EncapsulatedRecord(subchannel_id=subchannel_id, inner=inner)
-            .to_record()
-            .encode()
+        self._plane.queue_encoded(
+            EncapsulatedRecord(subchannel_id=subchannel_id, inner=inner).to_record()
         )
 
     def _check_established(self) -> None:
@@ -390,9 +396,10 @@ class MbTLSClientEngine:
                 )
                 sub.keys_sent = True
                 self._drain_secondary(sub)
-            self._data_read, self._data_write = hop_states_for_endpoint(
+            data_read, data_write = hop_states_for_endpoint(
                 suite, hops[0], is_client=True
             )
+            self._plane.replace_states(data_read, data_write)
             for hop in hops[:-1]:
                 self.config.tls.report_secret("hop_key", hop.client_write_key)
                 self.config.tls.report_secret("hop_key", hop.server_write_key)

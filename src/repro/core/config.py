@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.pki.authority import Credential
 from repro.pki.certificate import Certificate
 from repro.pki.store import TrustStore
 from repro.tls.config import TLSConfig

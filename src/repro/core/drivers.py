@@ -22,8 +22,8 @@ from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig, SessionEstab
 from repro.core.middlebox import MbTLSMiddlebox
 from repro.core.server import MbTLSServerEngine
 from repro.errors import DegradedPathError, NetworkError
-from repro.netsim.driver import CpuMeter, EngineDriver
-from repro.netsim.network import Host, InterceptedFlow, Network, Socket
+from repro.netsim.driver import CpuMeter, DuplexDriver, EngineDriver
+from repro.netsim.network import Host, InterceptedFlow, Socket
 from repro.tls.events import ConnectionClosed
 
 __all__ = [
@@ -66,13 +66,13 @@ class RetryPolicy:
         return min(self.backoff_base * (2.0 ** retry_index), self.backoff_cap)
 
 
-class MiddleboxDriver:
-    """Pumps one middlebox engine between its two sockets.
+class MiddleboxDriver(DuplexDriver):
+    """A :class:`DuplexDriver` that also dials the onward (up) segment.
 
-    Close handling: when either segment of the split TCP connection closes,
-    the engine gets to say goodbye (a ``close_notify`` under the hop keys,
-    plus closing its secondary subchannel) before the surviving segment is
-    shut down — no half-open forwarding state is left behind.
+    Close handling comes from the base class: when either segment of the
+    split TCP connection closes, the engine gets to say goodbye (a
+    ``close_notify`` under the hop keys, plus closing its secondary
+    subchannel) before the surviving segment is shut down.
     """
 
     def __init__(
@@ -83,82 +83,26 @@ class MiddleboxDriver:
         meter: CpuMeter | None = None,
         on_event: Callable[[object], None] | None = None,
     ) -> None:
-        self.engine = engine
-        self.down = down_socket
-        self.up: Socket | None = None
+        super().__init__(engine, down_socket, meter=meter, on_event=on_event)
         self._dial_up = dial_up
-        self.meter = meter if meter is not None else CpuMeter()
-        self.on_event = on_event
-        down_socket.on_data(self._on_down_data)
-        down_socket.on_close(self._on_down_close)
 
     def dial_immediately(self, target: tuple[str, int]) -> None:
         """Optimistically split: open the onward segment right away."""
         try:
-            self._bind_up(self._dial_up(target))
+            self.bind_up(self._dial_up(target))
         except NetworkError:
             # Next hop unreachable: drop the client segment so the client
             # learns immediately instead of waiting on a wedged middlebox.
             self._teardown_down()
 
-    def _bind_up(self, socket: Socket) -> None:
-        self.up = socket
-        socket.on_data(self._on_up_data)
-        socket.on_close(self._on_up_close)
-        self._flush()
-
-    def _ensure_up(self) -> None:
+    def _after_down_data(self) -> None:
         if self.up is None and self.engine.dial_target is not None:
             try:
-                self._bind_up(self._dial_up(self.engine.dial_target))
+                self.bind_up(self._dial_up(self.engine.dial_target))
             except NetworkError:
                 self._teardown_down()
 
-    def _on_down_data(self, data: bytes) -> None:
-        with self.meter.measure():
-            events = self.engine.receive_down(data)
-        self._dispatch(events)
-        self._ensure_up()
-        self._flush()
-
-    def _on_up_data(self, data: bytes) -> None:
-        with self.meter.measure():
-            events = self.engine.receive_up(data)
-        self._dispatch(events)
-        self._flush()
-
-    def _dispatch(self, events) -> None:
-        if self.on_event is not None:
-            for event in events:
-                self.on_event(event)
-
-    def _flush(self) -> None:
-        if self.up is not None and not self.up.closed:
-            data = self.engine.data_to_send_up()
-            if data:
-                self.up.send(data)
-        if not self.down.closed:
-            data = self.engine.data_to_send_down()
-            if data:
-                self.down.send(data)
-
     def _teardown_down(self) -> None:
-        with self.meter.measure():
-            events = self.engine.peer_closed_up()
-        self._dispatch(events)
-        if not self.down.closed:
-            self._flush()
-            self.down.close()
-
-    def _on_down_close(self) -> None:
-        with self.meter.measure():
-            events = self.engine.peer_closed_down()
-        self._dispatch(events)
-        if self.up is not None and not self.up.closed:
-            self._flush()
-            self.up.close()
-
-    def _on_up_close(self) -> None:
         with self.meter.measure():
             events = self.engine.peer_closed_up()
         self._dispatch(events)

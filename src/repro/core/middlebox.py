@@ -22,7 +22,8 @@ drain ``data_to_send_down``/``data_to_send_up``.
 from __future__ import annotations
 
 from repro.core.config import MiddleboxConfig, MiddleboxRole
-from repro.errors import CryptoError, DecodeError, IntegrityError
+from repro.errors import CryptoError, DecodeError, IntegrityError, ProtocolError
+from repro.io.record_plane import RecordPlane
 from repro.tls.ciphersuites import suite_by_code
 from repro.tls.engine import TLSServerEngine
 from repro.tls.events import (
@@ -32,7 +33,6 @@ from repro.tls.events import (
     MiddleboxKeysInstalled,
     RawRecordReceived,
 )
-from repro.tls.record_layer import ConnectionState
 from repro.core.keys import states_from_hop_keys
 from repro.core.mux import wrap_engine_output
 from repro.wire.alerts import Alert
@@ -65,8 +65,12 @@ class MbTLSMiddlebox:
         self.port = port
         self.mode = self.MODE_WAITING
         self.dial_target: tuple[str, int] | None = None
-        self._buffers = [RecordBuffer(), RecordBuffer()]
-        self._outboxes = [bytearray(), bytearray()]
+        # One plane per segment. The hop states are *crossed*: c2s records
+        # are read on the down plane and re-protected on the up plane (and
+        # vice versa), so each plane's read/write states belong to the
+        # segment it faces.
+        self._planes = [RecordPlane(), RecordPlane()]
+        self._started = False
         self._events: list[Event] = []
         # Secondary session (we are the TLS server toward our endpoint).
         self._secondary: TLSServerEngine | None = None
@@ -82,16 +86,18 @@ class MbTLSMiddlebox:
         self.keys_installed = False
         self.rejected = False
         self.gave_up = False
-        self._c2s_read: ConnectionState | None = None
-        self._c2s_write: ConnectionState | None = None
-        self._s2c_read: ConnectionState | None = None
-        self._s2c_write: ConnectionState | None = None
         self._pending: tuple[list[Record], list[Record]] = ([], [])
         self.records_processed = 0
         self._primary_session_id: bytes = b""
         self.closed = False
 
     # ------------------------------------------------------------------ API
+
+    def start(self) -> None:
+        """A middlebox only reacts to traffic; start just arms the engine."""
+        if self._started:
+            raise ProtocolError("middlebox already started")
+        self._started = True
 
     def receive_down(self, data: bytes) -> list[Event]:
         return self._receive(_DOWN, data)
@@ -100,19 +106,33 @@ class MbTLSMiddlebox:
         return self._receive(_UP, data)
 
     def data_to_send_down(self) -> bytes:
-        data = bytes(self._outboxes[_DOWN])
-        self._outboxes[_DOWN].clear()
-        return data
+        return self._planes[_DOWN].data_to_send()
 
     def data_to_send_up(self) -> bytes:
-        data = bytes(self._outboxes[_UP])
-        self._outboxes[_UP].clear()
-        return data
+        return self._planes[_UP].data_to_send()
 
     @property
     def joined(self) -> bool:
         """Whether this middlebox is an authenticated session member."""
         return self.keys_installed and not self.rejected
+
+    # Hop-state views (the planes own them; see the crossing note above).
+
+    @property
+    def _c2s_read(self):
+        return self._planes[_DOWN].read_state
+
+    @property
+    def _c2s_write(self):
+        return self._planes[_UP].write_state
+
+    @property
+    def _s2c_read(self):
+        return self._planes[_UP].read_state
+
+    @property
+    def _s2c_write(self):
+        return self._planes[_DOWN].write_state
 
     def peer_closed_down(self) -> list[Event]:
         """The client-facing segment closed; tear down toward the server."""
@@ -135,12 +155,9 @@ class MbTLSMiddlebox:
         self.closed = True
         surviving = 1 - from_side
         if self.joined:
-            write_state = self._c2s_write if surviving == _UP else self._s2c_write
-            if write_state is not None:
-                record = write_state.protect(
-                    ContentType.ALERT, Alert.close_notify().encode()
-                )
-                self._outboxes[surviving] += record.encode()
+            plane = self._planes[surviving]
+            if plane.write_state is not None:
+                plane.queue_record(ContentType.ALERT, Alert.close_notify().encode())
         if self._secondary is not None and not self._secondary.closed:
             secondary_side = _DOWN if self.mode == self.MODE_CLIENT_SIDE else _UP
             if secondary_side == surviving:
@@ -157,19 +174,19 @@ class MbTLSMiddlebox:
         if self.closed:
             return []
         if self.mode == self.MODE_RELAY:
-            self._outboxes[1 - side] += data
+            self._planes[1 - side].queue_raw(data)
         else:
-            buffer = self._buffers[side]
-            buffer.feed(data)
+            plane = self._planes[side]
+            plane.feed(data)
             try:
-                records = buffer.pop_records()
+                records = plane.pop_records()
             except DecodeError:
                 # Not TLS framing: become a transparent relay.
                 self._demote_to_relay(flush_side=side)
                 records = []
             for record in records:
                 if self.mode == self.MODE_RELAY:
-                    self._outboxes[1 - side] += record.encode()
+                    self._planes[1 - side].queue_encoded(record)
                     continue
                 try:
                     self._process(side, record)
@@ -188,17 +205,17 @@ class MbTLSMiddlebox:
         self.mode = self.MODE_RELAY
         # Flush any buffered data-phase records verbatim, preserving direction.
         for record in self._pending[0]:
-            self._outboxes[_UP] += record.encode()
+            self._planes[_UP].queue_encoded(record)
         for record in self._pending[1]:
-            self._outboxes[_DOWN] += record.encode()
+            self._planes[_DOWN].queue_encoded(record)
         self._pending = ([], [])
         for side in (_DOWN, _UP):
-            raw = self._buffers[side].drain_raw()
+            raw = self._planes[side].drain_inbound_raw()
             if raw:
-                self._outboxes[1 - side] += raw
+                self._planes[1 - side].queue_raw(raw)
 
     def _forward(self, from_side: int, record: Record) -> None:
-        self._outboxes[1 - from_side] += record.encode()
+        self._planes[1 - from_side].queue_encoded(record)
 
     def _process(self, side: int, record: Record) -> None:
         if self.mode == self.MODE_WAITING:
@@ -220,7 +237,7 @@ class MbTLSMiddlebox:
         if side != _DOWN or record.content_type != ContentType.HANDSHAKE:
             # Anything else before a ClientHello: not our protocol; relay.
             self._demote_to_relay()
-            self._outboxes[1 - side] += record.encode()
+            self._planes[1 - side].queue_encoded(record)
             return
         buffer = HandshakeBuffer()
         buffer.feed(record.payload)
@@ -228,11 +245,11 @@ class MbTLSMiddlebox:
             messages = buffer.pop_messages()
         except DecodeError:
             self._demote_to_relay()
-            self._outboxes[_UP] += record.encode()
+            self._planes[_UP].queue_encoded(record)
             return
         if not messages or messages[0].msg_type != HandshakeType.CLIENT_HELLO:
             self._demote_to_relay()
-            self._outboxes[_UP] += record.encode()
+            self._planes[_UP].queue_encoded(record)
             return
         hello = ClientHello.decode_body(messages[0].body)
         self._decide_role(hello, record)
@@ -387,7 +404,7 @@ class MbTLSMiddlebox:
             subchannel_id=self.my_subchannel,
             inner=MiddleboxAnnouncement().to_record(),
         )
-        self._outboxes[_UP] += announcement.to_record().encode()
+        self._planes[_UP].queue_encoded(announcement.to_record())
 
     def _translate_up(self, down_id: int) -> int:
         if down_id in self._subchannel_map:
@@ -410,7 +427,7 @@ class MbTLSMiddlebox:
             encap = EncapsulatedRecord.from_record(record)
             up_id = self._translate_up(encap.subchannel_id)
             rewrapped = EncapsulatedRecord(subchannel_id=up_id, inner=encap.inner)
-            self._outboxes[_UP] += rewrapped.to_record().encode()
+            self._planes[_UP].queue_encoded(rewrapped.to_record())
             return
         if record.content_type == ContentType.APPLICATION_DATA or (
             self.keys_installed and record.content_type == ContentType.ALERT
@@ -430,7 +447,7 @@ class MbTLSMiddlebox:
                 record = EncapsulatedRecord(
                     subchannel_id=down_id, inner=encap.inner
                 ).to_record()
-            self._outboxes[_DOWN] += record.encode()
+            self._planes[_DOWN].queue_encoded(record)
             return
         if record.content_type == ContentType.CHANGE_CIPHER_SPEC and not self._secondary_started():
             # The server is finishing the primary handshake without having
@@ -456,9 +473,9 @@ class MbTLSMiddlebox:
 
     def _flush_pending_verbatim(self) -> None:
         for record in self._pending[0]:
-            self._outboxes[_UP] += record.encode()
+            self._planes[_UP].queue_encoded(record)
         for record in self._pending[1]:
-            self._outboxes[_DOWN] += record.encode()
+            self._planes[_DOWN].queue_encoded(record)
         self._pending = ([], [])
 
     # ------------------------------------------------------ secondary session
@@ -482,19 +499,17 @@ class MbTLSMiddlebox:
 
     def _drain_secondary(self) -> None:
         side = _DOWN if self.mode == self.MODE_CLIENT_SIDE else _UP
-        self._outboxes[side] += wrap_engine_output(
-            self._secondary, self.my_subchannel, self._secondary_out
+        self._planes[side].queue_raw(
+            wrap_engine_output(self._secondary, self.my_subchannel, self._secondary_out)
         )
 
     def _install_keys(self, material: KeyMaterial) -> None:
         suite_down = suite_by_code(material.toward_client.cipher_suite)
         suite_up = suite_by_code(material.toward_server.cipher_suite)
-        self._c2s_read, self._s2c_write = states_from_hop_keys(
-            suite_down, material.toward_client
-        )
-        self._c2s_write, self._s2c_read = states_from_hop_keys(
-            suite_up, material.toward_server
-        )
+        c2s_read, s2c_write = states_from_hop_keys(suite_down, material.toward_client)
+        c2s_write, s2c_read = states_from_hop_keys(suite_up, material.toward_server)
+        self._planes[_DOWN].replace_states(c2s_read, s2c_write)
+        self._planes[_UP].replace_states(s2c_read, c2s_write)
         self.keys_installed = True
         self._events.append(
             MiddleboxKeysInstalled(
@@ -519,12 +534,9 @@ class MbTLSMiddlebox:
         if not self.keys_installed:
             self._pending[0 if from_side == _DOWN else 1].append(record)
             return
-        if from_side == _DOWN:
-            read_state, write_state, direction = self._c2s_read, self._c2s_write, "c2s"
-        else:
-            read_state, write_state, direction = self._s2c_read, self._s2c_write, "s2c"
+        direction = "c2s" if from_side == _DOWN else "s2c"
         try:
-            plaintext = read_state.unprotect(record)
+            plaintext = self._planes[from_side].unprotect(record)
         except IntegrityError:
             # Tampered or out-of-path record: drop it (P2/P4).
             return
@@ -533,8 +545,7 @@ class MbTLSMiddlebox:
             self.records_processed += 1
             if plaintext is None:
                 return  # the application consumed the chunk
-        out = write_state.protect(record.content_type, plaintext)
-        self._outboxes[1 - from_side] += out.encode()
+        self._planes[1 - from_side].queue_record(record.content_type, plaintext)
 
     def _run_app(self, direction: str, plaintext: bytes) -> bytes | None:
         """Invoke the middlebox application, rich or plain-callable."""
@@ -544,11 +555,9 @@ class MbTLSMiddlebox:
         from repro.apps.base import AppApi
 
         def send_to_client(data: bytes) -> None:
-            record = self._s2c_write.protect(ContentType.APPLICATION_DATA, data)
-            self._outboxes[_DOWN] += record.encode()
+            self._planes[_DOWN].queue_record(ContentType.APPLICATION_DATA, data)
 
         def send_to_server(data: bytes) -> None:
-            record = self._c2s_write.protect(ContentType.APPLICATION_DATA, data)
-            self._outboxes[_UP] += record.encode()
+            self._planes[_UP].queue_record(ContentType.APPLICATION_DATA, data)
 
         return on_data(direction, plaintext, AppApi(send_to_client, send_to_server))

@@ -26,6 +26,7 @@ from repro.core.config import (
 from repro.core.keys import build_hop_chain, bridge_hop_keys, hop_states_for_endpoint
 from repro.core.mux import Subchannel
 from repro.errors import DecodeError, IntegrityError, ProtocolError
+from repro.io.record_plane import RecordPlane
 from repro.tls.ciphersuites import suite_by_code
 from repro.tls.config import TLSConfig
 from repro.tls.engine import TLSClientEngine, TLSServerEngine
@@ -38,9 +39,9 @@ from repro.tls.events import (
     HandshakeComplete,
     MiddleboxJoined,
 )
-from repro.wire.alerts import Alert, AlertDescription
+from repro.wire.alerts import Alert
 from repro.wire.mbtls import EncapsulatedRecord, KeyMaterial, MiddleboxAnnouncement
-from repro.wire.records import ContentType, MAX_FRAGMENT, Record, RecordBuffer
+from repro.wire.records import ContentType, Record
 
 __all__ = ["MbTLSServerEngine"]
 
@@ -53,16 +54,15 @@ class MbTLSServerEngine:
     def __init__(self, config: MbTLSEndpointConfig) -> None:
         self.config = config
         self.primary = TLSServerEngine(config.tls)
-        self._records = RecordBuffer()
-        self._outbox = bytearray()
+        # The plane's read/write states are the server-adjacent hop keys,
+        # installed at establishment; before that everything is forwarded raw.
+        self._plane = RecordPlane()
         self._events: list[Event] = []
         self._secondaries: dict[int, Subchannel] = {}
         self._arrival_order: list[int] = []
         self._middlebox_infos: dict[int, MiddleboxInfo] = {}
         self._announcement_window_open = True
         self.established = False
-        self._data_read = None
-        self._data_write = None
         self.closed = False
         self._pending_app_data: list[bytes] = []
         self.records_dropped = 0
@@ -76,16 +76,14 @@ class MbTLSServerEngine:
         self.primary.start()
 
     def data_to_send(self) -> bytes:
-        data = bytes(self._outbox)
-        self._outbox.clear()
-        return data
+        return self._plane.data_to_send()
 
     def receive_bytes(self, data: bytes) -> list[Event]:
         if self.closed:
             return []
         try:
-            self._records.feed(data)
-            for record in self._records.pop_records():
+            self._plane.feed(data)
+            for record in self._plane.pop_records():
                 self._process_record(record)
             self._check_established()
         except (DecodeError, IntegrityError) as exc:
@@ -98,6 +96,8 @@ class MbTLSServerEngine:
         return events
 
     def send_application_data(self, data: bytes) -> None:
+        if self.closed:
+            raise ProtocolError("cannot send application data on a closed connection")
         if not self.established:
             # §3.5 False-Start territory: queue until keys are distributed.
             self._pending_app_data.append(bytes(data))
@@ -105,12 +105,8 @@ class MbTLSServerEngine:
         self._send_app_now(data)
 
     def _send_app_now(self, data: bytes) -> None:
-        if self._data_write is not None:
-            for offset in range(0, len(data), MAX_FRAGMENT):
-                record = self._data_write.protect(
-                    ContentType.APPLICATION_DATA, data[offset : offset + MAX_FRAGMENT]
-                )
-                self._outbox += record.encode()
+        if self._plane.write_state is not None:
+            self._plane.queue_application_data(data)
         else:
             self.primary.send_application_data(data)
             self._drain_primary()
@@ -120,9 +116,8 @@ class MbTLSServerEngine:
             return
         self.closed = True
         alert = Alert.close_notify()
-        if self._data_write is not None:
-            record = self._data_write.protect(ContentType.ALERT, alert.encode())
-            self._outbox += record.encode()
+        if self._plane.write_state is not None:
+            self._plane.queue_record(ContentType.ALERT, alert.encode())
         else:
             self.primary.close()
             self._drain_primary()
@@ -145,6 +140,16 @@ class MbTLSServerEngine:
     @property
     def resumed(self) -> bool:
         return self.primary.resumed
+
+    @property
+    def _data_read(self):
+        """The server-adjacent hop read state (None until established)."""
+        return self._plane.read_state
+
+    @property
+    def _data_write(self):
+        """The server-adjacent hop write state (None until established)."""
+        return self._plane.write_state
 
     def bypass_pending_middleboxes(
         self, reason: str = "secondary handshake timed out"
@@ -169,7 +174,7 @@ class MbTLSServerEngine:
         self._events = []
         return events
 
-    def handle_transport_close(self) -> list[Event]:
+    def peer_closed(self) -> list[Event]:
         """The TCP stream died under us (crash, reset): report cleanly."""
         if self.closed:
             return []
@@ -179,19 +184,22 @@ class MbTLSServerEngine:
         self._events = []
         return events
 
+    # Back-compat alias for pre-contract callers.
+    handle_transport_close = peer_closed
+
     # ------------------------------------------------------------ internals
 
     def _drain_primary(self) -> None:
-        self._outbox += self.primary.data_to_send()
+        self._plane.queue_raw(self.primary.data_to_send())
 
     def _drain_secondary(self, sub: Subchannel) -> None:
-        self._outbox += sub.drain()
+        self._plane.queue_raw(sub.drain())
 
     def _process_record(self, record: Record) -> None:
         if record.content_type == ContentType.MBTLS_ENCAPSULATED:
             self._process_encapsulated(EncapsulatedRecord.from_record(record))
             return
-        if self.established and self._data_write is not None and record.content_type in (
+        if self.established and self._plane.write_state is not None and record.content_type in (
             ContentType.APPLICATION_DATA,
             ContentType.ALERT,
         ):
@@ -207,7 +215,7 @@ class MbTLSServerEngine:
 
     def _process_data_record(self, record: Record) -> None:
         try:
-            plaintext = self._data_read.unprotect(record)
+            plaintext = self._plane.unprotect(record)
         except IntegrityError:
             # Tampered, replayed, or cross-hop record: discard it (P2/P4).
             self.records_dropped += 1
@@ -339,9 +347,10 @@ class MbTLSServerEngine:
                 )
                 sub.keys_sent = True
                 self._drain_secondary(sub)
-            self._data_read, self._data_write = hop_states_for_endpoint(
+            data_read, data_write = hop_states_for_endpoint(
                 suite, hops[-1], is_client=False
             )
+            self._plane.replace_states(data_read, data_write)
             for hop in hops[1:]:
                 self.config.tls.report_secret("hop_key", hop.client_write_key)
                 self.config.tls.report_secret("hop_key", hop.server_write_key)

@@ -1,0 +1,34 @@
+"""Sans-IO kernel shared by every protocol party.
+
+``repro.io`` sits between the wire formats (``repro.wire``) and the
+protocol engines (``repro.tls``, ``repro.core``, ``repro.baselines``):
+
+* :class:`Connection` / :class:`DuplexConnection` — the contract every
+  party implements (see ``tests/test_connection_contract.py``);
+* :class:`RecordPlane` — framing, AEAD protection, sequence state, and
+  coalesced outbox buffering, owned once instead of per-engine;
+* :func:`pump` / :func:`pump_chain` / :class:`DuplexPump` — the only
+  quiescence-loop implementations in the tree.
+"""
+
+from repro.io.connection import (
+    DEFAULT_PUMP_ROUNDS,
+    Connection,
+    DuplexConnection,
+    DuplexPump,
+    flush_connection,
+    pump,
+    pump_chain,
+)
+from repro.io.record_plane import RecordPlane
+
+__all__ = [
+    "DEFAULT_PUMP_ROUNDS",
+    "Connection",
+    "DuplexConnection",
+    "DuplexPump",
+    "RecordPlane",
+    "flush_connection",
+    "pump",
+    "pump_chain",
+]

@@ -1,0 +1,163 @@
+"""The shared record plane: framing, AEAD protection, and outbox buffering.
+
+Every engine used to hand-roll the same three pieces: a
+:class:`~repro.wire.records.RecordBuffer` for inbound reassembly, a
+``bytearray`` outbox, and a pair of AEAD
+:class:`~repro.tls.record_layer.ConnectionState` objects (plus the pending
+states staged by ChangeCipherSpec). :class:`RecordPlane` owns all of it
+once.
+
+The outbound path is coalesced: records are encoded *directly into* the
+outbox (no intermediate ``Record.encode()`` bytes object per record), large
+application writes are fragmented through a ``memoryview`` (no eager
+per-fragment slice copies), and a whole multi-record flight drains as one
+``bytes`` for one transport write. ``benchmarks/test_record_plane_throughput.py``
+tracks the copy count and throughput against the historical per-record path.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.wire.records import (
+    ContentType,
+    MAX_FRAGMENT,
+    Record,
+    RecordBuffer,
+    TLS12_VERSION,
+)
+
+__all__ = ["RecordPlane"]
+
+_VERSION_BYTES = TLS12_VERSION.to_bytes(2, "big")
+
+
+class RecordPlane:
+    """Framing + AEAD + outbox for one direction pair of one connection.
+
+    The read/write states are duck-typed (anything with
+    ``protect``/``unprotect``/``sequence``); ``None`` means plaintext.
+    ``pending_read``/``pending_write`` stage the states a ChangeCipherSpec
+    will activate.
+    """
+
+    __slots__ = (
+        "_inbound",
+        "_outbox",
+        "read_state",
+        "write_state",
+        "pending_read",
+        "pending_write",
+        "records_queued",
+        "flights_drained",
+        "bytes_drained",
+    )
+
+    def __init__(self) -> None:
+        self._inbound = RecordBuffer()
+        self._outbox = bytearray()
+        self.read_state = None
+        self.write_state = None
+        self.pending_read = None
+        self.pending_write = None
+        # Telemetry for the perf trajectory (see the record-plane bench).
+        self.records_queued = 0
+        self.flights_drained = 0
+        self.bytes_drained = 0
+
+    # ---------------------------------------------------------------- inbound
+
+    def feed(self, data: bytes) -> None:
+        self._inbound.feed(data)
+
+    def pop_records(self) -> list[Record]:
+        return self._inbound.pop_records()
+
+    def unprotect(self, record: Record) -> bytes:
+        """Decrypt under the read state; plaintext passthrough before keys."""
+        if self.read_state is not None:
+            return self.read_state.unprotect(record)
+        return record.payload
+
+    def activate_pending_read(self) -> None:
+        """ChangeCipherSpec arrived: flip to the staged read state."""
+        if self.pending_read is None:
+            raise ProtocolError("no pending read state to activate")
+        self.read_state = self.pending_read
+        self.pending_read = None
+
+    @property
+    def pending_inbound_bytes(self) -> int:
+        return self._inbound.pending_bytes
+
+    def drain_inbound_raw(self) -> bytes:
+        """Take the raw unparsed inbound buffer (relay demotion)."""
+        return self._inbound.drain_raw()
+
+    # --------------------------------------------------------------- outbound
+
+    def queue_record(self, content_type: ContentType, payload) -> None:
+        """Protect (if keyed) and encode one record straight into the outbox."""
+        if self.write_state is not None:
+            payload = self.write_state.protect(content_type, payload).payload
+        self._append(int(content_type), payload)
+
+    def queue_application_data(self, data) -> None:
+        """Fragment and queue application data without eager slice copies."""
+        view = memoryview(data)
+        for offset in range(0, len(view), MAX_FRAGMENT):
+            self.queue_record(
+                ContentType.APPLICATION_DATA, view[offset : offset + MAX_FRAGMENT]
+            )
+
+    def queue_encoded(self, record: Record) -> None:
+        """Queue an already-built record verbatim (forwarding paths)."""
+        self._append(int(record.content_type), record.payload, record.version)
+
+    def queue_raw(self, data: bytes) -> None:
+        """Queue pre-encoded wire bytes verbatim (relay paths)."""
+        self._outbox += data
+
+    def _append(self, content_type: int, payload, version: int | None = None) -> None:
+        out = self._outbox
+        out.append(content_type)
+        if version is None or version == TLS12_VERSION:
+            out += _VERSION_BYTES
+        else:
+            out += version.to_bytes(2, "big")
+        out += len(payload).to_bytes(2, "big")
+        out += payload
+        self.records_queued += 1
+
+    def activate_pending_write(self) -> None:
+        """Our ChangeCipherSpec went out: flip to the staged write state."""
+        self.write_state = self.pending_write
+        self.pending_write = None
+
+    @property
+    def has_output(self) -> bool:
+        return bool(self._outbox)
+
+    def data_to_send(self) -> bytes:
+        """Drain the whole flight as one buffer — one copy, one write."""
+        if not self._outbox:
+            return b""
+        data = bytes(self._outbox)
+        self._outbox.clear()
+        self.flights_drained += 1
+        self.bytes_drained += len(data)
+        return data
+
+    # --------------------------------------------------------------- sequence
+
+    def sequences(self) -> tuple[int, int]:
+        """(write_seq, read_seq) of the active protection states."""
+        write_seq = self.write_state.sequence if self.write_state else 0
+        read_seq = self.read_state.sequence if self.read_state else 0
+        return write_seq, read_seq
+
+    def replace_states(self, read_state, write_state) -> None:
+        """Swap protection states (mbTLS per-hop key installation)."""
+        if read_state is not None:
+            self.read_state = read_state
+        if write_state is not None:
+            self.write_state = write_state

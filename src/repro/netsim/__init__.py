@@ -7,7 +7,7 @@ from repro.netsim.adversary import (
     RecordingTap,
     Wiretap,
 )
-from repro.netsim.driver import CpuMeter, EngineDriver
+from repro.netsim.driver import CpuMeter, DuplexDriver, EngineDriver
 from repro.netsim.faults import (
     AppliedFault,
     ChaosTap,
@@ -31,6 +31,7 @@ __all__ = [
     "RecordingTap",
     "Wiretap",
     "CpuMeter",
+    "DuplexDriver",
     "EngineDriver",
     "AppliedFault",
     "ChaosTap",

@@ -7,7 +7,7 @@ against TLS and mbTLS sessions and check which attacks the protocols stop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.netsim.network import Host, Stream, Tap

@@ -19,10 +19,11 @@ from __future__ import annotations
 import time
 from typing import Callable
 
+from repro.io import DuplexPump, flush_connection
 from repro.netsim.network import Socket
 from repro.netsim.sim import Timer
 
-__all__ = ["CpuMeter", "EngineDriver"]
+__all__ = ["CpuMeter", "DuplexDriver", "EngineDriver"]
 
 
 class CpuMeter:
@@ -127,9 +128,7 @@ class EngineDriver:
     def _flush(self) -> None:
         if not self.socket.connected or self.socket.closed:
             return
-        data = self.engine.data_to_send()
-        if data:
-            self.socket.send(data)
+        flush_connection(self.engine, self.socket.send)
 
     def send_application_data(self, data: bytes) -> None:
         with self.meter.measure():
@@ -222,6 +221,88 @@ class EngineDriver:
         """The peer (or the network) closed the TCP stream under us."""
         self.transport_closed = True
         self._cancel_timers()
-        handle = getattr(self.engine, "handle_transport_close", None)
+        handle = getattr(self.engine, "peer_closed", None)
+        if handle is None:
+            handle = getattr(self.engine, "handle_transport_close", None)
         if handle is not None:
             self._dispatch(handle())
+
+
+class DuplexDriver:
+    """Pumps one :class:`~repro.io.DuplexConnection` between two sockets.
+
+    The down socket is bound at construction; the up socket may be bound
+    late via :meth:`bind_up` (optimistic split TCP dials the onward segment
+    after the first client flight). Close handling is symmetric: when one
+    segment dies, the engine gets to say goodbye toward the survivor
+    (``peer_closed_down``/``peer_closed_up``) before that segment is shut
+    down — no half-open forwarding state is left behind.
+    """
+
+    def __init__(
+        self,
+        engine,
+        down_socket: Socket,
+        meter: CpuMeter | None = None,
+        on_event: Callable[[object], None] | None = None,
+    ) -> None:
+        self.engine = engine
+        self.down = down_socket
+        self.up: Socket | None = None
+        self.meter = meter if meter is not None else CpuMeter()
+        self.on_event = on_event
+        self._pump = DuplexPump(engine, down_socket)
+        down_socket.on_data(self._on_down_data)
+        down_socket.on_close(self._on_down_close)
+
+    def bind_up(self, socket: Socket) -> None:
+        """Attach the server-facing segment and flush anything pending."""
+        self.up = socket
+        self._pump.bind_up(socket)
+        socket.on_data(self._on_up_data)
+        socket.on_close(self._on_up_close)
+        self._flush()
+
+    # ------------------------------------------------------------------ pump
+
+    def _on_down_data(self, data: bytes) -> None:
+        with self.meter.measure():
+            events = self.engine.receive_down(data)
+        self._dispatch(events)
+        self._after_down_data()
+        self._flush()
+
+    def _on_up_data(self, data: bytes) -> None:
+        with self.meter.measure():
+            events = self.engine.receive_up(data)
+        self._dispatch(events)
+        self._flush()
+
+    def _after_down_data(self) -> None:
+        """Hook between receive and flush (subclasses dial onward here)."""
+
+    def _dispatch(self, events) -> None:
+        if self.on_event is not None:
+            for event in events:
+                self.on_event(event)
+
+    def _flush(self) -> None:
+        self._pump.flush()
+
+    # ------------------------------------------------------------- transport
+
+    def _on_down_close(self) -> None:
+        with self.meter.measure():
+            events = self.engine.peer_closed_down()
+        self._dispatch(events)
+        if self.up is not None and not self.up.closed:
+            self._flush()
+            self.up.close()
+
+    def _on_up_close(self) -> None:
+        with self.meter.measure():
+            events = self.engine.peer_closed_up()
+        self._dispatch(events)
+        if not self.down.closed:
+            self._flush()
+            self.down.close()

@@ -23,7 +23,7 @@ This module provides that adversarial weather as *reproducible* input:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.crypto.drbg import HmacDrbg

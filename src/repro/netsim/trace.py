@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.errors import DecodeError
 from repro.netsim.adversary import GlobalAdversary
-from repro.wire.handshake import HandshakeBuffer, HandshakeType
+from repro.wire.handshake import HandshakeBuffer
 from repro.wire.mbtls import EncapsulatedRecord
 from repro.wire.records import ContentType, Record, RecordBuffer
 

@@ -7,7 +7,7 @@ what a TLS server (or an mbTLS middlebox) presents in its handshake.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.rsa import RSAPrivateKey, generate_rsa_key
 from repro.pki.certificate import Certificate

@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.crypto.drbg import HmacDrbg
 from repro.pki.authority import Credential
 from repro.pki.store import TrustStore
 from repro.tls.ciphersuites import DEFAULT_SUITES
-from repro.tls.session import ClientSessionStore, ServerSessionCache, SessionState, TicketKeeper
+from repro.tls.session import ClientSessionStore, ServerSessionCache, TicketKeeper
 from repro.wire.extensions import Extension
 
 __all__ = ["TLSConfig"]

@@ -18,6 +18,7 @@ from enum import Enum, auto
 
 from repro.crypto.dh import DHGroup, DHPrivateKey, modp_group
 from repro.crypto.x25519 import X25519PrivateKey
+from repro.io.record_plane import RecordPlane
 from repro.errors import (
     AttestationError,
     CertificateError,
@@ -31,7 +32,6 @@ from repro.tls.ciphersuites import CipherSuite, KeyExchange, suite_by_code
 from repro.tls.config import TLSConfig
 from repro.tls.events import (
     AlertReceived,
-    AnnouncementReceived,
     ApplicationData,
     ConnectionClosed,
     Event,
@@ -70,7 +70,7 @@ from repro.wire.handshake import (
     ServerKeyExchange,
     SGXAttestation,
 )
-from repro.wire.records import ContentType, MAX_FRAGMENT, Record, RecordBuffer
+from repro.wire.records import ContentType, Record
 
 __all__ = ["TLSEngine", "TLSClientEngine", "TLSServerEngine"]
 
@@ -103,14 +103,9 @@ class TLSEngine:
 
     def __init__(self, config: TLSConfig) -> None:
         self.config = config
-        self._outbox = bytearray()
-        self._records = RecordBuffer()
+        self._plane = RecordPlane()
         self._handshakes = HandshakeBuffer()
         self._transcript: list[bytes] = []
-        self._read_state: ConnectionState | None = None
-        self._write_state: ConnectionState | None = None
-        self._pending_read: ConnectionState | None = None
-        self._pending_write: ConnectionState | None = None
         self._state = _State.START
         self._events: list[Event] = []
         self.suite: CipherSuite | None = None
@@ -148,18 +143,16 @@ class TLSEngine:
         raise NotImplementedError
 
     def data_to_send(self) -> bytes:
-        """Drain bytes destined for the transport."""
-        data = bytes(self._outbox)
-        self._outbox.clear()
-        return data
+        """Drain the pending flight in one coalesced buffer."""
+        return self._plane.data_to_send()
 
     def receive_bytes(self, data: bytes) -> list[Event]:
         """Feed transport bytes; returns the protocol events they caused."""
         if self._state == _State.CLOSED:
             return []
         try:
-            self._records.feed(data)
-            for record in self._records.pop_records():
+            self._plane.feed(data)
+            for record in self._plane.pop_records():
                 self._process_record(record)
         except IntegrityError:
             self._fatal(AlertDescription.BAD_RECORD_MAC, "record authentication failed")
@@ -179,12 +172,11 @@ class TLSEngine:
 
     def send_application_data(self, data: bytes) -> None:
         """Queue application data (only valid once established)."""
+        if self._state == _State.CLOSED:
+            raise ProtocolError("cannot send application data on a closed connection")
         if self._state != _State.ESTABLISHED:
             raise ProtocolError("cannot send application data before handshake")
-        for offset in range(0, len(data), MAX_FRAGMENT):
-            self._send_record(
-                ContentType.APPLICATION_DATA, data[offset : offset + MAX_FRAGMENT]
-            )
+        self._plane.queue_application_data(data)
 
     def send_raw_record(self, content_type: ContentType, payload: bytes) -> None:
         """Queue a protected record of an arbitrary content type.
@@ -213,9 +205,7 @@ class TLSEngine:
 
     def record_sequences(self) -> tuple[int, int]:
         """(write_seq, read_seq) of the protected record states."""
-        write_seq = self._write_state.sequence if self._write_state else 0
-        read_seq = self._read_state.sequence if self._read_state else 0
-        return write_seq, read_seq
+        return self._plane.sequences()
 
     def replace_data_states(
         self,
@@ -223,10 +213,17 @@ class TLSEngine:
         write_state: ConnectionState | None,
     ) -> None:
         """Swap record-protection states (mbTLS per-hop key installation)."""
-        if read_state is not None:
-            self._read_state = read_state
-        if write_state is not None:
-            self._write_state = write_state
+        self._plane.replace_states(read_state, write_state)
+
+    def peer_closed(self) -> list[Event]:
+        """The transport died under us; returns the resulting events."""
+        if self._state == _State.CLOSED:
+            return []
+        self._state = _State.CLOSED
+        self._emit(ConnectionClosed(error="transport closed"))
+        events = self._events
+        self._events = []
+        return events
 
     # ------------------------------------------------------------ internals
 
@@ -246,11 +243,7 @@ class TLSEngine:
         self._emit(ConnectionClosed(error=f"{description.name.lower()}: {message}"))
 
     def _send_record(self, content_type: ContentType, payload: bytes) -> None:
-        if self._write_state is not None:
-            record = self._write_state.protect(content_type, payload)
-        else:
-            record = Record(content_type=content_type, payload=payload)
-        self._outbox += record.encode()
+        self._plane.queue_record(content_type, payload)
 
     def _send_handshake(self, message, to_transcript: bool = True) -> None:
         framed = Handshake(msg_type=message.msg_type, body=message.encode_body()).encode()
@@ -260,27 +253,22 @@ class TLSEngine:
 
     def _send_ccs(self) -> None:
         self._send_record(ContentType.CHANGE_CIPHER_SPEC, b"\x01")
-        self._write_state = self._pending_write
-        self._pending_write = None
+        self._plane.activate_pending_write()
 
     def _transcript_hash(self) -> bytes:
         return hashlib.sha256(b"".join(self._transcript)).digest()
 
     def _process_record(self, record: Record) -> None:
-        if self._read_state is not None:
-            payload = self._read_state.unprotect(record)
-        else:
-            payload = record.payload
+        payload = self._plane.unprotect(record)
 
         if record.content_type == ContentType.CHANGE_CIPHER_SPEC:
             if payload != b"\x01":
                 raise DecodeError("malformed ChangeCipherSpec")
-            if self._pending_read is None:
+            if self._plane.pending_read is None:
                 raise HandshakeError(
                     "unexpected ChangeCipherSpec", alert="unexpected_message"
                 )
-            self._read_state = self._pending_read
-            self._pending_read = None
+            self._plane.activate_pending_read()
             return
 
         if record.content_type == ContentType.HANDSHAKE:
@@ -373,8 +361,8 @@ class TLSEngine:
                 self.key_block.client_write_key,
                 self.key_block.client_write_iv,
             )
-        self._pending_write = ConnectionState(self.suite, write_key, write_iv)
-        self._pending_read = ConnectionState(self.suite, read_key, read_iv)
+        self._plane.pending_write = ConnectionState(self.suite, write_key, write_iv)
+        self._plane.pending_read = ConnectionState(self.suite, read_key, read_iv)
 
     def _verify_finished(self, message: Handshake, from_client: bool) -> None:
         finished = Finished.decode_body(message.body)

@@ -6,7 +6,7 @@ this is the only channel through which engines report what happened.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.wire.alerts import Alert
 from repro.wire.records import ContentType

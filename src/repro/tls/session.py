@@ -9,7 +9,7 @@ for middleboxes (§3.5, "Session Resumption") — see
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.gcm import AESGCM
 from repro.errors import DecodeError, IntegrityError

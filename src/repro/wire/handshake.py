@@ -7,7 +7,7 @@ Each message class carries ``encode_body``/``decode_body``; the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
 
 from repro.errors import DecodeError

@@ -6,6 +6,7 @@ import pytest
 
 from repro.bench.scenarios import Pki
 from repro.crypto.drbg import HmacDrbg
+from repro.io import pump as io_pump
 from repro.pki.authority import CertificateAuthority
 from repro.pki.store import TrustStore
 
@@ -40,23 +41,10 @@ def trust(pki) -> TrustStore:
 def pump_engines(client, server, rounds: int = 30) -> tuple[list, list]:
     """Drive two directly-connected sans-IO engines to quiescence.
 
+    Thin alias over :func:`repro.io.pump`, the one pump utility in the tree.
     Returns (client_events, server_events).
     """
-    client_events: list = []
-    server_events: list = []
-    for _ in range(rounds):
-        progressed = False
-        data = client.data_to_send()
-        if data:
-            server_events += server.receive_bytes(data)
-            progressed = True
-        data = server.data_to_send()
-        if data:
-            client_events += client.receive_bytes(data)
-            progressed = True
-        if not progressed:
-            break
-    return client_events, server_events
+    return io_pump(client, server, rounds)
 
 
 @pytest.fixture

@@ -7,7 +7,6 @@ from dataclasses import dataclass, field
 from repro.core.config import (
     MbTLSEndpointConfig,
     MiddleboxConfig,
-    MiddleboxRole,
     SessionEstablished,
 )
 from repro.core.drivers import MiddleboxService, open_mbtls, serve_mbtls

@@ -1,7 +1,6 @@
 """Middlebox applications running inside real mbTLS sessions: the paper's
 header-inserting proxy, a cache, a compression pair, and an IDS."""
 
-import pytest
 
 from helpers import MbTLSScenario
 from repro.apps.cache import CacheApp, SharedCacheStore

@@ -1,6 +1,5 @@
 """The benchmark harness itself: populations, runners, topologies, tables."""
 
-import math
 
 import pytest
 
@@ -10,7 +9,7 @@ from repro.bench.interop import FetchOutcome, fetch_site
 from repro.bench.population import NETWORK_TYPE_COUNTS, generate_population
 from repro.bench.scenarios import Pki, build_chain_network, run_fetch
 from repro.bench.tables import render_series, render_table
-from repro.bench.topologies import ONE_WAY_LATENCY, build_wan, path_permutations
+from repro.bench.topologies import build_wan, path_permutations
 from repro.bench.viability import run_site
 from repro.core.config import MiddleboxRole
 from repro.crypto.drbg import HmacDrbg

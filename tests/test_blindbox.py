@@ -9,7 +9,6 @@ from repro.baselines.blindbox import (
     RuleAuthority,
     TokenStream,
 )
-from repro.crypto.drbg import HmacDrbg
 from repro.errors import PolicyError
 
 

@@ -1,6 +1,5 @@
 """Multiple simultaneous sessions through one middlebox deployment."""
 
-import pytest
 
 from repro.core.config import (
     MbTLSEndpointConfig,

@@ -1,0 +1,445 @@
+"""Conformance suite for the shared sans-IO connection contract.
+
+Every party in the tree — the plain TLS engines, all three mbTLS engines,
+and every baseline — implements :class:`repro.io.Connection` or
+:class:`repro.io.DuplexConnection`. These tests pin the contract documented
+in ``repro/io/connection.py``:
+
+* ``start()`` is once-only: a second call raises ``ProtocolError`` and
+  produces no output;
+* ``data_to_send()`` drains: an immediate second call returns ``b""``;
+* receiving bytes after close yields no events;
+* ``close()`` and ``peer_closed*()`` are idempotent;
+* sending application data on a closed connection raises ``ProtocolError``;
+* the same DRBG seed yields byte-identical wire transcripts (golden hashes
+  captured before the record-plane refactor).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from helpers import MbTLSScenario, identity
+from repro.baselines.blindbox import (
+    BlindBoxDetector,
+    BlindBoxInspectorConnection,
+    BlindBoxStreamConnection,
+    RuleAuthority,
+    TokenStream,
+)
+from repro.baselines.mctls import (
+    ContextPermission,
+    McTLSMiddleboxConnection,
+    McTLSRecordConnection,
+    McTLSSession,
+)
+from repro.baselines.relay import SpliceRelay
+from repro.baselines.shared_key import KeySharingConnection, KeySharingMiddlebox
+from repro.baselines.split_tls import SplitTLSMiddlebox
+from repro.bench.scenarios import Pki
+from repro.core.client import MbTLSClientEngine
+from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig, MiddleboxRole
+from repro.core.middlebox import MbTLSMiddlebox
+from repro.core.server import MbTLSServerEngine
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import ProtocolError
+from repro.io import Connection, DuplexConnection, pump
+from repro.tls.config import TLSConfig
+from repro.tls.engine import TLSClientEngine, TLSServerEngine
+
+# ---------------------------------------------------------------------------
+# Factories
+# ---------------------------------------------------------------------------
+
+
+def _tls_pair(pki, rng):
+    client = TLSClientEngine(
+        TLSConfig(rng=rng.fork(b"cli"), trust_store=pki.trust, server_name="server")
+    )
+    server = TLSServerEngine(
+        TLSConfig(rng=rng.fork(b"srv"), credential=pki.credential("server"))
+    )
+    return client, server
+
+
+def _mbtls_pair(pki, rng):
+    client = MbTLSClientEngine(
+        MbTLSEndpointConfig(
+            tls=TLSConfig(
+                rng=rng.fork(b"cli"), trust_store=pki.trust, server_name="server"
+            ),
+            middlebox_trust_store=pki.trust,
+        )
+    )
+    server = MbTLSServerEngine(
+        MbTLSEndpointConfig(
+            tls=TLSConfig(rng=rng.fork(b"srv"), credential=pki.credential("server")),
+            middlebox_trust_store=pki.trust,
+        )
+    )
+    return client, server
+
+
+def _mctls_pair(pki, rng):
+    session = McTLSSession(rng.fork(b"c"), rng.fork(b"s"), [1])
+    return (
+        McTLSRecordConnection(session.endpoint_party(), default_context=1),
+        McTLSRecordConnection(session.endpoint_party(), default_context=1),
+    )
+
+
+def _blindbox_pair(pki, rng):
+    key = rng.fork(b"tok").random_bytes(32)
+    return (
+        BlindBoxStreamConnection(TokenStream(key)),
+        BlindBoxStreamConnection(TokenStream(key)),
+    )
+
+
+# Each case: (pair factory, needs_pump). ``needs_pump`` marks pairs with a
+# handshake to run before application data may flow.
+ENDPOINT_CASES = {
+    "tls": (_tls_pair, True),
+    "mbtls": (_mbtls_pair, True),
+    "mctls": (_mctls_pair, False),
+    "blindbox": (_blindbox_pair, False),
+}
+
+
+def _mbtls_middlebox(pki, rng):
+    return MbTLSMiddlebox(
+        MiddleboxConfig(
+            name="mbox",
+            tls=TLSConfig(rng=rng.fork(b"mb"), credential=pki.credential("mbox")),
+            role=MiddleboxRole.AUTO,
+            process=identity,
+        ),
+        destination="server",
+    )
+
+
+def _stimulate_mbtls(middlebox, pki, rng):
+    client = MbTLSClientEngine(
+        MbTLSEndpointConfig(
+            tls=TLSConfig(
+                rng=rng.fork(b"cli"), trust_store=pki.trust, server_name="server"
+            ),
+            middlebox_trust_store=pki.trust,
+        )
+    )
+    client.start()
+    middlebox.receive_down(client.data_to_send())
+
+
+def _split_tls(pki, rng):
+    return SplitTLSMiddlebox(
+        pki.ca, "server", rng.fork(b"split"), upstream_trust=pki.trust
+    )
+
+
+def _key_sharing(pki, rng):
+    return KeySharingConnection(KeySharingMiddlebox())
+
+
+def _mctls_inspector(pki, rng):
+    session = McTLSSession(rng.fork(b"c"), rng.fork(b"s"), [1])
+    conn = McTLSMiddleboxConnection(
+        session.middlebox_party({1: ContextPermission.READ})
+    )
+    conn._endpoint = McTLSRecordConnection(session.endpoint_party(), 1)
+    return conn
+
+
+def _stimulate_mctls(conn, pki, rng):
+    conn._endpoint.start()
+    conn._endpoint.send_application_data(b"inspect me")
+    conn.receive_down(conn._endpoint.data_to_send())
+
+
+def _blindbox_inspector(pki, rng):
+    key = rng.fork(b"tok").random_bytes(32)
+    authority = RuleAuthority(key)
+    detector = BlindBoxDetector([authority.encrypt_rule("rule", b"suspicious")])
+    conn = BlindBoxInspectorConnection(detector)
+    conn._endpoint = BlindBoxStreamConnection(TokenStream(key))
+    return conn
+
+
+def _stimulate_blindbox(conn, pki, rng):
+    conn._endpoint.start()
+    conn._endpoint.send_application_data(b"nothing suspicious here")
+    conn.receive_down(conn._endpoint.data_to_send())
+
+
+def _stimulate_raw(conn, pki, rng):
+    # A well-formed APPLICATION_DATA record (relays parse record framing).
+    conn.receive_down(b"\x17\x03\x03\x00\x03abc")
+
+
+# Each case: (factory, stimulate). ``stimulate`` makes the duplex queue
+# outbound bytes so the drain contract can be observed (None: start() alone
+# already produces output).
+DUPLEX_CASES = {
+    "mbtls_middlebox": (_mbtls_middlebox, _stimulate_mbtls),
+    "split_tls": (_split_tls, None),
+    "splice_relay": (lambda pki, rng: SpliceRelay(), _stimulate_raw),
+    "shared_key": (_key_sharing, _stimulate_raw),
+    "mctls_inspector": (_mctls_inspector, _stimulate_mctls),
+    "blindbox_inspector": (_blindbox_inspector, _stimulate_blindbox),
+}
+
+
+@pytest.fixture
+def make_pair(pki, rng):
+    def factory(name):
+        build, needs_pump = ENDPOINT_CASES[name]
+        a, b = build(pki, rng)
+        return a, b, needs_pump
+
+    return factory
+
+
+@pytest.fixture
+def make_duplex(pki, rng):
+    def factory(name):
+        build, stimulate = DUPLEX_CASES[name]
+        conn = build(pki, rng)
+        return conn, (
+            (lambda: stimulate(conn, pki, rng)) if stimulate is not None else None
+        )
+
+    return factory
+
+
+# ---------------------------------------------------------------------------
+# Endpoint (Connection) contract
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ENDPOINT_CASES)
+class TestConnectionContract:
+    def test_satisfies_protocol(self, make_pair, name):
+        a, b, _ = make_pair(name)
+        assert isinstance(a, Connection)
+        assert isinstance(b, Connection)
+
+    def test_start_twice_raises_without_output(self, make_pair, name):
+        a, _, _ = make_pair(name)
+        a.start()
+        a.data_to_send()  # drain whatever start legitimately queued
+        with pytest.raises(ProtocolError):
+            a.start()
+        assert a.data_to_send() == b""
+
+    def test_data_to_send_drains(self, make_pair, name):
+        a, b, needs_pump = make_pair(name)
+        a.start()
+        b.start()
+        if needs_pump:
+            pump(a, b)
+        a.send_application_data(b"drain me")
+        first = a.data_to_send()
+        assert first != b""
+        assert a.data_to_send() == b""
+
+    def test_close_is_idempotent(self, make_pair, name):
+        a, b, needs_pump = make_pair(name)
+        a.start()
+        b.start()
+        if needs_pump:
+            pump(a, b)
+        a.close()
+        a.data_to_send()
+        a.close()  # second close: no error, no new output
+        assert a.data_to_send() == b""
+        assert a.closed
+
+    def test_send_after_close_raises(self, make_pair, name):
+        a, b, needs_pump = make_pair(name)
+        a.start()
+        b.start()
+        if needs_pump:
+            pump(a, b)
+        a.close()
+        with pytest.raises(ProtocolError):
+            a.send_application_data(b"too late")
+
+    def test_receive_after_close_yields_nothing(self, make_pair, name):
+        a, b, needs_pump = make_pair(name)
+        a.start()
+        b.start()
+        if needs_pump:
+            pump(a, b)
+        b.send_application_data(b"in flight")
+        wire = b.data_to_send()
+        a.close()
+        a.data_to_send()
+        assert a.receive_bytes(wire) == []
+
+    def test_peer_closed_is_idempotent(self, make_pair, name):
+        a, _, _ = make_pair(name)
+        a.start()
+        first = a.peer_closed()
+        assert isinstance(first, list)
+        assert a.closed
+        assert a.peer_closed() == []
+
+
+# ---------------------------------------------------------------------------
+# Middlebox (DuplexConnection) contract
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", DUPLEX_CASES)
+class TestDuplexConnectionContract:
+    def test_satisfies_protocol(self, make_duplex, name):
+        conn, _ = make_duplex(name)
+        assert isinstance(conn, DuplexConnection)
+
+    def test_start_twice_raises(self, make_duplex, name):
+        conn, _ = make_duplex(name)
+        conn.start()
+        with pytest.raises(ProtocolError):
+            conn.start()
+
+    def test_output_drains(self, make_duplex, name):
+        conn, stimulate = make_duplex(name)
+        conn.start()
+        if stimulate is not None:
+            stimulate()
+        produced = conn.data_to_send_down() + conn.data_to_send_up()
+        assert produced != b""
+        assert conn.data_to_send_down() == b""
+        assert conn.data_to_send_up() == b""
+
+    def test_peer_closed_down_is_idempotent(self, make_duplex, name):
+        conn, _ = make_duplex(name)
+        conn.start()
+        first = conn.peer_closed_down()
+        assert isinstance(first, list)
+        assert conn.peer_closed_down() == []
+
+    def test_peer_closed_up_is_idempotent(self, make_duplex, name):
+        conn, _ = make_duplex(name)
+        conn.start()
+        first = conn.peer_closed_up()
+        assert isinstance(first, list)
+        assert conn.peer_closed_up() == []
+
+    def test_receive_after_close_yields_nothing(self, make_duplex, name):
+        conn, _ = make_duplex(name)
+        conn.start()
+        conn.peer_closed_down()
+        assert conn.receive_down(b"\x17\x03\x03\x00\x03abc") == []
+        assert conn.receive_up(b"\x17\x03\x03\x00\x03abc") == []
+
+
+# ---------------------------------------------------------------------------
+# Transcript determinism — golden hashes captured BEFORE the record-plane
+# refactor. If any of these change, the sans-IO core changed observable
+# behavior, which this refactor promised not to do.
+# ---------------------------------------------------------------------------
+
+
+class _WireTap:
+    """Wraps a Connection so pump() traffic can be hashed and event-ordered."""
+
+    def __init__(self, inner, tag: bytes, wire, event_log: list) -> None:
+        self._inner = inner
+        self._tag = tag
+        self._wire = wire
+        self._log = event_log
+
+    def data_to_send(self) -> bytes:
+        data = self._inner.data_to_send()
+        if data:
+            self._wire.update(self._tag + data)
+        return data
+
+    def receive_bytes(self, data: bytes) -> list:
+        events = self._inner.receive_bytes(data)
+        side = "client" if self._tag == b"C" else "server"
+        self._log += [(side, type(event).__name__) for event in events]
+        return events
+
+
+def test_tls_transcript_golden():
+    rng = HmacDrbg(b"golden-determinism")
+    pki = Pki(rng=rng.fork(b"pki"))
+    client = TLSClientEngine(
+        TLSConfig(rng=rng.fork(b"cli"), trust_store=pki.trust, server_name="server")
+    )
+    server = TLSServerEngine(
+        TLSConfig(rng=rng.fork(b"srv"), credential=pki.credential("server"))
+    )
+    client.start()
+    server.start()
+
+    wire = hashlib.sha256()
+    events: list = []
+    pump(
+        _WireTap(client, b"C", wire, events),
+        _WireTap(server, b"S", wire, events),
+    )
+    client.send_application_data(b"hello determinism")
+    data = client.data_to_send()
+    wire.update(b"C" + data)
+    events += [("server", type(e).__name__) for e in server.receive_bytes(data)]
+
+    assert events == [
+        ("server", "HandshakeComplete"),
+        ("client", "HandshakeComplete"),
+        ("server", "ApplicationData"),
+    ]
+    assert (
+        hashlib.sha256(b"".join(client._transcript)).hexdigest()
+        == "d82ea685d71b3cf4a47842b93c37eae65202ea2fb5868d1f71b0c2c7ae99817e"
+    )
+    assert (
+        hashlib.sha256(client.master_secret).hexdigest()
+        == "267684709696ef657691f466362dcf03ebb6059eaf4aca974d901a3e988d3a47"
+    )
+    assert (
+        wire.hexdigest()
+        == "512e83a045db37e41c54cb971b6dfe3428e5d7dc47c8b3b272683f6507ce0e7b"
+    )
+
+
+def test_mbtls_transcript_golden():
+    rng = HmacDrbg(b"golden-mbtls")
+    pki = Pki(rng=rng.fork(b"pki"))
+    scenario = MbTLSScenario(
+        pki=pki,
+        rng=rng,
+        mbox_specs=[("mbox", MiddleboxRole.AUTO, identity, {})],
+    ).run_client(b"GOLDEN-PING")
+
+    assert [type(e).__name__ for e in scenario.events] == [
+        "MiddleboxJoined",
+        "SessionEstablished",
+        "ApplicationData",
+    ]
+    assert [type(e).__name__ for e in scenario.server_events] == [
+        "SessionEstablished",
+        "ApplicationData",
+    ]
+    assert scenario.client_received == [b"REPLY:GOLDEN-PING"]
+    assert (
+        hashlib.sha256(
+            b"".join(scenario.client_engine.primary._transcript)
+        ).hexdigest()
+        == "e51bf3a6aa57325822a341543bcbf6bbb77aecfef63a32e506e4982a5e84c565"
+    )
+    combined = hashlib.sha256()
+    for event in scenario.events:
+        combined.update(type(event).__name__.encode())
+    for event in scenario.server_events:
+        combined.update(type(event).__name__.encode())
+    for chunk in scenario.client_received:
+        combined.update(chunk)
+    assert (
+        combined.hexdigest()
+        == "2b4c05c8b432dabd954e14e985ae154e97656867c5fb5473a741cb9187896c15"
+    )

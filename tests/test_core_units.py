@@ -1,12 +1,10 @@
 """Unit tests for the mbTLS plumbing: mux, KeyMaterial round trip through
 engines, endpoint configs, and the resumption store."""
 
-import pytest
 
 from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig, MiddleboxInfo
 from repro.core.mux import Subchannel, wrap_engine_output
 from repro.core.resumption import MiddleboxSessionStore, RememberedMiddlebox
-from repro.crypto.drbg import HmacDrbg
 from repro.pki.store import TrustStore
 from repro.tls.config import TLSConfig
 from repro.tls.session import SessionState

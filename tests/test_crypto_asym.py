@@ -6,7 +6,7 @@ from cryptography.hazmat.primitives.asymmetric.x25519 import (
     X25519PrivateKey as OracleX25519,
 )
 
-from repro.crypto.dh import DHGroup, DHPrivateKey, modp_group
+from repro.crypto.dh import DHPrivateKey, modp_group
 from repro.crypto.rsa import RSAPublicKey, generate_rsa_key, is_probable_prime
 from repro.crypto.x25519 import X25519PrivateKey, x25519, x25519_base
 from repro.errors import CryptoError

@@ -14,8 +14,6 @@ from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig, MiddleboxRol
 from repro.core.drivers import MiddleboxService, RetryPolicy, SessionSupervisor, serve_mbtls
 from repro.errors import NetworkError
 from repro.netsim.faults import (
-    AppliedFault,
-    ChaosTap,
     CorruptionBurst,
     FaultInjector,
     FaultPlan,

@@ -1,7 +1,6 @@
 """mbTLS end-to-end: discovery, announcements, legacy interop, ordering,
 approval policy, attestation — the protocol of §3.4."""
 
-import pytest
 
 from helpers import MbTLSScenario, identity, tagger
 from repro.core.config import MiddleboxRejected, MiddleboxRole, SessionEstablished

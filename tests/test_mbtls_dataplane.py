@@ -1,6 +1,5 @@
 """mbTLS data plane: fragmentation, alerts, buffering, drops, closing."""
 
-import pytest
 
 from helpers import MbTLSScenario, identity, tagger
 from repro.core.config import MiddleboxRole

@@ -3,7 +3,6 @@ lists it in the MiddleboxSupport extension (§3.4, "Client-Side
 Middleboxes", pre-configured case). The middlebox learns the next hop from
 the extension list and the SNI."""
 
-import pytest
 
 from repro.core.config import (
     MbTLSEndpointConfig,

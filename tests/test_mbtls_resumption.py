@@ -1,8 +1,7 @@
 """mbTLS session resumption (§3.5): every sub-handshake abbreviated."""
 
-import pytest
 
-from helpers import MbTLSScenario, identity, tagger
+from helpers import MbTLSScenario, tagger
 from repro.core.config import MiddleboxRole
 from repro.core.resumption import MiddleboxSessionStore
 from repro.sgx.attestation import AttestationService
@@ -100,7 +99,6 @@ class TestClientSideResumption:
 
     def test_no_certificate_exchange_on_resumption(self, rng, pki):
         from repro.netsim.adversary import GlobalAdversary
-        from repro.wire.handshake import HandshakeType
 
         build, with_cache = resumable_world(rng, pki)
         with_cache(build(b"run1")).run_client(b"PING")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import CertificateError, CryptoError
+from repro.errors import CertificateError
 from repro.pki.authority import CertificateAuthority
 from repro.pki.certificate import Certificate
 from repro.pki.store import TrustStore

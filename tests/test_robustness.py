@@ -2,7 +2,6 @@
 closing cleanly (or ignoring it), never by raising out of receive_bytes —
 during the handshake AND on an established data-phase session."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,6 @@ deliberate *vulnerabilities* of the baselines, and §4.2's cache-poisoning
 caveat for mbTLS itself.
 """
 
-import pytest
 
 from helpers import MbTLSScenario, identity
 from repro.bench import threats

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import AttestationError, EnclaveError
-from repro.sgx.attestation import AttestationService, Quote
+from repro.sgx.attestation import AttestationService
 from repro.sgx.enclave import EnclaveCode, MemoryArena, Platform
 from repro.sgx.syscalls import SgxCostModel
 
