@@ -13,6 +13,8 @@ Run:  python examples/attack_gauntlet.py
 
 from repro.bench.tables import render_table
 from repro.bench.threats import run_all_threats
+from repro.netsim.adversary import GlobalAdversary
+from repro.netsim.fuzz import ChunkMutator, FuzzTap
 from repro.core.config import (
     MbTLSEndpointConfig,
     MiddleboxConfig,
@@ -116,6 +118,120 @@ def run_crash_scenario() -> None:
           "degraded cleanly instead of hanging.")
 
 
+def run_fuzz_scenario() -> None:
+    """Malformed-record finale: a seeded fuzz mutation flips one bit of a
+    protected record mid-stream. Under ``tamper_policy="abort"`` the hop
+    whose MAC catches it raises a fatal ``bad_record_mac`` that sweeps the
+    whole path, and every party learns *which* hop detected the damage. A
+    peer-fault alert, by contrast, is terminal: the supervisor records
+    ``aborted`` and never redials — retrying cannot change the answer."""
+    rng = HmacDrbg(b"gauntlet-fuzz")
+    ca = CertificateAuthority("root", rng.fork(b"ca"))
+    trust = TrustStore([ca.certificate])
+
+    net = Network()
+    for name in ("client", "proxy", "server", "rogue"):
+        net.add_host(name)
+    net.add_link("client", "proxy", latency=0.002)
+    net.add_link("proxy", "server", latency=0.002)
+    net.add_link("client", "rogue", latency=0.002)
+    adversary = GlobalAdversary(net)
+
+    MiddleboxService(
+        net.host("proxy"),
+        lambda: MiddleboxConfig(
+            name="proxy",
+            tls=TLSConfig(rng=rng.fork(b"mb"),
+                          credential=ca.issue_credential("proxy")),
+            role=MiddleboxRole.CLIENT_SIDE,
+            process=lambda direction, data: data,
+            tamper_policy="abort",
+        ),
+    )
+    serve_mbtls(
+        net.host("server"),
+        lambda: MbTLSEndpointConfig(
+            tls=TLSConfig(rng=rng.fork(b"srv"),
+                          credential=ca.issue_credential("server")),
+            middlebox_trust_store=trust,
+            tamper_policy="abort",
+        ),
+    )
+
+    def client_config() -> MbTLSEndpointConfig:
+        return MbTLSEndpointConfig(
+            tls=TLSConfig(rng=rng.fork(b"cli"), trust_store=trust,
+                          server_name="server"),
+            middlebox_trust_store=trust,
+            tamper_policy="abort",
+        )
+
+    supervisor_box: list[SessionSupervisor] = []
+
+    def on_client_event(event):
+        if isinstance(event, SessionEstablished):
+            # The session is up; arm the fuzzer on the proxy->server hop and
+            # send one record straight into the mutation. The case replays
+            # from (seed=b"gauntlet-fuzz", mutation_index=0) alone.
+            adversary.add_tap_between(
+                "proxy", "server",
+                FuzzTap(ChunkMutator(b"gauntlet-fuzz", 0, "bit_flip"),
+                        sender="proxy"),
+            )
+            supervisor_box[0].send_application_data(b"doomed-record")
+
+    supervisor_box.append(
+        SessionSupervisor(
+            net.host("client"), "server", client_config,
+            on_event=on_client_event,
+            policy=RetryPolicy(handshake_timeout=0.5, max_attempts=3,
+                               backoff_base=0.05),
+        )
+    )
+    net.sim.run(until=10.0)
+    supervisor = supervisor_box[0]
+
+    print("\nmalformed-record finale: seeded fuzz mutation mid-stream")
+    print(f"  outcome        : {supervisor.outcome} "
+          f"(attempt {supervisor.attempt})")
+    print(f"  abort          : origin={supervisor.abort.origin!r} "
+          f"alert={supervisor.abort.alert!r}")
+    assert supervisor.abort is not None
+    assert supervisor.abort.alert == "bad_record_mac"
+    assert supervisor.abort.origin == "server"
+    assert supervisor.engine.closed
+    print("  => the server's per-hop MAC caught the flipped bit; the fatal "
+          "alert swept\n     every hop back to the client, attributed to "
+          "the detecting party.")
+
+    # A rogue endpoint is not a path fault: the alert is a peer fault and
+    # the supervisor declines to redial.
+    rogue_ca = CertificateAuthority("mallory", rng.fork(b"mallory"))
+    serve_mbtls(
+        net.host("rogue"),
+        lambda: MbTLSEndpointConfig(
+            tls=TLSConfig(rng=rng.fork(b"rogue"),
+                          credential=rogue_ca.issue_credential("server")),
+            middlebox_trust_store=TrustStore([rogue_ca.certificate]),
+        ),
+    )
+    rogue_supervisor = SessionSupervisor(
+        net.host("client"), "rogue",
+        client_config,
+        policy=RetryPolicy(handshake_timeout=0.5, max_attempts=3,
+                           backoff_base=0.05),
+    )
+    net.sim.run(until=20.0)
+    print("\npeer-fault finale: rogue server with an untrusted certificate")
+    print(f"  outcome        : {rogue_supervisor.outcome} "
+          f"(attempt {rogue_supervisor.attempt} — no redial)")
+    print(f"  abort          : alert={rogue_supervisor.abort.alert!r}")
+    assert rogue_supervisor.outcome == "aborted"
+    assert rogue_supervisor.attempt == 1
+    print("  => a peer-fault alert is terminal; transient path corruption "
+          "retries,\n     peer rejection does not.")
+
+
 def main() -> None:
     print("executing adversarial scenarios (wiretaps, code substitution,")
     print("record splicing, memory dumps) ...\n")
@@ -144,6 +260,7 @@ def main() -> None:
     for outcome in vulnerable:
         print(f"  - {outcome.protocol}: {outcome.threat}")
     run_crash_scenario()
+    run_fuzz_scenario()
 
 
 if __name__ == "__main__":

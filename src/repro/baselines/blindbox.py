@@ -30,9 +30,11 @@ from __future__ import annotations
 import hmac
 from dataclasses import dataclass
 
-from repro.errors import PolicyError, ProtocolError
+from repro.errors import PolicyError, ProtocolError, ReproError, SessionAborted
+from repro.io.framing import FRAME_ALERT, FRAME_CLOSE, alert_frame, close_frame, frame, pop_frames
 from repro.io.record_plane import RecordPlane
-from repro.tls.events import ApplicationData, ConnectionClosed
+from repro.tls.events import AlertReceived, ApplicationData, ConnectionClosed
+from repro.wire.alerts import Alert, AlertDescription
 
 __all__ = [
     "TokenStream",
@@ -164,28 +166,10 @@ class BlindBoxDetector:
 
 
 _TOKEN_LEN = 16
-_FRAME_HEADER = 4  # u32 payload length; a zero-length frame is the close marker
-
-
-def _pop_frames(buffer: bytearray) -> list[bytes | None]:
-    """Pop complete length-framed payloads; ``None`` marks a close frame."""
-    frames: list[bytes | None] = []
-    while len(buffer) >= _FRAME_HEADER:
-        length = int.from_bytes(buffer[:_FRAME_HEADER], "big")
-        if length == 0:
-            del buffer[:_FRAME_HEADER]
-            frames.append(None)
-            continue
-        if len(buffer) < _FRAME_HEADER + length:
-            break
-        frames.append(bytes(buffer[_FRAME_HEADER : _FRAME_HEADER + length]))
-        del buffer[: _FRAME_HEADER + length]
-    return frames
 
 
 def _encode_payload(tokens: list[bytes], data: bytes) -> bytes:
-    body = len(tokens).to_bytes(2, "big") + b"".join(tokens) + data
-    return len(body).to_bytes(_FRAME_HEADER, "big") + body
+    return frame(len(tokens).to_bytes(2, "big") + b"".join(tokens) + data)
 
 
 def _decode_payload(payload: bytes) -> tuple[list[bytes], bytes]:
@@ -211,6 +195,8 @@ class BlindBoxStreamConnection:
         self._buffer = bytearray()
         self.closed = False
         self._started = False
+        self.origin_label = "blindbox-endpoint"
+        self.abort: SessionAborted | None = None
 
     def start(self) -> None:
         if self._started:
@@ -227,14 +213,56 @@ class BlindBoxStreamConnection:
             return []
         self._buffer += data
         events: list = []
-        for payload in _pop_frames(self._buffer):
-            if payload is None:
+        try:
+            frames = pop_frames(self._buffer)
+        except ReproError as exc:
+            self._abort(exc, events)
+            return events
+        for kind, payload in frames:
+            if kind == FRAME_CLOSE:
                 self.closed = True
                 events.append(ConnectionClosed())
                 break
+            if kind == FRAME_ALERT:
+                if self._handle_alert(payload, events):
+                    break
+                continue
             _tokens, chunk = _decode_payload(payload)
             events.append(ApplicationData(data=chunk))
         return events
+
+    def _handle_alert(self, payload: bytes, events: list) -> bool:
+        try:
+            alert = Alert.decode(payload)
+        except ReproError as exc:
+            self._abort(exc, events)
+            return True
+        events.append(AlertReceived(alert=alert))
+        if alert.is_close:
+            self.closed = True
+            events.append(ConnectionClosed())
+            return True
+        if alert.is_fatal:
+            name = alert.description.name.lower()
+            self.closed = True
+            self.abort = SessionAborted(
+                f"peer sent fatal {name}", origin=alert.origin, alert=name
+            )
+            events.append(ConnectionClosed(error=name, alert=name, origin=alert.origin))
+            return True
+        return False
+
+    def _abort(self, exc: Exception, events: list) -> None:
+        description = (
+            AlertDescription.from_name(getattr(exc, "alert", "decode_error"))
+            if isinstance(exc, ProtocolError)
+            else AlertDescription.DECODE_ERROR
+        )
+        name = description.name.lower()
+        self._out.queue_raw(alert_frame(Alert.fatal(description, origin=self.origin_label).encode()))
+        self.closed = True
+        self.abort = SessionAborted(str(exc), origin=self.origin_label, alert=name)
+        events.append(ConnectionClosed(error=f"{name}: {exc}", alert=name, origin=self.origin_label))
 
     def data_to_send(self) -> bytes:
         return self._out.data_to_send()
@@ -243,7 +271,7 @@ class BlindBoxStreamConnection:
         if self.closed:
             return
         self.closed = True
-        self._out.queue_raw((0).to_bytes(_FRAME_HEADER, "big"))
+        self._out.queue_raw(close_frame())
 
     def peer_closed(self) -> list:
         if self.closed:
@@ -272,6 +300,8 @@ class BlindBoxInspectorConnection:
         self.frames_inspected = 0
         self.closed = False
         self._started = False
+        self.origin_label = "blindbox-inspector"
+        self.abort: SessionAborted | None = None
 
     def start(self) -> None:
         if self._started:
@@ -290,15 +320,56 @@ class BlindBoxInspectorConnection:
         buffer = self._buffers[side]
         outbound = self._planes[1 - side]
         buffer += data
-        for payload in _pop_frames(buffer):
-            if payload is None:
-                outbound.queue_raw((0).to_bytes(_FRAME_HEADER, "big"))
+        events: list = []
+        try:
+            frames = pop_frames(buffer)
+        except ReproError as exc:
+            self._abort(exc, events)
+            return events
+        for kind, payload in frames:
+            if kind == FRAME_CLOSE:
+                outbound.queue_raw(close_frame())
+                continue
+            if kind == FRAME_ALERT:
+                # Alerts pass through untouched; a fatal one tears this hop
+                # down too so the session cannot linger half-open.
+                outbound.queue_raw(alert_frame(payload))
+                try:
+                    alert = Alert.decode(payload)
+                except ReproError:
+                    continue
+                if alert.is_fatal and not alert.is_close:
+                    name = alert.description.name.lower()
+                    self.closed = True
+                    self.abort = SessionAborted(
+                        f"fatal {name} passed through", origin=alert.origin, alert=name
+                    )
+                    events.append(
+                        ConnectionClosed(error=name, alert=name, origin=alert.origin)
+                    )
+                    break
                 continue
             tokens, _chunk = _decode_payload(payload)
             detector.inspect(tokens)
             self.frames_inspected += 1
-            outbound.queue_raw(len(payload).to_bytes(_FRAME_HEADER, "big") + payload)
-        return []
+            outbound.queue_raw(frame(payload))
+        return events
+
+    def _abort(self, exc: Exception, events: list) -> None:
+        description = (
+            AlertDescription.from_name(getattr(exc, "alert", "decode_error"))
+            if isinstance(exc, ProtocolError)
+            else AlertDescription.DECODE_ERROR
+        )
+        name = description.name.lower()
+        payload = Alert.fatal(description, origin=self.origin_label).encode()
+        for plane in self._planes:
+            plane.queue_raw(alert_frame(payload))
+        self.closed = True
+        self.abort = SessionAborted(str(exc), origin=self.origin_label, alert=name)
+        events.append(
+            ConnectionClosed(error=f"{name}: {exc}", alert=name, origin=self.origin_label)
+        )
 
     def data_to_send_down(self) -> bytes:
         return self._planes[0].data_to_send()

@@ -24,9 +24,17 @@ from enum import Enum
 
 from repro.crypto.gcm import AESGCM
 from repro.crypto.kdf import prf
-from repro.errors import IntegrityError, PolicyError, ProtocolError
+from repro.errors import (
+    IntegrityError,
+    PolicyError,
+    ProtocolError,
+    ReproError,
+    SessionAborted,
+)
+from repro.io.framing import FRAME_ALERT, FRAME_CLOSE, alert_frame, close_frame, frame, pop_frames
 from repro.io.record_plane import RecordPlane
-from repro.tls.events import ApplicationData, ConnectionClosed
+from repro.tls.events import AlertReceived, ApplicationData, ConnectionClosed
+from repro.wire.alerts import Alert, AlertDescription
 
 __all__ = [
     "ContextPermission",
@@ -189,27 +197,15 @@ class McTLSParty:
         return self.contexts[context_id].keys.read_key is not None
 
 
-_FRAME_HEADER = 4  # u32 length prefix; a zero-length frame is the close marker
-
-
-def _pop_frames(buffer: bytearray) -> list[bytes | None]:
-    """Pop complete length-framed payloads; ``None`` marks a close frame."""
-    frames: list[bytes | None] = []
-    while len(buffer) >= _FRAME_HEADER:
-        length = int.from_bytes(buffer[:_FRAME_HEADER], "big")
-        if length == 0:
-            del buffer[:_FRAME_HEADER]
-            frames.append(None)
-            continue
-        if len(buffer) < _FRAME_HEADER + length:
-            break
-        frames.append(bytes(buffer[_FRAME_HEADER : _FRAME_HEADER + length]))
-        del buffer[: _FRAME_HEADER + length]
-    return frames
-
-
-def _frame(payload: bytes) -> bytes:
-    return len(payload).to_bytes(_FRAME_HEADER, "big") + payload
+def _alert_for(exc: Exception) -> AlertDescription:
+    """Map a record-processing failure onto the alert it should raise."""
+    if isinstance(exc, IntegrityError):
+        return AlertDescription.BAD_RECORD_MAC
+    if isinstance(exc, PolicyError):
+        return AlertDescription.ACCESS_DENIED
+    if isinstance(exc, ProtocolError):
+        return AlertDescription.from_name(exc.alert)
+    return AlertDescription.DECODE_ERROR
 
 
 class McTLSRecordConnection:
@@ -235,6 +231,8 @@ class McTLSRecordConnection:
         self._buffer = bytearray()
         self.closed = False
         self._started = False
+        self.origin_label = "mctls-endpoint"
+        self.abort: SessionAborted | None = None
 
     def start(self) -> None:
         if self._started:
@@ -245,24 +243,75 @@ class McTLSRecordConnection:
         if self.closed:
             raise ProtocolError("cannot send application data on a closed connection")
         context = self.default_context if context_id is None else context_id
-        self._out.queue_raw(_frame(self.party.seal(context, data)))
+        self._out.queue_raw(frame(self.party.seal(context, data)))
 
     def receive_bytes(self, data: bytes) -> list:
         if self.closed:
             return []
         self._buffer += data
         events: list = []
-        for sealed in _pop_frames(self._buffer):
-            if sealed is None:
+        try:
+            frames = pop_frames(self._buffer)
+        except ReproError as exc:
+            self._abort(exc, events)
+            return events
+        for kind, payload in frames:
+            if kind == FRAME_CLOSE:
                 self.closed = True
                 events.append(ConnectionClosed())
                 break
-            context_id = sealed[0]
-            plaintext = self.party.open(
-                context_id, sealed, verify_endpoint_mac=self.verify_endpoint_mac
-            )
+            if kind == FRAME_ALERT:
+                if self._handle_alert(payload, events):
+                    break
+                continue
+            try:
+                context_id = payload[0]
+                plaintext = self.party.open(
+                    context_id, payload, verify_endpoint_mac=self.verify_endpoint_mac
+                )
+            except (ReproError, KeyError, IndexError, ValueError) as exc:
+                # Forged, truncated, or unknown-context record: answer with
+                # a fatal alert and close (the abort invariant).
+                self._abort(exc, events)
+                break
             events.append(ApplicationData(data=plaintext))
         return events
+
+    def _handle_alert(self, payload: bytes, events: list) -> bool:
+        try:
+            alert = Alert.decode(payload)
+        except ReproError as exc:
+            self._abort(exc, events)
+            return True
+        events.append(AlertReceived(alert=alert))
+        if alert.is_fatal or alert.is_close:
+            self.closed = True
+            if alert.is_close:
+                events.append(ConnectionClosed())
+            else:
+                name = alert.description.name.lower()
+                self.abort = SessionAborted(
+                    f"peer sent fatal {name}", origin=alert.origin, alert=name
+                )
+                events.append(
+                    ConnectionClosed(error=name, alert=name, origin=alert.origin)
+                )
+            return True
+        return False
+
+    def _abort(self, exc: Exception, events: list) -> None:
+        description = _alert_for(exc)
+        name = description.name.lower()
+        self._out.queue_raw(
+            alert_frame(Alert.fatal(description, origin=self.origin_label).encode())
+        )
+        self.closed = True
+        self.abort = SessionAborted(str(exc), origin=self.origin_label, alert=name)
+        events.append(
+            ConnectionClosed(
+                error=f"{name}: {exc}", alert=name, origin=self.origin_label
+            )
+        )
 
     def data_to_send(self) -> bytes:
         return self._out.data_to_send()
@@ -271,7 +320,7 @@ class McTLSRecordConnection:
         if self.closed:
             return
         self.closed = True
-        self._out.queue_raw(_frame(b""))
+        self._out.queue_raw(close_frame())
 
     def peer_closed(self) -> list:
         if self.closed:
@@ -296,6 +345,8 @@ class McTLSMiddleboxConnection:
         self.plaintext_seen: list[bytes] = []
         self.closed = False
         self._started = False
+        self.origin_label = "mctls-middlebox"
+        self.abort: SessionAborted | None = None
 
     def start(self) -> None:
         if self._started:
@@ -314,16 +365,63 @@ class McTLSMiddleboxConnection:
         buffer = self._buffers[side]
         outbound = self._planes[1 - side]
         buffer += data
-        for sealed in _pop_frames(buffer):
-            if sealed is None:
-                outbound.queue_raw(_frame(b""))
+        events: list = []
+        try:
+            frames = pop_frames(buffer)
+        except ReproError as exc:
+            self._abort(exc, events)
+            return events
+        for kind, payload in frames:
+            if kind == FRAME_CLOSE:
+                outbound.queue_raw(close_frame())
+                continue
+            if kind == FRAME_ALERT:
+                # Hop-by-hop propagation: forward the alert verbatim and,
+                # if it is fatal, tear down our own forwarding state too.
+                outbound.queue_raw(alert_frame(payload))
+                try:
+                    alert = Alert.decode(payload)
+                except ReproError:
+                    continue
+                if alert.is_fatal and not alert.is_close:
+                    name = alert.description.name.lower()
+                    self.closed = True
+                    self.abort = SessionAborted(
+                        f"fatal {name} passed through",
+                        origin=alert.origin,
+                        alert=name,
+                    )
+                    events.append(
+                        ConnectionClosed(error=name, alert=name, origin=alert.origin)
+                    )
+                    break
                 continue
             self.records_seen += 1
-            context_id = sealed[0]
-            if self.party.can_read(context_id):
-                self.plaintext_seen.append(self.party.open(context_id, sealed))
-            outbound.queue_raw(_frame(sealed))
-        return []
+            try:
+                context_id = payload[0]
+                if self.party.can_read(context_id):
+                    self.plaintext_seen.append(self.party.open(context_id, payload))
+            except (ReproError, KeyError, IndexError, ValueError) as exc:
+                # A record this hop could verify failed verification:
+                # originate a fatal alert toward both segments.
+                self._abort(exc, events)
+                break
+            outbound.queue_raw(frame(payload))
+        return events
+
+    def _abort(self, exc: Exception, events: list) -> None:
+        description = _alert_for(exc)
+        name = description.name.lower()
+        encoded = Alert.fatal(description, origin=self.origin_label).encode()
+        for plane in self._planes:
+            plane.queue_raw(alert_frame(encoded))
+        self.closed = True
+        self.abort = SessionAborted(str(exc), origin=self.origin_label, alert=name)
+        events.append(
+            ConnectionClosed(
+                error=f"{name}: {exc}", alert=name, origin=self.origin_label
+            )
+        )
 
     def data_to_send_down(self) -> bytes:
         return self._planes[0].data_to_send()

@@ -18,7 +18,13 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.errors import ProtocolError
+from repro.errors import (
+    CryptoError,
+    DecodeError,
+    IntegrityError,
+    ProtocolError,
+    SessionAborted,
+)
 from repro.io.record_plane import RecordPlane
 from repro.netsim.driver import CpuMeter, DuplexDriver
 from repro.netsim.network import Host, InterceptedFlow
@@ -27,6 +33,7 @@ from repro.tls.engine import TLSClientEngine
 from repro.tls.events import ConnectionClosed
 from repro.tls.keyschedule import KeyBlock
 from repro.tls.record_layer import ConnectionState
+from repro.wire.alerts import Alert, AlertDescription
 from repro.wire.records import ContentType, Record
 
 __all__ = [
@@ -104,6 +111,17 @@ class KeySharingMiddlebox:
         out = rewrite.protect(record.content_type, transformed)
         return out
 
+    def seal_alert(self, direction: str, payload: bytes) -> Record | None:
+        """Protect an alert toward one side under the shared keys.
+
+        Returns ``None`` before the keys arrive — alerts travel in the
+        clear during the handshake anyway.
+        """
+        state = self._c2s_state if direction == "c2s" else self._s2c_state
+        if state is None:
+            return None
+        return state.protect(ContentType.ALERT, payload)
+
 
 class KeySharingConnection:
     """Sans-IO duplex splice around a :class:`KeySharingMiddlebox`.
@@ -119,6 +137,8 @@ class KeySharingConnection:
         self._planes = [RecordPlane(), RecordPlane()]
         self.closed = False
         self._started = False
+        self.origin_label = "shared-key-middlebox"
+        self.abort: SessionAborted | None = None
 
     def start(self) -> None:
         if self._started:
@@ -136,15 +156,52 @@ class KeySharingConnection:
             return []
         inbound = self._planes[side]
         outbound = self._planes[1 - side]
-        inbound.feed(data)
-        for record in inbound.pop_records():
+        events: list = []
+        try:
+            inbound.feed(data)
+            records = inbound.pop_records()
+        except (DecodeError, ProtocolError) as exc:
+            self._abort(exc, events)
+            return events
+        for record in records:
             if (
                 record.content_type == ContentType.APPLICATION_DATA
                 and self.middlebox.keys_installed
             ):
-                record = self.middlebox.handle_record(direction, record)
+                try:
+                    record = self.middlebox.handle_record(direction, record)
+                except (IntegrityError, CryptoError, DecodeError, ProtocolError) as exc:
+                    # A tampered record: it cannot be forwarded, and the
+                    # shared sequence numbers mean neither can anything
+                    # after it. Alert both sides and tear the splice down.
+                    self._abort(exc, events)
+                    break
             outbound.queue_encoded(record)
-        return []
+        return events
+
+    def _abort(self, exc: Exception, events: list) -> None:
+        if isinstance(exc, IntegrityError):
+            description = AlertDescription.BAD_RECORD_MAC
+        elif isinstance(exc, ProtocolError):
+            description = AlertDescription.from_name(getattr(exc, "alert", "internal_error"))
+        else:
+            description = AlertDescription.DECODE_ERROR
+        name = description.name.lower()
+        payload = Alert.fatal(description, origin=self.origin_label).encode()
+        for plane, direction in ((self._planes[_DOWN], "s2c"), (self._planes[_UP], "c2s")):
+            try:
+                sealed = self.middlebox.seal_alert(direction, payload)
+                if sealed is not None:
+                    plane.queue_encoded(sealed)
+                else:
+                    plane.queue_record(ContentType.ALERT, payload)
+            except (CryptoError, ProtocolError):
+                pass
+        self.closed = True
+        self.abort = SessionAborted(str(exc), origin=self.origin_label, alert=name)
+        events.append(
+            ConnectionClosed(error=f"{name}: {exc}", alert=name, origin=self.origin_label)
+        )
 
     def data_to_send_down(self) -> bytes:
         return self._planes[_DOWN].data_to_send()

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.errors import SessionAborted
 from repro.netsim.driver import CpuMeter, DuplexDriver
 from repro.netsim.network import Host, InterceptedFlow
 from repro.pki.authority import CertificateAuthority
@@ -27,6 +28,7 @@ from repro.pki.store import TrustStore
 from repro.tls.config import TLSConfig
 from repro.tls.engine import TLSClientEngine, TLSServerEngine
 from repro.tls.events import ApplicationData, ConnectionClosed
+from repro.wire.alerts import AlertDescription
 
 __all__ = ["SplitTLSMiddlebox", "SplitTLSService"]
 
@@ -76,9 +78,12 @@ class SplitTLSMiddlebox:
                 now=now,
             )
         )
+        self.down_engine.origin_label = "split-tls-middlebox"
+        self.up_engine.origin_label = "split-tls-middlebox"
         self._process = process
         self.records_processed = 0
         self.closed = False
+        self.abort: SessionAborted | None = None
 
     def start(self) -> None:
         self.down_engine.start()
@@ -98,7 +103,7 @@ class SplitTLSMiddlebox:
                 else:
                     self._pending_up = getattr(self, "_pending_up", b"") + transformed
             elif isinstance(event, ConnectionClosed):
-                self.closed = True
+                self._segment_closed(self.down_engine, self.up_engine)
             out.append(event)
         return out
 
@@ -113,13 +118,34 @@ class SplitTLSMiddlebox:
                 if self.down_engine.handshake_complete:
                     self.down_engine.send_application_data(transformed)
             elif isinstance(event, ConnectionClosed):
-                self.closed = True
+                self._segment_closed(self.up_engine, self.down_engine)
         # Flush data the client sent before the upstream handshake finished.
         pending = getattr(self, "_pending_up", b"")
         if pending and self.up_engine.handshake_complete:
             self.up_engine.send_application_data(pending)
             self._pending_up = b""
         return events
+
+    def _segment_closed(self, source, other) -> None:
+        """One session ended; end the other too (no half-open splice).
+
+        Split TLS runs two *independent* TLS sessions, so a fatal alert on
+        one cannot be forwarded verbatim — it is re-originated on the other
+        session, preserving the original hop attribution.
+        """
+        self.closed = True
+        if self.abort is None and source.abort is not None:
+            self.abort = source.abort
+        if other.closed:
+            return
+        if source.abort is not None:
+            other.origin_label = source.abort.origin or other.origin_label
+            other.send_fatal_alert(
+                AlertDescription.from_name(source.abort.alert),
+                str(source.abort),
+            )
+        else:
+            other.close()
 
     def data_to_send_down(self) -> bytes:
         return self.down_engine.data_to_send()

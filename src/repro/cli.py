@@ -8,6 +8,7 @@ Usage::
     python -m repro cpu --trials 5       # Figure 5, handshake CPU per party
     python -m repro latency              # Figure 6, WAN handshake latency
     python -m repro sgx                  # Figure 7, enclave throughput model
+    python -m repro fuzz                 # protocol-fuzz smoke corpus
     python -m repro all                  # everything
 """
 
@@ -136,6 +137,41 @@ def _cmd_sgx(args) -> None:
                         series, "buffer bytes", "Gbps"))
 
 
+def _cmd_fuzz(args) -> None:
+    from repro.bench.fuzzing import CASE_NAMES, run_case, smoke_corpus
+    from repro.netsim.fuzz import MUTATION_KINDS, FuzzCase
+
+    if args.replay:
+        if args.replay not in CASE_NAMES:
+            raise SystemExit(
+                f"unknown implementation {args.replay!r}; "
+                f"choose from {', '.join(CASE_NAMES)}"
+            )
+        case = FuzzCase(args.seed.encode(), args.index, args.kind)
+        report = run_case(args.replay, case)
+        print(report.describe())
+        for mutation in report.mutations:
+            print(f"  applied: {mutation}")
+        for entry in report.events:
+            print(f"  event:   {entry}")
+        print(f"  digest:  {report.digest}")
+        if not report.ok:
+            raise SystemExit(1)
+        return
+
+    print(f"fuzz smoke corpus: {len(CASE_NAMES)} implementations, "
+          f"kinds drawn from {{{', '.join(MUTATION_KINDS)}}} ...")
+    reports = smoke_corpus()
+    failures = [r for r in reports if not r.ok]
+    print(f"{len(reports) - len(failures)}/{len(reports)} cases ok")
+    if failures:
+        print("failing (seed, mutation_index) pairs, replay with "
+              "`python -m repro fuzz --replay NAME --seed SEED --index N`:")
+        for report in failures:
+            print(f"  {report.describe()}")
+        raise SystemExit(1)
+
+
 _COMMANDS = {
     "threats": _cmd_threats,
     "viability": _cmd_viability,
@@ -143,6 +179,7 @@ _COMMANDS = {
     "cpu": _cmd_cpu,
     "latency": _cmd_latency,
     "sgx": _cmd_sgx,
+    "fuzz": _cmd_fuzz,
 }
 
 
@@ -159,6 +196,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="trials per configuration (cpu)")
     parser.add_argument("--seed", default="repro-cli",
                         help="deterministic seed for all randomness")
+    parser.add_argument("--replay", default="",
+                        help="fuzz: replay one case against this "
+                             "implementation (e.g. mbtls_middlebox)")
+    parser.add_argument("--index", type=int, default=1,
+                        help="fuzz replay: mutation_index of the case")
+    parser.add_argument("--kind", default=None,
+                        help="fuzz replay: mutation kind "
+                             "(default: drawn from the DRBG)")
     args = parser.parse_args(argv)
 
     if args.command == "all":

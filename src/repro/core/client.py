@@ -26,7 +26,7 @@ from repro.core.config import (
 from repro.core.keys import build_hop_chain, bridge_hop_keys, hop_states_for_endpoint
 from repro.core.mux import Subchannel
 from repro.core.resumption import RememberedMiddlebox
-from repro.errors import DecodeError, IntegrityError, ProtocolError
+from repro.errors import DecodeError, IntegrityError, ProtocolError, SessionAborted
 from repro.io.record_plane import RecordPlane
 from repro.tls.ciphersuites import suite_by_code
 from repro.tls.config import TLSConfig
@@ -80,6 +80,10 @@ class MbTLSClientEngine:
         self._middlebox_infos: dict[int, MiddleboxInfo] = {}
         self.closed = False
         self.records_dropped = 0
+        # Alert-plane attribution (see DESIGN.md §9).
+        self.origin_label = "client"
+        self.primary.origin_label = self.origin_label
+        self.abort: SessionAborted | None = None
         # Subchannels abandoned because their middlebox stalled or died
         # mid-handshake (graceful degradation, not rejection-by-policy).
         self.bypassed_subchannels: list[int] = []
@@ -108,11 +112,10 @@ class MbTLSClientEngine:
             for record in self._plane.pop_records():
                 self._process_record(record)
             self._check_established()
-        except (DecodeError, IntegrityError) as exc:
-            # Unparseable or forged input on the primary stream: shut down,
-            # like a TLS stack answering with a fatal alert.
-            self.closed = True
-            self._events.append(ConnectionClosed(error=str(exc)))
+        except (IntegrityError, ProtocolError) as exc:
+            # Unparseable or forged input on the primary stream: answer with
+            # a fatal alert on whatever plane is live, then shut down.
+            self._abort(exc)
         events = self._events
         self._events = []
         return events
@@ -221,7 +224,39 @@ class MbTLSClientEngine:
                 self._events.append(event)
                 if isinstance(event, ConnectionClosed):
                     self.closed = True
+                    if self.abort is None:
+                        self.abort = self.primary.abort
             # HandshakeComplete is folded into SessionEstablished.
+
+    def _abort(self, exc: Exception) -> None:
+        """Send a fatal alert for ``exc`` and close (the abort invariant)."""
+        if self.closed:
+            return
+        if isinstance(exc, IntegrityError):
+            description = AlertDescription.BAD_RECORD_MAC
+        else:
+            description = AlertDescription.from_name(
+                getattr(exc, "alert", "internal_error")
+            )
+        name = description.name.lower()
+        alert = Alert.fatal(description, origin=self.origin_label)
+        try:
+            if self._plane.write_state is not None:
+                self._plane.queue_record(ContentType.ALERT, alert.encode())
+            else:
+                # Pre-establishment: the alert travels on the primary stream
+                # under whatever protection the primary currently has.
+                self.primary._plane.queue_record(ContentType.ALERT, alert.encode())
+                self._drain_primary()
+        except ProtocolError:
+            pass
+        self.closed = True
+        self.abort = SessionAborted(str(exc), origin=self.origin_label, alert=name)
+        self._events.append(
+            ConnectionClosed(
+                error=f"{name}: {exc}", alert=name, origin=self.origin_label
+            )
+        )
 
     def _process_record(self, record: Record) -> None:
         if record.content_type == ContentType.MBTLS_ENCAPSULATED:
@@ -240,9 +275,12 @@ class MbTLSClientEngine:
     def _process_data_record(self, record: Record) -> None:
         try:
             plaintext = self._plane.unprotect(record)
-        except IntegrityError:
-            # Tampered, replayed, or cross-hop record: discard it (P2/P4).
-            self.records_dropped += 1
+        except IntegrityError as exc:
+            if self.config.tamper_policy == "abort":
+                self._abort(exc)
+            else:
+                # Tampered, replayed, or cross-hop record: discard it (P2/P4).
+                self.records_dropped += 1
             return
         if record.content_type == ContentType.APPLICATION_DATA:
             self._events.append(ApplicationData(data=plaintext))
@@ -251,11 +289,16 @@ class MbTLSClientEngine:
             self._events.append(AlertReceived(alert=alert))
             if alert.is_fatal or alert.is_close:
                 self.closed = True
-                self._events.append(
-                    ConnectionClosed(
-                        error=None if alert.is_close else alert.description.name.lower()
+                if alert.is_close:
+                    self._events.append(ConnectionClosed())
+                else:
+                    name = alert.description.name.lower()
+                    self.abort = SessionAborted(
+                        f"peer sent fatal {name}", origin=alert.origin, alert=name
                     )
-                )
+                    self._events.append(
+                        ConnectionClosed(error=name, alert=name, origin=alert.origin)
+                    )
 
     def _process_encapsulated(self, encap: EncapsulatedRecord) -> None:
         sub = self._secondaries.get(encap.subchannel_id)

@@ -88,6 +88,11 @@ class MbTLSEndpointConfig:
         accept_announcements: server only: expect and accept server-side
             middlebox announcements.
         max_middleboxes: safety cap on how many middleboxes may join.
+        tamper_policy: what the data plane does with a record failing AEAD
+            verification: ``"drop"`` discards it and counts it in
+            ``records_dropped`` (the paper's forward-progress behaviour),
+            ``"abort"`` originates a fatal ``bad_record_mac`` alert and
+            tears the session down (classic TLS behaviour).
     """
 
     tls: TLSConfig
@@ -99,6 +104,7 @@ class MbTLSEndpointConfig:
     accept_announcements: bool = True
     max_middleboxes: int = 16
     middlebox_session_store: object | None = None  # MiddleboxSessionStore
+    tamper_policy: str = "drop"
 
     def secondary_trust_store(self) -> TrustStore | None:
         if self.middlebox_trust_store is not None:
@@ -134,6 +140,10 @@ class MiddleboxConfig:
             (a transparent forwarder, like the paper's baseline behaviour).
         non_mbtls_servers: cache of servers that ignored our announcement;
             we relay silently for these from then on (§3.4).
+        tamper_policy: as on :class:`MbTLSEndpointConfig` — ``"drop"``
+            discards records failing AEAD verification, ``"abort"``
+            originates fatal ``bad_record_mac`` alerts toward both
+            endpoints and tears the session down.
     """
 
     name: str
@@ -142,6 +152,7 @@ class MiddleboxConfig:
     served_servers: frozenset[str] = frozenset()
     process: Callable[[str, bytes], bytes] = lambda direction, data: data
     non_mbtls_servers: set[str] = field(default_factory=set)
+    tamper_policy: str = "drop"
 
     def serves(self, destination: str) -> bool:
         return not self.served_servers or destination in self.served_servers

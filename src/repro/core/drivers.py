@@ -21,7 +21,7 @@ from repro.core.client import MbTLSClientEngine
 from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig, SessionEstablished
 from repro.core.middlebox import MbTLSMiddlebox
 from repro.core.server import MbTLSServerEngine
-from repro.errors import DegradedPathError, NetworkError
+from repro.errors import DegradedPathError, NetworkError, SessionAborted
 from repro.netsim.driver import CpuMeter, DuplexDriver, EngineDriver
 from repro.netsim.network import Host, InterceptedFlow, Socket
 from repro.tls.events import ConnectionClosed
@@ -31,9 +31,34 @@ __all__ = [
     "MiddleboxService",
     "serve_mbtls",
     "open_mbtls",
+    "PEER_FAULT_ALERTS",
     "RetryPolicy",
     "SessionSupervisor",
 ]
+
+# Fatal alerts that mean the peer (or a path member) *rejected* the session:
+# credential, policy, and negotiation failures. Redialing cannot change the
+# answer, so the supervisor aborts instead of burning retries. Everything
+# else — bad_record_mac, decode_error, record_overflow, unexpected_message,
+# internal_error — is what benign path corruption looks like and stays
+# retryable under the normal RetryPolicy.
+PEER_FAULT_ALERTS = frozenset(
+    {
+        "handshake_failure",
+        "bad_certificate",
+        "unsupported_certificate",
+        "certificate_revoked",
+        "certificate_expired",
+        "certificate_unknown",
+        "illegal_parameter",
+        "unknown_ca",
+        "access_denied",
+        "protocol_version",
+        "insufficient_security",
+        "no_renegotiation",
+        "unsupported_extension",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -259,7 +284,11 @@ class SessionSupervisor:
     * ``"degraded"`` — the session works, but only after retries and/or
       with middleboxes bypassed (allowed iff ``policy.allow_degraded``);
     * ``"failed"`` — attempts exhausted (or degradation forbidden); the
-      last attempt was closed cleanly.
+      last attempt was closed cleanly;
+    * ``"aborted"`` — a peer-fault fatal alert (see
+      :data:`PEER_FAULT_ALERTS`) ended the attempt: the peer or a path
+      member rejected us, so no redial is scheduled. :attr:`abort` carries
+      the originating hop and alert description.
 
     The supervisor never raises out of the event loop and never hangs: the
     worst case is ``max_attempts`` timer horizons plus backoff.
@@ -285,6 +314,7 @@ class SessionSupervisor:
         self.attempt = 0
         self.outcome: str | None = None
         self.failure: str | None = None
+        self.abort: SessionAborted | None = None
         self.engine: MbTLSClientEngine | None = None
         self.driver: EngineDriver | None = None
         self.events: list[object] = []
@@ -343,13 +373,26 @@ class SessionSupervisor:
                 self.driver.close()
             else:
                 self.outcome = "degraded" if degraded else "established"
-        elif isinstance(event, ConnectionClosed) and self.outcome is None:
-            # The attempt died before establishing (reset, refused, fatal
-            # alert, timeout): the timeout path is handled by _on_timeout,
-            # everything else retries here.
-            if self.driver is not None and self.driver.timed_out:
-                return  # _on_timeout owns this attempt's retry
-            self._attempt_over(event.error or "connection closed")
+        elif isinstance(event, ConnectionClosed):
+            alert = getattr(event, "alert", "")
+            if alert and event.error is not None and self.abort is None:
+                # A fatal alert ended the session; record the attribution
+                # whether or not the session had established.
+                self.abort = SessionAborted(
+                    event.error, origin=getattr(event, "origin", ""), alert=alert
+                )
+            if self.outcome is None:
+                # The attempt died before establishing (reset, refused,
+                # fatal alert, timeout): the timeout path is handled by
+                # _on_timeout; a peer-fault alert aborts; everything else
+                # retries here.
+                if self.driver is not None and self.driver.timed_out:
+                    return  # _on_timeout owns this attempt's retry
+                if alert in PEER_FAULT_ALERTS:
+                    self.outcome = "aborted"
+                    self.failure = event.error or alert
+                else:
+                    self._attempt_over(event.error or "connection closed")
         if self._user_on_event is not None:
             self._user_on_event(event)
 

@@ -22,7 +22,13 @@ drain ``data_to_send_down``/``data_to_send_up``.
 from __future__ import annotations
 
 from repro.core.config import MiddleboxConfig, MiddleboxRole
-from repro.errors import CryptoError, DecodeError, IntegrityError, ProtocolError
+from repro.errors import (
+    CryptoError,
+    DecodeError,
+    IntegrityError,
+    ProtocolError,
+    SessionAborted,
+)
 from repro.io.record_plane import RecordPlane
 from repro.tls.ciphersuites import suite_by_code
 from repro.tls.engine import TLSServerEngine
@@ -35,7 +41,7 @@ from repro.tls.events import (
 )
 from repro.core.keys import states_from_hop_keys
 from repro.core.mux import wrap_engine_output
-from repro.wire.alerts import Alert
+from repro.wire.alerts import Alert, AlertDescription
 from repro.wire.extensions import ExtensionType, MiddleboxSupportExtension, ServerNameExtension
 from repro.wire.handshake import ClientHello, HandshakeBuffer, HandshakeType
 from repro.wire.mbtls import EncapsulatedRecord, KeyMaterial, MiddleboxAnnouncement
@@ -88,8 +94,11 @@ class MbTLSMiddlebox:
         self.gave_up = False
         self._pending: tuple[list[Record], list[Record]] = ([], [])
         self.records_processed = 0
+        self.records_dropped = 0
         self._primary_session_id: bytes = b""
         self.closed = False
+        # Alert-plane attribution (see DESIGN.md §9).
+        self.abort: SessionAborted | None = None
 
     # ------------------------------------------------------------------ API
 
@@ -174,17 +183,33 @@ class MbTLSMiddlebox:
         if self.closed:
             return []
         if self.mode == self.MODE_RELAY:
-            self._planes[1 - side].queue_raw(data)
+            try:
+                self._planes[1 - side].queue_raw(data)
+            except ProtocolError as exc:
+                # Outbox overflow: the relay target stopped draining.
+                self.closed = True
+                self._events.append(
+                    ConnectionClosed(
+                        error=str(exc), alert=exc.alert, origin=self.config.name
+                    )
+                )
         else:
             plane = self._planes[side]
-            plane.feed(data)
             try:
+                plane.feed(data)
                 records = plane.pop_records()
             except DecodeError:
                 # Not TLS framing: become a transparent relay.
                 self._demote_to_relay(flush_side=side)
                 records = []
+            except ProtocolError as exc:
+                # A mutated length field starved the parser until the
+                # buffer bound tripped: abort rather than buffer forever.
+                self._abort(AlertDescription.from_name(exc.alert), str(exc))
+                records = []
             for record in records:
+                if self.closed:
+                    break
                 if self.mode == self.MODE_RELAY:
                     self._planes[1 - side].queue_encoded(record)
                     continue
@@ -197,9 +222,38 @@ class MbTLSMiddlebox:
                     # the path mangled; a middlebox must never crash its
                     # driver over hostile bytes.
                     continue
+                except ProtocolError as exc:
+                    self._abort(AlertDescription.from_name(exc.alert), str(exc))
         events = self._events
         self._events = []
         return events
+
+    def _abort(self, description: AlertDescription, message: str) -> None:
+        """Originate a fatal alert toward both segments and shut down.
+
+        Used for faults this hop detects itself (buffer overflow, or AEAD
+        failure under ``tamper_policy="abort"``); both endpoints receive an
+        alert attributed to this middlebox by name.
+        """
+        if self.closed:
+            return
+        name = description.name.lower()
+        alert = Alert.fatal(description, origin=self.config.name)
+        for plane in self._planes:
+            try:
+                plane.queue_record(ContentType.ALERT, alert.encode())
+            except ProtocolError:
+                pass
+        if self._secondary is not None and not self._secondary.closed:
+            self._secondary.close()
+            self._drain_secondary()
+        self.closed = True
+        self.abort = SessionAborted(message, origin=self.config.name, alert=name)
+        self._events.append(
+            ConnectionClosed(
+                error=f"{name}: {message}", alert=name, origin=self.config.name
+            )
+        )
 
     def _demote_to_relay(self, flush_side: int | None = None) -> None:
         self.mode = self.MODE_RELAY
@@ -537,8 +591,15 @@ class MbTLSMiddlebox:
         direction = "c2s" if from_side == _DOWN else "s2c"
         try:
             plaintext = self._planes[from_side].unprotect(record)
-        except IntegrityError:
-            # Tampered or out-of-path record: drop it (P2/P4).
+        except IntegrityError as exc:
+            if self.config.tamper_policy == "abort":
+                self._abort(AlertDescription.BAD_RECORD_MAC, str(exc))
+            else:
+                # Tampered or out-of-path record: drop it (P2/P4).
+                self.records_dropped += 1
+            return
+        if record.content_type == ContentType.ALERT:
+            self._propagate_alert(from_side, plaintext)
             return
         if record.content_type == ContentType.APPLICATION_DATA:
             plaintext = self._run_app(direction, plaintext)
@@ -546,6 +607,28 @@ class MbTLSMiddlebox:
             if plaintext is None:
                 return  # the application consumed the chunk
         self._planes[1 - from_side].queue_record(record.content_type, plaintext)
+
+    def _propagate_alert(self, from_side: int, plaintext: bytes) -> None:
+        """Re-protect an authenticated alert onto the next hop, and on a
+        fatal (non-close) alert tear this hop down too, so the abort sweeps
+        the whole path instead of leaving middleboxes half-open."""
+        self._planes[1 - from_side].queue_record(ContentType.ALERT, plaintext)
+        try:
+            alert = Alert.decode(plaintext)
+        except DecodeError:
+            return  # forwarded verbatim; the endpoints will judge it
+        if alert.is_fatal and not alert.is_close:
+            name = alert.description.name.lower()
+            if self._secondary is not None and not self._secondary.closed:
+                self._secondary.close()
+                self._drain_secondary()
+            self.closed = True
+            self.abort = SessionAborted(
+                f"fatal {name} passed through", origin=alert.origin, alert=name
+            )
+            self._events.append(
+                ConnectionClosed(error=name, alert=name, origin=alert.origin)
+            )
 
     def _run_app(self, direction: str, plaintext: bytes) -> bytes | None:
         """Invoke the middlebox application, rich or plain-callable."""

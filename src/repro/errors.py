@@ -61,6 +61,21 @@ class AttestationError(HandshakeError):
         super().__init__(message, alert="bad_certificate")
 
 
+class SessionAborted(ReproError):
+    """A multi-hop session was torn down by a fatal alert.
+
+    Attributes:
+        origin: name of the hop that originated the alert (``""`` if the
+            originator did not attribute itself).
+        alert: the TLS alert description name (e.g. ``"bad_record_mac"``).
+    """
+
+    def __init__(self, message: str, *, origin: str = "", alert: str = "") -> None:
+        super().__init__(message)
+        self.origin = origin
+        self.alert = alert
+
+
 class PolicyError(ReproError):
     """An endpoint policy rejected a middlebox or configuration."""
 

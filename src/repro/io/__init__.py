@@ -20,15 +20,32 @@ from repro.io.connection import (
     pump,
     pump_chain,
 )
-from repro.io.record_plane import RecordPlane
+from repro.io.framing import (
+    FRAME_ALERT,
+    FRAME_CLOSE,
+    FRAME_DATA,
+    alert_frame,
+    close_frame,
+    frame,
+    pop_frames,
+)
+from repro.io.record_plane import MAX_BUFFERED_BYTES, RecordPlane
 
 __all__ = [
     "DEFAULT_PUMP_ROUNDS",
+    "FRAME_ALERT",
+    "FRAME_CLOSE",
+    "FRAME_DATA",
+    "MAX_BUFFERED_BYTES",
     "Connection",
     "DuplexConnection",
     "DuplexPump",
     "RecordPlane",
+    "alert_frame",
+    "close_frame",
     "flush_connection",
+    "frame",
+    "pop_frames",
     "pump",
     "pump_chain",
 ]

@@ -1,0 +1,99 @@
+"""Shared length-prefixed framing for the non-TLS baselines.
+
+The mcTLS and BlindBox connections both speak a simple stream framing:
+a 4-byte big-endian length followed by the payload, with a zero length
+marking an orderly close. This module owns that format once, adds an
+**alert frame** (length sentinel ``0xFFFFFFFF`` + u16 length + encoded
+:class:`~repro.wire.alerts.Alert`) so those baselines can participate in
+the alert plane, and bounds the advertised length so a tampered length
+field produces a :class:`~repro.errors.DecodeError` instead of an
+indefinitely-starved parser.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodeError
+
+__all__ = [
+    "FRAME_DATA",
+    "FRAME_CLOSE",
+    "FRAME_ALERT",
+    "MAX_FRAME_PAYLOAD",
+    "frame",
+    "close_frame",
+    "alert_frame",
+    "pop_frames",
+]
+
+FRAME_DATA = "data"
+FRAME_CLOSE = "close"
+FRAME_ALERT = "alert"
+
+_HEADER = 4
+_ALERT_SENTINEL = 0xFFFFFFFF
+_ALERT_HEADER = 2
+
+# Any frame longer than this is treated as a framing attack, not data. The
+# largest legitimate payload in the corpus is tens of kilobytes.
+MAX_FRAME_PAYLOAD = 1 << 24
+
+
+def frame(payload: bytes) -> bytes:
+    """Encode one data frame."""
+    if not payload:
+        raise DecodeError("data frames must be non-empty (0 marks close)")
+    if len(payload) > MAX_FRAME_PAYLOAD:
+        raise DecodeError(f"frame payload of {len(payload)} bytes exceeds bound")
+    return len(payload).to_bytes(_HEADER, "big") + payload
+
+
+def close_frame() -> bytes:
+    """Encode the orderly-close marker."""
+    return (0).to_bytes(_HEADER, "big")
+
+
+def alert_frame(alert_payload: bytes) -> bytes:
+    """Encode an alert frame carrying an encoded :class:`Alert`."""
+    return (
+        _ALERT_SENTINEL.to_bytes(_HEADER, "big")
+        + len(alert_payload).to_bytes(_ALERT_HEADER, "big")
+        + alert_payload
+    )
+
+
+def pop_frames(buffer: bytearray) -> list[tuple[str, bytes]]:
+    """Pop complete frames off ``buffer`` in place.
+
+    Returns ``(kind, payload)`` pairs where ``kind`` is one of
+    :data:`FRAME_DATA`, :data:`FRAME_CLOSE` (empty payload), or
+    :data:`FRAME_ALERT` (payload is the encoded alert). Raises
+    :class:`DecodeError` on an implausible length field.
+    """
+    frames: list[tuple[str, bytes]] = []
+    while len(buffer) >= _HEADER:
+        length = int.from_bytes(buffer[:_HEADER], "big")
+        if length == 0:
+            del buffer[:_HEADER]
+            frames.append((FRAME_CLOSE, b""))
+            continue
+        if length == _ALERT_SENTINEL:
+            if len(buffer) < _HEADER + _ALERT_HEADER:
+                break
+            alert_len = int.from_bytes(
+                buffer[_HEADER : _HEADER + _ALERT_HEADER], "big"
+            )
+            total = _HEADER + _ALERT_HEADER + alert_len
+            if len(buffer) < total:
+                break
+            payload = bytes(buffer[_HEADER + _ALERT_HEADER : total])
+            del buffer[:total]
+            frames.append((FRAME_ALERT, payload))
+            continue
+        if length > MAX_FRAME_PAYLOAD:
+            raise DecodeError(f"frame length {length} exceeds bound")
+        if len(buffer) < _HEADER + length:
+            break
+        payload = bytes(buffer[_HEADER : _HEADER + length])
+        del buffer[: _HEADER + length]
+        frames.append((FRAME_DATA, payload))
+    return frames

@@ -26,9 +26,17 @@ from repro.wire.records import (
     TLS12_VERSION,
 )
 
-__all__ = ["RecordPlane"]
+__all__ = ["RecordPlane", "MAX_BUFFERED_BYTES"]
 
 _VERSION_BYTES = TLS12_VERSION.to_bytes(2, "big")
+
+# Upper bound on either buffer (inbox or outbox). A mutated length field can
+# at most make the peer wait for one oversized record (RecordBuffer already
+# bounds a single record at MAX_CIPHERTEXT); this guard bounds the *total*
+# bytes a connection will hold, so no sequence of tampered frames can cause
+# unbounded buffering. 4 MiB is ~100x the largest legitimate flight in the
+# test corpus.
+MAX_BUFFERED_BYTES = 4 * 1024 * 1024
 
 
 class RecordPlane:
@@ -67,6 +75,11 @@ class RecordPlane:
     # ---------------------------------------------------------------- inbound
 
     def feed(self, data: bytes) -> None:
+        if self._inbound.pending_bytes + len(data) > MAX_BUFFERED_BYTES:
+            raise ProtocolError(
+                f"inbound buffer would exceed {MAX_BUFFERED_BYTES} bytes",
+                alert="record_overflow",
+            )
         self._inbound.feed(data)
 
     def pop_records(self) -> list[Record]:
@@ -115,9 +128,18 @@ class RecordPlane:
 
     def queue_raw(self, data: bytes) -> None:
         """Queue pre-encoded wire bytes verbatim (relay paths)."""
+        self._check_outbox_room(len(data))
         self._outbox += data
 
+    def _check_outbox_room(self, extra: int) -> None:
+        if len(self._outbox) + extra > MAX_BUFFERED_BYTES:
+            raise ProtocolError(
+                f"outbound buffer would exceed {MAX_BUFFERED_BYTES} bytes",
+                alert="record_overflow",
+            )
+
     def _append(self, content_type: int, payload, version: int | None = None) -> None:
+        self._check_outbox_room(len(payload) + 5)
         out = self._outbox
         out.append(content_type)
         if version is None or version == TLS12_VERSION:

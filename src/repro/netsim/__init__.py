@@ -20,6 +20,13 @@ from repro.netsim.faults import (
     StreamStall,
 )
 from repro.netsim.filters import FilterPolicy, TLSFilter
+from repro.netsim.fuzz import (
+    MUTATION_KINDS,
+    AppliedMutation,
+    ChunkMutator,
+    FuzzCase,
+    FuzzTap,
+)
 from repro.netsim.network import Host, InterceptedFlow, Network, Socket, Stream, Tap
 from repro.netsim.sim import Simulator, Timer
 from repro.netsim.trace import TraceEvent, render_trace, trace_session
@@ -44,6 +51,11 @@ __all__ = [
     "StreamStall",
     "FilterPolicy",
     "TLSFilter",
+    "MUTATION_KINDS",
+    "AppliedMutation",
+    "ChunkMutator",
+    "FuzzCase",
+    "FuzzTap",
     "Host",
     "InterceptedFlow",
     "Network",

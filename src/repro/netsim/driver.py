@@ -118,6 +118,11 @@ class EngineDriver:
         self._dispatch(events)
         # Event handlers may have queued more data (e.g. an HTTP response).
         self._flush()
+        if getattr(self.engine, "closed", False) and not self.socket.closed:
+            # The engine ended the session (close_notify or fatal alert):
+            # its goodbye has been flushed, so drop the transport too rather
+            # than leaving the TCP stream half-open.
+            self.socket.close()
         self._service_timers()
 
     def _dispatch(self, events) -> None:
@@ -271,12 +276,24 @@ class DuplexDriver:
         self._dispatch(events)
         self._after_down_data()
         self._flush()
+        self._close_if_engine_done()
 
     def _on_up_data(self, data: bytes) -> None:
         with self.meter.measure():
             events = self.engine.receive_up(data)
         self._dispatch(events)
         self._flush()
+        self._close_if_engine_done()
+
+    def _close_if_engine_done(self) -> None:
+        """A fatal alert closed the engine mid-receive: drop both segments
+        (alerts were flushed first) so no party is left half-open."""
+        if not getattr(self.engine, "closed", False):
+            return
+        if self.up is not None and not self.up.closed:
+            self.up.close()
+        if not self.down.closed:
+            self.down.close()
 
     def _after_down_data(self) -> None:
         """Hook between receive and flush (subclasses dial onward here)."""

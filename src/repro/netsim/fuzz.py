@@ -1,0 +1,209 @@
+"""Seeded deterministic protocol fuzzing for the simulated network.
+
+Table 2's broken paths and §3.4's optimistic deployment assume the wire is
+hostile: middleboxes, normalizers, and attackers mangle bytes in flight.
+The chaos plane (:mod:`repro.netsim.faults`) models *weather* — losses and
+stalls that a robust stack should survive. This module models *attack*:
+targeted mutations of the byte stream between two parties that a correct
+implementation must convert into a clean, attributed teardown (the abort
+invariant pinned by ``tests/test_fuzz_conformance.py``).
+
+Everything is replayable from ``(seed, mutation_index)`` alone:
+
+* the mutation kind (when not pinned), the mutated chunk ordinal, and every
+  random draw inside the mutation come from the repo's HMAC-DRBG seeded with
+  ``seed`` and personalized with the mutation index;
+* a :class:`FuzzTap` applies exactly one :class:`ChunkMutator` to one
+  direction of one stream, so a failing case prints as a two-tuple and
+  reproduces byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.drbg import HmacDrbg
+from repro.netsim.network import Host, Stream, Tap
+
+__all__ = [
+    "MUTATION_KINDS",
+    "AppliedMutation",
+    "ChunkMutator",
+    "FuzzCase",
+    "FuzzTap",
+]
+
+# The mutation corpus. Each kind targets a different layer of the record
+# machinery: AEAD tags (bit_flip), reassembly (truncate, length_tamper),
+# dispatch (type_swap, subchannel_swap), replay/ordering (duplicate,
+# reorder), and resynchronization (garbage_prepend).
+MUTATION_KINDS = (
+    "bit_flip",
+    "truncate",
+    "length_tamper",
+    "type_swap",
+    "subchannel_swap",
+    "duplicate",
+    "reorder",
+    "garbage_prepend",
+)
+
+# Values a swapped first byte is drawn from: the TLS content types, the
+# mbTLS extension types, and two codes no implementation assigns.
+_TYPE_CANDIDATES = (0x14, 0x15, 0x16, 0x17, 0x1A, 0x1B, 0x1C, 0x00, 0xFF)
+
+
+@dataclass(frozen=True)
+class AppliedMutation:
+    """One mutation that actually happened, for logs and replay checks."""
+
+    chunk_index: int
+    kind: str
+    detail: str = ""
+
+
+class ChunkMutator:
+    """Mutates exactly one chunk of a byte stream, deterministically.
+
+    Chunks are numbered in arrival order; the chunk whose ordinal equals
+    ``mutation_index`` is mutated and every other chunk passes through
+    untouched. ``kind=None`` draws the mutation kind from the DRBG, so a
+    corpus can sweep seeds without enumerating kinds.
+
+    ``process_chunk`` returns the bytes to put on the wire in place of the
+    chunk (``None`` swallows it — the reorder mutation holds a chunk back
+    and releases it behind its successor).
+    """
+
+    def __init__(
+        self, seed: bytes, mutation_index: int, kind: str | None = None
+    ) -> None:
+        self.seed = seed
+        self.mutation_index = mutation_index
+        self._rng = HmacDrbg(
+            seed, personalization=b"protocol-fuzz-%d" % mutation_index
+        )
+        if kind is not None and kind not in MUTATION_KINDS:
+            raise ValueError(f"unknown mutation kind {kind!r}")
+        self.kind = kind if kind is not None else self._rng.choice(MUTATION_KINDS)
+        self.applied: list[AppliedMutation] = []
+        self._counter = 0
+        self._held: bytes | None = None
+
+    def process_chunk(self, data: bytes) -> bytes | None:
+        index = self._counter
+        self._counter += 1
+        if self._held is not None:
+            held, self._held = self._held, None
+            self.applied.append(
+                AppliedMutation(index, "reorder", f"released behind chunk {index}")
+            )
+            return data + held
+        if index != self.mutation_index or not data:
+            return data
+        return self._mutate(index, data)
+
+    # ------------------------------------------------------------- mutations
+
+    def _mutate(self, index: int, data: bytes) -> bytes | None:
+        rng = self._rng
+        kind = self.kind
+        if kind == "bit_flip":
+            bit = rng.randint_range(0, len(data) * 8 - 1)
+            mutated = bytearray(data)
+            mutated[bit // 8] ^= 1 << (bit % 8)
+            self._log(index, kind, f"bit {bit}")
+            return bytes(mutated)
+        if kind == "truncate":
+            keep = rng.randint_range(0, len(data) - 1)
+            self._log(index, kind, f"{len(data)}B -> {keep}B")
+            return data[:keep]
+        if kind == "length_tamper":
+            # Overwrite a length field: offset 3 is the TLS record length,
+            # offset 0 the high bytes of a u32 frame length.
+            offset = rng.choice((0, 3)) if len(data) >= 5 else 0
+            junk = rng.random_bytes(2)
+            mutated = data[:offset] + junk + data[offset + 2 :]
+            self._log(index, kind, f"offset {offset} <- {junk.hex()}")
+            return mutated
+        if kind == "type_swap":
+            new_type = rng.choice(_TYPE_CANDIDATES)
+            self._log(index, kind, f"0x{data[0]:02x} -> 0x{new_type:02x}")
+            return bytes([new_type]) + data[1:]
+        if kind == "subchannel_swap":
+            # The first payload byte (offset 5, after a 5-byte record
+            # header) carries the subchannel id in mbTLS encapsulation and
+            # the message type in handshake payloads.
+            if len(data) <= 5:
+                return self._fallback_flip(index, data)
+            delta = rng.randint_range(1, 255)
+            mutated = bytearray(data)
+            mutated[5] ^= delta
+            self._log(index, kind, f"payload byte ^= 0x{delta:02x}")
+            return bytes(mutated)
+        if kind == "duplicate":
+            self._log(index, kind, f"{len(data)}B replayed")
+            return data + data
+        if kind == "reorder":
+            self._held = data
+            self._log(index, kind, f"{len(data)}B held")
+            return None
+        if kind == "garbage_prepend":
+            garbage = rng.random_bytes(rng.randint_range(1, 32))
+            self._log(index, kind, f"{len(garbage)}B prepended")
+            return garbage + data
+        raise ValueError(f"unknown mutation kind {kind!r}")
+
+    def _fallback_flip(self, index: int, data: bytes) -> bytes:
+        """Chunk too short for the structured mutation: flip one byte."""
+        position = self._rng.randint_range(0, len(data) - 1)
+        mutated = bytearray(data)
+        mutated[position] ^= 0xFF
+        self._log(index, self.kind, f"fallback flip byte {position}")
+        return bytes(mutated)
+
+    def _log(self, index: int, kind: str, detail: str) -> None:
+        self.applied.append(AppliedMutation(index, kind, detail))
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One replayable fuzz case: everything needed to rebuild the mutator.
+
+    ``kind=None`` means the kind is DRBG-chosen (printed in failure reports
+    via the mutator's :attr:`~ChunkMutator.kind` after construction).
+    """
+
+    seed: bytes
+    mutation_index: int
+    kind: str | None = None
+    sender: str | None = field(default=None)
+
+    def mutator(self) -> ChunkMutator:
+        return ChunkMutator(self.seed, self.mutation_index, self.kind)
+
+    def describe(self) -> str:
+        kind = self.kind if self.kind is not None else "drbg"
+        where = f" sender={self.sender}" if self.sender else ""
+        return (
+            f"(seed={self.seed!r}, mutation_index={self.mutation_index}, "
+            f"kind={kind}{where})"
+        )
+
+
+class FuzzTap(Tap):
+    """Applies one :class:`ChunkMutator` to chunks crossing one stream.
+
+    ``sender`` restricts the tap to chunks originated by that host (so a
+    case can target one direction of one hop); ``None`` mutates both
+    directions, counting chunks in global arrival order.
+    """
+
+    def __init__(self, mutator: ChunkMutator, sender: str | None = None) -> None:
+        self.mutator = mutator
+        self._sender = sender
+
+    def process(self, sender: Host, data: bytes, stream: Stream) -> bytes | None:
+        if self._sender is not None and sender.name != self._sender:
+            return data
+        return self.mutator.process_chunk(data)

@@ -26,6 +26,7 @@ from repro.errors import (
     HandshakeError,
     IntegrityError,
     ProtocolError,
+    SessionAborted,
 )
 from repro.pki.certificate import Certificate as PkiCertificate
 from repro.tls.ciphersuites import CipherSuite, KeyExchange, suite_by_code
@@ -119,6 +120,11 @@ class TLSEngine:
         self.resumed = False
         self.alert_sent: Alert | None = None
         self.alert_received: Alert | None = None
+        # Alert-plane attribution: ``origin_label`` names this party in any
+        # fatal alert it originates; ``abort`` records why a fatal alert
+        # (sent or received) tore the session down.
+        self.origin_label = ""
+        self.abort: SessionAborted | None = None
 
     # ------------------------------------------------------------------ API
 
@@ -197,6 +203,19 @@ class TLSEngine:
             self._state = _State.CLOSED
             self._emit(ConnectionClosed())
 
+    def send_fatal_alert(
+        self, description: AlertDescription, message: str
+    ) -> list[Event]:
+        """Originate a fatal alert and close.
+
+        Splicing middleboxes (split TLS) use this to propagate a teardown
+        from one segment's session onto the other's.
+        """
+        self._fatal(description, message)
+        events = self._events
+        self._events = []
+        return events
+
     def export_key_block(self) -> tuple[CipherSuite, KeyBlock]:
         """The primary key block (mbTLS bridge keys)."""
         if self.suite is None or self.key_block is None:
@@ -233,14 +252,20 @@ class TLSEngine:
     def _fatal(self, description: AlertDescription, message: str) -> None:
         if self._state == _State.CLOSED:
             return
-        alert = Alert.fatal(description)
+        alert = Alert.fatal(description, origin=self.origin_label)
         try:
             self._send_record(ContentType.ALERT, alert.encode())
         except ProtocolError:
             pass
         self.alert_sent = alert
         self._state = _State.CLOSED
-        self._emit(ConnectionClosed(error=f"{description.name.lower()}: {message}"))
+        name = description.name.lower()
+        self.abort = SessionAborted(message, origin=self.origin_label, alert=name)
+        self._emit(
+            ConnectionClosed(
+                error=f"{name}: {message}", alert=name, origin=self.origin_label
+            )
+        )
 
     def _send_record(self, content_type: ContentType, payload: bytes) -> None:
         self._plane.queue_record(content_type, payload)
@@ -283,11 +308,16 @@ class TLSEngine:
             self._emit(AlertReceived(alert=alert))
             if alert.is_fatal or alert.is_close:
                 self._state = _State.CLOSED
-                self._emit(
-                    ConnectionClosed(
-                        error=None if alert.is_close else alert.description.name.lower()
+                if alert.is_close:
+                    self._emit(ConnectionClosed())
+                else:
+                    name = alert.description.name.lower()
+                    self.abort = SessionAborted(
+                        f"peer sent fatal {name}", origin=alert.origin, alert=name
                     )
-                )
+                    self._emit(
+                        ConnectionClosed(error=name, alert=name, origin=alert.origin)
+                    )
             return
 
         if record.content_type == ContentType.APPLICATION_DATA:

@@ -63,9 +63,17 @@ class AlertReceived(Event):
 
 @dataclass(frozen=True)
 class ConnectionClosed(Event):
-    """The session ended (close_notify or fatal alert)."""
+    """The session ended (close_notify or fatal alert).
+
+    Attributes:
+        error: human-readable cause; ``None`` for a clean close.
+        alert: alert description name when a fatal alert caused the close.
+        origin: name of the hop that originated the fatal alert, when known.
+    """
 
     error: str | None = None
+    alert: str = ""
+    origin: str = ""
 
 
 @dataclass(frozen=True)

@@ -50,10 +50,18 @@ class AlertDescription(IntEnum):
 
 @dataclass(frozen=True)
 class Alert:
-    """A TLS alert message."""
+    """A TLS alert message.
+
+    ``origin`` is a repro extension used by the multi-hop alert plane: the
+    name of the party that originated a fatal alert, so endpoints several
+    hops away can attribute the abort. An alert with an empty origin encodes
+    to the classic two-byte TLS form; a non-empty origin appends a
+    length-prefixed UTF-8 label. Both forms decode.
+    """
 
     level: AlertLevel
     description: AlertDescription
+    origin: str = ""
 
     @property
     def is_fatal(self) -> bool:
@@ -64,7 +72,10 @@ class Alert:
         return self.description == AlertDescription.CLOSE_NOTIFY
 
     def encode(self) -> bytes:
-        return Writer().write_u8(int(self.level)).write_u8(int(self.description)).getvalue()
+        writer = Writer().write_u8(int(self.level)).write_u8(int(self.description))
+        if self.origin:
+            writer.write_vector(self.origin.encode("utf-8"), 1)
+        return writer.getvalue()
 
     @classmethod
     def decode(cls, data: bytes) -> "Alert":
@@ -74,12 +85,18 @@ class Alert:
             description = AlertDescription(reader.read_u8())
         except ValueError as exc:
             raise DecodeError(f"malformed alert: {exc}") from exc
+        origin = ""
+        if reader.remaining:
+            try:
+                origin = reader.read_vector(1).decode("utf-8")
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise DecodeError(f"malformed alert origin: {exc}") from exc
         reader.expect_end()
-        return cls(level=level, description=description)
+        return cls(level=level, description=description, origin=origin)
 
     @classmethod
-    def fatal(cls, description: AlertDescription) -> "Alert":
-        return cls(level=AlertLevel.FATAL, description=description)
+    def fatal(cls, description: AlertDescription, origin: str = "") -> "Alert":
+        return cls(level=AlertLevel.FATAL, description=description, origin=origin)
 
     @classmethod
     def close_notify(cls) -> "Alert":

@@ -76,7 +76,7 @@ class Writer:
 
     def write_uint(self, value: int, size: int) -> "Writer":
         if value < 0 or value >= 1 << (8 * size):
-            raise ValueError(f"{value} does not fit in {size} bytes")
+            raise DecodeError(f"{value} does not fit in {size} bytes")
         self._parts.append(value.to_bytes(size, "big"))
         return self
 

@@ -30,7 +30,7 @@ class EncapsulatedRecord:
 
     def to_record(self) -> Record:
         if not 0 <= self.subchannel_id <= 0xFF:
-            raise ValueError("subchannel ID must fit in one byte")
+            raise DecodeError("subchannel ID must fit in one byte")
         payload = bytes([self.subchannel_id]) + self.inner.encode()
         return Record(content_type=ContentType.MBTLS_ENCAPSULATED, payload=payload)
 

@@ -32,6 +32,7 @@ class MbTLSScenario:
     client_config_kwargs: dict = field(default_factory=dict)
     client_tls_kwargs: dict = field(default_factory=dict)
     server_config_kwargs: dict = field(default_factory=dict)
+    mbox_config_kwargs: dict = field(default_factory=dict)
 
     def __post_init__(self):
         self.network = Network()
@@ -61,6 +62,7 @@ class MbTLSScenario:
                     ),
                     role=role,
                     process=process,
+                    **self.mbox_config_kwargs,
                 )
             self.services.append(
                 MiddleboxService(self.network.host(f"mb{index}"), make_config)

@@ -21,6 +21,19 @@ class TestCli:
         out = capsys.readouterr().out
         assert "legacy interoperability" in out
 
+    def test_fuzz_replay(self, capsys):
+        assert main([
+            "fuzz", "--replay", "tls",
+            "--seed", "fz-0", "--index", "1", "--kind", "bit_flip",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "kind=bit_flip: ok" in out
+        assert "digest:" in out
+
+    def test_fuzz_replay_unknown_implementation_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--replay", "not-a-protocol"])
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["not-a-command"])

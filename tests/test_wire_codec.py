@@ -16,20 +16,20 @@ class TestWriter:
         assert writer.getvalue() == bytes.fromhex("ab cdef 123456 789abcde 0000000000000001".replace(" ", ""))
 
     def test_uint_overflow_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(DecodeError):
             Writer().write_u8(256)
-        with pytest.raises(ValueError):
+        with pytest.raises(DecodeError):
             Writer().write_u16(1 << 16)
 
     def test_negative_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(DecodeError):
             Writer().write_u8(-1)
 
     def test_vector(self):
         assert Writer().write_vector(b"abc", 2).getvalue() == b"\x00\x03abc"
 
     def test_vector_too_long_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(DecodeError):
             Writer().write_vector(b"x" * 256, 1)
 
 

@@ -107,7 +107,7 @@ class TestEncapsulated:
 
     def test_subchannel_range_enforced(self):
         inner = Record(ContentType.HANDSHAKE, b"")
-        with pytest.raises(ValueError):
+        with pytest.raises(DecodeError):
             EncapsulatedRecord(subchannel_id=256, inner=inner).to_record()
 
     def test_wrong_outer_type_rejected(self):
