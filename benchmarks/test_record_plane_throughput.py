@@ -8,107 +8,44 @@ writes records directly into one persistent ``bytearray`` (memoryview
 fragmentation, in-place header encode) and pays a single ``bytes()`` copy
 per drained flight.
 
-This bench measures both paths over identical workloads and writes
-``BENCH_record_plane.json`` with records/sec and bytes-copied counts; the
-assertion pins the structural win (strictly fewer bytes copied).
+The measurement itself lives in :mod:`repro.bench.record_plane` (shared
+with ``python -m repro bench``); this test runs it, writes
+``BENCH_record_plane.json``, and pins the structural win (strictly fewer
+bytes copied) plus wire equality of the two paths.
 """
 
 from __future__ import annotations
 
 import json
-import time
 from pathlib import Path
 
 from conftest import emit
 
+from repro.bench.record_plane import PAYLOAD_BYTES, legacy_drain, plane_drain, run
 from repro.io.record_plane import RecordPlane
-from repro.wire.records import ContentType, MAX_FRAGMENT, Record
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_record_plane.json"
 
-PAYLOAD = bytes(range(256)) * 256  # 64 KiB app write -> a 4-record flight
-FLIGHTS = 200
-
-
-def _legacy_drain(data: bytes) -> tuple[bytes, int]:
-    """The pre-refactor path: eager slices, per-record encode, join on drain.
-
-    Returns (wire bytes, payload bytes copied along the way).
-    """
-    copied = 0
-    records: list[bytes] = []
-    for offset in range(0, len(data), MAX_FRAGMENT):
-        chunk = data[offset : offset + MAX_FRAGMENT]  # eager slice: copy 1
-        copied += len(chunk)
-        encoded = Record(ContentType.APPLICATION_DATA, chunk).encode()  # copy 2
-        copied += len(encoded)
-        records.append(encoded)
-    wire = b"".join(records)  # copy 3
-    copied += len(wire)
-    return wire, copied
-
-
-def _plane_drain(plane: RecordPlane, data: bytes) -> tuple[bytes, int]:
-    """The coalesced path: memoryview fragmentation, one copy per flight."""
-    before = len(data)  # payload lands in the outbox bytearray: copy 1
-    plane.queue_application_data(data)
-    wire = plane.data_to_send()  # bytes(outbox): copy 2
-    return wire, before + len(wire)
-
-
-def _throughput(drain, flights: int) -> tuple[float, int, int]:
-    """Runs ``drain`` per flight; returns (records/sec, records, bytes copied)."""
-    records = 0
-    copied = 0
-    start = time.perf_counter()
-    for _ in range(flights):
-        wire, flight_copied = drain()
-        copied += flight_copied
-        records += -(-len(PAYLOAD) // MAX_FRAGMENT)
-        assert wire  # keep the drain honest
-    elapsed = time.perf_counter() - start
-    return records / elapsed, records, copied
-
 
 def test_record_plane_throughput():
-    legacy_rate, legacy_records, legacy_copied = _throughput(
-        lambda: _legacy_drain(PAYLOAD), FLIGHTS
-    )
-
-    plane = RecordPlane()
-    plane_rate, plane_records, plane_copied = _throughput(
-        lambda: _plane_drain(plane, PAYLOAD), FLIGHTS
-    )
+    report = run()
 
     # Wire equality: the coalesced path is a pure representation change.
-    assert _legacy_drain(PAYLOAD)[0] == _plane_drain(RecordPlane(), PAYLOAD)[0]
-    assert plane_records == legacy_records
-    assert plane.flights_drained == FLIGHTS
+    payload = bytes(range(256)) * (PAYLOAD_BYTES // 256)
+    assert legacy_drain(payload)[0] == plane_drain(RecordPlane(), payload)[0]
 
-    report = {
-        "payload_bytes": len(PAYLOAD),
-        "flights": FLIGHTS,
-        "records_per_flight": legacy_records // FLIGHTS,
-        "legacy": {
-            "records_per_sec": round(legacy_rate),
-            "bytes_copied": legacy_copied,
-        },
-        "record_plane": {
-            "records_per_sec": round(plane_rate),
-            "bytes_copied": plane_copied,
-        },
-        "bytes_copied_ratio": round(plane_copied / legacy_copied, 3),
-    }
     REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
 
+    legacy = report["legacy"]
+    plane = report["record_plane"]
     emit(
         "Record plane throughput\n"
-        f"  legacy drain : {report['legacy']['records_per_sec']:>12,} rec/s  "
-        f"{legacy_copied:,} bytes copied\n"
-        f"  record plane : {report['record_plane']['records_per_sec']:>12,} rec/s  "
-        f"{plane_copied:,} bytes copied\n"
+        f"  legacy drain : {legacy['records_per_sec']:>12,} rec/s  "
+        f"{legacy['bytes_copied']:,} bytes copied\n"
+        f"  record plane : {plane['records_per_sec']:>12,} rec/s  "
+        f"{plane['bytes_copied']:,} bytes copied\n"
         f"  copy ratio   : {report['bytes_copied_ratio']}"
     )
 
     # The structural claim of the refactor: strictly fewer byte copies.
-    assert plane_copied < legacy_copied
+    assert plane["bytes_copied"] < legacy["bytes_copied"]

@@ -1,0 +1,351 @@
+"""Bulk-crypto microbenchmarks: primitive throughput and the record pipeline.
+
+Two measurements back the fast-path work in ``repro.crypto``:
+
+* **Primitives** — seal/open throughput of each AEAD suite at a full-size
+  TLS record (16 KiB), against a faithful re-implementation of the
+  pre-fast-path scalar code (per-block ``encrypt_block`` CTR, per-block
+  Shoup GHASH) so the speedup is measured, not remembered.
+* **Chain** — end-to-end records/sec streaming application data through a
+  client - middlebox - middlebox - server world on the deterministic
+  network simulator, with every hop paying real AEAD costs. Run twice:
+  once on the fast path and once with the bitsliced/aggregated thresholds
+  forced off, which is the pre-fast-path data plane.
+
+``run()`` returns the report dict written to ``BENCH_crypto.json``;
+``check_regression()`` is the CI perf-smoke gate (machine-independent
+ratios compared against the checked-in baseline).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import time
+
+from repro.crypto.aes import AES
+from repro.crypto.chacha import ChaCha20Poly1305
+from repro.crypto.gcm import AESGCM, _GHash
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "git_describe",
+    "bench_primitives",
+    "bench_chain",
+    "run",
+    "check_regression",
+]
+
+SCHEMA_VERSION = 1
+
+RECORD_BYTES = 16384  # one max-size TLS record
+
+
+def git_describe() -> str:
+    """The repo's ``git describe`` (falls back to the short hash)."""
+    for args in (
+        ["git", "describe", "--tags", "--always", "--dirty"],
+        ["git", "rev-parse", "--short", "HEAD"],
+    ):
+        try:
+            out = subprocess.run(
+                args, capture_output=True, text=True, timeout=10
+            )
+        except OSError:
+            return "unknown"
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    return "unknown"
+
+
+# --------------------------------------------------------------- legacy path
+
+
+def _legacy_keystream_xor(
+    aes: AES, nonce: bytes, data: bytes, initial_counter: int
+) -> bytes:
+    """The pre-fast-path CTR loop: one encrypt_block per 16-byte chunk."""
+    encrypt = aes.encrypt_block
+    out = bytearray(len(data))
+    counter = initial_counter
+    for offset in range(0, len(data), 16):
+        block = encrypt(nonce + counter.to_bytes(4, "big"))
+        chunk = data[offset : offset + 16]
+        out[offset : offset + len(chunk)] = bytes(
+            a ^ b for a, b in zip(chunk, block)
+        )
+        counter = (counter + 1) & 0xFFFFFFFF
+    return bytes(out)
+
+
+def _legacy_ghash(ghash: _GHash, aad: bytes, ciphertext: bytes) -> int:
+    """The pre-fast-path GHASH: per-block Shoup multiply, no aggregation."""
+    y = 0
+    for chunk in (aad, ciphertext):
+        for offset in range(0, len(chunk), 16):
+            block = chunk[offset : offset + 16]
+            if len(block) < 16:
+                block = block + b"\x00" * (16 - len(block))
+            y = ghash._mul_h(y ^ int.from_bytes(block, "big"))
+    lengths = (len(aad) * 8) << 64 | (len(ciphertext) * 8)
+    return ghash._mul_h(y ^ lengths)
+
+
+def _legacy_gcm_seal(gcm: AESGCM, nonce: bytes, plaintext: bytes, aad: bytes) -> bytes:
+    ciphertext = _legacy_keystream_xor(gcm._aes, nonce, plaintext, 2)
+    s = _legacy_ghash(gcm._ghash, aad, ciphertext)
+    j0 = gcm._aes.encrypt_block(nonce + (1).to_bytes(4, "big"))
+    return ciphertext + (s ^ int.from_bytes(j0, "big")).to_bytes(16, "big")
+
+
+# ---------------------------------------------------------------- primitives
+
+
+def _time_per_call(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+_SUITES = (
+    ("aes-128-gcm", lambda: AESGCM(bytes(range(16)))),
+    ("aes-256-gcm", lambda: AESGCM(bytes(range(32)))),
+    ("chacha20-poly1305", lambda: ChaCha20Poly1305(bytes(range(32)))),
+)
+
+
+def bench_primitives(
+    record_bytes: int = RECORD_BYTES, repeats: int = 10, legacy_repeats: int = 3
+) -> list[dict]:
+    """Seal/open throughput per suite, plus the scalar-path AES comparison."""
+    nonce = b"\x00" * 11 + b"\x01"
+    aad = b"\x00" * 13
+    plaintext = bytes(range(256)) * (record_bytes // 256)
+    results = []
+    for name, factory in _SUITES:
+        aead = factory()
+        sealed = aead.encrypt(nonce, plaintext, aad)
+        seal_s = _time_per_call(lambda: aead.encrypt(nonce, plaintext, aad), repeats)
+        open_s = _time_per_call(lambda: aead.decrypt(nonce, sealed, aad), repeats)
+        entry = {
+            "suite": name,
+            "seal_ms_per_record": round(seal_s * 1000, 3),
+            "open_ms_per_record": round(open_s * 1000, 3),
+            "seal_mb_per_s": round(record_bytes / seal_s / 1e6, 2),
+            "open_mb_per_s": round(record_bytes / open_s / 1e6, 2),
+        }
+        if isinstance(aead, AESGCM):
+            legacy = _legacy_gcm_seal(aead, nonce, plaintext, aad)
+            assert legacy == sealed, "legacy reimplementation diverged"
+            legacy_s = _time_per_call(
+                lambda: _legacy_gcm_seal(aead, nonce, plaintext, aad), legacy_repeats
+            )
+            entry["legacy_seal_ms_per_record"] = round(legacy_s * 1000, 3)
+            entry["seal_speedup"] = round(legacy_s / seal_s, 2)
+        results.append(entry)
+    return results
+
+
+# --------------------------------------------------------------------- chain
+
+
+class _scalar_crypto:
+    """Force the pre-fast-path code: scalar CTR, per-block GHASH, no batch."""
+
+    def __enter__(self):
+        from repro.tls.record_layer import ConnectionState
+
+        self._saved = (
+            AES._BITSLICE_THRESHOLD,
+            _GHash._BULK_THRESHOLD,
+            ConnectionState.protect_many,
+            ConnectionState.unprotect_many,
+        )
+        AES._BITSLICE_THRESHOLD = 1 << 60
+        _GHash._BULK_THRESHOLD = 1 << 60
+        # None makes every batch-capable caller fall back to its
+        # sequential per-record loop (they all test `is not None`).
+        ConnectionState.protect_many = None
+        ConnectionState.unprotect_many = None
+        return self
+
+    def __exit__(self, *exc):
+        from repro.tls.record_layer import ConnectionState
+
+        (
+            AES._BITSLICE_THRESHOLD,
+            _GHash._BULK_THRESHOLD,
+            ConnectionState.protect_many,
+            ConnectionState.unprotect_many,
+        ) = self._saved
+        return False
+
+
+def _run_chain_once(
+    middlebox_count: int, flights: int, flight_bytes: int, seed: bytes
+) -> float:
+    """Streams ``flights`` flights client->server; returns data-phase seconds."""
+    from repro.bench.scenarios import Pki, build_chain_network
+    from repro.core.config import (
+        MbTLSEndpointConfig,
+        MiddleboxConfig,
+        MiddleboxRole,
+        SessionEstablished,
+    )
+    from repro.core.drivers import MiddleboxService, open_mbtls, serve_mbtls
+    from repro.crypto.drbg import HmacDrbg
+    from repro.tls.config import TLSConfig
+    from repro.tls.events import ApplicationData
+
+    rng = HmacDrbg(seed)
+    pki = Pki(rng=rng.fork(b"pki"))
+    hop_names = [f"hop{i}" for i in range(1, middlebox_count + 1)]
+    network = build_chain_network([0.0] * (middlebox_count + 1))
+
+    for index, host in enumerate(hop_names):
+        mb_cred = pki.credential(f"mb-{host}")
+
+        def make_config(host=host, mb_cred=mb_cred, index=index):
+            return MiddleboxConfig(
+                name=f"mb-{host}",
+                tls=TLSConfig(rng=rng.fork(b"mb%d" % index), credential=mb_cred),
+                role=MiddleboxRole.CLIENT_SIDE,
+            )
+
+        MiddleboxService(network.host(host), make_config)
+
+    received = [0]
+
+    def make_server_config():
+        return MbTLSEndpointConfig(
+            tls=TLSConfig(rng=rng.fork(b"server"), credential=pki.credential("server")),
+            middlebox_trust_store=pki.trust,
+        )
+
+    def on_server_event(engine, driver, event):
+        if isinstance(event, ApplicationData):
+            received[0] += len(event.data)
+
+    serve_mbtls(network.host("server"), make_server_config, on_event=on_server_event)
+
+    established = [False]
+
+    def on_client_event(event):
+        if isinstance(event, SessionEstablished):
+            established[0] = True
+
+    config = MbTLSEndpointConfig(
+        tls=TLSConfig(
+            rng=rng.fork(b"client"), trust_store=pki.trust, server_name="server"
+        ),
+        middlebox_trust_store=pki.trust,
+    )
+    _engine, driver = open_mbtls(
+        network.host("client"), "server", config, on_event=on_client_event
+    )
+    network.sim.run()
+    if not established[0]:
+        raise RuntimeError("chain bench: session did not establish")
+
+    payload = bytes(range(256)) * (flight_bytes // 256)
+    start = time.perf_counter()
+    for _ in range(flights):
+        driver.send_application_data(payload)
+        network.sim.run()
+    elapsed = time.perf_counter() - start
+    if received[0] != flights * flight_bytes:
+        raise RuntimeError("chain bench: server missed data")
+    return elapsed
+
+
+def bench_chain(
+    middlebox_count: int = 2,
+    flights: int = 8,
+    flight_bytes: int = 64 * RECORD_BYTES,
+    record_bytes: int = RECORD_BYTES,
+) -> dict:
+    """End-to-end records/sec through the middlebox chain, fast vs scalar."""
+    records = flights * (flight_bytes // record_bytes)
+    fast_s = _run_chain_once(middlebox_count, flights, flight_bytes, b"chain-fast")
+    with _scalar_crypto():
+        # A fraction of the fast run keeps the scalar leg under control;
+        # rates are per-second so the comparison is unaffected.
+        scalar_flights = max(1, flights // 4)
+        scalar_s = _run_chain_once(
+            middlebox_count, scalar_flights, flight_bytes, b"chain-scalar"
+        )
+    fast_rate = records / fast_s
+    scalar_rate = (scalar_flights * (flight_bytes // record_bytes)) / scalar_s
+    return {
+        "middleboxes": middlebox_count,
+        "records": records,
+        "record_bytes": record_bytes,
+        "records_per_sec": round(fast_rate, 1),
+        "scalar_records_per_sec": round(scalar_rate, 1),
+        "speedup": round(fast_rate / scalar_rate, 2),
+    }
+
+
+# -------------------------------------------------------------------- report
+
+
+def run(quick: bool = False) -> dict:
+    """The full crypto bench report (written to ``BENCH_crypto.json``)."""
+    if quick:
+        primitives = bench_primitives(repeats=3, legacy_repeats=1)
+        chain = bench_chain(flights=4)
+    else:
+        primitives = bench_primitives()
+        chain = bench_chain()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "crypto",
+        "git": git_describe(),
+        "quick": quick,
+        "record_bytes": RECORD_BYTES,
+        "primitives": primitives,
+        "chain": chain,
+    }
+
+
+def check_regression(
+    fresh: dict, baseline: dict, tolerance: float = 0.30
+) -> list[str]:
+    """Compare a fresh report against the checked-in baseline.
+
+    Absolute MB/s numbers vary with the host, so the gate compares the
+    machine-independent *ratios* — each AES seal speedup over the scalar
+    path and the chain speedup — and additionally enforces the hard
+    floors from the fast-path acceptance criteria (3x seal, 2x chain).
+    Returns a list of failure descriptions; empty means pass.
+    """
+    problems = []
+    base_by_suite = {p["suite"]: p for p in baseline.get("primitives", [])}
+    for entry in fresh["primitives"]:
+        speedup = entry.get("seal_speedup")
+        if speedup is None:
+            continue
+        if speedup < 3.0:
+            problems.append(
+                f"{entry['suite']}: seal speedup {speedup}x below the 3x floor"
+            )
+        base = base_by_suite.get(entry["suite"], {}).get("seal_speedup")
+        if base and speedup < base * (1 - tolerance):
+            problems.append(
+                f"{entry['suite']}: seal speedup {speedup}x regressed >"
+                f"{tolerance:.0%} from baseline {base}x"
+            )
+    chain = fresh["chain"]
+    if chain["speedup"] < 2.0:
+        problems.append(
+            f"chain: speedup {chain['speedup']}x below the 2x floor"
+        )
+    base_chain = baseline.get("chain", {}).get("speedup")
+    if base_chain and chain["speedup"] < base_chain * (1 - tolerance):
+        problems.append(
+            f"chain: speedup {chain['speedup']}x regressed >"
+            f"{tolerance:.0%} from baseline {base_chain}x"
+        )
+    return problems

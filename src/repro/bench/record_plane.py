@@ -1,0 +1,91 @@
+"""Record-plane framing microbenchmark (shared by pytest and the CLI).
+
+Measures the coalesced :class:`repro.io.record_plane.RecordPlane` drain
+path against the historical per-record path (eager fragmentation slice,
+per-record ``Record.encode()``, join on drain) over identical plaintext
+workloads, and reports records/sec plus bytes-copied counts. The report is
+written to ``BENCH_record_plane.json`` by the benchmark test and by
+``python -m repro bench``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.crypto import SCHEMA_VERSION, git_describe
+from repro.io.record_plane import RecordPlane
+from repro.wire.records import ContentType, MAX_FRAGMENT, Record
+
+__all__ = ["run", "legacy_drain", "plane_drain"]
+
+PAYLOAD_BYTES = 65536  # one 64 KiB app write -> a 4-record flight
+FLIGHTS = 200
+
+
+def legacy_drain(data: bytes) -> tuple[bytes, int]:
+    """The pre-refactor path: eager slices, per-record encode, join on drain.
+
+    Returns (wire bytes, payload bytes copied along the way).
+    """
+    copied = 0
+    records: list[bytes] = []
+    for offset in range(0, len(data), MAX_FRAGMENT):
+        chunk = data[offset : offset + MAX_FRAGMENT]  # eager slice: copy 1
+        copied += len(chunk)
+        encoded = Record(ContentType.APPLICATION_DATA, chunk).encode()  # copy 2
+        copied += len(encoded)
+        records.append(encoded)
+    wire = b"".join(records)  # copy 3
+    copied += len(wire)
+    return wire, copied
+
+
+def plane_drain(plane: RecordPlane, data: bytes) -> tuple[bytes, int]:
+    """The coalesced path: memoryview fragmentation, one copy per flight."""
+    before = len(data)  # payload lands in the outbox bytearray: copy 1
+    plane.queue_application_data(data)
+    wire = plane.data_to_send()  # bytes(outbox): copy 2
+    return wire, before + len(wire)
+
+
+def _throughput(drain, payload_bytes: int, flights: int) -> tuple[float, int, int]:
+    """Runs ``drain`` per flight; returns (records/sec, records, bytes copied)."""
+    records = 0
+    copied = 0
+    start = time.perf_counter()
+    for _ in range(flights):
+        wire, flight_copied = drain()
+        copied += flight_copied
+        records += -(-payload_bytes // MAX_FRAGMENT)
+        assert wire  # keep the drain honest
+    elapsed = time.perf_counter() - start
+    return records / elapsed, records, copied
+
+
+def run(payload_bytes: int = PAYLOAD_BYTES, flights: int = FLIGHTS) -> dict:
+    """Measure both paths and return the ``BENCH_record_plane.json`` report."""
+    payload = bytes(range(256)) * (payload_bytes // 256)
+    legacy_rate, legacy_records, legacy_copied = _throughput(
+        lambda: legacy_drain(payload), payload_bytes, flights
+    )
+    plane = RecordPlane()
+    plane_rate, plane_records, plane_copied = _throughput(
+        lambda: plane_drain(plane, payload), payload_bytes, flights
+    )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "record_plane",
+        "git": git_describe(),
+        "payload_bytes": payload_bytes,
+        "flights": flights,
+        "records_per_flight": legacy_records // flights,
+        "legacy": {
+            "records_per_sec": round(legacy_rate),
+            "bytes_copied": legacy_copied,
+        },
+        "record_plane": {
+            "records_per_sec": round(plane_rate),
+            "bytes_copied": plane_copied,
+        },
+        "bytes_copied_ratio": round(plane_copied / legacy_copied, 3),
+    }

@@ -9,6 +9,7 @@ Usage::
     python -m repro latency              # Figure 6, WAN handshake latency
     python -m repro sgx                  # Figure 7, enclave throughput model
     python -m repro fuzz                 # protocol-fuzz smoke corpus
+    python -m repro bench --quick        # bulk-crypto + record-plane benches
     python -m repro all                  # everything
 """
 
@@ -172,6 +173,57 @@ def _cmd_fuzz(args) -> None:
         raise SystemExit(1)
 
 
+def _cmd_bench(args) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.bench import crypto as crypto_bench
+    from repro.bench import record_plane as record_plane_bench
+    from repro.bench.tables import render_table
+
+    root = Path.cwd()
+    crypto_path = root / "BENCH_crypto.json"
+
+    mode = "quick" if args.quick else "full"
+    print(f"crypto bench ({mode}): primitives at 16 KiB records, "
+          f"then a 2-middlebox chain ...")
+    report = crypto_bench.run(quick=args.quick)
+
+    rows = [
+        [p["suite"], f"{p['seal_mb_per_s']:.1f}", f"{p['open_mb_per_s']:.1f}",
+         f"{p.get('seal_speedup', '-')}"]
+        for p in report["primitives"]
+    ]
+    print(render_table("Bulk crypto — 16 KiB records",
+                       ["suite", "seal MB/s", "open MB/s", "vs scalar"], rows))
+    chain = report["chain"]
+    print(f"chain ({chain['middleboxes']} middleboxes): "
+          f"{chain['records_per_sec']:,.0f} rec/s fast, "
+          f"{chain['scalar_records_per_sec']:,.0f} rec/s scalar "
+          f"({chain['speedup']}x)")
+
+    if args.check_baseline:
+        if not crypto_path.exists():
+            raise SystemExit(f"no baseline at {crypto_path}")
+        baseline = json.loads(crypto_path.read_text())
+        problems = crypto_bench.check_regression(report, baseline)
+        if problems:
+            for problem in problems:
+                print(f"PERF REGRESSION: {problem}")
+            raise SystemExit(1)
+        print("perf gate: ok (within 30% of the checked-in baseline)")
+        return  # a gate run never rewrites the baselines
+
+    crypto_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {crypto_path}")
+
+    plane_report = record_plane_bench.run()
+    plane_path = root / "BENCH_record_plane.json"
+    plane_path.write_text(json.dumps(plane_report, indent=2) + "\n")
+    print(f"wrote {plane_path} "
+          f"({plane_report['record_plane']['records_per_sec']:,} rec/s framed)")
+
+
 _COMMANDS = {
     "threats": _cmd_threats,
     "viability": _cmd_viability,
@@ -180,6 +232,7 @@ _COMMANDS = {
     "latency": _cmd_latency,
     "sgx": _cmd_sgx,
     "fuzz": _cmd_fuzz,
+    "bench": _cmd_bench,
 }
 
 
@@ -204,6 +257,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--kind", default=None,
                         help="fuzz replay: mutation kind "
                              "(default: drawn from the DRBG)")
+    parser.add_argument("--quick", action="store_true",
+                        help="bench: fewer repeats/flights (CI smoke)")
+    parser.add_argument("--check-baseline", action="store_true",
+                        help="bench: compare against the checked-in "
+                             "BENCH_crypto.json and fail on >30%% regression "
+                             "instead of rewriting it")
     args = parser.parse_args(argv)
 
     if args.command == "all":

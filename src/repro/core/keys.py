@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.tls.ciphersuites import CipherSuite
 from repro.tls.keyschedule import KeyBlock
-from repro.tls.record_layer import ConnectionState
+from repro.tls.record_layer import ConnectionState, aead_for
 from repro.wire.mbtls import HopKeys
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "hop_states_for_endpoint",
     "states_from_hop_keys",
     "build_hop_chain",
+    "warm_aead_contexts",
 ]
 
 # The primary session's Finished messages each consumed sequence number 0,
@@ -53,6 +54,20 @@ def bridge_hop_keys(suite: CipherSuite, key_block: KeyBlock) -> HopKeys:
         client_to_server_seq=BRIDGE_START_SEQUENCE,
         server_to_client_seq=BRIDGE_START_SEQUENCE,
     )
+
+
+def warm_aead_contexts(suite: CipherSuite, hops: list[HopKeys]) -> None:
+    """Pre-derive the AEAD contexts for every direction of every hop.
+
+    :class:`ConnectionState` construction goes through the same
+    :func:`aead_for` cache, so warming is never required for
+    correctness — but an endpoint that already knows its hop chain can
+    pay the AES key schedule and GHASH table derivation up front, here,
+    instead of on the first record each hop protects.
+    """
+    for keys in hops:
+        aead_for(suite, keys.client_write_key)
+        aead_for(suite, keys.server_write_key)
 
 
 def states_from_hop_keys(
@@ -96,6 +111,6 @@ def build_hop_chain(
     uses hops ``i`` (toward client) and ``i+1`` (toward server).
     """
     fresh = [generate_hop_keys(suite, rng) for _ in range(middlebox_count)]
-    if client_side:
-        return fresh + [bridge]
-    return [bridge] + fresh
+    chain = fresh + [bridge] if client_side else [bridge] + fresh
+    warm_aead_contexts(suite, chain)
+    return chain

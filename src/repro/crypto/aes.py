@@ -89,11 +89,16 @@ class AES:
 
     block_size = 16
 
+    # Below this many counter blocks the scalar T-table loop wins; above
+    # it the bitsliced big-int circuit amortizes its fixed setup cost.
+    _BITSLICE_THRESHOLD = 16
+
     def __init__(self, key: bytes) -> None:
         if len(key) not in (16, 24, 32):
             raise CryptoError(f"invalid AES key length: {len(key)}")
         self._round_keys = self._expand_key(key)
         self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._bitsliced = None
 
     @staticmethod
     def _expand_key(key: bytes) -> list[int]:
@@ -199,4 +204,31 @@ class AES:
             + o1.to_bytes(4, "big")
             + o2.to_bytes(4, "big")
             + o3.to_bytes(4, "big")
+        )
+
+    def ctr_keystream(self, prefix: bytes, initial_counter: int,
+                      nblocks: int) -> bytes:
+        """Keystream of blocks ``E_K(prefix || BE32(initial_counter + j))``.
+
+        The counter wraps modulo 2^32 as in NIST SP 800-38D.  Large
+        requests are generated by the bitsliced big-int engine in one
+        pass; small ones fall back to the per-block T-table loop.
+        """
+        if len(prefix) != 12:
+            raise CryptoError("CTR prefix must be 12 bytes")
+        if nblocks <= 0:
+            return b""
+        if nblocks >= self._BITSLICE_THRESHOLD:
+            engine = self._bitsliced
+            if engine is None:
+                from repro.crypto.bitsliced import BitslicedCtr
+
+                engine = BitslicedCtr(self._round_keys, self._rounds)
+                self._bitsliced = engine
+            return engine.keystream(prefix, initial_counter, nblocks)
+        encrypt = self.encrypt_block
+        return b"".join(
+            encrypt(prefix + (((initial_counter + j) & 0xFFFFFFFF)
+                              ).to_bytes(4, "big"))
+            for j in range(nblocks)
         )

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import hmac as _hmac
+import struct as _struct
 
 from repro.errors import CryptoError, IntegrityError
 
@@ -53,14 +54,80 @@ def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
     )
 
 
+_PACK16 = _struct.Struct("<16I").pack
+
+
+def _keystream(key: bytes, counter: int, nonce: bytes, nblocks: int) -> bytes:
+    """ChaCha20 keystream, double rounds unrolled over 16 locals."""
+    s = list(_CONSTANTS)
+    s += [int.from_bytes(key[i : i + 4], "little") for i in range(0, 32, 4)]
+    s.append(0)
+    s += [int.from_bytes(nonce[i : i + 4], "little") for i in range(0, 12, 4)]
+    s0, s1, s2, s3, s4, s5, s6, s7 = s[:8]
+    s8, s9, s10, s11, _, s13, s14, s15 = s[8:]
+    M = _MASK32
+    parts = []
+    for i in range(nblocks):
+        s12 = (counter + i) & M
+        x0, x1, x2, x3, x4, x5, x6, x7 = s0, s1, s2, s3, s4, s5, s6, s7
+        x8, x9, x10, x11, x12, x13, x14, x15 = s8, s9, s10, s11, s12, s13, s14, s15
+        for _ in range(10):
+            x0 = (x0 + x4) & M; x12 ^= x0; x12 = (x12 << 16 | x12 >> 16) & M
+            x8 = (x8 + x12) & M; x4 ^= x8; x4 = (x4 << 12 | x4 >> 20) & M
+            x0 = (x0 + x4) & M; x12 ^= x0; x12 = (x12 << 8 | x12 >> 24) & M
+            x8 = (x8 + x12) & M; x4 ^= x8; x4 = (x4 << 7 | x4 >> 25) & M
+            x1 = (x1 + x5) & M; x13 ^= x1; x13 = (x13 << 16 | x13 >> 16) & M
+            x9 = (x9 + x13) & M; x5 ^= x9; x5 = (x5 << 12 | x5 >> 20) & M
+            x1 = (x1 + x5) & M; x13 ^= x1; x13 = (x13 << 8 | x13 >> 24) & M
+            x9 = (x9 + x13) & M; x5 ^= x9; x5 = (x5 << 7 | x5 >> 25) & M
+            x2 = (x2 + x6) & M; x14 ^= x2; x14 = (x14 << 16 | x14 >> 16) & M
+            x10 = (x10 + x14) & M; x6 ^= x10; x6 = (x6 << 12 | x6 >> 20) & M
+            x2 = (x2 + x6) & M; x14 ^= x2; x14 = (x14 << 8 | x14 >> 24) & M
+            x10 = (x10 + x14) & M; x6 ^= x10; x6 = (x6 << 7 | x6 >> 25) & M
+            x3 = (x3 + x7) & M; x15 ^= x3; x15 = (x15 << 16 | x15 >> 16) & M
+            x11 = (x11 + x15) & M; x7 ^= x11; x7 = (x7 << 12 | x7 >> 20) & M
+            x3 = (x3 + x7) & M; x15 ^= x3; x15 = (x15 << 8 | x15 >> 24) & M
+            x11 = (x11 + x15) & M; x7 ^= x11; x7 = (x7 << 7 | x7 >> 25) & M
+            x0 = (x0 + x5) & M; x15 ^= x0; x15 = (x15 << 16 | x15 >> 16) & M
+            x10 = (x10 + x15) & M; x5 ^= x10; x5 = (x5 << 12 | x5 >> 20) & M
+            x0 = (x0 + x5) & M; x15 ^= x0; x15 = (x15 << 8 | x15 >> 24) & M
+            x10 = (x10 + x15) & M; x5 ^= x10; x5 = (x5 << 7 | x5 >> 25) & M
+            x1 = (x1 + x6) & M; x12 ^= x1; x12 = (x12 << 16 | x12 >> 16) & M
+            x11 = (x11 + x12) & M; x6 ^= x11; x6 = (x6 << 12 | x6 >> 20) & M
+            x1 = (x1 + x6) & M; x12 ^= x1; x12 = (x12 << 8 | x12 >> 24) & M
+            x11 = (x11 + x12) & M; x6 ^= x11; x6 = (x6 << 7 | x6 >> 25) & M
+            x2 = (x2 + x7) & M; x13 ^= x2; x13 = (x13 << 16 | x13 >> 16) & M
+            x8 = (x8 + x13) & M; x7 ^= x8; x7 = (x7 << 12 | x7 >> 20) & M
+            x2 = (x2 + x7) & M; x13 ^= x2; x13 = (x13 << 8 | x13 >> 24) & M
+            x8 = (x8 + x13) & M; x7 ^= x8; x7 = (x7 << 7 | x7 >> 25) & M
+            x3 = (x3 + x4) & M; x14 ^= x3; x14 = (x14 << 16 | x14 >> 16) & M
+            x9 = (x9 + x14) & M; x4 ^= x9; x4 = (x4 << 12 | x4 >> 20) & M
+            x3 = (x3 + x4) & M; x14 ^= x3; x14 = (x14 << 8 | x14 >> 24) & M
+            x9 = (x9 + x14) & M; x4 ^= x9; x4 = (x4 << 7 | x4 >> 25) & M
+        parts.append(_PACK16(
+            (x0 + s0) & M, (x1 + s1) & M, (x2 + s2) & M, (x3 + s3) & M,
+            (x4 + s4) & M, (x5 + s5) & M, (x6 + s6) & M, (x7 + s7) & M,
+            (x8 + s8) & M, (x9 + s9) & M, (x10 + s10) & M, (x11 + s11) & M,
+            (x12 + s12) & M, (x13 + s13) & M, (x14 + s14) & M, (x15 + s15) & M,
+        ))
+    return b"".join(parts)
+
+
 def chacha20_xor(key: bytes, counter: int, nonce: bytes, data: bytes) -> bytes:
     """Encrypt/decrypt ``data`` with the ChaCha20 keystream."""
-    out = bytearray(len(data))
-    for offset in range(0, len(data), 64):
-        block = chacha20_block(key, counter + offset // 64, nonce)
-        chunk = data[offset : offset + 64]
-        out[offset : offset + len(chunk)] = bytes(a ^ b for a, b in zip(chunk, block))
-    return bytes(out)
+    n = len(data)
+    if n == 0:
+        return b""
+    if len(key) != 32:
+        raise CryptoError("ChaCha20 key must be 32 bytes")
+    if len(nonce) != 12:
+        raise CryptoError("ChaCha20 nonce must be 12 bytes")
+    keystream = _keystream(key, counter, nonce, (n + 63) // 64)
+    if n % 64:
+        keystream = keystream[:n]
+    return (
+        int.from_bytes(data, "little") ^ int.from_bytes(keystream, "little")
+    ).to_bytes(n, "little")
 
 
 _P1305 = (1 << 130) - 5
@@ -73,10 +140,24 @@ def poly1305_mac(key: bytes, message: bytes) -> bytes:
     r = int.from_bytes(key[:16], "little") & 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
     s = int.from_bytes(key[16:], "little")
     accumulator = 0
-    for offset in range(0, len(message), 16):
-        chunk = message[offset : offset + 16]
-        n = int.from_bytes(chunk, "little") + (1 << (8 * len(chunk)))
-        accumulator = ((accumulator + n) * r) % _P1305
+    length = len(message)
+    full = length - length % 16
+    from_bytes = int.from_bytes
+    pad = 1 << 128
+    mask130 = (1 << 130) - 1
+    # Lazy reduction: fold 2^130 = 5 (mod p) each block and defer the
+    # exact modulus to the end; the accumulator stays below 2^132.
+    for offset in range(0, full, 16):
+        accumulator = (
+            accumulator + from_bytes(message[offset : offset + 16], "little")
+            + pad
+        ) * r
+        accumulator = (accumulator & mask130) + 5 * (accumulator >> 130)
+    if full < length:
+        chunk = message[full:]
+        n = from_bytes(chunk, "little") + (1 << (8 * len(chunk)))
+        accumulator = (accumulator + n) * r
+    accumulator %= _P1305
     return ((accumulator + s) & ((1 << 128) - 1)).to_bytes(16, "little")
 
 
@@ -120,3 +201,20 @@ class ChaCha20Poly1305:
         if not _hmac.compare_digest(tag, self._tag(nonce, aad, ciphertext)):
             raise IntegrityError("Poly1305 tag mismatch")
         return chacha20_xor(self._key, 1, nonce, ciphertext)
+
+    def seal_many(
+        self, items: list[tuple[bytes, bytes, bytes]]
+    ) -> list[bytes]:
+        """Encrypt a batch of ``(nonce, plaintext, aad)`` records.
+
+        Output is byte-identical to sequential :meth:`encrypt` calls.
+        """
+        encrypt = self.encrypt
+        return [encrypt(nonce, pt, aad) for nonce, pt, aad in items]
+
+    def open_many(
+        self, items: list[tuple[bytes, bytes, bytes]]
+    ) -> list[bytes]:
+        """Decrypt a batch of ``(nonce, ciphertext||tag, aad)`` records."""
+        decrypt = self.decrypt
+        return [decrypt(nonce, data, aad) for nonce, data, aad in items]

@@ -39,7 +39,13 @@ _R8 = _build_reduction_table()
 class _GHash:
     """GHASH universal hash keyed by H = E_K(0^128)."""
 
+    # Build the aggregated 4-block tables once a single digest covers at
+    # least this many ciphertext bytes (handshake records never do).
+    _BULK_THRESHOLD = 512
+
     def __init__(self, h: int) -> None:
+        self._h = h
+        self._bulk_tables = None
         # Basis entries: byte value (0x80 >> i) at the top byte is x^i * H.
         table = [0] * 256
         value = h
@@ -68,11 +74,63 @@ class _GHash:
             w ^= table[(z >> shift) & 0xFF]
         return w
 
+    def _byte_tables(self) -> list[list[list[int]]]:
+        """Per-byte-position tables for H^1..H^4, built lazily.
+
+        ``tables[k-1][j][b]`` is the fully reduced GF(2^128) product of
+        H^k with byte value ``b`` placed at big-endian byte position
+        ``j`` of a block, so one aggregated Horner step over four blocks
+        is 64 lookups XORed together with no per-block reduction.
+        """
+        tables = self._bulk_tables
+        if tables is None:
+            r8 = _R8
+            tables = []
+            h_power = self._h
+            for _ in range(4):
+                top = _GHash(h_power)._table if h_power != self._h \
+                    else self._table
+                cols = [top]
+                for _ in range(15):
+                    prev = cols[-1]
+                    cols.append([(v >> 8) ^ r8[v & 0xFF] for v in prev])
+                # cols[0] is byte position 0 == most significant byte?
+                # _mul_h places table[b] at shift 120 (byte 0 of the
+                # big-endian block) with no folds, so cols[i] serves the
+                # byte i positions *below* it; index by big-endian
+                # position directly.
+                tables.append(cols)
+                h_power = self._mul_h(h_power)
+            self._bulk_tables = tables
+        return tables
+
+    def _bulk(self, y: int, data: bytes, offset: int, end: int) -> int:
+        """Fold whole 4-block groups of ``data[offset:end]`` into ``y``."""
+        t1, t2, t3, t4 = self._byte_tables()
+        while offset + 64 <= end:
+            y ^= int.from_bytes(data[offset : offset + 16], "big")
+            acc = 0
+            for j in range(16):
+                acc ^= (
+                    t4[j][(y >> (120 - 8 * j)) & 0xFF]
+                    ^ t3[j][data[offset + 16 + j]]
+                    ^ t2[j][data[offset + 32 + j]]
+                    ^ t1[j][data[offset + 48 + j]]
+                )
+            y = acc
+            offset += 64
+        return y
+
     def digest(self, aad: bytes, ciphertext: bytes) -> int:
         """GHASH(aad || pad || ciphertext || pad || len(aad) || len(ct))."""
         y = 0
         for chunk in (aad, ciphertext):
-            for offset in range(0, len(chunk), 16):
+            offset = 0
+            if chunk is ciphertext and len(chunk) >= self._BULK_THRESHOLD:
+                groups = len(chunk) // 64 * 64
+                y = self._bulk(y, chunk, 0, groups)
+                offset = groups
+            for offset in range(offset, len(chunk), 16):
                 block = chunk[offset : offset + 16]
                 if len(block) < 16:
                     block = block + b"\x00" * (16 - len(block))
@@ -97,17 +155,17 @@ class AESGCM:
         self._ghash = _GHash(h)
 
     def _keystream_xor(self, nonce: bytes, data: bytes, initial_counter: int) -> bytes:
-        encrypt = self._aes.encrypt_block
-        out = bytearray(len(data))
-        counter = initial_counter
-        for offset in range(0, len(data), 16):
-            block = encrypt(nonce + counter.to_bytes(4, "big"))
-            chunk = data[offset : offset + 16]
-            out[offset : offset + len(chunk)] = bytes(
-                a ^ b for a, b in zip(chunk, block)
-            )
-            counter = (counter + 1) & 0xFFFFFFFF
-        return bytes(out)
+        n = len(data)
+        if n == 0:
+            return b""
+        keystream = self._aes.ctr_keystream(
+            nonce, initial_counter, (n + 15) // 16
+        )
+        if n % 16:
+            keystream = keystream[:n]
+        return (
+            int.from_bytes(data, "big") ^ int.from_bytes(keystream, "big")
+        ).to_bytes(n, "big")
 
     def _tag(self, nonce: bytes, aad: bytes, ciphertext: bytes) -> bytes:
         s = self._ghash.digest(aad, ciphertext)
@@ -133,3 +191,22 @@ class AESGCM:
         if not _hmac.compare_digest(tag, self._tag(nonce, aad, ciphertext)):
             raise IntegrityError("GCM tag mismatch")
         return self._keystream_xor(nonce, ciphertext, 2)
+
+    def seal_many(
+        self, items: list[tuple[bytes, bytes, bytes]]
+    ) -> list[bytes]:
+        """Encrypt a batch of ``(nonce, plaintext, aad)`` records.
+
+        Output is byte-identical to sequential :meth:`encrypt` calls;
+        batching exists so a whole flight of records costs one
+        Python-level call from the record plane.
+        """
+        encrypt = self.encrypt
+        return [encrypt(nonce, pt, aad) for nonce, pt, aad in items]
+
+    def open_many(
+        self, items: list[tuple[bytes, bytes, bytes]]
+    ) -> list[bytes]:
+        """Decrypt a batch of ``(nonce, ciphertext||tag, aad)`` records."""
+        decrypt = self.decrypt
+        return [decrypt(nonce, data, aad) for nonce, data, aad in items]

@@ -51,6 +51,8 @@ class RecordPlane:
     __slots__ = (
         "_inbound",
         "_outbox",
+        "_pending_seal",
+        "_pending_seal_bytes",
         "read_state",
         "write_state",
         "pending_read",
@@ -60,9 +62,18 @@ class RecordPlane:
         "bytes_drained",
     )
 
+    # Worst-case per-record expansion when sealed: 5-byte header plus
+    # 8-byte explicit nonce plus 16-byte tag (both AEAD suites).
+    _SEAL_OVERHEAD = 29
+
     def __init__(self) -> None:
         self._inbound = RecordBuffer()
         self._outbox = bytearray()
+        # Plaintext fragments queued under the current write state but
+        # not yet sealed; they are encrypted as one protect_many() batch
+        # at the next flush point (drain, state swap, or verbatim queue).
+        self._pending_seal = []
+        self._pending_seal_bytes = 0
         self.read_state = None
         self.write_state = None
         self.pending_read = None
@@ -91,6 +102,21 @@ class RecordPlane:
             return self.read_state.unprotect(record)
         return record.payload
 
+    def unprotect_many(self, records: list[Record]) -> list[bytes]:
+        """Decrypt a run of records in one batched call.
+
+        All-or-nothing when the read state supports ``unprotect_many``:
+        on failure no sequence number is consumed, so callers can fall
+        back to per-record processing for exact sequential semantics.
+        """
+        state = self.read_state
+        if state is None:
+            return [record.payload for record in records]
+        unprotect_many = getattr(state, "unprotect_many", None)
+        if unprotect_many is not None and len(records) > 1:
+            return unprotect_many(records)
+        return [state.unprotect(record) for record in records]
+
     def activate_pending_read(self) -> None:
         """ChangeCipherSpec arrived: flip to the staged read state."""
         if self.pending_read is None:
@@ -109,9 +135,18 @@ class RecordPlane:
     # --------------------------------------------------------------- outbound
 
     def queue_record(self, content_type: ContentType, payload) -> None:
-        """Protect (if keyed) and encode one record straight into the outbox."""
+        """Queue one record; sealing is deferred until the flight drains.
+
+        Encrypted records accumulate as plaintext fragments and are
+        sealed in a single ``protect_many`` batch at the next flush
+        point, so a multi-record flight costs one Python-level AEAD
+        call. Output bytes are identical to eager per-record sealing.
+        """
         if self.write_state is not None:
-            payload = self.write_state.protect(content_type, payload).payload
+            self._check_outbox_room(len(payload) + self._SEAL_OVERHEAD)
+            self._pending_seal.append((content_type, payload))
+            self._pending_seal_bytes += len(payload) + self._SEAL_OVERHEAD
+            return
         self._append(int(content_type), payload)
 
     def queue_application_data(self, data) -> None:
@@ -124,15 +159,33 @@ class RecordPlane:
 
     def queue_encoded(self, record: Record) -> None:
         """Queue an already-built record verbatim (forwarding paths)."""
+        self._flush_pending_seal()
         self._append(int(record.content_type), record.payload, record.version)
 
     def queue_raw(self, data: bytes) -> None:
         """Queue pre-encoded wire bytes verbatim (relay paths)."""
+        self._flush_pending_seal()
         self._check_outbox_room(len(data))
         self._outbox += data
 
+    def _flush_pending_seal(self) -> None:
+        """Seal every deferred fragment under the current write state."""
+        pending = self._pending_seal
+        if not pending:
+            return
+        self._pending_seal = []
+        self._pending_seal_bytes = 0
+        state = self.write_state
+        protect_many = getattr(state, "protect_many", None)
+        if protect_many is not None and len(pending) > 1:
+            records = protect_many(pending)
+        else:
+            records = [state.protect(ct, payload) for ct, payload in pending]
+        for record in records:
+            self._append(int(record.content_type), record.payload)
+
     def _check_outbox_room(self, extra: int) -> None:
-        if len(self._outbox) + extra > MAX_BUFFERED_BYTES:
+        if len(self._outbox) + self._pending_seal_bytes + extra > MAX_BUFFERED_BYTES:
             raise ProtocolError(
                 f"outbound buffer would exceed {MAX_BUFFERED_BYTES} bytes",
                 alert="record_overflow",
@@ -152,15 +205,17 @@ class RecordPlane:
 
     def activate_pending_write(self) -> None:
         """Our ChangeCipherSpec went out: flip to the staged write state."""
+        self._flush_pending_seal()  # records before CCS use the old keys
         self.write_state = self.pending_write
         self.pending_write = None
 
     @property
     def has_output(self) -> bool:
-        return bool(self._outbox)
+        return bool(self._outbox or self._pending_seal)
 
     def data_to_send(self) -> bytes:
         """Drain the whole flight as one buffer — one copy, one write."""
+        self._flush_pending_seal()
         if not self._outbox:
             return b""
         data = bytes(self._outbox)
@@ -173,12 +228,15 @@ class RecordPlane:
 
     def sequences(self) -> tuple[int, int]:
         """(write_seq, read_seq) of the active protection states."""
+        self._flush_pending_seal()  # queued records advance the write seq
         write_seq = self.write_state.sequence if self.write_state else 0
         read_seq = self.read_state.sequence if self.read_state else 0
         return write_seq, read_seq
 
     def replace_states(self, read_state, write_state) -> None:
         """Swap protection states (mbTLS per-hop key installation)."""
+        if self._pending_seal and write_state is not None:
+            self._flush_pending_seal()  # seal under the outgoing state
         if read_state is not None:
             self.read_state = read_state
         if write_state is not None:

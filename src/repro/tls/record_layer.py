@@ -9,13 +9,42 @@ and, combined with unique per-hop keys, P4 (path integrity).
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.errors import IntegrityError, ProtocolError
 from repro.tls.ciphersuites import CipherSuite
 from repro.wire.records import ContentType, MAX_FRAGMENT, Record, TLS12_VERSION
 
-__all__ = ["ConnectionState", "EXPLICIT_NONCE_LENGTH"]
+__all__ = ["ConnectionState", "EXPLICIT_NONCE_LENGTH", "aead_for"]
 
 EXPLICIT_NONCE_LENGTH = 8
+
+_AEAD_CACHE: OrderedDict[tuple[int, bytes], object] = OrderedDict()
+_AEAD_CACHE_MAX = 32
+
+
+def aead_for(suite: CipherSuite, key: bytes):
+    """A shared AEAD context for ``(suite, key)``.
+
+    Expanding an AES key schedule — and, on the fast path, its bitsliced
+    round-key masks and GHASH byte tables — is far more expensive than a
+    single record seal, yet each hop direction keeps using the same key
+    for the life of the session (and again after resumption, and again
+    when hop keys are re-derived for a middlebox joining mid-stream).
+    The AEAD objects are stateless (the nonce arrives per call), so one
+    instance per key can safely serve every ConnectionState that shares
+    that key, including clones at new sequence numbers.
+    """
+    cache_key = (suite.code, key)
+    aead = _AEAD_CACHE.get(cache_key)
+    if aead is None:
+        aead = suite.new_aead(key)
+        _AEAD_CACHE[cache_key] = aead
+        if len(_AEAD_CACHE) > _AEAD_CACHE_MAX:
+            _AEAD_CACHE.popitem(last=False)
+    else:
+        _AEAD_CACHE.move_to_end(cache_key)
+    return aead
 
 
 class ConnectionState:
@@ -32,7 +61,7 @@ class ConnectionState:
         self.key = key
         self.fixed_iv = fixed_iv
         self.sequence = sequence
-        self._aead = suite.new_aead(key)
+        self._aead = aead_for(suite, key)
 
     def _aad(self, content_type: ContentType, length: int, sequence: int) -> bytes:
         return (
@@ -66,6 +95,66 @@ class ConnectionState:
         plaintext = self._aead.decrypt(nonce, ciphertext, aad)
         self.sequence += 1
         return plaintext
+
+    def protect_many(
+        self, items: list[tuple[ContentType, bytes]]
+    ) -> list[Record]:
+        """Encrypt a flight of fragments in one call.
+
+        Byte-identical to sequential :meth:`protect` calls — sequence
+        numbers advance per record exactly as before.
+        """
+        batch = []
+        sequence = self.sequence
+        fixed_iv = self.fixed_iv
+        for content_type, plaintext in items:
+            if len(plaintext) > MAX_FRAGMENT:
+                raise ProtocolError("plaintext fragment exceeds maximum size")
+            explicit_nonce = sequence.to_bytes(EXPLICIT_NONCE_LENGTH, "big")
+            batch.append((
+                fixed_iv + explicit_nonce,
+                plaintext,
+                self._aad(content_type, len(plaintext), sequence),
+            ))
+            sequence += 1
+        sealed = self._aead.seal_many(batch)
+        self.sequence = sequence
+        return [
+            Record(
+                content_type=items[i][0],
+                payload=batch[i][0][len(fixed_iv):] + sealed[i],
+            )
+            for i in range(len(items))
+        ]
+
+    def unprotect_many(self, records: list[Record]) -> list[bytes]:
+        """Decrypt a flight of records in one call (all-or-nothing).
+
+        On success the result and sequence advancement are byte-identical
+        to sequential :meth:`unprotect` calls.  On any failure an
+        IntegrityError is raised with *no* sequence number consumed, so
+        the caller can re-run per record to recover the valid prefix with
+        exact sequential semantics.
+        """
+        tag_length = self._aead.tag_length
+        batch = []
+        sequence = self.sequence
+        fixed_iv = self.fixed_iv
+        for record in records:
+            payload = record.payload
+            if len(payload) < EXPLICIT_NONCE_LENGTH + tag_length:
+                raise IntegrityError("protected record too short")
+            ciphertext = payload[EXPLICIT_NONCE_LENGTH:]
+            batch.append((
+                fixed_iv + payload[:EXPLICIT_NONCE_LENGTH],
+                ciphertext,
+                self._aad(record.content_type,
+                          len(ciphertext) - tag_length, sequence),
+            ))
+            sequence += 1
+        plaintexts = self._aead.open_many(batch)
+        self.sequence = sequence
+        return plaintexts
 
     def clone_at(self, sequence: int) -> "ConnectionState":
         """A copy of this state starting at a given sequence number.

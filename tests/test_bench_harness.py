@@ -171,3 +171,55 @@ class TestRenderers:
     def test_render_series(self):
         output = render_series("Fig", {"s1": [(512, 1.5)]}, "bytes", "gbps")
         assert "s1" in output and "512" in output
+
+
+class TestCryptoBenchGate:
+    """The perf-smoke regression gate (pure logic; no timing here)."""
+
+    def _report(self, seal=6.0, chain=5.0):
+        return {
+            "primitives": [
+                {"suite": "aes-128-gcm", "seal_speedup": seal},
+                {"suite": "chacha20-poly1305"},  # no scalar comparison
+            ],
+            "chain": {"speedup": chain},
+        }
+
+    def test_identical_reports_pass(self):
+        from repro.bench.crypto import check_regression
+
+        report = self._report()
+        assert check_regression(report, report) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        from repro.bench.crypto import check_regression
+
+        problems = check_regression(
+            self._report(seal=4.0), self._report(seal=8.0)
+        )
+        assert any("regressed" in p for p in problems)
+
+    def test_small_wobble_within_tolerance_passes(self):
+        from repro.bench.crypto import check_regression
+
+        assert check_regression(
+            self._report(seal=6.0, chain=4.5), self._report(seal=7.0, chain=5.0)
+        ) == []
+
+    def test_hard_floors_enforced_without_baseline(self):
+        from repro.bench.crypto import check_regression
+
+        problems = check_regression(self._report(seal=2.5, chain=1.5), {})
+        assert any("3x floor" in p for p in problems)
+        assert any("2x floor" in p for p in problems)
+
+    def test_legacy_gcm_seal_matches_fast_path(self):
+        from repro.bench.crypto import _legacy_gcm_seal
+        from repro.crypto.gcm import AESGCM
+
+        gcm = AESGCM(bytes(range(16)))
+        nonce, aad = bytes(12), b"hdr"
+        plaintext = bytes(range(256)) * 4  # past both fast-path thresholds
+        assert _legacy_gcm_seal(gcm, nonce, plaintext, aad) == gcm.encrypt(
+            nonce, plaintext, aad
+        )

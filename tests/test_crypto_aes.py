@@ -74,3 +74,50 @@ class TestDeterminism:
         assert cipher.encrypt_block(bytes(16)) != cipher.encrypt_block(
             b"\x00" * 15 + b"\x01"
         )
+
+
+class TestCtrKeystream:
+    """The bitsliced bulk CTR path against the scalar block cipher."""
+
+    def _scalar_keystream(self, cipher, prefix, counter, nblocks):
+        return b"".join(
+            cipher.encrypt_block(
+                prefix + (((counter + j) & 0xFFFFFFFF)).to_bytes(4, "big")
+            )
+            for j in range(nblocks)
+        )
+
+    # Block counts straddling the bitslice cutover (16) and the padding
+    # to multiples of 8 inside the bitsliced engine.
+    @pytest.mark.parametrize("nblocks", [1, 7, 8, 15, 16, 17, 23, 64, 100])
+    @pytest.mark.parametrize("key_length", [16, 24, 32])
+    def test_matches_scalar_blocks(self, key_length, nblocks, rng):
+        cipher = AES(rng.random_bytes(key_length))
+        prefix = rng.random_bytes(12)
+        assert cipher.ctr_keystream(prefix, 2, nblocks) == self._scalar_keystream(
+            cipher, prefix, 2, nblocks
+        )
+
+    def test_counter_wraps_at_32_bits(self, rng):
+        cipher = AES(rng.random_bytes(16))
+        prefix = rng.random_bytes(12)
+        start = 0xFFFFFFF0
+        assert cipher.ctr_keystream(prefix, start, 32) == self._scalar_keystream(
+            cipher, prefix, start, 32
+        )
+
+    def test_zero_blocks(self, rng):
+        assert AES(rng.random_bytes(16)).ctr_keystream(b"\x00" * 12, 2, 0) == b""
+
+    def test_bad_prefix_rejected(self, rng):
+        with pytest.raises(CryptoError):
+            AES(rng.random_bytes(16)).ctr_keystream(b"\x00" * 11, 2, 4)
+
+    def test_bitsliced_engine_is_cached(self, rng):
+        cipher = AES(rng.random_bytes(16))
+        prefix = rng.random_bytes(12)
+        cipher.ctr_keystream(prefix, 2, 64)
+        engine = cipher._bitsliced
+        assert engine is not None
+        cipher.ctr_keystream(prefix, 2, 64)
+        assert cipher._bitsliced is engine

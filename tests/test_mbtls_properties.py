@@ -119,3 +119,19 @@ class TestSuiteMatrix:
         event = scenario.established_event
         assert event is not None and event.cipher_suite == code
         assert scenario.client_received == [b"REPLY:PING"]
+
+
+class TestWarmAeadContexts:
+    def test_chain_build_primes_the_aead_cache(self):
+        from repro.core.keys import generate_hop_keys, warm_aead_contexts
+        from repro.tls.record_layer import ConnectionState, aead_for
+
+        suite = suite_by_code(0xC030)
+        rng = HmacDrbg(b"warm-aead")
+        hop = generate_hop_keys(suite, rng)
+        warm_aead_contexts(suite, [hop])
+        # Building states afterwards reuses the primed contexts.
+        state = ConnectionState(
+            suite, hop.client_write_key, hop.client_write_iv
+        )
+        assert state._aead is aead_for(suite, hop.client_write_key)

@@ -124,3 +124,152 @@ class TestKeySchedule:
         a = finished_verify_data(b"m" * 48, b"t1" * 16, is_client=True)
         b = finished_verify_data(b"m" * 48, b"t2" * 16, is_client=True)
         assert a != b
+
+
+class TestAeadCache:
+    def test_same_key_shares_one_context(self, rng):
+        from repro.tls.record_layer import aead_for
+
+        suite = suite_by_code(0xC030)
+        key = rng.random_bytes(suite.key_length)
+        assert aead_for(suite, key) is aead_for(suite, key)
+
+    def test_distinct_keys_distinct_contexts(self, rng):
+        from repro.tls.record_layer import aead_for
+
+        suite = suite_by_code(0xC030)
+        assert aead_for(suite, rng.random_bytes(32)) is not aead_for(
+            suite, rng.random_bytes(32)
+        )
+
+    def test_connection_states_share_cached_context(self, rng):
+        sender, receiver = make_states(rng)
+        assert sender._aead is receiver._aead
+
+    def test_clone_shares_context(self, rng):
+        sender, _ = make_states(rng)
+        assert sender.clone_at(7)._aead is sender._aead
+
+    def test_cache_eviction_bounded(self, rng):
+        from repro.tls import record_layer
+
+        suite = suite_by_code(0xC030)
+        for _ in range(record_layer._AEAD_CACHE_MAX + 8):
+            record_layer.aead_for(suite, rng.random_bytes(32))
+        assert len(record_layer._AEAD_CACHE) <= record_layer._AEAD_CACHE_MAX
+
+
+class TestBatchedRecords:
+    @pytest.mark.parametrize("code", sorted(CIPHER_SUITES))
+    def test_protect_many_byte_identical_to_sequential(self, rng, code):
+        batch_sender, seq_sender = make_states(rng, code)
+        items = [
+            (ContentType.APPLICATION_DATA, rng.random_bytes(n))
+            for n in (0, 1, 100, 1500, MAX_FRAGMENT)
+        ]
+        batched = batch_sender.protect_many(items)
+        sequential = [seq_sender.protect(ct, pt) for ct, pt in items]
+        assert [r.encode() for r in batched] == [r.encode() for r in sequential]
+        assert batch_sender.sequence == seq_sender.sequence
+
+    def test_unprotect_many_matches_sequential(self, rng):
+        sender, receiver = make_states(rng)
+        payloads = [b"a" * 100, b"b" * 2000, b""]
+        records = sender.protect_many(
+            [(ContentType.APPLICATION_DATA, p) for p in payloads]
+        )
+        assert receiver.unprotect_many(records) == payloads
+        assert receiver.sequence == sender.sequence
+
+    def test_unprotect_many_tamper_consumes_nothing(self, rng):
+        """All-or-nothing: a bad record mid-batch leaves the receiver able
+        to replay per record and recover the valid prefix."""
+        from repro.wire.records import Record
+
+        sender, receiver = make_states(rng)
+        records = sender.protect_many(
+            [(ContentType.APPLICATION_DATA, bytes([i]) * 50) for i in range(3)]
+        )
+        bad = bytearray(records[1].payload)
+        bad[-1] ^= 0x01
+        records[1] = Record(ContentType.APPLICATION_DATA, bytes(bad))
+        with pytest.raises(IntegrityError):
+            receiver.unprotect_many(records)
+        assert receiver.sequence == 0
+        assert receiver.unprotect(records[0]) == bytes([0]) * 50
+        with pytest.raises(IntegrityError):
+            receiver.unprotect(records[1])
+
+    def test_unprotect_many_short_record_consumes_nothing(self, rng):
+        from repro.wire.records import Record
+
+        sender, receiver = make_states(rng)
+        records = sender.protect_many(
+            [(ContentType.APPLICATION_DATA, b"x" * 20) for _ in range(2)]
+        )
+        records.append(Record(ContentType.APPLICATION_DATA, b"tiny"))
+        with pytest.raises(IntegrityError):
+            receiver.unprotect_many(records)
+        assert receiver.sequence == 0
+
+
+class TestDeferredSealing:
+    """RecordPlane defers app-data sealing; wire bytes must be identical."""
+
+    def _plane_with_writer(self, rng):
+        from repro.io.record_plane import RecordPlane
+
+        sender, reference = make_states(rng)
+        plane = RecordPlane()
+        plane.write_state = sender
+        return plane, reference
+
+    def test_deferred_flight_matches_eager_sealing(self, rng):
+        plane, reference = self._plane_with_writer(rng)
+        chunks = [b"1" * 10, b"2" * 5000, b"3" * MAX_FRAGMENT]
+        for chunk in chunks:
+            plane.queue_application_data(chunk)
+        expected = b"".join(
+            reference.protect(ContentType.APPLICATION_DATA, chunk).encode()
+            for chunk in chunks
+        )
+        assert plane.data_to_send() == expected
+
+    def test_pending_seal_counts_as_output(self, rng):
+        plane, _ = self._plane_with_writer(rng)
+        assert not plane.has_output
+        plane.queue_record(ContentType.APPLICATION_DATA, b"x")
+        assert plane.has_output
+        plane.data_to_send()
+        assert not plane.has_output
+
+    def test_verbatim_queue_flushes_first(self, rng):
+        """A forwarded record queued after app data must stay after it."""
+        from repro.wire.records import Record
+
+        plane, reference = self._plane_with_writer(rng)
+        plane.queue_record(ContentType.APPLICATION_DATA, b"first")
+        plane.queue_encoded(Record(ContentType.HANDSHAKE, b"fwd"))
+        wire = plane.data_to_send()
+        expected_first = reference.protect(
+            ContentType.APPLICATION_DATA, b"first"
+        ).encode()
+        assert wire.startswith(expected_first)
+        assert wire.endswith(Record(ContentType.HANDSHAKE, b"fwd").encode())
+
+    def test_sequences_reflect_pending_records(self, rng):
+        plane, _ = self._plane_with_writer(rng)
+        plane.queue_record(ContentType.APPLICATION_DATA, b"a")
+        plane.queue_record(ContentType.APPLICATION_DATA, b"b")
+        write_seq, _read = plane.sequences()
+        assert write_seq == 2
+
+    def test_state_swap_seals_under_old_keys(self, rng):
+        plane, reference = self._plane_with_writer(rng)
+        new_sender, _ = make_states(rng)
+        plane.queue_record(ContentType.APPLICATION_DATA, b"old-keys")
+        plane.replace_states(None, new_sender)
+        wire = plane.data_to_send()
+        assert wire == reference.protect(
+            ContentType.APPLICATION_DATA, b"old-keys"
+        ).encode()
