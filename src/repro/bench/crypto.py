@@ -260,6 +260,17 @@ def _run_chain_once(
     return elapsed
 
 
+def _party_record_counts(plane) -> dict:
+    """Per-party sealed/opened record totals from an observability plane."""
+    parties: dict[str, dict[str, int]] = {}
+    for family in ("sealed", "opened"):
+        for labels, value in plane.metrics.iter_counters(f"records_{family}"):
+            party = labels.get("party", "")
+            entry = parties.setdefault(party, {"sealed": 0, "opened": 0})
+            entry[family] += value
+    return dict(sorted(parties.items()))
+
+
 def bench_chain(
     middlebox_count: int = 2,
     flights: int = 8,
@@ -267,15 +278,21 @@ def bench_chain(
     record_bytes: int = RECORD_BYTES,
 ) -> dict:
     """End-to-end records/sec through the middlebox chain, fast vs scalar."""
+    from repro import obs
+
     records = flights * (flight_bytes // record_bytes)
-    fast_s = _run_chain_once(middlebox_count, flights, flight_bytes, b"chain-fast")
+    # A fresh scoped plane makes the per-party record accounting below a
+    # pure function of this bench run, not whatever ran before it.
+    with obs.scoped() as plane:
+        fast_s = _run_chain_once(middlebox_count, flights, flight_bytes, b"chain-fast")
     with _scalar_crypto():
         # A fraction of the fast run keeps the scalar leg under control;
         # rates are per-second so the comparison is unaffected.
         scalar_flights = max(1, flights // 4)
-        scalar_s = _run_chain_once(
-            middlebox_count, scalar_flights, flight_bytes, b"chain-scalar"
-        )
+        with obs.scoped():
+            scalar_s = _run_chain_once(
+                middlebox_count, scalar_flights, flight_bytes, b"chain-scalar"
+            )
     fast_rate = records / fast_s
     scalar_rate = (scalar_flights * (flight_bytes // record_bytes)) / scalar_s
     return {
@@ -285,6 +302,7 @@ def bench_chain(
         "records_per_sec": round(fast_rate, 1),
         "scalar_records_per_sec": round(scalar_rate, 1),
         "speedup": round(fast_rate / scalar_rate, 2),
+        "party_records": _party_record_counts(plane),
     }
 
 

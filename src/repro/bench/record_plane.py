@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import time
 
+from repro import obs
 from repro.bench.crypto import SCHEMA_VERSION, git_describe
 from repro.io.record_plane import RecordPlane
 from repro.wire.records import ContentType, MAX_FRAGMENT, Record
@@ -68,10 +69,19 @@ def run(payload_bytes: int = PAYLOAD_BYTES, flights: int = FLIGHTS) -> dict:
     legacy_rate, legacy_records, legacy_copied = _throughput(
         lambda: legacy_drain(payload), payload_bytes, flights
     )
-    plane = RecordPlane()
-    plane_rate, plane_records, plane_copied = _throughput(
-        lambda: plane_drain(plane, payload), payload_bytes, flights
-    )
+    # Scoped plane: the drain counters below reflect this run alone.
+    with obs.scoped() as obs_plane:
+        plane = RecordPlane()
+        plane.party = "bench"
+        plane_rate, plane_records, plane_copied = _throughput(
+            lambda: plane_drain(plane, payload), payload_bytes, flights
+        )
+    drain_metrics = {
+        "flights_drained": obs_plane.metrics.counter_value(
+            "flights_drained", party="bench"),
+        "bytes_drained": obs_plane.metrics.counter_value(
+            "bytes_drained", party="bench"),
+    }
     return {
         "schema_version": SCHEMA_VERSION,
         "bench": "record_plane",
@@ -86,6 +96,7 @@ def run(payload_bytes: int = PAYLOAD_BYTES, flights: int = FLIGHTS) -> dict:
         "record_plane": {
             "records_per_sec": round(plane_rate),
             "bytes_copied": plane_copied,
+            "metrics": drain_metrics,
         },
         "bytes_copied_ratio": round(plane_copied / legacy_copied, 3),
     }

@@ -10,6 +10,7 @@ Usage::
     python -m repro sgx                  # Figure 7, enclave throughput model
     python -m repro fuzz                 # protocol-fuzz smoke corpus
     python -m repro bench --quick        # bulk-crypto + record-plane benches
+    python -m repro metrics              # observability plane vs wiretap
     python -m repro all                  # everything
 """
 
@@ -173,6 +174,59 @@ def _cmd_fuzz(args) -> None:
         raise SystemExit(1)
 
 
+def _cmd_metrics(args) -> None:
+    import json
+
+    from repro.bench.observability import metrics_report, run_observed
+    from repro.bench.tables import render_table
+
+    flights = 1 if args.quick else 3
+    run = run_observed(seed=args.seed, flights=flights)
+    report = metrics_report(run, include_trace=not args.quick)
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return
+
+    scenario = report["scenario"]
+    print(f"observed scenario: {' -> '.join(scenario['path'])}, "
+          f"{scenario['flights']} request/response flights, "
+          f"seed {scenario['seed']!r} (schema v{report['schema_version']})")
+    print(f"established={scenario['established']} "
+          f"degraded={scenario['degraded']} "
+          f"reply={scenario['reply_bytes']} bytes "
+          f"in {scenario['sim_seconds']*1000:.1f} virtual ms")
+    rows = []
+    mismatches = 0
+    for hop in report["per_hop"]:
+        ok = (hop["wire_application_data"] == hop["sealed_application_data"]
+              == hop["opened_application_data"])
+        mismatches += 0 if ok else 1
+        rows.append([
+            hop["hop"], hop["wire_application_data"],
+            f"{hop['sealed_application_data']} ({hop['sealed_by']})",
+            f"{hop['opened_application_data']} ({hop['opened_by']})",
+            "ok" if ok else "MISMATCH",
+        ])
+    print(render_table(
+        "Per-hop application-data records: wiretap vs metrics",
+        ["hop", "wire", "sealed by", "opened by", "check"], rows))
+    counters = report["metrics"]["counters"]
+    interesting = ("key_installs", "alerts_sent", "seal_flushes",
+                   "supervisor_outcomes", "driver_timeouts")
+    rows = []
+    for name in interesting:
+        for entry in counters.get(name, []):
+            labels = ", ".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+            rows.append([name, labels, entry["value"]])
+    if rows:
+        print(render_table("Selected session counters",
+                           ["counter", "labels", "value"], rows))
+    if mismatches:
+        raise SystemExit(f"{mismatches} hop(s) disagree with the wiretap")
+    print("all hops agree with the adversary's ground truth")
+
+
 def _cmd_bench(args) -> None:
     import json
     from pathlib import Path
@@ -233,6 +287,7 @@ _COMMANDS = {
     "sgx": _cmd_sgx,
     "fuzz": _cmd_fuzz,
     "bench": _cmd_bench,
+    "metrics": _cmd_metrics,
 }
 
 
@@ -258,7 +313,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="fuzz replay: mutation kind "
                              "(default: drawn from the DRBG)")
     parser.add_argument("--quick", action="store_true",
-                        help="bench: fewer repeats/flights (CI smoke)")
+                        help="bench/metrics: fewer repeats/flights (CI smoke)")
+    parser.add_argument("--json", action="store_true",
+                        help="metrics: emit the schema-versioned JSON report "
+                             "instead of tables")
     parser.add_argument("--check-baseline", action="store_true",
                         help="bench: compare against the checked-in "
                              "BENCH_crypto.json and fail on >30%% regression "

@@ -26,6 +26,7 @@ from repro.core.config import (
 from repro.core.keys import build_hop_chain, bridge_hop_keys, hop_states_for_endpoint
 from repro.core.mux import Subchannel
 from repro.core.resumption import RememberedMiddlebox
+from repro import obs
 from repro.errors import DecodeError, IntegrityError, ProtocolError, SessionAborted
 from repro.io.record_plane import RecordPlane
 from repro.tls.ciphersuites import suite_by_code
@@ -83,6 +84,8 @@ class MbTLSClientEngine:
         # Alert-plane attribution (see DESIGN.md §9).
         self.origin_label = "client"
         self.primary.origin_label = self.origin_label
+        self._plane.party = self.origin_label
+        self._session_span = None
         self.abort: SessionAborted | None = None
         # Subchannels abandoned because their middlebox stalled or died
         # mid-handshake (graceful degradation, not rejection-by-policy).
@@ -98,6 +101,8 @@ class MbTLSClientEngine:
 
     def start(self) -> None:
         """Send the primary ClientHello (with the MiddleboxSupport extension)."""
+        self._session_span = obs.tracer().begin(
+            "handshake.mbtls", party=self.origin_label)
         self.primary.start()
         self._drain_primary()
 
@@ -174,6 +179,11 @@ class MbTLSClientEngine:
             sub.rejected = True
             sub.reject_reason = reason
             self.bypassed_subchannels.append(sub.subchannel_id)
+            obs.counter("middleboxes_bypassed", party=self.origin_label).inc()
+            obs.tracer().mark(
+                "middlebox.bypassed", party=self.origin_label,
+                subchannel=sub.subchannel_id, reason=reason,
+            )
             self._send_subchannel_alert(sub.subchannel_id)
             self._events.append(
                 MiddleboxRejected(subchannel_id=sub.subchannel_id, reason=reason)
@@ -251,6 +261,8 @@ class MbTLSClientEngine:
         except ProtocolError:
             pass
         self.closed = True
+        obs.counter("alerts_sent", origin=self.origin_label, alert=name).inc()
+        obs.tracer().end(self._session_span, error=name)
         self.abort = SessionAborted(str(exc), origin=self.origin_label, alert=name)
         self._events.append(
             ConnectionClosed(
@@ -336,6 +348,9 @@ class MbTLSClientEngine:
             preset_resume_session=candidate.session if candidate else None,
         )
         engine = TLSClientEngine(secondary_config)
+        # Metrics attribution only — origin_label stays unset so the
+        # wire-visible alert plane is untouched.
+        engine._plane.party = f"client:sub{encap.subchannel_id}"
         engine.start()  # enters the preset hello into the transcript
         sub = Subchannel(encap.subchannel_id, engine)
         sub.resume_candidate = candidate
@@ -443,10 +458,18 @@ class MbTLSClientEngine:
                 suite, hops[0], is_client=True
             )
             self._plane.replace_states(data_read, data_write)
+            obs.counter(
+                "key_installs", party=self.origin_label, kind="hop",
+                suite=suite.name,
+            ).inc()
             for hop in hops[:-1]:
                 self.config.tls.report_secret("hop_key", hop.client_write_key)
                 self.config.tls.report_secret("hop_key", hop.server_write_key)
         self.established = True
+        obs.tracer().end(
+            self._session_span,
+            middleboxes=len(self.middleboxes), resumed=self.primary.resumed,
+        )
         self._remember_middlebox_sessions()
         self._events.append(
             SessionEstablished(

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import obs
 from repro.core.client import MbTLSClientEngine
 from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig, SessionEstablished
 from repro.core.middlebox import MbTLSMiddlebox
@@ -318,6 +319,7 @@ class SessionSupervisor:
         self.engine: MbTLSClientEngine | None = None
         self.driver: EngineDriver | None = None
         self.events: list[object] = []
+        self._attempt_span = None
         self._dial()
 
     # ------------------------------------------------------------------ API
@@ -339,8 +341,20 @@ class SessionSupervisor:
 
     # ------------------------------------------------------------ internals
 
+    def _finish(self, outcome: str) -> None:
+        self.outcome = outcome
+        obs.counter(
+            "supervisor_outcomes", destination=self.destination, outcome=outcome
+        ).inc()
+        obs.tracer().end(self._attempt_span, outcome=outcome)
+
     def _dial(self) -> None:
         self.attempt += 1
+        obs.counter("supervisor_dials", destination=self.destination).inc()
+        self._attempt_span = obs.tracer().begin(
+            "session.attempt", party=self.host.name,
+            attempt=self.attempt, destination=self.destination,
+        )
         try:
             socket = self.host.connect(self.destination, self.port)
         except NetworkError as exc:
@@ -366,13 +380,13 @@ class SessionSupervisor:
             if degraded and not self.policy.allow_degraded:
                 # Fail-closed endpoint policy: a weakened path is worse
                 # than no path. Tear down with a clean close.
-                self.outcome = "failed"
+                self._finish("failed")
                 self.failure = str(
                     DegradedPathError("degraded session forbidden by policy")
                 )
                 self.driver.close()
             else:
-                self.outcome = "degraded" if degraded else "established"
+                self._finish("degraded" if degraded else "established")
         elif isinstance(event, ConnectionClosed):
             alert = getattr(event, "alert", "")
             if alert and event.error is not None and self.abort is None:
@@ -389,7 +403,7 @@ class SessionSupervisor:
                 if self.driver is not None and self.driver.timed_out:
                     return  # _on_timeout owns this attempt's retry
                 if alert in PEER_FAULT_ALERTS:
-                    self.outcome = "aborted"
+                    self._finish("aborted")
                     self.failure = event.error or alert
                 else:
                     self._attempt_over(event.error or "connection closed")
@@ -403,8 +417,9 @@ class SessionSupervisor:
     def _attempt_over(self, error: str) -> None:
         if self.outcome is not None:
             return
+        obs.tracer().end(self._attempt_span, error=error)
         if self.attempt >= self.policy.max_attempts:
-            self.outcome = "failed"
+            self._finish("failed")
             self.failure = error
             return
         delay = self.policy.backoff(self.attempt - 1)
@@ -413,6 +428,7 @@ class SessionSupervisor:
     def _redial(self) -> None:
         if self.outcome is not None:
             return
+        obs.counter("supervisor_redials", destination=self.destination).inc()
         if not self.host.alive:
             self._attempt_over(f"host {self.host.name} is down")
             return

@@ -22,6 +22,7 @@ drain ``data_to_send_down``/``data_to_send_up``.
 from __future__ import annotations
 
 from repro.core.config import MiddleboxConfig, MiddleboxRole
+from repro import obs
 from repro.errors import (
     CryptoError,
     DecodeError,
@@ -76,6 +77,11 @@ class MbTLSMiddlebox:
         # vice versa), so each plane's read/write states belong to the
         # segment it faces.
         self._planes = [RecordPlane(), RecordPlane()]
+        # Party labels: ``<name>:down`` faces the client-side segment,
+        # ``<name>:up`` the server-side one, so per-hop sealed/opened
+        # counters attribute to the exact plane that did the work.
+        self._planes[_DOWN].party = f"{config.name}:down"
+        self._planes[_UP].party = f"{config.name}:up"
         self._started = False
         self._events: list[Event] = []
         # Secondary session (we are the TLS server toward our endpoint).
@@ -238,6 +244,7 @@ class MbTLSMiddlebox:
         if self.closed:
             return
         name = description.name.lower()
+        obs.counter("alerts_sent", origin=self.config.name, alert=name).inc()
         alert = Alert.fatal(description, origin=self.config.name)
         for plane in self._planes:
             try:
@@ -437,6 +444,7 @@ class MbTLSMiddlebox:
         self.my_subchannel = (max(self._seen_subchannels) + 1) if self._seen_subchannels else 1
         self._claimed = True
         self._secondary = TLSServerEngine(self.config.tls)
+        self._secondary._plane.party = f"{self.config.name}:secondary"
         self._secondary.start()
         assert self._client_hello_record is not None
         self._feed_secondary(
@@ -453,6 +461,7 @@ class MbTLSMiddlebox:
         self._claimed = True
         self._used_up_subchannels.add(1)
         self._secondary = TLSServerEngine(self.config.tls)
+        self._secondary._plane.party = f"{self.config.name}:secondary"
         self._secondary.start()
         announcement = EncapsulatedRecord(
             subchannel_id=self.my_subchannel,
@@ -565,6 +574,11 @@ class MbTLSMiddlebox:
         self._planes[_DOWN].replace_states(c2s_read, s2c_write)
         self._planes[_UP].replace_states(s2c_read, c2s_write)
         self.keys_installed = True
+        obs.counter(
+            "key_installs", party=self.config.name, kind="hop",
+            suite=suite_down.name,
+        ).inc()
+        obs.tracer().mark("keys.installed", party=self.config.name)
         self._events.append(
             MiddleboxKeysInstalled(
                 toward_client_suite=suite_down.code,
@@ -597,6 +611,7 @@ class MbTLSMiddlebox:
             else:
                 # Tampered or out-of-path record: drop it (P2/P4).
                 self.records_dropped += 1
+                obs.counter("records_dropped", party=self.config.name).inc()
             return
         if record.content_type == ContentType.ALERT:
             self._propagate_alert(from_side, plaintext)
@@ -604,6 +619,9 @@ class MbTLSMiddlebox:
         if record.content_type == ContentType.APPLICATION_DATA:
             plaintext = self._run_app(direction, plaintext)
             self.records_processed += 1
+            obs.counter(
+                "records_processed", party=self.config.name, direction=direction
+            ).inc()
             if plaintext is None:
                 return  # the application consumed the chunk
         self._planes[1 - from_side].queue_record(record.content_type, plaintext)

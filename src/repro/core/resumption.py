@@ -51,7 +51,13 @@ class MiddleboxSessionStore:
             self._entries.popitem(last=False)
 
     def lookup(self, server_name: str) -> list[RememberedMiddlebox]:
-        return list(self._entries.get(server_name, []))
+        entry = self._entries.get(server_name)
+        if entry is None:
+            return []
+        # A hit is a use: refresh recency so eviction drops the coldest
+        # server, not the most-resumed one.
+        self._entries.move_to_end(server_name)
+        return list(entry)
 
     def forget(self, server_name: str) -> None:
         self._entries.pop(server_name, None)

@@ -25,6 +25,7 @@ from repro.core.config import (
 )
 from repro.core.keys import build_hop_chain, bridge_hop_keys, hop_states_for_endpoint
 from repro.core.mux import Subchannel
+from repro import obs
 from repro.errors import DecodeError, IntegrityError, ProtocolError, SessionAborted
 from repro.io.record_plane import RecordPlane
 from repro.tls.ciphersuites import suite_by_code
@@ -69,6 +70,8 @@ class MbTLSServerEngine:
         # Alert-plane attribution (see DESIGN.md §9).
         self.origin_label = "server"
         self.primary.origin_label = self.origin_label
+        self._plane.party = self.origin_label
+        self._session_span = None
         self.abort: SessionAborted | None = None
         # Subchannels abandoned because their middlebox stalled or died
         # mid-handshake (graceful degradation, not rejection-by-policy).
@@ -77,6 +80,8 @@ class MbTLSServerEngine:
     # ------------------------------------------------------------------ API
 
     def start(self) -> None:
+        self._session_span = obs.tracer().begin(
+            "handshake.mbtls", party=self.origin_label)
         self.primary.start()
 
     def data_to_send(self) -> bytes:
@@ -119,6 +124,8 @@ class MbTLSServerEngine:
         except ProtocolError:
             pass
         self.closed = True
+        obs.counter("alerts_sent", origin=self.origin_label, alert=name).inc()
+        obs.tracer().end(self._session_span, error=name)
         self.abort = SessionAborted(str(exc), origin=self.origin_label, alert=name)
         self._events.append(
             ConnectionClosed(
@@ -197,6 +204,11 @@ class MbTLSServerEngine:
             sub.rejected = True
             sub.reject_reason = reason
             self.bypassed_subchannels.append(sub.subchannel_id)
+            obs.counter("middleboxes_bypassed", party=self.origin_label).inc()
+            obs.tracer().mark(
+                "middlebox.bypassed", party=self.origin_label,
+                subchannel=sub.subchannel_id, reason=reason,
+            )
             self._events.append(
                 MiddleboxRejected(subchannel_id=sub.subchannel_id, reason=reason)
             )
@@ -306,6 +318,9 @@ class MbTLSServerEngine:
             on_secret=self.config.tls.on_secret,
         )
         engine = TLSClientEngine(secondary_config)
+        # Metrics attribution only — origin_label stays unset so the
+        # wire-visible alert plane is untouched.
+        engine._plane.party = f"server:sub{encap.subchannel_id}"
         engine.start()  # the server initiates: it is the TLS client here
         sub = Subchannel(encap.subchannel_id, engine)
         self._secondaries[encap.subchannel_id] = sub
@@ -392,10 +407,18 @@ class MbTLSServerEngine:
                 suite, hops[-1], is_client=False
             )
             self._plane.replace_states(data_read, data_write)
+            obs.counter(
+                "key_installs", party=self.origin_label, kind="hop",
+                suite=suite.name,
+            ).inc()
             for hop in hops[1:]:
                 self.config.tls.report_secret("hop_key", hop.client_write_key)
                 self.config.tls.report_secret("hop_key", hop.server_write_key)
         self.established = True
+        obs.tracer().end(
+            self._session_span,
+            middleboxes=len(self.middleboxes), resumed=self.primary.resumed,
+        )
         self._events.append(
             SessionEstablished(
                 cipher_suite=suite.code,

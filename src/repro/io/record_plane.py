@@ -17,6 +17,9 @@ tracks the copy count and throughput against the historical per-record path.
 
 from __future__ import annotations
 
+from time import perf_counter
+
+from repro import obs
 from repro.errors import ProtocolError
 from repro.wire.records import (
     ContentType,
@@ -60,6 +63,9 @@ class RecordPlane:
         "records_queued",
         "flights_drained",
         "bytes_drained",
+        "party",
+        "_obs_plane",
+        "_obs_cache",
     )
 
     # Worst-case per-record expansion when sealed: 5-byte header plus
@@ -82,6 +88,36 @@ class RecordPlane:
         self.records_queued = 0
         self.flights_drained = 0
         self.bytes_drained = 0
+        # Observability: the owning engine stamps ``party`` before traffic
+        # flows; counters are cached per (family, content type) and the
+        # cache is dropped whenever the process-local plane is swapped.
+        self.party = ""
+        self._obs_plane = None
+        self._obs_cache = {}
+
+    # ---------------------------------------------------------------- metrics
+
+    def _obs_counters(self, family: str, content_type: int):
+        """Cached ``(records, bytes)`` counters for one content type."""
+        current = obs.plane()
+        if current is not self._obs_plane:
+            self._obs_plane = current
+            self._obs_cache = {}
+        key = (family, content_type)
+        cached = self._obs_cache.get(key)
+        if cached is None:
+            try:
+                label = ContentType(content_type).name.lower()
+            except ValueError:
+                label = str(content_type)
+            cached = (
+                current.metrics.counter(
+                    f"records_{family}", party=self.party, type=label),
+                current.metrics.counter(
+                    f"bytes_{family}", party=self.party, type=label),
+            )
+            self._obs_cache[key] = cached
+        return cached
 
     # ---------------------------------------------------------------- inbound
 
@@ -99,7 +135,11 @@ class RecordPlane:
     def unprotect(self, record: Record) -> bytes:
         """Decrypt under the read state; plaintext passthrough before keys."""
         if self.read_state is not None:
-            return self.read_state.unprotect(record)
+            plaintext = self.read_state.unprotect(record)
+            records, size = self._obs_counters("opened", int(record.content_type))
+            records.inc()
+            size.inc(len(plaintext))
+            return plaintext
         return record.payload
 
     def unprotect_many(self, records: list[Record]) -> list[bytes]:
@@ -114,8 +154,14 @@ class RecordPlane:
             return [record.payload for record in records]
         unprotect_many = getattr(state, "unprotect_many", None)
         if unprotect_many is not None and len(records) > 1:
-            return unprotect_many(records)
-        return [state.unprotect(record) for record in records]
+            plaintexts = unprotect_many(records)
+        else:
+            plaintexts = [state.unprotect(record) for record in records]
+        for record, plaintext in zip(records, plaintexts):
+            counted, size = self._obs_counters("opened", int(record.content_type))
+            counted.inc()
+            size.inc(len(plaintext))
+        return plaintexts
 
     def activate_pending_read(self) -> None:
         """ChangeCipherSpec arrived: flip to the staged read state."""
@@ -177,10 +223,26 @@ class RecordPlane:
         self._pending_seal_bytes = 0
         state = self.write_state
         protect_many = getattr(state, "protect_many", None)
+        current = obs.plane()
+        started = perf_counter() if current.wall_time else 0.0
         if protect_many is not None and len(pending) > 1:
             records = protect_many(pending)
         else:
             records = [state.protect(ct, payload) for ct, payload in pending]
+        if current.wall_time:
+            suite = getattr(state, "suite", None)
+            current.metrics.histogram(
+                "aead_seal_seconds", party=self.party,
+                suite=getattr(suite, "name", "unknown"),
+            ).observe(perf_counter() - started)
+        for content_type, payload in pending:
+            counted, size = self._obs_counters("sealed", int(content_type))
+            counted.inc()
+            size.inc(len(payload))
+        current.metrics.counter("seal_flushes", party=self.party).inc()
+        current.metrics.histogram(
+            "seal_batch_records", obs.COUNT_BUCKETS, party=self.party
+        ).observe(len(pending))
         for record in records:
             self._append(int(record.content_type), record.payload)
 
@@ -222,6 +284,9 @@ class RecordPlane:
         self._outbox.clear()
         self.flights_drained += 1
         self.bytes_drained += len(data)
+        metrics = obs.plane().metrics
+        metrics.counter("flights_drained", party=self.party).inc()
+        metrics.counter("bytes_drained", party=self.party).inc(len(data))
         return data
 
     # --------------------------------------------------------------- sequence

@@ -19,6 +19,7 @@ from __future__ import annotations
 import time
 from typing import Callable
 
+from repro import obs
 from repro.io import DuplexPump, flush_connection
 from repro.netsim.network import Socket
 from repro.netsim.sim import Timer
@@ -209,6 +210,8 @@ class EngineDriver:
         from repro.tls.events import ConnectionClosed
 
         self.timed_out = kind
+        obs.counter("driver_timeouts", kind=kind).inc()
+        obs.tracer().mark("driver.timeout", kind=kind)
         self._cancel_timers()
         try:
             with self.meter.measure():

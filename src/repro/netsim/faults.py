@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import obs
 from repro.crypto.drbg import HmacDrbg
 from repro.netsim.network import Host, Network, Stream, Tap
 
@@ -40,6 +41,12 @@ __all__ = [
     "FaultInjector",
     "AppliedFault",
 ]
+
+
+def _record(log: list["AppliedFault"], fault: "AppliedFault") -> None:
+    """Append to the determinism log and bump the per-kind fault counter."""
+    log.append(fault)
+    obs.counter("faults_injected", kind=fault.kind).inc()
 
 
 def _hop_matches(hop: frozenset | None, stream: Stream) -> bool:
@@ -233,8 +240,9 @@ class ChaosTap(Tap):
             if not self._active(fault, now) or not _hop_matches(fault.hop, stream):
                 continue
             if isinstance(fault, LinkPartition):
-                self._log.append(
-                    AppliedFault(now, "partition-drop", hop_name, f"{len(data)}B")
+                _record(
+                    self._log,
+                    AppliedFault(now, "partition-drop", hop_name, f"{len(data)}B"),
                 )
                 return None
             if isinstance(fault, StreamStall):
@@ -242,8 +250,8 @@ class ChaosTap(Tap):
                 return None
             if isinstance(fault, LossBurst):
                 if self._rng.random() < fault.rate:
-                    self._log.append(
-                        AppliedFault(now, "loss", hop_name, f"{len(data)}B")
+                    _record(
+                        self._log, AppliedFault(now, "loss", hop_name, f"{len(data)}B")
                     )
                     return None
             elif isinstance(fault, CorruptionBurst):
@@ -251,8 +259,8 @@ class ChaosTap(Tap):
                     index = self._rng.randint_range(0, len(data) - 1)
                     flipped = bytes([data[index] ^ 0xFF])
                     data = data[:index] + flipped + data[index + 1 :]
-                    self._log.append(
-                        AppliedFault(now, "corrupt", hop_name, f"byte {index}")
+                    _record(
+                        self._log, AppliedFault(now, "corrupt", hop_name, f"byte {index}")
                     )
         return data
 
@@ -266,8 +274,9 @@ class ChaosTap(Tap):
     ) -> None:
         side = 0 if stream.endpoints[0].host is sender else 1
         self._stalled.setdefault(fault, []).append((stream, 1 - side, data))
-        self._log.append(
-            AppliedFault(stream.sim.now, "stall", hop_name, f"{len(data)}B held")
+        _record(
+            self._log,
+            AppliedFault(stream.sim.now, "stall", hop_name, f"{len(data)}B held"),
         )
         if fault not in self._release_scheduled:
             self._release_scheduled.add(fault)
@@ -282,10 +291,11 @@ class ChaosTap(Tap):
                 # inject() bypasses taps, so released bytes are not re-judged.
                 stream.inject(toward_side, data)
         if held:
-            self._log.append(
+            _record(
+                self._log,
                 AppliedFault(
                     held[0][0].sim.now, "stall-release", "", f"{len(held)} chunks"
-                )
+                ),
             )
 
 
@@ -323,13 +333,13 @@ class FaultInjector:
 
     def _crash(self, crash: HostCrash) -> None:
         sim = self.network.sim
-        self.log.append(AppliedFault(sim.now, "crash", crash.host))
+        _record(self.log, AppliedFault(sim.now, "crash", crash.host))
         self.network.crash_host(crash.host)
         if crash.restart_after is not None:
             sim.schedule(crash.restart_after, lambda: self._restart(crash.host))
 
     def _restart(self, host: str) -> None:
-        self.log.append(AppliedFault(self.network.sim.now, "restart", host))
+        _record(self.log, AppliedFault(self.network.sim.now, "restart", host))
         self.network.restart_host(host)
         for hook in self._restart_hooks.get(host, []):
             hook()

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.crypto.drbg import HmacDrbg
 from repro.netsim.network import Host, Stream, Tap
 
@@ -164,6 +165,7 @@ class ChunkMutator:
 
     def _log(self, index: int, kind: str, detail: str) -> None:
         self.applied.append(AppliedMutation(index, kind, detail))
+        obs.counter("fuzz_mutations_applied", kind=kind).inc()
 
 
 @dataclass(frozen=True)

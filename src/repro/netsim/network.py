@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.errors import NetworkError, SimulationError
 from repro.netsim.sim import Simulator
 
@@ -157,6 +158,7 @@ class Stream:
         self.latency = latency
         self.bandwidth = bandwidth
         self.path = path or (a.name, b.name)
+        self.link = f"{self.path[0]}-{self.path[-1]}"
         self.endpoints = (Socket(a, self, 0), Socket(b, self, 1))
         self.taps: list[Tap] = []
         self._next_free = [0.0, 0.0]
@@ -182,9 +184,13 @@ class Stream:
         for tap in self.taps:
             result = tap.process(sender, data, self)
             if result is None:
+                obs.counter("net_chunks_dropped", link=self.link).inc()
                 return  # dropped on the wire
+            if result is not data and result != data:
+                obs.counter("net_chunks_mutated", link=self.link).inc()
             data = result
             if not data:
+                obs.counter("net_chunks_dropped", link=self.link).inc()
                 return
         self._schedule_delivery(side, data)
 
@@ -202,6 +208,8 @@ class Stream:
         arrival = depart + serialization + self.latency
         receiver = self.endpoints[1 - side]
         self.bytes_transferred[side] += len(data)
+        obs.counter("net_chunks_delivered", link=self.link).inc()
+        obs.counter("net_bytes_delivered", link=self.link).inc(len(data))
         sim.schedule_at(arrival, lambda: receiver._deliver(data))
 
     def close_from(self, side: int) -> None:

@@ -12,6 +12,7 @@ import heapq
 import itertools
 from typing import Callable
 
+from repro import obs
 from repro.errors import SimulationError
 
 __all__ = ["Simulator", "ScheduledEvent", "Timer"]
@@ -43,6 +44,12 @@ class Simulator:
         self._queue: list[ScheduledEvent] = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        # Virtual time is the observability time source: bind the current
+        # plane's clock here so every metric and span recorded while this
+        # simulator drives the session carries deterministic sim time.
+        # (Scenario runners that install a fresh plane do so *before*
+        # building the network, so the fresh plane gets bound.)
+        obs.plane().bind_clock(lambda: self.now)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
         """Run ``callback`` ``delay`` simulated seconds from now."""

@@ -23,12 +23,13 @@ __all__ = ["TraceEvent", "trace_session", "render_trace"]
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One record observed on one hop."""
+    """One record observed on one hop, or one interleaved span annotation."""
 
     time: float
     sender: str
     receiver: str
     description: str
+    annotation: bool = False
 
 
 def _describe_handshake_payload(payload: bytes, protected: bool) -> str:
@@ -45,11 +46,17 @@ def _describe_handshake_payload(payload: bytes, protected: bool) -> str:
 
 
 def _describe(record: Record, seen_ccs: set, hop: tuple[str, str]) -> str:
+    # ``seen_ccs`` tracks which *channels* have flipped to encrypted, keyed
+    # by ``(sender, receiver, subchannel)`` — the outer record stream uses
+    # subchannel ``None``, each encapsulated secondary handshake its own id.
+    # A hop-global (or even hop-directed but channel-blind) set would start
+    # labeling cleartext secondary-handshake fragments "encrypted" as soon
+    # as any CCS crossed the hop.
     if record.content_type == ContentType.HANDSHAKE:
-        protected = hop in seen_ccs
+        protected = hop + (None,) in seen_ccs
         return _describe_handshake_payload(record.payload, protected)
     if record.content_type == ContentType.CHANGE_CIPHER_SPEC:
-        seen_ccs.add(hop)
+        seen_ccs.add(hop + (None,))
         return "ChangeCipherSpec"
     if record.content_type == ContentType.ALERT:
         return "Alert"
@@ -61,13 +68,14 @@ def _describe(record: Record, seen_ccs: set, hop: tuple[str, str]) -> str:
         except DecodeError:
             return "Encapsulated (malformed)"
         inner = encap.inner
+        channel = hop + (encap.subchannel_id,)
         if inner.content_type == ContentType.MBTLS_MIDDLEBOX_ANNOUNCEMENT:
             detail = "MiddleboxAnnouncement"
         elif inner.content_type == ContentType.HANDSHAKE:
-            # An unparseable inner handshake record is the encrypted
-            # secondary Finished (post-CCS).
-            detail = _describe_handshake_payload(inner.payload, protected=True)
+            detail = _describe_handshake_payload(
+                inner.payload, protected=channel in seen_ccs)
         elif inner.content_type == ContentType.CHANGE_CIPHER_SPEC:
+            seen_ccs.add(channel)
             detail = "ChangeCipherSpec"
         elif inner.content_type == ContentType.MBTLS_KEY_MATERIAL:
             detail = "MBTLSKeyMaterial"
@@ -83,9 +91,29 @@ def _describe(record: Record, seen_ccs: set, hop: tuple[str, str]) -> str:
     return record.content_type.name
 
 
-def trace_session(adversary: GlobalAdversary) -> list[TraceEvent]:
-    """Turn every wiretap's captures into a time-ordered event ladder."""
+def trace_session(adversary: GlobalAdversary, tracer=None) -> list[TraceEvent]:
+    """Turn every wiretap's captures into a time-ordered event ladder.
+
+    When *tracer* (a :class:`~repro.obs.tracing.SpanRecorder`) is given,
+    its spans and marks are interleaved into the ladder as annotation
+    events, so the Figure-3 record flow reads alongside what each engine
+    was doing at that moment.
+    """
     events: list[TraceEvent] = []
+    if tracer is not None:
+        for span in tracer.spans:
+            label = f"{span.party}/{span.name}" if span.party else span.name
+            indent = "  " * span.depth
+            events.append(TraceEvent(
+                span.start, span.party, "", f"{indent}[begin {label}]", True))
+            if span.end is not None:
+                duration_ms = (span.end - span.start) * 1000
+                events.append(TraceEvent(
+                    span.end, span.party, "",
+                    f"{indent}[end   {label} +{duration_ms:.1f} ms]", True))
+        for time, _index, name, party, _attrs in tracer.marks:
+            label = f"{party}/{name}" if party else name
+            events.append(TraceEvent(time, party, "", f"[mark  {label}]", True))
     for wiretap in adversary.wiretaps:
         buffers: dict[str, RecordBuffer] = {}
         seen_ccs: set = set()
@@ -121,7 +149,7 @@ def render_trace(events: list[TraceEvent], limit: int | None = None) -> str:
     lines = []
     shown = events if limit is None else events[:limit]
     for event in shown:
-        arrow = f"{event.sender} -> {event.receiver}"
+        arrow = "·" if event.annotation else f"{event.sender} -> {event.receiver}"
         lines.append(f"{event.time * 1000:8.1f} ms  {arrow:24s} {event.description}")
     if limit is not None and len(events) > limit:
         lines.append(f"          ... {len(events) - limit} more records")

@@ -1,0 +1,108 @@
+"""Span tracing keyed on deterministic sim time.
+
+Sans-IO engines cannot hold a ``with`` block open across calls, so the
+API is explicit: :meth:`SpanRecorder.begin` returns a live :class:`Span`
+the caller stores and later passes to :meth:`SpanRecorder.end`.  Nesting
+is expressed by passing ``parent=``; depth is derived from the parent
+chain, not from any implicit thread-local stack (interleaved engines
+would corrupt one).
+
+Timestamps come from the recorder's ``clock`` callable — bound to a
+:class:`~repro.netsim.sim.Simulator` in every scenario — so identical
+runs produce identical traces, byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class Span:
+    """One timed operation; ``end`` stays ``None`` while it is open."""
+
+    __slots__ = ("name", "party", "start", "end", "attrs", "parent", "index", "depth")
+
+    def __init__(self, name: str, party: str, start: float, index: int,
+                 parent: "Span | None" = None,
+                 attrs: dict[str, object] | None = None) -> None:
+        self.name = name
+        self.party = party
+        self.start = start
+        self.end: float | None = None
+        self.attrs = dict(attrs or {})
+        self.parent = parent
+        self.index = index
+        self.depth = 0 if parent is None else parent.depth + 1
+
+    def duration(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.end is None else f"{self.duration():.6f}s"
+        return f"<Span {self.party}/{self.name} {state}>"
+
+
+class SpanRecorder:
+    """Collects spans and instant marks in deterministic order."""
+
+    __slots__ = ("_clock", "spans", "marks", "_next_index")
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self.spans: list[Span] = []
+        self.marks: list[tuple[float, int, str, str, dict]] = []
+        self._next_index = 0
+
+    def _now(self) -> float:
+        return self._clock()
+
+    def begin(self, name: str, party: str = "", parent: Span | None = None,
+              **attrs: object) -> Span:
+        span = Span(name, party, self._now(), self._next_index, parent, attrs)
+        self._next_index += 1
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span | None, **attrs: object) -> None:
+        """Close *span*; a ``None`` or already-closed span is a no-op so
+        engine teardown paths never have to guard their bookkeeping."""
+        if span is None or span.end is not None:
+            return
+        span.end = self._now()
+        span.attrs.update(attrs)
+
+    def mark(self, name: str, party: str = "", **attrs: object) -> None:
+        """Record an instant event (no duration)."""
+        self.marks.append((self._now(), self._next_index, name, party, dict(attrs)))
+        self._next_index += 1
+
+    def snapshot(self) -> dict:
+        """Deterministic, JSON-ready view of all spans and marks."""
+        spans = [
+            {
+                "name": s.name,
+                "party": s.party,
+                "start": s.start,
+                "end": s.end,
+                "depth": s.depth,
+                "attrs": {str(k): _jsonable(v) for k, v in sorted(s.attrs.items())},
+            }
+            for s in sorted(self.spans, key=lambda s: (s.start, s.index))
+        ]
+        marks = [
+            {
+                "name": name,
+                "party": party,
+                "time": time,
+                "attrs": {str(k): _jsonable(v) for k, v in sorted(attrs.items())},
+            }
+            for time, _index, name, party, attrs in sorted(
+                self.marks, key=lambda m: (m[0], m[1]))
+        ]
+        return {"spans": spans, "marks": marks}
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

@@ -16,6 +16,7 @@ from __future__ import annotations
 import hashlib
 from enum import Enum, auto
 
+from repro import obs
 from repro.crypto.dh import DHGroup, DHPrivateKey, modp_group
 from repro.crypto.x25519 import X25519PrivateKey
 from repro.io.record_plane import RecordPlane
@@ -125,6 +126,30 @@ class TLSEngine:
         # (sent or received) tore the session down.
         self.origin_label = ""
         self.abort: SessionAborted | None = None
+        self._hs_span = None
+
+    @property
+    def origin_label(self) -> str:
+        return self._origin_label
+
+    @origin_label.setter
+    def origin_label(self, value: str) -> None:
+        # The origin label doubles as the observability party name for this
+        # engine's record plane, so stamping one stamps both.
+        self._origin_label = value
+        if value:
+            self._plane.party = value
+
+    def _obs_party(self) -> str:
+        # Prefer the alert origin, then any party stamped on the plane
+        # (middlebox secondaries), then the bare role.
+        return (self.origin_label or self._plane.party
+                or ("client" if self.is_client else "server"))
+
+    def _begin_handshake_span(self) -> None:
+        if self._hs_span is None:
+            self._hs_span = obs.tracer().begin(
+                "handshake.tls", party=self._obs_party())
 
     # ------------------------------------------------------------------ API
 
@@ -259,6 +284,8 @@ class TLSEngine:
         self.alert_sent = alert
         self._state = _State.CLOSED
         name = description.name.lower()
+        obs.counter("alerts_sent", origin=self._obs_party(), alert=name).inc()
+        obs.tracer().end(self._hs_span, error=name)
         self.abort = SessionAborted(message, origin=self.origin_label, alert=name)
         self._emit(
             ConnectionClosed(
@@ -343,6 +370,11 @@ class TLSEngine:
         if record.content_type == ContentType.ALERT:
             alert = Alert.decode(payload)
             self.alert_received = alert
+            obs.counter(
+                "alerts_received", party=self._obs_party(),
+                origin=alert.origin or "unknown",
+                alert=alert.description.name.lower(),
+            ).inc()
             self._emit(AlertReceived(alert=alert))
             if alert.is_fatal or alert.is_close:
                 self._state = _State.CLOSED
@@ -431,6 +463,10 @@ class TLSEngine:
             )
         self._plane.pending_write = ConnectionState(self.suite, write_key, write_iv)
         self._plane.pending_read = ConnectionState(self.suite, read_key, read_iv)
+        obs.counter(
+            "key_installs", party=self._obs_party(), kind="session",
+            suite=self.suite.name,
+        ).inc()
 
     def _verify_finished(self, message: Handshake, from_client: bool) -> None:
         finished = Finished.decode_body(message.body)
@@ -451,6 +487,7 @@ class TLSEngine:
 
     def _complete(self) -> None:
         self._state = _State.ESTABLISHED
+        obs.tracer().end(self._hs_span, resumed=self.resumed)
         self._emit(
             HandshakeComplete(
                 cipher_suite=self.suite.code,
@@ -478,6 +515,7 @@ class TLSClientEngine(TLSEngine):
     def start(self) -> None:
         if self._state != _State.START:
             raise ProtocolError("handshake already started")
+        self._begin_handshake_span()
         if self.config.preset_client_hello is not None:
             self._start_from_preset()
             return
@@ -735,6 +773,7 @@ class TLSServerEngine(TLSEngine):
     def start(self) -> None:
         if self._state != _State.START:
             raise ProtocolError("handshake already started")
+        self._begin_handshake_span()
         self._state = _State.WAIT_CLIENT_HELLO
 
     def _process_handshake(self, message: Handshake) -> None:

@@ -34,6 +34,22 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["fuzz", "--replay", "not-a-protocol"])
 
+    def test_metrics_quick(self, capsys):
+        assert main(["metrics", "--quick", "--seed", "cli-test"]) == 0
+        out = capsys.readouterr().out
+        assert "wiretap vs metrics" in out
+        assert "MISMATCH" not in out
+        assert "all hops agree" in out
+
+    def test_metrics_json_is_schema_versioned(self, capsys):
+        import json
+
+        assert main(["metrics", "--quick", "--json", "--seed", "cli-test"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema_version"] == 1
+        assert report["scenario"]["established"] is True
+        assert len(report["per_hop"]) == 6
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["not-a-command"])

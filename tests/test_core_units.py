@@ -124,6 +124,17 @@ class TestMiddleboxSessionStore:
         assert store.lookup("one") == []
         assert store.lookup("three")
 
+    def test_lookup_refreshes_recency(self):
+        # Regression: lookups must count as uses, or the most-resumed
+        # server is evicted as soon as capacity+1 servers are remembered.
+        store = MiddleboxSessionStore(capacity=3)
+        store.remember("hot", [self._remembered("hot")])
+        for index in range(4):
+            store.remember(f"cold{index}", [self._remembered(f"cold{index}")])
+            assert store.lookup("hot"), f"hot entry evicted after insert {index}"
+        # The untouched cold entries were evicted instead.
+        assert store.lookup("cold0") == []
+
     def test_lookup_returns_copy(self):
         store = MiddleboxSessionStore()
         store.remember("server", [self._remembered("a")])

@@ -273,3 +273,53 @@ class TestDeferredSealing:
         assert wire == reference.protect(
             ContentType.APPLICATION_DATA, b"old-keys"
         ).encode()
+
+
+class TestOutboxBound:
+    """The 4 MiB outbound bound must hold at queue time, before sealing —
+    a deferred-seal queue is still buffered memory (ISSUE 5 audit)."""
+
+    def test_unsealed_queue_counts_toward_bound(self, rng):
+        from repro.io.record_plane import MAX_BUFFERED_BYTES, RecordPlane
+
+        sender, _ = make_states(rng)
+        plane = RecordPlane()
+        plane.write_state = sender
+        chunk = b"x" * MAX_FRAGMENT
+        with pytest.raises(ProtocolError, match="outbound buffer"):
+            # Never drain: if only drained bytes counted, this would loop
+            # forever; the bound must trip while everything is still
+            # plaintext in the deferred-seal queue.
+            for _ in range(2 * MAX_BUFFERED_BYTES // MAX_FRAGMENT):
+                plane.queue_application_data(chunk)
+        # Nothing was sealed or drained on the way to the overflow.
+        assert plane.flights_drained == 0
+        assert len(plane._outbox) == 0
+
+    def test_bound_includes_seal_overhead(self, rng):
+        from repro.io.record_plane import MAX_BUFFERED_BYTES, RecordPlane
+
+        sender, _ = make_states(rng)
+        plane = RecordPlane()
+        plane.write_state = sender
+        overhead = RecordPlane._SEAL_OVERHEAD
+        # Exactly at the bound: fits.
+        plane.queue_record(
+            ContentType.APPLICATION_DATA, b"x" * (MAX_BUFFERED_BYTES - overhead)
+        )
+        # One more byte of payload would exceed it once sealed.
+        with pytest.raises(ProtocolError, match="outbound buffer"):
+            plane.queue_record(ContentType.APPLICATION_DATA, b"y")
+
+    def test_overflow_leaves_queued_flight_intact(self, rng):
+        from repro.io.record_plane import MAX_BUFFERED_BYTES, RecordPlane
+
+        sender, reference = make_states(rng)
+        plane = RecordPlane()
+        plane.write_state = sender
+        plane.queue_record(ContentType.APPLICATION_DATA, b"keep")
+        with pytest.raises(ProtocolError):
+            plane.queue_record(ContentType.APPLICATION_DATA, b"z" * MAX_BUFFERED_BYTES)
+        assert plane.data_to_send() == reference.protect(
+            ContentType.APPLICATION_DATA, b"keep"
+        ).encode()

@@ -6,6 +6,7 @@ from helpers import MbTLSScenario, identity
 from repro.core.config import MiddleboxRole
 from repro.netsim.adversary import GlobalAdversary
 from repro.netsim.trace import render_trace, trace_session
+from repro.wire.records import ContentType
 
 
 @pytest.fixture
@@ -16,6 +17,7 @@ def traced_scenario(rng, pki):
         server_kind="tls",
     )
     adversary = GlobalAdversary(scenario.network)
+    scenario.adversary = adversary
     scenario.run_client(b"PING")
     return scenario, trace_session(adversary)
 
@@ -71,3 +73,98 @@ class TestTrace:
         _, events = traced_scenario
         # The Finished messages travel after ChangeCipherSpec, encrypted.
         assert any("encrypted" in event.description for event in events)
+
+
+class TestProtectionTracking:
+    """Regression: protection state is per *channel*, not per hop.
+
+    The outer record stream and each encapsulated subchannel flip to
+    encrypted independently; a channel-blind ``seen_ccs`` mislabeled
+    cleartext secondary-handshake fragments as "Handshake (encrypted)"
+    as soon as any CCS crossed the hop (ISSUE 5 satellite)."""
+
+    HOP = ("client", "proxy")
+
+    @staticmethod
+    def _describe(record, seen):
+        from repro.netsim.trace import _describe
+
+        return _describe(record, seen, TestProtectionTracking.HOP)
+
+    @staticmethod
+    def _encap(subchannel_id, inner):
+        from repro.wire.mbtls import EncapsulatedRecord
+
+        return EncapsulatedRecord(subchannel_id, inner).to_record()
+
+    def test_outer_ccs_leaves_inner_fragments_cleartext(self):
+        from repro.wire.records import Record
+
+        seen = set()
+        fragment = Record(ContentType.HANDSHAKE, b"\x0b\x00\xff\xff")
+        self._describe(Record(ContentType.CHANGE_CIPHER_SPEC, b"\x01"), seen)
+        # The outer stream is now encrypted ...
+        assert "encrypted" in self._describe(fragment, seen)
+        # ... but a secondary-handshake fragment on a subchannel is not.
+        assert "fragment" in self._describe(self._encap(1, fragment), seen)
+
+    def test_inner_ccs_flips_only_its_subchannel(self):
+        from repro.wire.records import Record
+
+        seen = set()
+        fragment = Record(ContentType.HANDSHAKE, b"\x0b\x00\xff\xff")
+        ccs = Record(ContentType.CHANGE_CIPHER_SPEC, b"\x01")
+        self._describe(self._encap(1, ccs), seen)
+        assert "encrypted" in self._describe(self._encap(1, fragment), seen)
+        # Sibling subchannel and the outer stream stay cleartext.
+        assert "fragment" in self._describe(self._encap(2, fragment), seen)
+        assert "fragment" in self._describe(fragment, seen)
+
+    def test_channels_are_direction_scoped(self):
+        from repro.netsim.trace import _describe
+        from repro.wire.records import Record
+
+        seen = set()
+        fragment = Record(ContentType.HANDSHAKE, b"\x0b\x00\xff\xff")
+        ccs = Record(ContentType.CHANGE_CIPHER_SPEC, b"\x01")
+        _describe(ccs, seen, ("client", "proxy"))
+        assert "encrypted" in _describe(fragment, seen, ("client", "proxy"))
+        assert "fragment" in _describe(fragment, seen, ("proxy", "client"))
+
+
+class TestSpanAnnotations:
+    def test_spans_interleave_into_ladder(self):
+        from repro.obs.tracing import SpanRecorder
+
+        recorder = SpanRecorder(clock=lambda: 0.0)
+        span = recorder.begin("handshake.test", party="client")
+        recorder.end(span)
+        recorder.mark("driver.note", party="client")
+
+        adversary = GlobalAdversary.__new__(GlobalAdversary)
+        adversary.wiretaps = []
+        events = trace_session(adversary, tracer=recorder)
+        descriptions = [event.description for event in events]
+        assert "[begin client/handshake.test]" in descriptions
+        assert any(d.startswith("[end   client/handshake.test") for d in descriptions)
+        assert "[mark  client/driver.note]" in descriptions
+        assert all(event.annotation for event in events)
+        # Annotations render with a dot, not a hop arrow.
+        rendered = render_trace(events)
+        assert "·" in rendered and "->" not in rendered
+
+    def test_annotations_sort_before_records_at_same_time(self, traced_scenario):
+        from repro.obs.tracing import SpanRecorder
+
+        scenario, plain_events = traced_scenario
+        recorder = SpanRecorder(clock=lambda: 0.0)
+        recorder.mark("session.start", party="client")
+        events = trace_session(scenario.adversary, tracer=recorder)
+        # The time-zero mark lands before the time-zero ClientHello, and
+        # the record ladder itself is unchanged by the interleaving.
+        assert events[0].annotation
+        assert events[0].description == "[mark  client/session.start]"
+        records = [event for event in events if not event.annotation]
+        assert [e.description for e in records] == [
+            e.description for e in plain_events
+        ]
