@@ -7,6 +7,9 @@ including where the *baselines* fall over, which is the point of mbTLS's
 per-hop keys and SGX protection. Then kills a middlebox mid-handshake and
 shows the session degrade gracefully instead of hanging: the availability
 half of robustness that Table 1's confidentiality rows don't cover.
+Finally an on-path downgrade box strips the MiddleboxSupport extension
+and corrupts a secondary handshake, showing detection via the transcript
+binding and the accounted-vs-fail-closed fallback policy.
 
 Run:  python examples/attack_gauntlet.py
 """
@@ -232,6 +235,58 @@ def run_fuzz_scenario() -> None:
           "retries,\n     peer rejection does not.")
 
 
+def run_downgrade_scenario() -> None:
+    """Downgrade finale: an on-path box strips the MiddleboxSupport
+    extension (the transcript binding catches it at the server), then a
+    corrupted secondary handshake forces the fallback policy choice —
+    shed the middlebox with the loss accounted, or fail closed."""
+    from repro import obs
+    from repro.bench.selftest import run_case
+    from repro.bench.threats import Scenario
+    from repro.netsim.downgrade import DowngradeAdversary, DowngradeCase
+
+    verdict = run_case("mbtls", DowngradeCase(b"st-0", 0))
+    print("\ndowngrade finale 1: MiddleboxSupport stripped from the "
+          "ClientHello")
+    print(f"  case           : {verdict.describe()}")
+    assert verdict.verdict == "detected" and verdict.origin == "server"
+    print("  => the hellos the endpoints hash no longer match; the server's "
+          "Finished\n     check fails first and the decrypt_error alert "
+          "names it.")
+
+    with obs.scoped() as plane:
+        scenario = Scenario(b"gauntlet-dg")
+        adversary = DowngradeAdversary(b"gauntlet-dg", 7, "corrupt_secondary")
+        scenario.attack_hop("client", "mbox", adversary, "mbox")
+        engine, _service, _events = scenario.deploy_mbtls()
+        fallbacks = sum(
+            value for _, value in plane.metrics.iter_counters("session.fallback")
+        )
+    print("\ndowngrade finale 2a: corrupted secondary handshake, "
+          "allow_fallback=True")
+    print(f"  established    : {engine.established} "
+          f"(middleboxes joined: {len(engine.middleboxes)})")
+    print(f"  ledger         : "
+          f"{[reason for _, reason in engine.fallback_decisions]}")
+    print(f"  accounted      : session.fallback counter total = {fallbacks}")
+    assert engine.established and engine.middleboxes == ()
+    assert engine.fallback_decisions and fallbacks >= 1
+
+    scenario = Scenario(b"gauntlet-dg2")
+    adversary = DowngradeAdversary(b"gauntlet-dg2", 7, "corrupt_secondary")
+    scenario.attack_hop("client", "mbox", adversary, "mbox")
+    engine, _service, _events = scenario.deploy_mbtls(allow_fallback=False)
+    print("\ndowngrade finale 2b: same attack, allow_fallback=False")
+    print(f"  established    : {engine.established}")
+    print(f"  abort          : origin={engine.abort.origin!r} "
+          f"alert={engine.abort.alert!r}")
+    assert not engine.established
+    assert engine.abort.alert == "insufficient_security"
+    print("  => the weakened path is never silent: shed-and-account by "
+          "default,\n     fail-closed on request. `python -m repro selftest` "
+          "scores all eight\n     attacks against all ten implementations.")
+
+
 def main() -> None:
     print("executing adversarial scenarios (wiretaps, code substitution,")
     print("record splicing, memory dumps) ...\n")
@@ -261,6 +316,7 @@ def main() -> None:
         print(f"  - {outcome.protocol}: {outcome.threat}")
     run_crash_scenario()
     run_fuzz_scenario()
+    run_downgrade_scenario()
 
 
 if __name__ == "__main__":

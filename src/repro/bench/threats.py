@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.baselines.shared_key import KeySharingService
 from repro.core.config import (
     MbTLSEndpointConfig,
@@ -18,7 +19,7 @@ from repro.core.config import (
     MiddleboxRole,
     SessionEstablished,
 )
-from repro.core.drivers import MiddleboxService, open_mbtls
+from repro.core.drivers import MiddleboxService, open_mbtls, serve_mbtls
 from repro.crypto.drbg import HmacDrbg
 from repro.netsim.adversary import GlobalAdversary
 from repro.netsim.driver import EngineDriver
@@ -72,6 +73,7 @@ class Scenario:
         on_secret=None,
         verifier=None,
         require_attestation: bool = False,
+        allow_fallback: bool = True,
     ):
         service = MiddleboxService(
             self.network.host("mbox"),
@@ -108,6 +110,7 @@ class Scenario:
                 middlebox_trust_store=self.trust,
                 require_middlebox_attestation=require_attestation,
                 middlebox_attestation_verifier=verifier,
+                allow_fallback=allow_fallback,
             ),
             on_event=on_event,
         )
@@ -122,6 +125,7 @@ class Scenario:
             engine = TLSServerEngine(
                 TLSConfig(rng=self.rng.fork(b"srv"), credential=credential)
             )
+            engine.origin_label = "server"
             driver = EngineDriver(engine, socket)
 
             def on_event(event):
@@ -154,7 +158,90 @@ class Scenario:
         self.network.sim.run()
         return engine
 
+    def _serve_mbtls(self, allow_fallback: bool = True):
+        """An mbTLS server on ``server``: accepts announcements (§3.4)."""
+        self.server_events: list[object] = []
+
+        def on_event(engine, driver, event):
+            self.server_events.append(event)
+            if isinstance(event, ApplicationData):
+                self.server_received.append(event.data)
+                driver.send_application_data(SECRET_RESPONSE)
+
+        serve_mbtls(
+            self.network.host("server"),
+            lambda: MbTLSEndpointConfig(
+                tls=TLSConfig(
+                    rng=self.rng.fork(b"srv"), credential=self.server_cred
+                ),
+                middlebox_trust_store=self.trust,
+                allow_fallback=allow_fallback,
+            ),
+            on_event=on_event,
+        )
+
+    def open_mbtls_client(self, allow_fallback: bool = True):
+        """Dial the mbTLS server from ``client`` and run to quiescence."""
+        events: list[object] = []
+
+        def on_event(event):
+            events.append(event)
+            if isinstance(event, SessionEstablished):
+                driver.send_application_data(SECRET_REQUEST)
+            elif isinstance(event, ApplicationData):
+                self.client_received.append(event.data)
+
+        engine, driver = open_mbtls(
+            self.network.host("client"),
+            "server",
+            MbTLSEndpointConfig(
+                tls=TLSConfig(
+                    rng=self.rng.fork(b"cli"),
+                    trust_store=self.trust,
+                    server_name="server",
+                ),
+                middlebox_trust_store=self.trust,
+                allow_fallback=allow_fallback,
+            ),
+            on_event=on_event,
+        )
+        self.client_driver = driver
+        self.network.sim.run()
+        return engine, events
+
+    def deploy_server_side_middlebox(self) -> MiddleboxService:
+        """A SERVER_SIDE middlebox on ``mbox`` fronting ``server`` (§3.4)."""
+        return MiddleboxService(
+            self.network.host("mbox"),
+            lambda: MiddleboxConfig(
+                name="mbox-svc",
+                tls=TLSConfig(
+                    rng=self.rng.fork(b"mb"), credential=self.mbox_cred
+                ),
+                role=MiddleboxRole.SERVER_SIDE,
+                served_servers=frozenset({"server"}),
+            ),
+        )
+
     # -- adversary helpers -------------------------------------------------
+
+    def attack_hop(self, a: str, b: str, adversary, sender: str):
+        """Install a downgrade adversary on the a-b hop before it exists.
+
+        Registered as a new-stream hook so the tap sees the very first
+        bytes (the ClientHello) — a wiretap attached after connect would
+        miss the negotiation it wants to attack.
+        """
+        from repro.netsim.downgrade import DowngradeTap
+
+        tap = DowngradeTap(adversary, sender=sender)
+
+        def hook(stream, x, y):
+            if {x, y} == {a, b}:
+                stream.add_tap(tap)
+
+        self.network.on_new_stream(hook)
+        return tap
 
     def app_records_between(self, a: str, b: str) -> list[bytes]:
         """Encoded APPLICATION_DATA records observed on the a-b stream."""
@@ -442,6 +529,172 @@ def forward_secrecy() -> ThreatOutcome:
     )
 
 
+def downgrade_strip_support() -> ThreatOutcome:
+    """An on-path box strips the MiddleboxSupport extension (MAMI-style
+    negotiation stripping). The middlebox quietly demotes to a relay, but
+    the endpoints' Finished exchange hashes the *original* hello, so the
+    session dies with an origin-attributed alert instead of silently
+    proceeding without mbTLS."""
+    from repro.netsim.downgrade import DowngradeAdversary
+
+    scenario = Scenario(b"d1")
+    scenario.attack_hop(
+        "client", "mbox", DowngradeAdversary(b"d1", 0, "strip_support"), "client"
+    )
+    engine, service, events = scenario.deploy_mbtls()
+    abort = engine.abort
+    defended = (
+        not engine.established
+        and abort is not None
+        and abort.alert == "decrypt_error"
+        and abort.origin == "server"
+    )
+    return ThreatOutcome(
+        "MiddleboxSupport stripped by on-path box", "mbTLS", defended,
+        "handshake transcript binding",
+    )
+
+
+def downgrade_forge_announcement() -> ThreatOutcome:
+    """An adversary injects a forged MiddleboxAnnouncement toward the
+    server. The announcement alone confers nothing: the forger cannot
+    complete the secondary handshake, so it is visibly rejected and the
+    session establishes without it."""
+    from repro.netsim.downgrade import DowngradeAdversary
+
+    scenario = Scenario(b"d2")
+    adversary = DowngradeAdversary(b"d2", 4, "forge_announcement")
+    scenario.attack_hop("client", "server", adversary, "client")
+    scenario._serve_mbtls()
+    engine, events = scenario.open_mbtls_client()
+    rejected = [e for e in events if isinstance(e, MiddleboxRejected)]
+    rejected += [
+        e for e in scenario.server_events if isinstance(e, MiddleboxRejected)
+    ]
+    defended = (
+        bool(adversary.applied)
+        and engine.established
+        and engine.middleboxes == ()
+        and bool(rejected)
+        and SECRET_REQUEST in scenario.server_received
+    )
+    return ThreatOutcome(
+        "forged middlebox announcement injected", "mbTLS", defended,
+        "announcements confer nothing without a secondary handshake",
+    )
+
+
+def downgrade_replay_announcement() -> ThreatOutcome:
+    """Replay the byte-identical announcement captured from a prior
+    session. Session 1 runs a genuine server-side middlebox and the
+    adversary records its announcement off the wire; session 2 replays
+    those exact bytes — and the replayed announcer still cannot join."""
+    from repro.netsim.downgrade import DowngradeAdversary, forged_announcement_bytes
+    from repro.wire.mbtls import EncapsulatedRecord
+
+    # Session 1: a genuine announcement crosses the mbox-server hop.
+    capture = Scenario(b"d3-capture")
+    capture.deploy_server_side_middlebox()
+    capture._serve_mbtls()
+    capture.open_mbtls_client()
+    announced = []
+    buffer = RecordBuffer()
+    wiretap = capture.adversary.wiretap_between("mbox", "server")
+    buffer.feed(
+        b"".join(
+            c.data for c in wiretap.recorder.captures if c.sender == "mbox"
+        )
+    )
+    for record in buffer.pop_records():
+        if record.content_type == ContentType.MBTLS_ENCAPSULATED:
+            encap = EncapsulatedRecord.from_record(record)
+            if encap.inner.content_type == ContentType.MBTLS_MIDDLEBOX_ANNOUNCEMENT:
+                announced.append(record.encode())
+    # The announcement body is empty, so the capture is byte-identical to
+    # what the replay adversary injects — a true prior-session replay.
+    replay_is_faithful = bool(announced) and announced[0] == (
+        forged_announcement_bytes(1)
+    )
+
+    # Session 2: no middlebox anywhere; the adversary replays the capture.
+    scenario = Scenario(b"d3")
+    adversary = DowngradeAdversary(b"d3", 5, "replay_announcement")
+    scenario.attack_hop("client", "server", adversary, "client")
+    scenario._serve_mbtls()
+    engine, events = scenario.open_mbtls_client()
+    rejected = [e for e in events if isinstance(e, MiddleboxRejected)]
+    defended = (
+        replay_is_faithful
+        and bool(adversary.applied)
+        and engine.established
+        and engine.middleboxes == ()
+        and bool(rejected)
+    )
+    return ThreatOutcome(
+        "prior-session announcement replayed", "mbTLS", defended,
+        "secondary handshake freshness",
+    )
+
+
+def downgrade_suppress_announcement() -> ThreatOutcome:
+    """Delete a genuine middlebox's announcements so it looks unanswered.
+    The legacy fallback (§3.4) means the session survives without the
+    middlebox — the defense is that the downgrade is *accounted*: the
+    middlebox records a ``session.fallback`` decision instead of the
+    weaker path passing for the full-strength one."""
+    from repro.netsim.downgrade import DowngradeAdversary
+
+    with obs.scoped() as plane:
+        scenario = Scenario(b"d4")
+        adversary = DowngradeAdversary(b"d4", 6, "suppress_announcement")
+        scenario.attack_hop("mbox", "server", adversary, "mbox")
+        service = scenario.deploy_server_side_middlebox()
+        scenario._serve_mbtls()
+        engine, events = scenario.open_mbtls_client()
+        mbox_engine = service.drivers[0].engine
+        accounted = plane.metrics.counter_value(
+            "session.fallback", party="mbox-svc", reason="announcement_unanswered"
+        )
+    defended = (
+        bool(adversary.applied)
+        and engine.established
+        and engine.middleboxes == ()
+        and mbox_engine.gave_up
+        and accounted >= 1
+        and SECRET_REQUEST in scenario.server_received
+    )
+    return ThreatOutcome(
+        "middlebox announcements suppressed", "mbTLS", defended,
+        "fallback accounting (session.fallback counter)",
+    )
+
+
+def downgrade_forced_fallback() -> ThreatOutcome:
+    """Corrupt the middlebox's secondary handshake to force the client
+    toward a weaker party set. With ``allow_fallback=False`` the endpoint
+    refuses to establish on the degraded path: the attacker gets a dead
+    session, not a quietly weakened one."""
+    from repro.netsim.downgrade import DowngradeAdversary
+
+    scenario = Scenario(b"d5")
+    adversary = DowngradeAdversary(b"d5", 7, "corrupt_secondary")
+    scenario.attack_hop("client", "mbox", adversary, "mbox")
+    engine, service, events = scenario.deploy_mbtls(allow_fallback=False)
+    abort = engine.abort
+    defended = (
+        bool(adversary.applied)
+        and not engine.established
+        and bool(engine.fallback_decisions)
+        and abort is not None
+        and abort.alert == "insufficient_security"
+        and abort.origin == "client"
+    )
+    return ThreatOutcome(
+        "forced fallback to a weaker party set", "mbTLS", defended,
+        "fail-closed fallback policy (insufficient_security)",
+    )
+
+
 THREATS = [
     wire_secrecy_tls,
     wire_secrecy_mbtls,
@@ -457,6 +710,11 @@ THREATS = [
     impersonate_middlebox,
     wrong_middlebox_code,
     forward_secrecy,
+    downgrade_strip_support,
+    downgrade_forge_announcement,
+    downgrade_replay_announcement,
+    downgrade_suppress_announcement,
+    downgrade_forced_fallback,
 ]
 
 

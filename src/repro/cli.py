@@ -9,6 +9,7 @@ Usage::
     python -m repro latency              # Figure 6, WAN handshake latency
     python -m repro sgx                  # Figure 7, enclave throughput model
     python -m repro fuzz                 # protocol-fuzz smoke corpus
+    python -m repro selftest             # downgrade gauntlet, P1-P7 scorecard
     python -m repro bench --quick        # bulk-crypto + record-plane benches
     python -m repro metrics              # observability plane vs wiretap
     python -m repro all                  # everything
@@ -149,7 +150,8 @@ def _cmd_fuzz(args) -> None:
                 f"unknown implementation {args.replay!r}; "
                 f"choose from {', '.join(CASE_NAMES)}"
             )
-        case = FuzzCase(args.seed.encode(), args.index, args.kind)
+        index = 1 if args.index is None else args.index
+        case = FuzzCase(args.seed.encode(), index, args.kind)
         report = run_case(args.replay, case)
         print(report.describe())
         for mutation in report.mutations:
@@ -171,6 +173,59 @@ def _cmd_fuzz(args) -> None:
               "`python -m repro fuzz --replay NAME --seed SEED --index N`:")
         for report in failures:
             print(f"  {report.describe()}")
+        raise SystemExit(1)
+
+
+def _cmd_selftest(args) -> None:
+    import json
+
+    from repro.bench.fuzzing import CASE_NAMES
+    from repro.bench.selftest import run_case, run_selftest
+    from repro.netsim.downgrade import ATTACK_KINDS, DowngradeCase
+
+    impls = CASE_NAMES
+    if args.impl:
+        if args.impl not in CASE_NAMES:
+            raise SystemExit(
+                f"unknown implementation {args.impl!r}; "
+                f"choose from {', '.join(CASE_NAMES)}"
+            )
+        impls = (args.impl,)
+
+    if args.index is not None:
+        # Replay one case: everything rebuilds from (seed, case_index).
+        if not args.impl:
+            raise SystemExit("selftest replay needs --impl NAME")
+        case = DowngradeCase(args.seed.encode(), args.index, args.kind)
+        verdict = run_case(args.impl, case)
+        if args.json:
+            print(json.dumps(verdict.to_json(), indent=2, sort_keys=True))
+        else:
+            print(verdict.describe())
+            for attack in verdict.attacks:
+                print(f"  applied: {attack}")
+        if not verdict.ok:
+            raise SystemExit(1)
+        return
+
+    seeds = (b"st-0",) if args.quick else (b"st-0", b"st-1")
+    cases = len(impls) * len(seeds) * len(ATTACK_KINDS)
+    if not args.json:
+        print(
+            f"downgrade gauntlet: {len(impls)} implementation(s) x "
+            f"{len(ATTACK_KINDS)} attack kinds x {len(seeds)} seed(s) "
+            f"= {cases} cases ..."
+        )
+    report = run_selftest(impls=impls, seeds=seeds)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        print(
+            "replay any case with `python -m repro selftest --impl NAME "
+            "--seed SEED --index N`"
+        )
+    if not report.ok:
         raise SystemExit(1)
 
 
@@ -286,6 +341,7 @@ _COMMANDS = {
     "latency": _cmd_latency,
     "sgx": _cmd_sgx,
     "fuzz": _cmd_fuzz,
+    "selftest": _cmd_selftest,
     "bench": _cmd_bench,
     "metrics": _cmd_metrics,
 }
@@ -307,11 +363,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--replay", default="",
                         help="fuzz: replay one case against this "
                              "implementation (e.g. mbtls_middlebox)")
-    parser.add_argument("--index", type=int, default=1,
-                        help="fuzz replay: mutation_index of the case")
+    parser.add_argument("--impl", default="",
+                        help="selftest: score only this implementation "
+                             "(with --index: replay one case)")
+    parser.add_argument("--index", type=int, default=None,
+                        help="fuzz/selftest replay: case index "
+                             "(fuzz default: 1)")
     parser.add_argument("--kind", default=None,
-                        help="fuzz replay: mutation kind "
-                             "(default: drawn from the DRBG)")
+                        help="fuzz/selftest replay: mutation or attack kind "
+                             "(default: derived from the case index)")
     parser.add_argument("--quick", action="store_true",
                         help="bench/metrics: fewer repeats/flights (CI smoke)")
     parser.add_argument("--json", action="store_true",

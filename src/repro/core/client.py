@@ -90,6 +90,9 @@ class MbTLSClientEngine:
         # Subchannels abandoned because their middlebox stalled or died
         # mid-handshake (graceful degradation, not rejection-by-policy).
         self.bypassed_subchannels: list[int] = []
+        # Every decision to proceed without a path member, as
+        # (subchannel_id, reason) — the downgrade-visibility ledger.
+        self.fallback_decisions: list[tuple[int, str]] = []
         # §3.5 resumption: remembered secondary sessions, by arrival order.
         self._resume_candidates: list[RememberedMiddlebox] = []
         if config.middlebox_session_store is not None and config.tls.server_name:
@@ -179,6 +182,7 @@ class MbTLSClientEngine:
             sub.rejected = True
             sub.reject_reason = reason
             self.bypassed_subchannels.append(sub.subchannel_id)
+            self._note_fallback(sub.subchannel_id, "middlebox_bypassed")
             obs.counter("middleboxes_bypassed", party=self.origin_label).inc()
             obs.tracer().mark(
                 "middlebox.bypassed", party=self.origin_label,
@@ -395,6 +399,7 @@ class MbTLSClientEngine:
             elif isinstance(event, ConnectionClosed) and not sub.complete:
                 sub.rejected = True
                 sub.complete = True
+                self._note_fallback(sub.subchannel_id, "secondary_failed")
                 self._events.append(
                     MiddleboxRejected(
                         subchannel_id=sub.subchannel_id,
@@ -405,10 +410,18 @@ class MbTLSClientEngine:
     def _reject(self, sub: Subchannel, reason: str) -> None:
         sub.rejected = True
         sub.reject_reason = reason
+        self._note_fallback(sub.subchannel_id, "policy_rejected")
         self._send_subchannel_alert(sub.subchannel_id)
         self._events.append(
             MiddleboxRejected(subchannel_id=sub.subchannel_id, reason=reason)
         )
+
+    def _note_fallback(self, subchannel_id: int, reason: str) -> None:
+        """Ledger + counter: the session will proceed without this member."""
+        self.fallback_decisions.append((subchannel_id, reason))
+        obs.counter(
+            "session.fallback", party=self.origin_label, reason=reason
+        ).inc()
 
     def _send_subchannel_alert(self, subchannel_id: int) -> None:
         alert = Alert.fatal(AlertDescription.ACCESS_DENIED)
@@ -428,6 +441,20 @@ class MbTLSClientEngine:
         self._establish()
 
     def _establish(self) -> None:
+        if self.fallback_decisions and not self.config.allow_fallback:
+            # Fail closed: an on-path attacker who broke a middlebox's
+            # secondary handshake must not be able to force a session on
+            # the weakened party set (forced-fallback downgrade).
+            reasons = sorted({reason for _, reason in self.fallback_decisions})
+            self._abort(
+                ProtocolError(
+                    "refusing fallback to a degraded path "
+                    f"({len(self.fallback_decisions)} middlebox(es) excluded: "
+                    f"{', '.join(reasons)})",
+                    alert="insufficient_security",
+                )
+            )
+            return
         suite = suite_by_code(self.primary.suite.code)
         active_order = [
             sub_id

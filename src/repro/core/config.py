@@ -93,6 +93,15 @@ class MbTLSEndpointConfig:
             ``records_dropped`` (the paper's forward-progress behaviour),
             ``"abort"`` originates a fatal ``bad_record_mac`` alert and
             tears the session down (classic TLS behaviour).
+        allow_fallback: may the session establish after *excluding* path
+            members (bypassed, failed, or policy-rejected middleboxes)?
+            ``True`` is the paper's optimistic behaviour; every such
+            fallback decision is still recorded as a ``session.fallback``
+            counter. ``False`` fails closed: establishing on the weakened
+            path is refused with a fatal ``insufficient_security`` alert
+            (surfaced as :class:`~repro.errors.DegradedPathError` by the
+            supervisor), so an on-path attacker cannot silently force a
+            weaker party set.
     """
 
     tls: TLSConfig
@@ -105,6 +114,7 @@ class MbTLSEndpointConfig:
     max_middleboxes: int = 16
     middlebox_session_store: object | None = None  # MiddleboxSessionStore
     tamper_policy: str = "drop"
+    allow_fallback: bool = True
 
     def secondary_trust_store(self) -> TrustStore | None:
         if self.middlebox_trust_store is not None:

@@ -315,6 +315,7 @@ class SessionSupervisor:
         self.attempt = 0
         self.outcome: str | None = None
         self.failure: str | None = None
+        self.degraded_refused = False
         self.abort: SessionAborted | None = None
         self.engine: MbTLSClientEngine | None = None
         self.driver: EngineDriver | None = None
@@ -329,6 +330,10 @@ class SessionSupervisor:
         return self.outcome in ("established", "degraded")
 
     def send_application_data(self, data: bytes) -> None:
+        if self.degraded_refused:
+            raise DegradedPathError(
+                "session degraded and policy forbids the weakened path"
+            )
         if not self.established or self.driver is None:
             raise NetworkError("session is not established")
         if self.driver.session_over:
@@ -376,10 +381,27 @@ class SessionSupervisor:
     def _on_event(self, event: object) -> None:
         self.events.append(event)
         if isinstance(event, SessionEstablished) and self.outcome is None:
-            degraded = self.attempt > 1 or bool(self.engine.bypassed_subchannels)
+            # Degraded = reached a session, but not the one we dialed for:
+            # it took retries, or the engine recorded fallback decisions
+            # (bypassed, failed, or policy-rejected path members). Each
+            # engine-side decision already carries its own session.fallback
+            # counter; the retry path is the supervisor's own decision, so
+            # it is accounted here.
+            fallbacks = tuple(getattr(self.engine, "fallback_decisions", ()))
+            degraded = self.attempt > 1 or bool(fallbacks)
+            if self.attempt > 1:
+                obs.counter(
+                    "session.fallback", party=self.host.name, reason="retry"
+                ).inc()
             if degraded and not self.policy.allow_degraded:
                 # Fail-closed endpoint policy: a weakened path is worse
                 # than no path. Tear down with a clean close.
+                obs.counter(
+                    "session.fallback",
+                    party=self.host.name,
+                    reason="refused",
+                ).inc()
+                self.degraded_refused = True
                 self._finish("failed")
                 self.failure = str(
                     DegradedPathError("degraded session forbidden by policy")

@@ -515,8 +515,16 @@ class MbTLSMiddlebox:
         if record.content_type == ContentType.CHANGE_CIPHER_SPEC and not self._secondary_started():
             # The server is finishing the primary handshake without having
             # opened a secondary session with us: it does not speak mbTLS
-            # (or rejected us). Give up, relay, and remember (§3.4).
+            # (or rejected us — or an on-path attacker suppressed our
+            # announcement; the wire looks identical). Give up, relay, and
+            # remember (§3.4). The fallback counter is the only footprint
+            # this silent downgrade leaves, so it is load-bearing.
             self.gave_up = True
+            obs.counter(
+                "session.fallback",
+                party=self.config.name,
+                reason="announcement_unanswered",
+            ).inc()
             self.config.non_mbtls_servers.add(self._session_destination)
             self._flush_pending_verbatim()
             self._forward(_UP, record)

@@ -76,6 +76,9 @@ class MbTLSServerEngine:
         # Subchannels abandoned because their middlebox stalled or died
         # mid-handshake (graceful degradation, not rejection-by-policy).
         self.bypassed_subchannels: list[int] = []
+        # Every decision to proceed without a path member, as
+        # (subchannel_id, reason) — the downgrade-visibility ledger.
+        self.fallback_decisions: list[tuple[int, str]] = []
 
     # ------------------------------------------------------------------ API
 
@@ -204,6 +207,7 @@ class MbTLSServerEngine:
             sub.rejected = True
             sub.reject_reason = reason
             self.bypassed_subchannels.append(sub.subchannel_id)
+            self._note_fallback(sub.subchannel_id, "middlebox_bypassed")
             obs.counter("middleboxes_bypassed", party=self.origin_label).inc()
             obs.tracer().mark(
                 "middlebox.bypassed", party=self.origin_label,
@@ -340,6 +344,7 @@ class MbTLSServerEngine:
                 self._middlebox_infos[sub.subchannel_id] = info
                 if not self.config.approve_middlebox(info):
                     sub.rejected = True
+                    self._note_fallback(sub.subchannel_id, "policy_rejected")
                     self._events.append(
                         MiddleboxRejected(
                             subchannel_id=sub.subchannel_id,
@@ -358,12 +363,20 @@ class MbTLSServerEngine:
             elif isinstance(event, ConnectionClosed) and not sub.complete:
                 sub.rejected = True
                 sub.complete = True
+                self._note_fallback(sub.subchannel_id, "secondary_failed")
                 self._events.append(
                     MiddleboxRejected(
                         subchannel_id=sub.subchannel_id,
                         reason=event.error or "secondary handshake failed",
                     )
                 )
+
+    def _note_fallback(self, subchannel_id: int, reason: str) -> None:
+        """Ledger + counter: the session will proceed without this member."""
+        self.fallback_decisions.append((subchannel_id, reason))
+        obs.counter(
+            "session.fallback", party=self.origin_label, reason=reason
+        ).inc()
 
     def _check_established(self) -> None:
         if self.established or not self.primary.handshake_complete:
@@ -375,6 +388,18 @@ class MbTLSServerEngine:
         self._establish()
 
     def _establish(self) -> None:
+        if self.fallback_decisions and not self.config.allow_fallback:
+            # Fail closed: see the client-side twin of this gate.
+            reasons = sorted({reason for _, reason in self.fallback_decisions})
+            self._abort(
+                ProtocolError(
+                    "refusing fallback to a degraded path "
+                    f"({len(self.fallback_decisions)} middlebox(es) excluded: "
+                    f"{', '.join(reasons)})",
+                    alert="insufficient_security",
+                )
+            )
+            return
         suite = suite_by_code(self.primary.suite.code)
         # Path order from the client = reversed announcement arrival order
         # (see the `middleboxes` property).

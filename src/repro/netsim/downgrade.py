@@ -1,0 +1,405 @@
+"""Seeded, deterministic on-path *downgrade* adversaries (negotiation attacks).
+
+PR 3's fuzzer attacks the record layer blindly; this module attacks the
+*negotiation* the way the MAMI white paper ("Security and Privacy
+Implications of Middlebox Cooperation Protocols", PAPERS.md) catalogs for
+cooperation protocols like mbTLS:
+
+* ``strip_support`` / ``strip_server_hello`` — remove the MiddleboxSupport
+  (and sibling private-use) extensions from a ClientHello, or every
+  extension from a ServerHello, so the in-band discovery signal (P6)
+  disappears from the wire;
+* ``forge_announcement`` / ``replay_announcement`` — inject a
+  MiddleboxAnnouncement that no middlebox sent (freshly forged, or the
+  byte-identical announcement captured from a prior session);
+* ``suppress_announcement`` — delete genuine announcements so a
+  server-side middlebox looks unanswered and falls back to relaying;
+* ``corrupt_secondary`` — flip a byte inside the first Encapsulated
+  record, breaking a middlebox's secondary handshake to force the
+  endpoint toward a weaker party set (forced fallback);
+* ``suite_delete`` / ``suite_inject`` — thin the client's cipher-suite
+  list down to one DRBG-chosen suite, or prepend weak/unknown codes.
+
+Unlike :class:`~repro.netsim.fuzz.ChunkMutator`, these adversaries *parse*
+the stream: a :class:`DowngradeAdversary` reassembles TLS records from the
+chunks crossing it, rewrites the ones its attack targets, and re-serializes.
+Streams that are not TLS framing (the mcTLS/BlindBox baselines) flip the
+adversary into a transparent ``blind`` mode — the attack is then vacuously
+harmless, which the selftest scores as such.
+
+Everything is replayable from ``(seed, case_index)`` alone: the attack kind
+(when not pinned) is ``ATTACK_KINDS[case_index % len(ATTACK_KINDS)]`` and
+every random draw inside the attack comes from the repo's HMAC-DRBG seeded
+with ``seed`` and personalized with the case index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import DecodeError
+from repro.netsim.network import Host, Stream, Tap
+from repro.wire.handshake import (
+    ClientHello,
+    Handshake,
+    HandshakeBuffer,
+    HandshakeType,
+    ServerHello,
+)
+from repro.wire.mbtls import EncapsulatedRecord, MiddleboxAnnouncement
+from repro.wire.records import ContentType, Record, RecordBuffer
+
+__all__ = [
+    "ATTACK_KINDS",
+    "ATTACK_DIRECTIONS",
+    "AppliedAttack",
+    "DowngradeAdversary",
+    "DowngradeCase",
+    "DowngradeTap",
+    "forged_announcement_bytes",
+]
+
+# The downgrade corpus. Four MAMI attack classes: extension stripping,
+# announcement forgery/suppression/replay, forced fallback, and
+# cipher-suite downgrade.
+ATTACK_KINDS = (
+    "strip_support",
+    "strip_server_hello",
+    "suite_delete",
+    "suite_inject",
+    "forge_announcement",
+    "replay_announcement",
+    "suppress_announcement",
+    "corrupt_secondary",
+)
+
+#: Which direction of the session each attack targets. ``c2s`` adversaries
+#: sit on the client-to-server byte stream, ``s2c`` on the reverse path.
+ATTACK_DIRECTIONS = {
+    "strip_support": "c2s",
+    "strip_server_hello": "s2c",
+    "suite_delete": "c2s",
+    "suite_inject": "c2s",
+    "forge_announcement": "c2s",
+    "replay_announcement": "c2s",
+    "suppress_announcement": "c2s",
+    "corrupt_secondary": "s2c",
+}
+
+# Suite codes an injecting adversary offers on the client's behalf: export-
+# grade RC4/DES relics no implementation in this repo assigns. A server
+# that negotiates one of these has been successfully downgraded.
+_WEAK_SUITE_CODES = (0x0004, 0x0005, 0x0009, 0x002F)
+
+
+def forged_announcement_bytes(subchannel_id: int = 1) -> bytes:
+    """The encoded Encapsulated(MiddleboxAnnouncement) a forger injects.
+
+    The announcement body is empty (presence is the signal), so a forgery
+    and a replay from a prior session are byte-identical on the wire —
+    exactly why announcements must confer nothing without the secondary
+    handshake that follows.
+    """
+    return EncapsulatedRecord(
+        subchannel_id=subchannel_id, inner=MiddleboxAnnouncement().to_record()
+    ).to_record().encode()
+
+
+@dataclass(frozen=True)
+class AppliedAttack:
+    """One attack step that actually changed bytes, for logs and replay."""
+
+    record_index: int
+    kind: str
+    detail: str = ""
+
+
+class DowngradeAdversary:
+    """Rewrites TLS records crossing one direction of one session.
+
+    Feed chunks with :meth:`process_chunk`; it returns the bytes to put on
+    the wire instead (``None`` means the whole chunk was swallowed). Record
+    reassembly means output chunk boundaries may differ from input ones —
+    indistinguishable from TCP resegmentation to the parties.
+    """
+
+    def __init__(
+        self, seed: bytes, case_index: int, kind: str | None = None
+    ) -> None:
+        self.seed = seed
+        self.case_index = case_index
+        self._rng = HmacDrbg(
+            seed, personalization=b"downgrade-%d" % case_index
+        )
+        if kind is not None and kind not in ATTACK_KINDS:
+            raise ValueError(f"unknown attack kind {kind!r}")
+        self.kind = kind if kind is not None else (
+            ATTACK_KINDS[case_index % len(ATTACK_KINDS)]
+        )
+        self.applied: list[AppliedAttack] = []
+        self._buffer = RecordBuffer()
+        self._blind = False
+        self._record_index = 0
+        self._hello_rewritten = False
+        self._injected = False
+
+    @property
+    def direction(self) -> str:
+        return ATTACK_DIRECTIONS[self.kind]
+
+    def process_chunk(self, data: bytes) -> bytes | None:
+        if self._blind:
+            return data
+        self._buffer.feed(data)
+        try:
+            records = self._buffer.pop_records()
+        except DecodeError:
+            # Not TLS framing (a baseline's token stream, or ciphertext we
+            # already mangled): stop parsing, pass everything through.
+            self._blind = True
+            return self._buffer.drain_raw()
+        out = bytearray()
+        for record in records:
+            index = self._record_index
+            self._record_index += 1
+            for replacement in self._attack(index, record):
+                out += replacement.encode()
+        return bytes(out) if out else None
+
+    # ------------------------------------------------------------- attacks
+
+    def _attack(self, index: int, record: Record) -> list[Record]:
+        """Map one on-the-wire record to its replacement(s)."""
+        kind = self.kind
+        if kind in ("strip_support", "suite_delete", "suite_inject"):
+            return self._rewrite_client_hello(index, record)
+        if kind == "strip_server_hello":
+            return self._rewrite_server_hello(index, record)
+        if kind in ("forge_announcement", "replay_announcement"):
+            return self._inject_announcement(index, record)
+        if kind == "suppress_announcement":
+            return self._suppress_announcement(index, record)
+        if kind == "corrupt_secondary":
+            return self._corrupt_secondary(index, record)
+        raise ValueError(f"unknown attack kind {kind!r}")
+
+    def _first_handshake(
+        self, record: Record, msg_type: HandshakeType
+    ) -> list[Handshake] | None:
+        """Messages in ``record`` if it leads with ``msg_type``, else None."""
+        if record.content_type != ContentType.HANDSHAKE:
+            return None
+        buffer = HandshakeBuffer()
+        buffer.feed(record.payload)
+        try:
+            messages = buffer.pop_messages()
+        except DecodeError:
+            return None
+        if buffer.pending_bytes or not messages:
+            return None  # fragmented or already encrypted; leave it alone
+        if messages[0].msg_type != msg_type:
+            return None
+        return messages
+
+    def _rewrite_client_hello(self, index: int, record: Record) -> list[Record]:
+        if self._hello_rewritten:
+            return [record]
+        messages = self._first_handshake(record, HandshakeType.CLIENT_HELLO)
+        if messages is None:
+            return [record]
+        try:
+            hello = ClientHello.decode_body(messages[0].body)
+        except DecodeError:
+            return [record]
+        if self.kind == "strip_support":
+            kept = tuple(
+                ext
+                for ext in hello.extensions
+                if ext.extension_type < 0xFF00
+            )
+            if len(kept) == len(hello.extensions):
+                return [record]  # nothing to strip: attack is a no-op
+            stripped = len(hello.extensions) - len(kept)
+            hello = ClientHello(
+                random=hello.random,
+                session_id=hello.session_id,
+                cipher_suites=hello.cipher_suites,
+                extensions=kept,
+                version=hello.version,
+            )
+            detail = f"stripped {stripped} private-use extension(s)"
+        elif self.kind == "suite_delete":
+            if len(hello.cipher_suites) <= 1:
+                return [record]
+            keep = self._rng.choice(hello.cipher_suites)
+            hello = ClientHello(
+                random=hello.random,
+                session_id=hello.session_id,
+                cipher_suites=(keep,),
+                extensions=hello.extensions,
+                version=hello.version,
+            )
+            detail = f"deleted all suites but 0x{keep:04x}"
+        else:  # suite_inject
+            weak = self._rng.choice(_WEAK_SUITE_CODES)
+            hello = ClientHello(
+                random=hello.random,
+                session_id=hello.session_id,
+                cipher_suites=(weak,) + hello.cipher_suites,
+                extensions=hello.extensions,
+                version=hello.version,
+            )
+            detail = f"prepended weak suite 0x{weak:04x}"
+        self._hello_rewritten = True
+        self._log(index, detail)
+        rebuilt = Handshake(
+            msg_type=HandshakeType.CLIENT_HELLO, body=hello.encode_body()
+        ).encode()
+        trailer = b"".join(message.encode() for message in messages[1:])
+        return [
+            Record(
+                content_type=ContentType.HANDSHAKE,
+                payload=rebuilt + trailer,
+                version=record.version,
+            )
+        ]
+
+    def _rewrite_server_hello(self, index: int, record: Record) -> list[Record]:
+        if self._hello_rewritten:
+            return [record]
+        messages = self._first_handshake(record, HandshakeType.SERVER_HELLO)
+        if messages is None:
+            return [record]
+        try:
+            hello = ServerHello.decode_body(messages[0].body)
+        except DecodeError:
+            return [record]
+        if not hello.extensions:
+            return [record]  # nothing to strip: attack is a no-op
+        self._hello_rewritten = True
+        self._log(index, f"stripped {len(hello.extensions)} extension(s)")
+        bare = ServerHello(
+            random=hello.random,
+            cipher_suite=hello.cipher_suite,
+            session_id=hello.session_id,
+            extensions=(),
+            version=hello.version,
+        )
+        rebuilt = Handshake(
+            msg_type=HandshakeType.SERVER_HELLO, body=bare.encode_body()
+        ).encode()
+        trailer = b"".join(message.encode() for message in messages[1:])
+        return [
+            Record(
+                content_type=ContentType.HANDSHAKE,
+                payload=rebuilt + trailer,
+                version=record.version,
+            )
+        ]
+
+    def _inject_announcement(self, index: int, record: Record) -> list[Record]:
+        """Append an announcement right behind the ClientHello, inside the
+        server's announcement window."""
+        if self._injected:
+            return [record]
+        if self._first_handshake(record, HandshakeType.CLIENT_HELLO) is None:
+            return [record]
+        self._injected = True
+        if self.kind == "forge_announcement":
+            # A forger picks a fresh subchannel so it cannot collide with a
+            # genuine announcer (which always claims 1 first).
+            subchannel = self._rng.randint_range(2, 9)
+            detail = f"forged announcement on subchannel {subchannel}"
+        else:
+            # A replayer re-injects the byte-identical announcement a prior
+            # session carried: subchannel 1, empty body.
+            subchannel = 1
+            detail = "replayed prior-session announcement on subchannel 1"
+        self._log(index, detail)
+        forged = EncapsulatedRecord(
+            subchannel_id=subchannel, inner=MiddleboxAnnouncement().to_record()
+        ).to_record()
+        return [record, forged]
+
+    def _suppress_announcement(self, index: int, record: Record) -> list[Record]:
+        if record.content_type != ContentType.MBTLS_ENCAPSULATED:
+            return [record]
+        try:
+            encap = EncapsulatedRecord.from_record(record)
+        except DecodeError:
+            return [record]
+        if encap.inner.content_type != ContentType.MBTLS_MIDDLEBOX_ANNOUNCEMENT:
+            return [record]
+        self._log(index, f"suppressed announcement on subchannel {encap.subchannel_id}")
+        return []
+
+    def _corrupt_secondary(self, index: int, record: Record) -> list[Record]:
+        if self._hello_rewritten:
+            return [record]
+        if record.content_type != ContentType.MBTLS_ENCAPSULATED:
+            return [record]
+        if len(record.payload) < 2:
+            return [record]
+        self._hello_rewritten = True
+        # Flip one bit inside the inner record's payload (never the
+        # subchannel id byte), breaking the secondary handshake in flight.
+        bit = self._rng.randint_range(8 * 6, len(record.payload) * 8 - 1)
+        mutated = bytearray(record.payload)
+        mutated[bit // 8] ^= 1 << (bit % 8)
+        self._log(index, f"flipped bit {bit} of the encapsulated secondary")
+        return [
+            Record(
+                content_type=record.content_type,
+                payload=bytes(mutated),
+                version=record.version,
+            )
+        ]
+
+    def _log(self, index: int, detail: str) -> None:
+        self.applied.append(AppliedAttack(index, self.kind, detail))
+        obs.counter("downgrade_attacks_applied", kind=self.kind).inc()
+
+
+@dataclass(frozen=True)
+class DowngradeCase:
+    """One replayable downgrade case: rebuildable from ``(seed, case_index)``.
+
+    ``kind=None`` derives the attack kind from the case index
+    (``ATTACK_KINDS[case_index % len(ATTACK_KINDS)]``), so sweeping
+    ``case_index`` over ``range(len(ATTACK_KINDS))`` covers the corpus.
+    """
+
+    seed: bytes
+    case_index: int
+    kind: str | None = None
+
+    def adversary(self) -> DowngradeAdversary:
+        return DowngradeAdversary(self.seed, self.case_index, self.kind)
+
+    def describe(self) -> str:
+        kind = self.kind if self.kind is not None else (
+            ATTACK_KINDS[self.case_index % len(ATTACK_KINDS)]
+        )
+        return f"(seed={self.seed!r}, case_index={self.case_index}, kind={kind})"
+
+
+class DowngradeTap(Tap):
+    """Applies one :class:`DowngradeAdversary` to chunks crossing a stream.
+
+    ``sender`` restricts the tap to chunks originated by that host, so a
+    scenario targets exactly one direction of one hop — the standard
+    placement for an on-path downgrade box.
+    """
+
+    def __init__(
+        self, adversary: DowngradeAdversary, sender: str | None = None
+    ) -> None:
+        self.adversary = adversary
+        self._sender = sender
+
+    def process(self, sender: Host, data: bytes, stream: Stream) -> bytes | None:
+        if self._sender is not None and sender.name != self._sender:
+            return data
+        return self.adversary.process_chunk(data)

@@ -151,13 +151,26 @@ def encode_extensions(extensions: list[Extension]) -> bytes:
 
 
 def decode_extensions(reader: Reader) -> list[Extension]:
-    """Decode an extensions block; absent block (no bytes left) is valid."""
+    """Decode an extensions block; absent block (no bytes left) is valid.
+
+    A hello carrying the MiddleboxSupport extension twice is rejected
+    outright: a stripped-and-re-added or smuggled duplicate is exactly what
+    a downgrade box would produce, and "first one wins" parsing would let
+    the two endpoints disagree about which copy is authoritative. Unknown
+    extension types stay opaque (and round-trip byte-identically) — the
+    legacy-interoperability behaviour P5 depends on.
+    """
     if reader.remaining == 0:
         return []
     block = Reader(reader.read_vector(2))
     extensions = []
+    support_seen = False
     while block.remaining:
         extension_type = block.read_u16()
         data = block.read_vector(2)
+        if extension_type == int(ExtensionType.MIDDLEBOX_SUPPORT):
+            if support_seen:
+                raise DecodeError("duplicate MiddleboxSupport extension")
+            support_seen = True
         extensions.append(Extension(extension_type, data))
     return extensions

@@ -34,6 +34,20 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["fuzz", "--replay", "not-a-protocol"])
 
+    def test_fuzz_replay_defaults_index_to_one(self, capsys):
+        # ``--index`` is now shared with selftest and defaults to None;
+        # the fuzz replay path must keep its historical default of 1.
+        assert main([
+            "fuzz", "--replay", "tls", "--seed", "fz-0", "--kind", "bit_flip",
+        ]) == 0
+        assert "kind=bit_flip: ok" in capsys.readouterr().out
+
+    def test_selftest_quick_scorecard(self, capsys):
+        assert main(["selftest", "--quick", "--impl", "tls"]) == 0
+        out = capsys.readouterr().out
+        assert "zero silent downgrades" in out
+        assert "report digest" in out
+
     def test_metrics_quick(self, capsys):
         assert main(["metrics", "--quick", "--seed", "cli-test"]) == 0
         out = capsys.readouterr().out

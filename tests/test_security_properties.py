@@ -62,6 +62,56 @@ class TestTable1Matrix:
     def test_forward_secrecy_structure(self):
         assert threats.forward_secrecy().defended
 
+    def test_support_stripping_detected(self):
+        assert threats.downgrade_strip_support().defended
+
+    def test_forged_announcement_rejected(self):
+        assert threats.downgrade_forge_announcement().defended
+
+    def test_replayed_announcement_rejected(self):
+        assert threats.downgrade_replay_announcement().defended
+
+    def test_suppressed_announcement_accounted(self):
+        assert threats.downgrade_suppress_announcement().defended
+
+    def test_forced_fallback_fails_closed(self):
+        assert threats.downgrade_forced_fallback().defended
+
+
+#: The full Table 1 threat/defense matrix, pinned. A diff here means a
+#: security behaviour changed: deliberate (update the snapshot alongside
+#: the defense) or a regression (the test caught it). The two ``False``
+#: rows are the documented baseline vulnerabilities — flipping one of
+#: *those* to True silently would be just as wrong as losing a defense.
+TABLE1_SNAPSHOT = [
+    ("wire data read by third party", "TLS", True),
+    ("wire data read by third party", "mbTLS", True),
+    ("session keys read from middlebox memory by MIP", "mbTLS+SGX", True),
+    ("session keys read from middlebox memory by MIP", "mbTLS w/o enclave", False),
+    ("modification detectable by comparing hops", "mbTLS", True),
+    ("modification detectable by comparing hops", "shared-key baseline", False),
+    ("record skips the middlebox (path integrity)", "mbTLS", True),
+    ("record skips the middlebox (path integrity)", "shared-key baseline", False),
+    ("records modified/injected on the wire", "mbTLS", True),
+    ("record replayed on its own hop", "mbTLS", True),
+    ("key established with impostor server", "TLS/mbTLS", True),
+    ("middlebox operated by wrong MSP", "mbTLS", True),
+    ("wrong middlebox software (code identity)", "mbTLS", True),
+    ("old sessions decrypted after key compromise", "TLS/mbTLS", True),
+    ("MiddleboxSupport stripped by on-path box", "mbTLS", True),
+    ("forged middlebox announcement injected", "mbTLS", True),
+    ("prior-session announcement replayed", "mbTLS", True),
+    ("middlebox announcements suppressed", "mbTLS", True),
+    ("forced fallback to a weaker party set", "mbTLS", True),
+]
+
+
+class TestTable1Snapshot:
+    def test_full_matrix_matches_snapshot(self):
+        outcomes = threats.run_all_threats()
+        matrix = [(o.threat, o.protocol, o.defended) for o in outcomes]
+        assert matrix == TABLE1_SNAPSHOT
+
 
 class TestKeyVisibility:
     def test_no_session_secret_in_mip_memory_with_enclave(self, rng, pki):

@@ -52,6 +52,54 @@ class TestExtensions:
     def test_absent_block_is_empty(self):
         assert decode_extensions(Reader(b"")) == []
 
+    def test_duplicate_middlebox_support_is_rejected(self):
+        """A stripped-and-re-added MiddleboxSupport duplicate is exactly
+        what a downgrade box produces; first-one-wins parsing would let the
+        endpoints disagree about which copy is authoritative."""
+        support = MiddleboxSupportExtension().to_extension()
+        block = encode_extensions([support, support])
+        with pytest.raises(DecodeError, match="duplicate MiddleboxSupport"):
+            decode_extensions(Reader(block))
+
+    def test_duplicate_with_different_bodies_is_rejected(self):
+        block = encode_extensions(
+            [
+                MiddleboxSupportExtension().to_extension(),
+                MiddleboxSupportExtension(
+                    middleboxes=("evil.example",)
+                ).to_extension(),
+            ]
+        )
+        with pytest.raises(DecodeError, match="duplicate MiddleboxSupport"):
+            decode_extensions(Reader(block))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=0xFFFF).filter(
+                    lambda t: t != int(MiddleboxSupportExtension.extension_type)
+                ),
+                st.binary(max_size=64),
+            ),
+            max_size=8,
+        ),
+        st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_unknown_extensions_roundtrip_byte_identically(
+        self, unknown, with_support
+    ):
+        """P5's legacy-interop behaviour: extensions this library does not
+        understand survive a decode/encode cycle byte-for-byte, duplicates
+        and all — only MiddleboxSupport gets duplicate policing."""
+        extensions = [Extension(t, data) for t, data in unknown]
+        if with_support:
+            extensions.append(MiddleboxSupportExtension().to_extension())
+        block = encode_extensions(extensions)
+        decoded = decode_extensions(Reader(block))
+        assert decoded == extensions
+        assert encode_extensions(decoded) == block
+
 
 class TestMiddleboxSupport:
     def test_roundtrip_with_members(self):
