@@ -1,0 +1,546 @@
+"""Fleet-scale session churn: the deployment story at population scale.
+
+The paper argues mbTLS for the places middleboxes actually live — CDN
+edges and enterprise gateways terminating *populations* of sessions, not
+one connection in a unit test.  This bench drives that story end to end:
+a :class:`~repro.core.orchestrator.SessionOrchestrator` runs a sharded
+fleet of supervised mbTLS sessions on one timer-wheel simulator, with
+
+* **arrivals** drawn from the Table 2 client-site population
+  (:mod:`repro.bench.population`) — each site keeps its measured latency
+  to the wide-area core and its network type;
+* **servers** drawn from the synthetic Alexa population
+  (:mod:`repro.bench.alexa`), chosen rank-weighted (popular sites get
+  proportionally more traffic) from the healthy subset;
+* **resumption**: a warmup wave performs one cold full handshake per
+  (shard, server), seeding the shard-wide client/middlebox/server
+  resumption stores; the bulk wave then mostly resumes — the steady
+  state of a real edge;
+* **abandonment**: a per-network-type fraction of sessions closes
+  shortly after establishing (flaky access networks give up more);
+* **admission control and backpressure**: the orchestrator defers
+  admissions while middlebox outboxes sit near their 4 MiB bound or the
+  per-shard handshake-concurrency cap is hit.
+
+Everything virtual is deterministic: two runs with the same seed produce
+byte-identical deterministic report cores (see :func:`deterministic_core`),
+and any single shard can be replayed from ``(seed, shard_id)`` alone
+(``only_shard=``) with a byte-identical shard ledger digest.  Wall-clock
+throughput lands in the separate ``"wall"`` section.
+
+``run_fleet()`` returns the report dict written to ``BENCH_fleet.json``
+by ``python -m repro fleet``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro import obs
+from repro.bench.alexa import ServerDefect, SyntheticServer, generate_alexa_population
+from repro.bench.crypto import git_describe
+from repro.bench.population import ClientSite, generate_population
+from repro.bench.scenarios import Pki
+from repro.core.config import (
+    MbTLSEndpointConfig,
+    MiddleboxConfig,
+    MiddleboxRole,
+)
+from repro.core.drivers import (
+    MiddleboxService,
+    RetryPolicy,
+    SessionSupervisor,
+    serve_mbtls,
+)
+from repro.core.orchestrator import SessionOrchestrator, Shard
+from repro.crypto.drbg import HmacDrbg
+from repro.tls.config import TLSConfig
+from repro.tls.events import ApplicationData
+
+__all__ = [
+    "FLEET_SCHEMA_VERSION",
+    "ABANDON_RATES",
+    "FleetConfig",
+    "quick_config",
+    "full_config",
+    "run_fleet",
+    "deterministic_core",
+]
+
+FLEET_SCHEMA_VERSION = 1
+
+# Fraction of established sessions abandoned (closed almost immediately)
+# per client network type: flaky access networks give up more often than
+# machines in racks.  The exact values are model knobs, not measurements.
+ABANDON_RATES: dict[str, float] = {
+    "Enterprise": 0.01,
+    "University": 0.02,
+    "Residential": 0.06,
+    "Public": 0.10,
+    "Mobile": 0.12,
+    "Hosting": 0.01,
+    "Colocation Services": 0.01,
+    "Data Center": 0.01,
+    "Uncategorized": 0.05,
+}
+_DEFAULT_ABANDON_RATE = 0.05
+
+_REQUEST = b"GET / HTTP/1.1\r\nHost: fleet\r\n\r\n"
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs for one fleet run.
+
+    The defaults are the *full* run; :func:`quick_config` is the CI smoke
+    configuration (still sized so peak concurrency crosses 10^4 — that is
+    the acceptance bar, not a stretch goal).
+
+    Non-abandoned sessions live ``session_lifetime`` virtual seconds after
+    establishing.  Keeping ``arrival_ramp < session_lifetime`` means every
+    long-lived session overlaps every other one, so peak concurrency
+    approaches the number of non-abandoned arrivals by construction.
+    """
+
+    seed: bytes = b"fleet-bench"
+    num_shards: int = 4
+    sessions: int = 22_000  # bulk arrivals across the whole fleet
+    servers_per_shard: int = 8
+    arrival_start: float = 1.0  # bulk arrivals begin (after warmup settles)
+    arrival_ramp: float = 10.0  # bulk arrivals spread over this window
+    session_lifetime: float = 30.0  # virtual seconds established -> close
+    warmup_lifetime: float = 3.0
+    abandon_min: float = 0.2  # abandoned sessions close this soon ...
+    abandon_max: float = 2.0  # ... to this late after establishing
+    middlebox_every: int = 10  # every Nth site routes through the shard mbox
+    max_inflight_per_shard: int = 256
+    outbox_high_watermark: float = 0.75
+    response_bytes: int = 512
+    store_capacity: int = 4096
+
+
+def quick_config(seed: bytes = b"fleet-bench") -> FleetConfig:
+    """The CI smoke run: half the arrivals, same 10^4 concurrency bar."""
+    return FleetConfig(seed=seed, sessions=11_000)
+
+
+def full_config(seed: bytes = b"fleet-bench") -> FleetConfig:
+    return FleetConfig(seed=seed)
+
+
+@dataclass(frozen=True)
+class _Arrival:
+    """One planned session: everything drawn before the clock starts."""
+
+    time: float
+    site: str
+    server: str
+    network_type: str
+    via_middlebox: bool
+    abandoned: bool
+    lifetime: float
+    phase: str  # "warmup" | "bulk"
+
+
+# ------------------------------------------------------------------- planning
+
+
+def _site_routes_via_middlebox(site_index: int, config: FleetConfig) -> bool:
+    return site_index % config.middlebox_every == 0
+
+
+def _rank_cumulative(servers: list[SyntheticServer]) -> tuple[list[int], int]:
+    """Cumulative integer weights for rank-weighted (Zipf-ish) choice."""
+    total = 0
+    cumulative: list[int] = []
+    for server in servers:
+        total += 1_000_000 // server.rank
+        cumulative.append(total)
+    return cumulative, total
+
+
+def _plan_shard(
+    shard: Shard,
+    config: FleetConfig,
+    shard_sites: list[tuple[ClientSite, bool]],
+    servers: list[SyntheticServer],
+    bulk_count: int,
+) -> list[_Arrival]:
+    """Draw the shard's whole arrival schedule from its own RNG.
+
+    This is the first fork taken from ``shard.rng`` — the build-time fork
+    order is part of the per-shard replay contract.
+    """
+    rng = shard.rng.fork(b"arrivals")
+    cumulative, total = _rank_cumulative(servers)
+    arrivals: list[_Arrival] = []
+    # Warmup: one cold handshake per server, from a middlebox-routed site
+    # so both the TLS stores and the middlebox session store get seeded.
+    warm_site, _ = next(
+        (entry for entry in shard_sites if entry[1]), shard_sites[0]
+    )
+    for index, server in enumerate(servers):
+        arrivals.append(_Arrival(
+            time=0.001 * index,
+            site=warm_site.name,
+            server=server.hostname,
+            network_type=warm_site.network_type,
+            via_middlebox=True,
+            abandoned=False,
+            lifetime=config.warmup_lifetime,
+            phase="warmup",
+        ))
+    spacing = config.arrival_ramp / max(bulk_count, 1)
+    for index in range(bulk_count):
+        site, via_middlebox = shard_sites[
+            rng.randint_range(0, len(shard_sites) - 1)
+        ]
+        server = servers[bisect_right(cumulative, rng.randint_range(0, total - 1))]
+        abandoned = rng.random() < ABANDON_RATES.get(
+            site.network_type, _DEFAULT_ABANDON_RATE
+        )
+        lifetime = (
+            config.abandon_min
+            + rng.random() * (config.abandon_max - config.abandon_min)
+            if abandoned
+            else config.session_lifetime
+        )
+        arrivals.append(_Arrival(
+            time=config.arrival_start + spacing * (index + rng.random()),
+            site=site.name,
+            server=server.hostname,
+            network_type=site.network_type,
+            via_middlebox=via_middlebox,
+            abandoned=abandoned,
+            lifetime=lifetime,
+            phase="bulk",
+        ))
+    return arrivals
+
+
+# ------------------------------------------------------------------- building
+
+
+def _build_shard_world(
+    shard: Shard,
+    config: FleetConfig,
+    pki: Pki,
+    shard_sites: list[tuple[ClientSite, bool]],
+    servers: list[SyntheticServer],
+) -> None:
+    """Hub topology: sites -> (mbcore ->) core -> servers, one per shard."""
+    network = shard.network
+    network.add_host("core")
+    network.add_host("mbcore")
+    network.add_link("core", "mbcore", 0.002)
+    for site, via_middlebox in shard_sites:
+        network.add_host(site.name)
+        network.add_link(
+            site.name,
+            "mbcore" if via_middlebox else "core",
+            site.latency_to_core,
+        )
+    for server in servers:
+        network.add_host(server.hostname)
+        network.add_link("core", server.hostname, 0.010)
+
+    mb_cred = pki.credential("mbcore")
+
+    def make_mb_config() -> MiddleboxConfig:
+        return MiddleboxConfig(
+            name="mbcore",
+            tls=TLSConfig(
+                rng=shard.rng.fork(b"mb"),
+                credential=mb_cred,
+                session_cache=shard.middlebox_cache,
+            ),
+            role=MiddleboxRole.CLIENT_SIDE,
+        )
+
+    shard.watch_service(
+        MiddleboxService(network.host("mbcore"), make_mb_config)
+    )
+
+    response = b"F" * config.response_bytes
+    for server in servers:
+        credential = pki.credential(server.hostname)
+
+        def make_server_config(credential=credential) -> MbTLSEndpointConfig:
+            return MbTLSEndpointConfig(
+                tls=TLSConfig(
+                    rng=shard.rng.fork(b"server"),
+                    credential=credential,
+                    session_cache=shard.server_cache,
+                ),
+                middlebox_trust_store=pki.trust,
+            )
+
+        def on_server_event(engine, driver, event) -> None:
+            if isinstance(event, ApplicationData):
+                driver.send_application_data(response)
+
+        serve_mbtls(
+            network.host(server.hostname),
+            make_server_config,
+            on_event=on_server_event,
+        )
+
+
+def _session_factory(shard: Shard, arrival: _Arrival, pki: Pki,
+                     policy: RetryPolicy):
+    """Build the deferred-supervisor factory the orchestrator admits."""
+
+    def factory(shard_obj: Shard, orchestrator_hook):
+        sim = shard.network.sim
+
+        def make_client_config() -> MbTLSEndpointConfig:
+            return MbTLSEndpointConfig(
+                tls=TLSConfig(
+                    rng=shard.rng.fork(b"client"),
+                    trust_store=pki.trust,
+                    server_name=arrival.server,
+                    session_store=shard.client_sessions,
+                ),
+                middlebox_trust_store=pki.trust,
+                middlebox_session_store=shard.middlebox_sessions,
+            )
+
+        def hook(supervisor: SessionSupervisor, state: str) -> None:
+            orchestrator_hook(supervisor, state)
+            if state in ("established", "degraded"):
+                # One request/response exercises the data plane (and the
+                # middlebox outboxes backpressure watches), then the
+                # session idles out its planned lifetime.
+                supervisor.send_application_data(_REQUEST)
+                sim.schedule(arrival.lifetime, supervisor.close)
+
+        return SessionSupervisor(
+            shard.network.host(arrival.site),
+            arrival.server,
+            make_client_config,
+            start=False,
+            on_state=hook,
+            policy=policy,
+        )
+
+    return factory
+
+
+# -------------------------------------------------------------------- running
+
+
+def _run(config: FleetConfig, only_shard: int | None) -> tuple[
+    SessionOrchestrator, int
+]:
+    # Order-independent splits: every stream below derives from the seed
+    # by personalization, never by fork order, so a solo-shard replay
+    # rebuilds the exact same world without touching the other shards.
+    pki = Pki(rng=HmacDrbg(config.seed, personalization=b"fleet/pki"))
+    sites = generate_population(
+        HmacDrbg(config.seed, personalization=b"fleet/population")
+    )
+    alexa = generate_alexa_population(
+        HmacDrbg(config.seed, personalization=b"fleet/alexa")
+    )
+    servers = [
+        server for server in alexa if server.defect is ServerDefect.NONE
+    ][: config.servers_per_shard]
+
+    # Issue every credential in one fixed order up front: certificate
+    # bytes must not depend on which shards get built or which shard
+    # dials first.
+    pki.credential("mbcore")
+    for server in servers:
+        pki.credential(server.hostname)
+
+    orchestrator = SessionOrchestrator(
+        config.seed,
+        num_shards=config.num_shards,
+        max_inflight_per_shard=config.max_inflight_per_shard,
+        outbox_high_watermark=config.outbox_high_watermark,
+        store_capacity=config.store_capacity,
+    )
+    policy = RetryPolicy()
+
+    base = config.sessions // config.num_shards
+    extra = config.sessions % config.num_shards
+    submitted = 0
+    for shard in orchestrator.shards:
+        if only_shard is not None and shard.id != only_shard:
+            continue
+        shard_sites = [
+            (site, _site_routes_via_middlebox(index, config))
+            for index, site in enumerate(sites)
+            if index % config.num_shards == shard.id
+        ]
+        _build_shard_world(shard, config, pki, shard_sites, servers)
+        bulk_count = base + (1 if shard.id < extra else 0)
+        arrivals = _plan_shard(shard, config, shard_sites, servers, bulk_count)
+        submitted += len(arrivals)
+        for arrival in arrivals:
+            factory = _session_factory(shard, arrival, pki, policy)
+            info = {
+                "phase": arrival.phase,
+                "site": arrival.site,
+                "server": arrival.server,
+                "network_type": arrival.network_type,
+                "via_middlebox": arrival.via_middlebox,
+                "abandoned": arrival.abandoned,
+            }
+            orchestrator.sim.schedule(
+                arrival.time,
+                lambda shard_id=shard.id, factory=factory, info=info:
+                    orchestrator.submit(shard_id, factory, info),
+            )
+    # Arrivals are future sim events, so the orchestrator's settled
+    # predicate is vacuously true until the clock runs: drive the whole
+    # schedule by draining the event queue (every session closes by
+    # timer, so the queue empties exactly when the fleet has settled).
+    orchestrator.sim.run(max_events=100_000_000)
+    orchestrator.drain(timeout=1.0)  # assert-settled backstop
+    return orchestrator, submitted
+
+
+def _percentile(sorted_values: list[float], pct: float) -> float | None:
+    """Exact nearest-rank percentile over the full (sorted) sample."""
+    if not sorted_values:
+        return None
+    index = max(0, math.ceil(pct / 100.0 * len(sorted_values)) - 1)
+    return sorted_values[index]
+
+
+def _counter_sum(plane, name: str, **labels) -> int:
+    total = 0
+    for entry_labels, value in plane.metrics.iter_counters(name):
+        if all(entry_labels.get(key) == val for key, val in labels.items()):
+            total += value
+    return total
+
+
+def run_fleet(
+    config: FleetConfig | None = None,
+    quick: bool = False,
+    only_shard: int | None = None,
+) -> dict:
+    """Run the fleet and return the ``BENCH_fleet.json`` report dict.
+
+    Args:
+        config: run parameters (default: :func:`full_config`, or
+            :func:`quick_config` when ``quick`` is set).
+        quick: use the CI smoke configuration.
+        only_shard: replay exactly one shard from ``(seed, shard_id)``;
+            the other shards are created (their RNG split costs nothing)
+            but get no world and no arrivals.  The replayed shard's
+            ledger digest matches the full-fleet run.
+    """
+    if config is None:
+        config = quick_config() if quick else full_config()
+    with obs.scoped() as plane:
+        started = time.perf_counter()
+        orchestrator, submitted = _run(config, only_shard)
+        wall_seconds = time.perf_counter() - started
+
+        entries = [
+            entry
+            for shard in orchestrator.shards
+            for entry in shard.ledger
+        ]
+        established = [
+            entry for entry in entries
+            if entry.get("outcome") in ("established", "degraded")
+        ]
+        bulk = [entry for entry in established if entry.get("phase") == "bulk"]
+        resumed = sum(1 for entry in bulk if entry.get("resumed"))
+        latencies = sorted(
+            entry["handshake_seconds"]
+            for entry in established
+            if entry.get("handshake_seconds") is not None
+        )
+        failed = [
+            entry for entry in entries
+            if entry.get("outcome") in ("failed", "aborted")
+        ]
+
+        deferred_capacity = _counter_sum(
+            plane, "fleet.admission_deferred", reason="capacity")
+        deferred_backpressure = _counter_sum(
+            plane, "fleet.admission_deferred", reason="backpressure")
+        admitted = _counter_sum(plane, "fleet.sessions_admitted")
+
+    report = {
+        "schema_version": FLEET_SCHEMA_VERSION,
+        "bench": "fleet",
+        "git": git_describe(),
+        "quick": quick,
+        "config": {
+            "seed": config.seed.decode("latin-1"),
+            "num_shards": config.num_shards,
+            "sessions": config.sessions,
+            "servers_per_shard": config.servers_per_shard,
+            "arrival_ramp": config.arrival_ramp,
+            "session_lifetime": config.session_lifetime,
+            "middlebox_every": config.middlebox_every,
+            "max_inflight_per_shard": config.max_inflight_per_shard,
+            "only_shard": only_shard,
+        },
+        "sessions": {
+            "submitted": submitted,
+            "admitted": admitted,
+            "established": len(established),
+            "resumed": resumed,
+            "failed": len(failed),
+            "abandoned_planned": sum(
+                1 for entry in entries if entry.get("abandoned")
+            ),
+        },
+        "concurrency": {
+            "peak_concurrent": orchestrator.peak_concurrent,
+            "per_shard_peaks": {
+                shard.label: shard.peak_live
+                for shard in orchestrator.shards
+            },
+        },
+        "handshake_seconds": {
+            "count": len(latencies),
+            "p50": _percentile(latencies, 50),
+            "p99": _percentile(latencies, 99),
+            "max": latencies[-1] if latencies else None,
+        },
+        "resumption": {
+            "bulk_established": len(bulk),
+            "resumed": resumed,
+            "hit_rate": round(resumed / len(bulk), 6) if bulk else None,
+        },
+        "admission": {
+            "deferred_capacity": deferred_capacity,
+            "deferred_backpressure": deferred_backpressure,
+        },
+        "digests": orchestrator.digests(),
+        "sim": {
+            "virtual_seconds": round(orchestrator.sim.now, 9),
+            "events": orchestrator.sim._events_processed,
+        },
+        "wall": {
+            "seconds": round(wall_seconds, 3),
+            "sessions_per_sec": (
+                round(len(established) / wall_seconds, 1)
+                if wall_seconds > 0 else None
+            ),
+        },
+    }
+    return report
+
+
+def deterministic_core(report: dict) -> dict:
+    """The report minus host-dependent fields (wall clock, git state).
+
+    Two same-seed runs must produce byte-identical JSON for this core —
+    the determinism tests serialize it with sorted keys and compare.
+    """
+    core = dict(report)
+    core.pop("wall", None)
+    core.pop("git", None)
+    return core

@@ -11,6 +11,7 @@ Usage::
     python -m repro fuzz                 # protocol-fuzz smoke corpus
     python -m repro selftest             # downgrade gauntlet, P1-P7 scorecard
     python -m repro bench --quick        # bulk-crypto + record-plane benches
+    python -m repro fleet --quick        # fleet-scale session churn
     python -m repro metrics              # observability plane vs wiretap
     python -m repro all                  # everything
 """
@@ -333,8 +334,54 @@ def _cmd_bench(args) -> None:
           f"({plane_report['record_plane']['records_per_sec']:,} rec/s framed)")
 
 
+def _cmd_fleet(args) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.bench.fleet import FleetConfig, full_config, quick_config, run_fleet
+    from repro.bench.tables import render_table
+
+    config = quick_config(args.seed.encode()) if args.quick \
+        else full_config(args.seed.encode())
+    if args.sessions:
+        config = FleetConfig(seed=config.seed, sessions=args.sessions)
+    print(f"fleet churn: {config.sessions} sessions across "
+          f"{config.num_shards} shards, "
+          f"{config.servers_per_shard} servers/shard ...",
+          file=sys.stderr)
+    report = run_fleet(config=config, quick=args.quick)
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return
+
+    sessions = report["sessions"]
+    resumption = report["resumption"]
+    latency = report["handshake_seconds"]
+    wall = report["wall"]
+    rows = [
+        ["submitted", sessions["submitted"]],
+        ["established", sessions["established"]],
+        ["failed", sessions["failed"]],
+        ["peak concurrent", report["concurrency"]["peak_concurrent"]],
+        ["resumption hit-rate", f"{resumption['hit_rate']:.1%}"
+         if resumption["hit_rate"] is not None else "-"],
+        ["handshake p50 (virtual ms)", f"{latency['p50']*1000:.1f}"],
+        ["handshake p99 (virtual ms)", f"{latency['p99']*1000:.1f}"],
+        ["sessions/sec (wall)", wall["sessions_per_sec"]],
+        ["wall seconds", wall["seconds"]],
+    ]
+    print(render_table("Fleet-scale session churn", ["metric", "value"], rows))
+    print(f"fleet digest: {report['digests']['fleet']}")
+
+    path = Path.cwd() / "BENCH_fleet.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
 _COMMANDS = {
     "threats": _cmd_threats,
+    "fleet": _cmd_fleet,
     "viability": _cmd_viability,
     "interop": _cmd_interop,
     "cpu": _cmd_cpu,
@@ -356,6 +403,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="which experiment to run")
     parser.add_argument("--sites", type=int, default=0,
                         help="limit population size (viability/interop)")
+    parser.add_argument("--sessions", type=int, default=0,
+                        help="fleet: override the total bulk-arrival count")
     parser.add_argument("--trials", type=int, default=3,
                         help="trials per configuration (cpu)")
     parser.add_argument("--seed", default="repro-cli",

@@ -208,6 +208,22 @@ class MiddleboxService:
         )
         self.drivers.append(driver)
 
+    def max_outbox_fill(self) -> float:
+        """Fullest outbound buffer across live connections (0.0–1.0+).
+
+        The service-level backpressure signal an orchestrator polls before
+        admitting more sessions through this middlebox.  Finished
+        connections are pruned here so a long churn run doesn't scan (or
+        retain) every session that ever passed through.
+        """
+        self.drivers = [
+            driver for driver in self.drivers
+            if not (driver.down.closed and (driver.up is None or driver.up.closed))
+        ]
+        return max(
+            (driver.engine.outbox_fill for driver in self.drivers), default=0.0
+        )
+
 
 def serve_mbtls(
     host: Host,
@@ -293,6 +309,20 @@ class SessionSupervisor:
 
     The supervisor never raises out of the event loop and never hangs: the
     worst case is ``max_attempts`` timer horizons plus backoff.
+
+    The lifecycle is a scheduler-driven state machine — every transition
+    happens inside a simulator callback (socket event, timer, backoff
+    timer), never inside a pump loop::
+
+        pending → dialing → handshaking → established | degraded → closed
+                      ↑          |
+                      └─ backoff ┘        (plus terminal failed / aborted)
+
+    :attr:`state` names the current node; ``on_state`` observes every
+    transition, which is how an orchestrator drives thousands of sessions
+    without polling.  ``start=False`` defers the first dial (state stays
+    ``"pending"``) so an admission controller can hold sessions back and
+    release them with :meth:`start`.
     """
 
     def __init__(
@@ -304,6 +334,8 @@ class SessionSupervisor:
         port: int = 443,
         meter: CpuMeter | None = None,
         policy: RetryPolicy | None = None,
+        start: bool = True,
+        on_state: Callable[["SessionSupervisor", str], None] | None = None,
     ) -> None:
         self.host = host
         self.destination = destination
@@ -313,6 +345,7 @@ class SessionSupervisor:
         self.meter = meter if meter is not None else CpuMeter(host.name)
         self.policy = policy if policy is not None else RetryPolicy()
         self.attempt = 0
+        self.state = "pending"
         self.outcome: str | None = None
         self.failure: str | None = None
         self.degraded_refused = False
@@ -320,14 +353,33 @@ class SessionSupervisor:
         self.engine: MbTLSClientEngine | None = None
         self.driver: EngineDriver | None = None
         self.events: list[object] = []
+        self.first_dial_at: float | None = None
+        self.established_at: float | None = None
         self._attempt_span = None
-        self._dial()
+        self._on_state = on_state
+        if start:
+            self.start()
 
     # ------------------------------------------------------------------ API
 
     @property
     def established(self) -> bool:
         return self.outcome in ("established", "degraded")
+
+    @property
+    def handshake_latency(self) -> float | None:
+        """Virtual seconds from the first dial to establishment (retries
+        and backoff included), or ``None`` before the session is up."""
+        if self.first_dial_at is None or self.established_at is None:
+            return None
+        return self.established_at - self.first_dial_at
+
+    def start(self) -> None:
+        """Begin dialing a deferred (``start=False``) supervisor."""
+        if self.state != "pending":
+            raise NetworkError(f"cannot start a session in state {self.state!r}")
+        self.first_dial_at = self.host.network.sim.now
+        self._dial()
 
     def send_application_data(self, data: bytes) -> None:
         if self.degraded_refused:
@@ -343,18 +395,29 @@ class SessionSupervisor:
     def close(self) -> None:
         if self.driver is not None and not self.driver.session_over:
             self.driver.close()
+        if self.established and self.state != "closed":
+            self._set_state("closed")
 
     # ------------------------------------------------------------ internals
 
+    def _set_state(self, state: str) -> None:
+        self.state = state
+        if self._on_state is not None:
+            self._on_state(self, state)
+
     def _finish(self, outcome: str) -> None:
         self.outcome = outcome
+        if outcome in ("established", "degraded"):
+            self.established_at = self.host.network.sim.now
         obs.counter(
             "supervisor_outcomes", destination=self.destination, outcome=outcome
         ).inc()
         obs.tracer().end(self._attempt_span, outcome=outcome)
+        self._set_state(outcome)
 
     def _dial(self) -> None:
         self.attempt += 1
+        self._set_state("dialing")
         obs.counter("supervisor_dials", destination=self.destination).inc()
         self._attempt_span = obs.tracer().begin(
             "session.attempt", party=self.host.name,
@@ -376,6 +439,7 @@ class SessionSupervisor:
             idle_timeout=self.policy.idle_timeout,
             on_timeout=self._on_timeout,
         )
+        self._set_state("handshaking")
         self.driver.start()
 
     def _on_event(self, event: object) -> None:
@@ -429,6 +493,9 @@ class SessionSupervisor:
                     self.failure = event.error or alert
                 else:
                     self._attempt_over(event.error or "connection closed")
+            elif self.established and self.state != "closed":
+                # Steady state ended: teardown observed from either side.
+                self._set_state("closed")
         if self._user_on_event is not None:
             self._user_on_event(event)
 
@@ -445,6 +512,7 @@ class SessionSupervisor:
             self.failure = error
             return
         delay = self.policy.backoff(self.attempt - 1)
+        self._set_state("backoff")
         self.host.network.sim.schedule(delay, self._redial)
 
     def _redial(self) -> None:

@@ -30,7 +30,7 @@ from repro.errors import (
     ProtocolError,
     SessionAborted,
 )
-from repro.io.record_plane import RecordPlane
+from repro.io.record_plane import MAX_BUFFERED_BYTES, RecordPlane
 from repro.tls.ciphersuites import suite_by_code
 from repro.tls.engine import TLSServerEngine
 from repro.tls.events import (
@@ -130,6 +130,17 @@ class MbTLSMiddlebox:
     def joined(self) -> bool:
         """Whether this middlebox is an authenticated session member."""
         return self.keys_installed and not self.rejected
+
+    @property
+    def outbox_fill(self) -> float:
+        """Fullest outbound buffer as a fraction of the 4 MiB bound.
+
+        The backpressure signal: past ~1.0 the next queued record raises
+        ``record_overflow``, so admission controllers stop dialing new
+        sessions through this middlebox well before that.
+        """
+        fullest = max(plane.pending_outbound_bytes for plane in self._planes)
+        return fullest / MAX_BUFFERED_BYTES
 
     # Hop-state views (the planes own them; see the crossing note above).
 

@@ -1,0 +1,292 @@
+"""Fleet-scale session orchestration: sharded supervisor pools on one clock.
+
+The paper evaluates mbTLS where middleboxes actually live — CDN edges and
+enterprise proxies terminating enormous session populations — so the stack
+needs to drive far more than one supervised session per scenario.  This
+module turns the :class:`~repro.core.drivers.SessionSupervisor` state
+machine into a population: a :class:`SessionOrchestrator` owns one
+:class:`~repro.netsim.sim.Simulator` (the timer wheel makes 10^5+ live
+timers cheap) and splits the fleet into independent **shards**.
+
+Sharding is the determinism boundary, not a threading construct:
+
+* each shard derives its RNG as ``HmacDrbg(seed, personalization=
+  b"fleet/shard/<id>")`` — *splitting*, not forking, so the derivation is
+  order-independent and any shard's stream can be reconstructed from
+  ``(seed, shard_id)`` alone;
+* each shard gets its own :class:`~repro.netsim.network.Network` on the
+  shared simulator, its own resumption stores (client, middlebox,
+  server-side), and its own session ledger;
+* shards never exchange state, and admission control is per-shard, so a
+  shard replayed alone is byte-identical to the same shard inside a full
+  fleet run (the cross-shard event interleaving on the shared clock cannot
+  be observed from inside a shard).
+
+Admission control and backpressure: sessions are *submitted* (queued) and
+then *admitted* — started — only while the shard has handshake slots free
+and no registered middlebox outbox sits above the high watermark of its
+4 MiB bound.  Deferred admissions retry on a short timer, so a drained
+outbox reopens the gate deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from typing import Callable
+
+from repro import obs
+from repro.core.config import SessionEstablished
+from repro.core.drivers import MiddleboxService, SessionSupervisor
+from repro.core.resumption import MiddleboxSessionStore
+from repro.crypto.drbg import HmacDrbg
+from repro.netsim.network import Network
+from repro.netsim.sim import Simulator
+from repro.tls.session import ClientSessionStore, ServerSessionCache
+
+__all__ = ["SessionOrchestrator", "Shard", "shard_rng"]
+
+#: A supervisor factory: builds a deferred (``start=False``) supervisor
+#: wired to the orchestrator's state hook.  The orchestrator starts it
+#: once admission control lets it through.
+SessionFactory = Callable[
+    ["Shard", Callable[[SessionSupervisor, str], None]], SessionSupervisor
+]
+
+
+def shard_rng(seed: bytes, shard_id: int) -> HmacDrbg:
+    """The shard's RNG from ``(seed, shard_id)`` alone.
+
+    Personalization-based *splitting* (unlike :meth:`HmacDrbg.fork`, which
+    consumes parent state in call order) keeps the derivation independent
+    of how many shards exist or when they are built — the replay property
+    the per-shard determinism tests pin.
+    """
+    return HmacDrbg(seed, personalization=b"fleet/shard/%d" % shard_id)
+
+
+class Shard:
+    """One independent slice of the fleet: network, stores, pool, ledger."""
+
+    def __init__(self, shard_id: int, seed: bytes, sim: Simulator,
+                 store_capacity: int = 4096) -> None:
+        self.id = shard_id
+        self.label = str(shard_id)
+        self.rng = shard_rng(seed, shard_id)
+        self.network = Network(sim)
+        # Resumption state is shard-wide: every client in the shard shares
+        # the stores, so one cold full handshake per server seeds
+        # abbreviated handshakes for the rest of the shard's population.
+        self.client_sessions = ClientSessionStore(capacity=store_capacity)
+        self.middlebox_sessions = MiddleboxSessionStore(
+            capacity=store_capacity, shard=self.label
+        )
+        self.server_cache = ServerSessionCache(capacity=store_capacity)
+        self.middlebox_cache = ServerSessionCache(capacity=store_capacity)
+        #: Middlebox services watched for outbox backpressure.
+        self.services: list[MiddleboxService] = []
+        self.pending: deque[tuple[SessionFactory, dict]] = deque()
+        self.inflight = 0  # supervisors between start() and a settled outcome
+        self.live = 0  # established sessions not yet closed
+        self.peak_live = 0
+        self.ledger: list[dict] = []
+        self._retry_scheduled = False
+
+    def watch_service(self, service: MiddleboxService) -> None:
+        """Register a middlebox service for admission backpressure."""
+        self.services.append(service)
+
+    def outbox_fill(self) -> float:
+        """Fullest middlebox outbound buffer across the shard (fraction)."""
+        return max(
+            (service.max_outbox_fill() for service in self.services),
+            default=0.0,
+        )
+
+    def digest(self) -> str:
+        """Canonical hash of this shard's session ledger.
+
+        Derived only from shard-local state (never the global obs plane),
+        so it is identical between a full-fleet run and a solo replay of
+        this shard from ``(seed, shard_id)``.
+        """
+        canonical = json.dumps(self.ledger, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class SessionOrchestrator:
+    """Drives sharded supervisor pools with admission control.
+
+    Args:
+        seed: fleet master seed; shard RNGs split from it.
+        num_shards: independent determinism domains.
+        sim: shared simulator (a fresh one with the default timer wheel
+            when omitted).
+        max_inflight_per_shard: handshake-concurrency cap — how many
+            supervisors per shard may sit between dial and outcome.
+        outbox_high_watermark: fraction of the 4 MiB middlebox outbox
+            bound above which admissions are deferred.
+        admission_retry: virtual seconds between admission retries while
+            backpressured.
+        store_capacity: capacity of each per-shard resumption store.
+    """
+
+    def __init__(
+        self,
+        seed: bytes,
+        num_shards: int = 4,
+        sim: Simulator | None = None,
+        max_inflight_per_shard: int = 64,
+        outbox_high_watermark: float = 0.75,
+        admission_retry: float = 0.005,
+        store_capacity: int = 4096,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        self.seed = seed
+        self.sim = sim if sim is not None else Simulator()
+        self.max_inflight_per_shard = max_inflight_per_shard
+        self.outbox_high_watermark = outbox_high_watermark
+        self.admission_retry = admission_retry
+        self.shards = [
+            Shard(i, seed, self.sim, store_capacity=store_capacity)
+            for i in range(num_shards)
+        ]
+        # Supervisor -> (shard, open ledger entry).  Keyed by the object
+        # (identity hash) so the supervisor stays alive until it settles.
+        self._active: dict[SessionSupervisor, tuple[Shard, dict]] = {}
+        #: Highest number of simultaneously-live sessions across the whole
+        #: fleet (a true instantaneous maximum, unlike the sum of per-shard
+        #: peaks, which may have occurred at different times).
+        self.peak_concurrent = 0
+
+    # ------------------------------------------------------------------ API
+
+    def submit(self, shard_id: int, factory: SessionFactory,
+               info: dict | None = None) -> None:
+        """Queue a session for admission on ``shard_id``.
+
+        ``factory(shard, on_state)`` must return a supervisor built with
+        ``start=False`` and the given ``on_state`` hook; the orchestrator
+        starts it when a handshake slot is free and backpressure allows.
+        ``info`` labels the session in the shard ledger (site, server, …).
+        """
+        shard = self.shards[shard_id]
+        shard.pending.append((factory, dict(info or {})))
+        self._admit(shard)
+
+    @property
+    def live_sessions(self) -> int:
+        return sum(shard.live for shard in self.shards)
+
+    @property
+    def peak_live_sessions(self) -> int:
+        return sum(shard.peak_live for shard in self.shards)
+
+    def drain(self, timeout: float = 600.0) -> None:
+        """Run the clock until every submitted session has settled."""
+
+        def settled() -> bool:
+            return all(
+                not shard.pending and shard.inflight == 0 and shard.live == 0
+                for shard in self.shards
+            )
+
+        self.sim.run_until(settled, timeout=timeout)
+
+    def digests(self) -> dict[str, str]:
+        """Per-shard ledger digests plus the combined fleet digest."""
+        per_shard = {shard.label: shard.digest() for shard in self.shards}
+        combined = hashlib.sha256(
+            "".join(per_shard[label] for label in sorted(per_shard)).encode()
+        ).hexdigest()
+        return {"shards": per_shard, "fleet": combined}
+
+    # ------------------------------------------------------------ internals
+
+    def _admit(self, shard: Shard) -> None:
+        while shard.pending and shard.inflight < self.max_inflight_per_shard:
+            if shard.outbox_fill() >= self.outbox_high_watermark:
+                obs.counter(
+                    "fleet.admission_deferred", shard=shard.label,
+                    reason="backpressure",
+                ).inc()
+                self._schedule_retry(shard)
+                return
+            factory, info = shard.pending.popleft()
+            supervisor = factory(shard, self._on_state)
+            entry = {
+                **info,
+                "shard": shard.id,
+                "submitted_at": round(self.sim.now, 9),
+            }
+            shard.inflight += 1
+            self._active[supervisor] = (shard, entry)
+            obs.counter("fleet.sessions_admitted", shard=shard.label).inc()
+            supervisor.start()
+        if shard.pending:
+            obs.counter(
+                "fleet.admission_deferred", shard=shard.label, reason="capacity"
+            ).inc()
+
+    def _schedule_retry(self, shard: Shard) -> None:
+        if shard._retry_scheduled:
+            return
+        shard._retry_scheduled = True
+
+        def retry() -> None:
+            shard._retry_scheduled = False
+            self._admit(shard)
+
+        self.sim.schedule(self.admission_retry, retry)
+
+    def _on_state(self, supervisor: SessionSupervisor, state: str) -> None:
+        active = self._active.get(supervisor)
+        if active is None:
+            return
+        shard, entry = active
+        if state in ("established", "degraded"):
+            shard.inflight -= 1
+            shard.live += 1
+            if shard.live > shard.peak_live:
+                shard.peak_live = shard.live
+            total_live = self.live_sessions
+            if total_live > self.peak_concurrent:
+                self.peak_concurrent = total_live
+            entry["outcome"] = state
+            entry["attempts"] = supervisor.attempt
+            entry["resumed"] = self._resumed(supervisor)
+            latency = supervisor.handshake_latency
+            entry["handshake_seconds"] = (
+                None if latency is None else round(latency, 9)
+            )
+            obs.gauge("fleet.live_sessions", shard=shard.label).set(shard.live)
+            obs.histogram("fleet.handshake_seconds", shard=shard.label).observe(
+                latency if latency is not None else 0.0
+            )
+            self._admit(shard)
+        elif state in ("failed", "aborted"):
+            shard.inflight -= 1
+            entry.setdefault("outcome", state)
+            entry["attempts"] = supervisor.attempt
+            entry["failure"] = supervisor.failure
+            self._settle(shard, supervisor, entry)
+            self._admit(shard)
+        elif state == "closed":
+            shard.live -= 1
+            entry["closed_at"] = round(self.sim.now, 9)
+            obs.gauge("fleet.live_sessions", shard=shard.label).set(shard.live)
+            self._settle(shard, supervisor, entry)
+
+    @staticmethod
+    def _resumed(supervisor: SessionSupervisor) -> bool:
+        for event in reversed(supervisor.events):
+            if isinstance(event, SessionEstablished):
+                return bool(getattr(event, "resumed", False))
+        return False
+
+    def _settle(self, shard: Shard, supervisor: SessionSupervisor,
+                entry: dict) -> None:
+        self._active.pop(supervisor, None)
+        shard.ledger.append(entry)

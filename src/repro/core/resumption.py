@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro import obs
 from repro.tls.session import SessionState
 
 __all__ = ["RememberedMiddlebox", "MiddleboxSessionStore"]
@@ -38,26 +39,41 @@ class RememberedMiddlebox:
 
 
 class MiddleboxSessionStore:
-    """Client-side memory of middlebox secondary sessions, per server."""
+    """Client-side memory of middlebox secondary sessions, per server.
 
-    def __init__(self, capacity: int = 256) -> None:
+    Fleet shards each own a store; ``shard`` labels the obs counters
+    (size, resumption hit/miss, evictions) so the fleet report can read a
+    per-shard resumption hit-rate.  Label cardinality stays bounded: one
+    label value per shard, not per session.
+    """
+
+    def __init__(self, capacity: int = 256, shard: str = "0") -> None:
         self._capacity = capacity
+        self._shard = shard
         self._entries: OrderedDict[str, list[RememberedMiddlebox]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
     def remember(self, server_name: str, middleboxes: list[RememberedMiddlebox]) -> None:
         self._entries[server_name] = list(middleboxes)
         self._entries.move_to_end(server_name)
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
+            obs.counter("mb_session_store.evictions", shard=self._shard).inc()
+        obs.gauge("mb_session_store.size", shard=self._shard).set(len(self._entries))
 
     def lookup(self, server_name: str) -> list[RememberedMiddlebox]:
         entry = self._entries.get(server_name)
         if entry is None:
+            obs.counter("mb_session_store.misses", shard=self._shard).inc()
             return []
         # A hit is a use: refresh recency so eviction drops the coldest
         # server, not the most-resumed one.
         self._entries.move_to_end(server_name)
+        obs.counter("mb_session_store.hits", shard=self._shard).inc()
         return list(entry)
 
     def forget(self, server_name: str) -> None:
-        self._entries.pop(server_name, None)
+        if self._entries.pop(server_name, None) is not None:
+            obs.gauge("mb_session_store.size", shard=self._shard).set(len(self._entries))

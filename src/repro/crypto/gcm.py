@@ -39,13 +39,19 @@ _R8 = _build_reduction_table()
 class _GHash:
     """GHASH universal hash keyed by H = E_K(0^128)."""
 
-    # Build the aggregated 4-block tables once a single digest covers at
-    # least this many ciphertext bytes (handshake records never do).
+    # Only digests covering at least this many ciphertext bytes are
+    # candidates for the aggregated 4-block path (handshake records never
+    # are), and the tables are not built until a key has hashed
+    # ``_BULK_BUILD_BYTES`` of candidate ciphertext: construction costs
+    # the same as scalar-hashing tens of KiB, so short-lived sessions
+    # that move one or two records must never pay it.
     _BULK_THRESHOLD = 512
+    _BULK_BUILD_BYTES = 64 * 1024
 
     def __init__(self, h: int) -> None:
         self._h = h
         self._bulk_tables = None
+        self._bulk_eligible = 0
         # Basis entries: byte value (0x80 >> i) at the top byte is x^i * H.
         table = [0] * 256
         value = h
@@ -104,6 +110,13 @@ class _GHash:
             self._bulk_tables = tables
         return tables
 
+    def _bulk_ready(self, size: int) -> bool:
+        """Has this key hashed enough bulk-sized data to amortize tables?"""
+        if self._bulk_tables is not None:
+            return True
+        self._bulk_eligible += size
+        return self._bulk_eligible >= self._BULK_BUILD_BYTES
+
     def _bulk(self, y: int, data: bytes, offset: int, end: int) -> int:
         """Fold whole 4-block groups of ``data[offset:end]`` into ``y``."""
         t1, t2, t3, t4 = self._byte_tables()
@@ -126,7 +139,8 @@ class _GHash:
         y = 0
         for chunk in (aad, ciphertext):
             offset = 0
-            if chunk is ciphertext and len(chunk) >= self._BULK_THRESHOLD:
+            if (chunk is ciphertext and len(chunk) >= self._BULK_THRESHOLD
+                    and self._bulk_ready(len(chunk))):
                 groups = len(chunk) // 64 * 64
                 y = self._bulk(y, chunk, 0, groups)
                 offset = groups

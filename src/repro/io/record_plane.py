@@ -174,6 +174,17 @@ class RecordPlane:
     def pending_inbound_bytes(self) -> int:
         return self._inbound.pending_bytes
 
+    @property
+    def pending_outbound_bytes(self) -> int:
+        """Sealed plus queued-for-sealing bytes awaiting a drain.
+
+        This is the quantity :meth:`_check_outbox_room` compares against
+        :data:`MAX_BUFFERED_BYTES`; orchestrators read it as the
+        backpressure signal (defer admissions while outboxes are near the
+        bound) instead of waiting for the hard ``record_overflow``.
+        """
+        return len(self._outbox) + self._pending_seal_bytes
+
     def drain_inbound_raw(self) -> bytes:
         """Take the raw unparsed inbound buffer (relay demotion)."""
         return self._inbound.drain_raw()

@@ -4,6 +4,18 @@ Everything in the simulated network happens through :meth:`Simulator.schedule`;
 running the simulator advances virtual time from event to event, so a WAN
 round trip costs microseconds of real time and latency measurements are
 exact rather than noisy.
+
+Pending events live in a hierarchical :class:`~repro.netsim.wheel.TimerWheel`
+(O(1) insert and *eager* O(1) cancel — cancelled timers free their slot
+immediately instead of lingering until popped, which matters when a fleet
+run arms and touches 10^5+ idle timers).  Events of the earliest busy tick
+are drained into a small exact-order ready heap, so firing order is still
+strict ``(time, seq)`` — identical to the old single-heap scheduler.
+
+The scheduler is reentrant: a callback may call :meth:`Simulator.run`,
+:meth:`Simulator.run_until`, or :meth:`Simulator.step` again, which
+processes further events in order and then returns control — the
+orchestrator uses this to interleave many sessions per tick.
 """
 
 from __future__ import annotations
@@ -14,34 +26,50 @@ from typing import Callable
 
 from repro import obs
 from repro.errors import SimulationError
+from repro.netsim.wheel import TimerWheel, WheelEntry
 
 __all__ = ["Simulator", "ScheduledEvent", "Timer"]
 
 
-class ScheduledEvent:
-    """Handle for a scheduled callback; supports cancellation."""
+class ScheduledEvent(WheelEntry):
+    """Handle for a scheduled callback; supports O(1) cancellation."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("callback", "cancelled", "_sim", "_in_ready")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
-        self.time = time
-        self.seq = seq
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        sim: "Simulator | None" = None,
+    ) -> None:
+        super().__init__(time, seq)
         self.callback = callback
         self.cancelled = False
+        self._sim = sim
+        self._in_ready = False
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
-
-    def __lt__(self, other: "ScheduledEvent") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        if self._sim is not None:
+            self._sim._discard(self)
 
 
 class Simulator:
     """An event-driven virtual clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, wheel_resolution: float = 1e-4) -> None:
         self.now = 0.0
-        self._queue: list[ScheduledEvent] = []
+        self._wheel = TimerWheel(wheel_resolution)
+        # Exact-order staging heap for the tick being fired: the wheel hands
+        # over one expired tick at a time and events scheduled *into* an
+        # already-expired tick land here directly.  Every ready event's tick
+        # is < the wheel's current tick and tick_of() is monotone in time,
+        # so ready events always precede every event still in the wheel.
+        self._ready: list[ScheduledEvent] = []
+        self._ready_live = 0
         self._sequence = itertools.count()
         self._events_processed = 0
         # Virtual time is the observability time source: bind the current
@@ -55,13 +83,33 @@ class Simulator:
         """Run ``callback`` ``delay`` simulated seconds from now."""
         if delay < 0:
             raise SimulationError("cannot schedule into the past")
-        event = ScheduledEvent(self.now + delay, next(self._sequence), callback)
-        heapq.heappush(self._queue, event)
+        event = ScheduledEvent(self.now + delay, next(self._sequence), callback, self)
+        if self._wheel.tick_of(event.time) < self._wheel.current_tick:
+            # The event's tick is already being fired (same-tick schedule
+            # from inside a callback): stage it directly, in exact order.
+            event._in_ready = True
+            heapq.heappush(self._ready, event)
+            self._ready_live += 1
+        else:
+            self._wheel.insert(event)
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
         """Run ``callback`` at absolute simulated time ``time``."""
         return self.schedule(max(0.0, time - self.now), callback)
+
+    def step(self) -> bool:
+        """Process exactly one event; False when none remain (reentrant)."""
+        event = self._peek()
+        if event is None:
+            return False
+        self._fire(event)
+        return True
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending event, or ``None`` when drained."""
+        event = self._peek()
+        return None if event is None else event.time
 
     def run(self, until: float | None = None, max_events: int = 10_000_000) -> None:
         """Process events in time order.
@@ -72,19 +120,15 @@ class Simulator:
             max_events: safety valve against runaway event loops.
         """
         processed = 0
-        while self._queue:
-            event = self._queue[0]
-            if event.cancelled:
-                heapq.heappop(self._queue)
-                continue
+        while True:
+            event = self._peek()
+            if event is None:
+                break
             if until is not None and event.time > until:
                 self.now = until
                 return
-            heapq.heappop(self._queue)
-            self.now = event.time
-            event.callback()
+            self._fire(event)
             processed += 1
-            self._events_processed += 1
             if processed > max_events:
                 raise SimulationError(
                     f"exceeded {max_events} events; runaway simulation?"
@@ -97,21 +141,18 @@ class Simulator:
         """Run until ``predicate()`` is true; returns False on timeout/drain."""
         deadline = self.now + timeout
         processed = 0
-        while self._queue:
+        while True:
+            event = self._peek()
+            if event is None:
+                break
             if predicate():
                 return True
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
             if event.time > deadline:
-                # Put it back; the deadline passed first.
-                heapq.heappush(self._queue, event)
+                # Leave it pending; the deadline passed first.
                 self.now = deadline
                 return predicate()
-            self.now = event.time
-            event.callback()
+            self._fire(event)
             processed += 1
-            self._events_processed += 1
             if processed > max_events:
                 raise SimulationError(
                     f"exceeded {max_events} events; runaway simulation?"
@@ -120,7 +161,43 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        return len(self._wheel) + self._ready_live
+
+    # ------------------------------------------------------------ internals
+
+    def _peek(self) -> ScheduledEvent | None:
+        """Next live event, staged at the top of the ready heap."""
+        while True:
+            ready = self._ready
+            while ready and ready[0].cancelled:
+                heapq.heappop(ready)  # cancelled while staged; drop lazily
+            if ready:
+                return ready[0]
+            batch = self._wheel.pop_next_tick()
+            if batch is None:
+                return None
+            for event in batch:
+                event._in_ready = True
+                heapq.heappush(ready, event)
+            self._ready_live += len(batch)
+
+    def _fire(self, event: ScheduledEvent) -> None:
+        """Pop the staged ``event`` (the ready-heap top) and run it."""
+        heapq.heappop(self._ready)
+        self._ready_live -= 1
+        event._in_ready = False
+        self.now = event.time
+        event.callback()
+        self._events_processed += 1
+
+    def _discard(self, event: ScheduledEvent) -> None:
+        """Eagerly reclaim a cancelled event's wheel slot."""
+        if self._wheel.remove(event):
+            return
+        if event._in_ready:
+            # Staged in the ready heap: uncount now, drop at next peek.
+            event._in_ready = False
+            self._ready_live -= 1
 
 
 class Timer:
@@ -128,7 +205,9 @@ class Timer:
 
     Drivers use these for handshake and idle timeouts: ``touch()`` pushes
     the deadline back (activity happened), ``cancel()`` disarms it, and the
-    callback fires at most once unless re-armed.
+    callback fires at most once unless re-armed.  Cancellation and
+    re-arming reclaim the underlying wheel slot eagerly, so a fleet's worth
+    of touched idle timers leaves no garbage behind.
     """
 
     def __init__(self, sim: Simulator, timeout: float, callback: Callable[[], None]) -> None:

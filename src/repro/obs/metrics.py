@@ -133,6 +133,11 @@ class MetricsRegistry:
         instrument = self._counters.get((name, _label_key(labels)))
         return 0 if instrument is None else instrument.value
 
+    def gauge_value(self, name: str, **labels: str) -> int | float:
+        """Read a gauge without creating it (0 when absent)."""
+        instrument = self._gauges.get((name, _label_key(labels)))
+        return 0 if instrument is None else instrument.value
+
     def iter_counters(self, name: str) -> Iterator[tuple[dict[str, str], int | float]]:
         """Yield ``(labels, value)`` for every series of one counter family."""
         for (fam, key), instrument in sorted(self._counters.items()):

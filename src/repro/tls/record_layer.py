@@ -11,16 +11,61 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro import obs
 from repro.errors import IntegrityError, ProtocolError
 from repro.tls.ciphersuites import CipherSuite
 from repro.wire.records import ContentType, MAX_FRAGMENT, Record, TLS12_VERSION
 
-__all__ = ["ConnectionState", "EXPLICIT_NONCE_LENGTH", "aead_for"]
+__all__ = [
+    "ConnectionState",
+    "EXPLICIT_NONCE_LENGTH",
+    "aead_for",
+    "aead_cache_capacity",
+    "reset_aead_cache",
+]
 
 EXPLICIT_NONCE_LENGTH = 8
 
 _AEAD_CACHE: OrderedDict[tuple[int, bytes], object] = OrderedDict()
-_AEAD_CACHE_MAX = 32
+# Sized for fleet runs, not single scenarios: a full mbTLS session keeps
+# one context per hop direction live (client/server read+write plus two per
+# middlebox), so ~6 per session with a middlebox chain and 10^4 concurrent
+# sessions needs ~6e4 contexts resident before the LRU starts thrashing.
+# Contexts are a few KiB each (key schedule + lazily built GHASH tables),
+# so the ceiling is tens of MiB — cheap next to re-deriving schedules in
+# the hot path.  Fleet runs watch the ``aead_cache.evictions`` counter to
+# see thrash instead of silently re-deriving.
+_AEAD_CACHE_MAX = 65_536
+
+
+def aead_cache_capacity(capacity: int | None = None) -> int:
+    """Read (and optionally set) the AEAD-context cache capacity.
+
+    Returns the previous capacity; tests shrink it to force evictions and
+    restore the old value afterwards.  Shrinking evicts immediately.
+    """
+    global _AEAD_CACHE_MAX
+    previous = _AEAD_CACHE_MAX
+    if capacity is not None:
+        if capacity < 1:
+            raise ValueError("AEAD cache capacity must be positive")
+        _AEAD_CACHE_MAX = capacity
+        while len(_AEAD_CACHE) > _AEAD_CACHE_MAX:
+            _AEAD_CACHE.popitem(last=False)
+            obs.counter("aead_cache.evictions").inc()
+        obs.gauge("aead_cache.size").set(len(_AEAD_CACHE))
+    return previous
+
+
+def reset_aead_cache() -> None:
+    """Drop every cached context (not counted as evictions).
+
+    Reproducible benchmarks call this up front: eviction counts depend on
+    what earlier scenarios left in the process-global cache, so a clean
+    start is what makes same-seed runs report identical cache behavior.
+    """
+    _AEAD_CACHE.clear()
+    obs.gauge("aead_cache.size").set(0)
 
 
 def aead_for(suite: CipherSuite, key: bytes):
@@ -42,8 +87,12 @@ def aead_for(suite: CipherSuite, key: bytes):
         _AEAD_CACHE[cache_key] = aead
         if len(_AEAD_CACHE) > _AEAD_CACHE_MAX:
             _AEAD_CACHE.popitem(last=False)
+            obs.counter("aead_cache.evictions").inc()
     else:
         _AEAD_CACHE.move_to_end(cache_key)
+    # Set on hits too: the cache outlives obs planes (it is process-global,
+    # planes are per-scenario), so a warm-cache run must still report size.
+    obs.gauge("aead_cache.size").set(len(_AEAD_CACHE))
     return aead
 
 

@@ -1,0 +1,283 @@
+"""Fleet orchestration: determinism, replay, admission, and equivalence.
+
+The contract under test (ISSUE 7):
+
+* same seed -> byte-identical deterministic report core (the
+  ``BENCH_fleet.json`` snapshot minus wall-clock and git state);
+* any shard replays from ``(seed, shard_id)`` alone with a ledger digest
+  identical to its digest inside the full-fleet run;
+* a session driven through the orchestrator's admission machinery is
+  byte-identical on the wire to the same session driven by a standalone
+  :class:`SessionSupervisor`;
+* admission control defers on the inflight cap and on middlebox outbox
+  backpressure, and recovers once the pressure clears.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro import obs
+from repro.bench.fleet import (
+    FLEET_SCHEMA_VERSION,
+    FleetConfig,
+    deterministic_core,
+    quick_config,
+    run_fleet,
+)
+from repro.bench.scenarios import Pki
+from repro.core.config import MbTLSEndpointConfig
+from repro.core.drivers import SessionSupervisor, serve_mbtls
+from repro.core.orchestrator import SessionOrchestrator, shard_rng
+from repro.crypto.drbg import HmacDrbg
+from repro.netsim.adversary import GlobalAdversary
+from repro.netsim.network import Network
+from repro.netsim.sim import Simulator
+from repro.tls.config import TLSConfig
+
+SMALL = FleetConfig(
+    sessions=40,
+    num_shards=2,
+    servers_per_shard=2,
+    arrival_ramp=2.0,
+    session_lifetime=6.0,
+)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return run_fleet(SMALL)
+
+
+# ---------------------------------------------------------------- determinism
+
+
+class TestFleetDeterminism:
+    def test_same_seed_byte_identical_snapshot(self, small_report):
+        again = run_fleet(SMALL)
+        assert (
+            json.dumps(deterministic_core(small_report), sort_keys=True)
+            == json.dumps(deterministic_core(again), sort_keys=True)
+        )
+
+    def test_per_shard_replay_from_seed_and_shard_id(self, small_report):
+        solo = run_fleet(SMALL, only_shard=1)
+        assert (
+            solo["digests"]["shards"]["1"]
+            == small_report["digests"]["shards"]["1"]
+        )
+        # The replayed shard actually did the work (non-empty ledger).
+        empty = hashlib.sha256(b"[]").hexdigest()
+        assert solo["digests"]["shards"]["1"] != empty
+        # And the untouched shard stayed empty.
+        assert solo["digests"]["shards"]["0"] == empty
+
+    def test_shards_differ_from_each_other(self, small_report):
+        shards = small_report["digests"]["shards"]
+        assert shards["0"] != shards["1"]
+
+
+# --------------------------------------------------------------------- report
+
+
+class TestFleetReport:
+    def test_schema_and_required_sections(self, small_report):
+        assert small_report["schema_version"] == FLEET_SCHEMA_VERSION
+        assert small_report["bench"] == "fleet"
+        for section in ("sessions", "concurrency", "handshake_seconds",
+                        "resumption", "admission", "digests", "sim", "wall"):
+            assert section in small_report
+
+    def test_population_churn_outcomes(self, small_report):
+        sessions = small_report["sessions"]
+        assert sessions["established"] == sessions["submitted"]
+        assert sessions["failed"] == 0
+        # Warmup seeded the stores, so the bulk wave resumes.
+        assert small_report["resumption"]["hit_rate"] == 1.0
+        # Sessions overlap by construction (ramp < lifetime).
+        peak = small_report["concurrency"]["peak_concurrent"]
+        assert peak >= SMALL.sessions * 0.9
+        latency = small_report["handshake_seconds"]
+        assert 0 < latency["p50"] <= latency["p99"] <= latency["max"]
+
+    def test_wall_section_excluded_from_core(self, small_report):
+        core = deterministic_core(small_report)
+        assert "wall" not in core and "git" not in core
+        assert "sim" in core  # virtual time IS deterministic
+
+    def test_quick_config_targets_fleet_scale(self):
+        config = quick_config()
+        # The acceptance bar: the quick run must be able to cross 10^4
+        # concurrent sessions even after per-network-type abandonment.
+        assert config.sessions >= 10_500
+        assert config.arrival_ramp < config.session_lifetime
+
+
+# ------------------------------------------------- orchestrator == standalone
+
+
+def _build_single_session_world(seed: bytes, *, network: Network,
+                                rng: HmacDrbg, pki: Pki):
+    """One client, one server, no middleboxes; returns the client config."""
+    network.add_host("client")
+    network.add_host("server")
+    network.add_link("client", "server", 0.01)
+    credential = pki.credential("server")
+
+    def make_server_config():
+        return MbTLSEndpointConfig(
+            tls=TLSConfig(rng=rng.fork(b"server"), credential=credential),
+            middlebox_trust_store=pki.trust,
+        )
+
+    serve_mbtls(network.host("server"), make_server_config)
+
+    def make_client_config():
+        return MbTLSEndpointConfig(
+            tls=TLSConfig(
+                rng=rng.fork(b"client"),
+                trust_store=pki.trust,
+                server_name="server",
+            ),
+            middlebox_trust_store=pki.trust,
+        )
+
+    return make_client_config
+
+
+class TestOrchestratorEquivalence:
+    def test_orchestrated_session_byte_identical_to_standalone(self):
+        seed = b"fleet-golden"
+
+        # World A: the session admitted through the orchestrator.
+        orchestrator = SessionOrchestrator(seed, num_shards=1)
+        shard = orchestrator.shards[0]
+        pki_a = Pki(rng=HmacDrbg(seed, personalization=b"pki"))
+        adversary_a = GlobalAdversary(shard.network)
+        make_client_a = _build_single_session_world(
+            seed, network=shard.network, rng=shard.rng, pki=pki_a)
+
+        def factory(shard_obj, on_state):
+            return SessionSupervisor(
+                shard.network.host("client"), "server", make_client_a,
+                start=False, on_state=on_state,
+            )
+
+        orchestrator.submit(0, factory, info={"case": "golden"})
+        orchestrator.sim.run()
+
+        # World B: the identical session driven standalone.
+        sim = Simulator()
+        network = Network(sim)
+        rng = shard_rng(seed, 0)  # the exact stream shard 0 used
+        pki_b = Pki(rng=HmacDrbg(seed, personalization=b"pki"))
+        adversary_b = GlobalAdversary(network)
+        make_client_b = _build_single_session_world(
+            seed, network=network, rng=rng, pki=pki_b)
+        supervisor = SessionSupervisor(
+            network.host("client"), "server", make_client_b)
+        sim.run()
+
+        assert supervisor.outcome == "established"
+        assert shard.ledger == []  # still live, so not settled yet
+        assert orchestrator.live_sessions == 1
+        wire_a = hashlib.sha256(adversary_a.observed_bytes()).hexdigest()
+        wire_b = hashlib.sha256(adversary_b.observed_bytes()).hexdigest()
+        assert wire_a == wire_b
+
+
+# ------------------------------------------------------------------ admission
+
+
+class _FakeSupervisor:
+    """Just enough of SessionSupervisor for the admission machinery."""
+
+    def __init__(self, on_state):
+        self.on_state = on_state
+        self.started = False
+        self.attempt = 1
+        self.failure = None
+        self.events = []
+        self.handshake_latency = 0.001
+
+    def start(self):
+        self.started = True
+
+
+class _StubService:
+    def __init__(self, fill: float):
+        self.fill = fill
+
+    def max_outbox_fill(self) -> float:
+        return self.fill
+
+
+class TestAdmissionControl:
+    def test_inflight_cap_defers_then_drains(self):
+        with obs.scoped() as plane:
+            orchestrator = SessionOrchestrator(
+                b"cap", num_shards=1, max_inflight_per_shard=1)
+            created: list[_FakeSupervisor] = []
+
+            def factory(shard, on_state):
+                supervisor = _FakeSupervisor(on_state)
+                created.append(supervisor)
+                return supervisor
+
+            for _ in range(3):
+                orchestrator.submit(0, factory)
+            assert len(created) == 1 and created[0].started
+            assert plane.metrics.counter_value(
+                "fleet.admission_deferred", shard="0", reason="capacity") > 0
+
+            # Settling one session frees the slot for the next.
+            created[0].on_state(created[0], "established")
+            assert len(created) == 2
+            created[0].on_state(created[0], "closed")
+            created[1].on_state(created[1], "failed")
+            assert len(created) == 3
+            shard = orchestrator.shards[0]
+            assert not shard.pending
+            # Settled entries landed in the ledger in admission order.
+            assert [e["outcome"] for e in shard.ledger] == [
+                "established", "failed"]
+
+    def test_backpressure_defers_and_recovers_on_timer(self):
+        with obs.scoped() as plane:
+            orchestrator = SessionOrchestrator(
+                b"bp", num_shards=1, outbox_high_watermark=0.5)
+            stub = _StubService(fill=0.9)
+            orchestrator.shards[0].watch_service(stub)
+            created: list[_FakeSupervisor] = []
+
+            def factory(shard, on_state):
+                supervisor = _FakeSupervisor(on_state)
+                created.append(supervisor)
+                return supervisor
+
+            orchestrator.submit(0, factory)
+            assert created == []  # over the watermark: deferred
+            assert plane.metrics.counter_value(
+                "fleet.admission_deferred", shard="0",
+                reason="backpressure") == 1
+
+            # Outbox stays full: the retry timer keeps deferring.
+            orchestrator.sim.run(until=0.004)
+            orchestrator.sim.run(until=0.006)
+            assert created == []
+
+            # Outbox drains: the next retry admits.
+            stub.fill = 0.0
+            orchestrator.sim.run(until=0.020)
+            assert len(created) == 1 and created[0].started
+
+    def test_watched_outbox_fill_is_max_over_services(self):
+        orchestrator = SessionOrchestrator(b"fill", num_shards=1)
+        shard = orchestrator.shards[0]
+        assert shard.outbox_fill() == 0.0
+        shard.watch_service(_StubService(0.25))
+        shard.watch_service(_StubService(0.75))
+        assert shard.outbox_fill() == 0.75

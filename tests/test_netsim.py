@@ -1,12 +1,15 @@
 """Discrete-event simulator, network model, taps, and filters."""
 
+import random
+
 import pytest
 
 from repro.errors import NetworkError, SimulationError
 from repro.netsim.adversary import DroppingTap, MutatingTap, RecordingTap
 from repro.netsim.filters import FilterPolicy, TLSFilter
 from repro.netsim.network import Network
-from repro.netsim.sim import Simulator
+from repro.netsim.sim import Simulator, Timer
+from repro.netsim.wheel import TimerWheel, WheelEntry
 from repro.wire.records import ContentType, Record
 
 
@@ -67,6 +70,162 @@ class TestSimulator:
         sim.schedule(1.0, first)
         sim.run()
         assert times == [1.0, 1.5]
+
+    def test_step_processes_one_event(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.2, lambda: order.append("b"))
+        sim.schedule(0.1, lambda: order.append("a"))
+        assert sim.step() is True
+        assert order == ["a"] and sim.now == pytest.approx(0.1)
+        assert sim.step() is True
+        assert order == ["a", "b"]
+        assert sim.step() is False
+
+    def test_peek_time(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        handle = sim.schedule(0.5, lambda: None)
+        sim.schedule(1.5, lambda: None)
+        assert sim.peek_time() == pytest.approx(0.5)
+        handle.cancel()
+        assert sim.peek_time() == pytest.approx(1.5)
+
+    def test_reentrant_run_from_callback(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append(("outer", sim.now))
+            sim.schedule(0.1, lambda: order.append(("inner", sim.now)))
+            # Re-entering the loop from inside a callback drains the
+            # nested event before control returns here.
+            sim.run(until=sim.now + 0.2)
+            order.append(("resumed", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.schedule(2.0, lambda: order.append(("later", sim.now)))
+        sim.run()
+        assert order == [
+            ("outer", 1.0),
+            ("inner", pytest.approx(1.1)),
+            ("resumed", pytest.approx(1.2)),
+            ("later", 2.0),
+        ]
+
+    def test_pending_events_drops_on_cancel(self):
+        sim = Simulator()
+        handles = [sim.schedule(0.1 * (i + 1), lambda: None) for i in range(10)]
+        assert sim.pending_events == 10
+        for handle in handles[::2]:
+            handle.cancel()
+        assert sim.pending_events == 5
+
+    def test_mass_cancellation_reclaims_entries(self):
+        # Regression: cancelled timers used to linger in the scheduler heap
+        # until popped (lazy deletion).  At fleet timer counts that meant
+        # unbounded garbage; the wheel must reclaim the slot eagerly, so
+        # after a mass cancel the live-entry count reflects only survivors.
+        sim = Simulator()
+        timers = [
+            Timer(sim, 5.0 + (i % 7) * 0.35, lambda: None) for i in range(20_000)
+        ]
+        assert sim.pending_events == 20_000
+        for timer in timers[:-1]:
+            timer.cancel()
+        assert sim.pending_events == 1
+        assert len(sim._wheel) + sim._ready_live == 1
+        # Touching re-arms through the same eager path: no garbage either.
+        survivor = timers[-1]
+        for _ in range(1000):
+            survivor.touch()
+        assert sim.pending_events == 1
+
+
+class TestTimerWheel:
+    def _drain(self, wheel):
+        fired = []
+        while True:
+            batch = wheel.pop_next_tick()
+            if batch is None:
+                return fired
+            fired.extend(sorted(batch))
+
+    def test_matches_reference_heap_order(self):
+        # Randomized equivalence: inserts, cancels, and interleaved pops
+        # must fire in exact (time, seq) order — the wheel's quantization
+        # is an organizational detail, never a reordering.
+        rng = random.Random(0xF1EE7)
+        wheel = TimerWheel(resolution=1e-4)
+        reference = []
+        live = {}
+        fired = []
+        seq = 0
+        for _ in range(5_000):
+            action = rng.random()
+            if action < 0.55 or not live:
+                # Mix of sub-tick, in-level, cross-level, and far deadlines.
+                base = wheel.current_tick * wheel.resolution
+                delay = rng.choice([
+                    rng.random() * 1e-5,
+                    rng.random() * 0.02,
+                    rng.random() * 5.0,
+                    rng.random() * 120.0,
+                ])
+                entry = WheelEntry(base + delay, seq)
+                seq += 1
+                wheel.insert(entry)
+                reference.append((entry.time, entry.seq))
+                live[entry.seq] = entry
+            elif action < 0.75:
+                victim = live.pop(rng.choice(list(live)))
+                assert wheel.remove(victim) is True
+                reference.remove((victim.time, victim.seq))
+            else:
+                batch = wheel.pop_next_tick()
+                if batch is not None:
+                    for entry in sorted(batch):
+                        fired.append((entry.time, entry.seq))
+                        del live[entry.seq]
+                        reference.remove((entry.time, entry.seq))
+        fired.extend((e.time, e.seq) for e in self._drain(wheel))
+        # Everything fired exactly once, in global (time, seq) order.
+        assert fired == sorted(fired)
+        assert len(wheel) == 0
+
+    def test_far_future_overflow_rebuckets(self):
+        wheel = TimerWheel(resolution=1e-4)
+        near = WheelEntry(0.5, 0)
+        far = WheelEntry(6 * 24 * 3600.0, 1)  # ~6 days: beyond the horizon
+        wheel.insert(far)
+        wheel.insert(near)
+        assert len(wheel) == 2
+        fired = self._drain(wheel)
+        assert [e.seq for e in fired] == [0, 1]
+
+    def test_remove_is_eager(self):
+        wheel = TimerWheel()
+        entries = [WheelEntry(0.001 * i, i) for i in range(1, 1001)]
+        for entry in entries:
+            wheel.insert(entry)
+        for entry in entries[1:]:
+            assert wheel.remove(entry) is True
+            assert wheel.remove(entry) is False  # second remove is a no-op
+        assert len(wheel) == 1
+        # Internal check: no slot at any level still holds a removed entry.
+        held = sum(len(slot) for level in wheel._levels for slot in level)
+        assert held + len(wheel._overflow) == 1
+        assert [e.seq for e in self._drain(wheel)] == [entries[0].seq]
+
+    def test_same_tick_entries_fire_together(self):
+        wheel = TimerWheel(resolution=1e-3)
+        a = WheelEntry(0.0101, 7)
+        b = WheelEntry(0.0109, 3)
+        wheel.insert(a)
+        wheel.insert(b)
+        batch = wheel.pop_next_tick()
+        assert sorted(batch) == [a, b]  # exact (time, seq) order intact
+        assert wheel.pop_next_tick() is None
 
 
 class TestNetwork:

@@ -154,9 +154,38 @@ class TestAeadCache:
         from repro.tls import record_layer
 
         suite = suite_by_code(0xC030)
-        for _ in range(record_layer._AEAD_CACHE_MAX + 8):
-            record_layer.aead_for(suite, rng.random_bytes(32))
-        assert len(record_layer._AEAD_CACHE) <= record_layer._AEAD_CACHE_MAX
+        previous = record_layer.aead_cache_capacity(8)
+        try:
+            for _ in range(16):
+                record_layer.aead_for(suite, rng.random_bytes(32))
+            assert len(record_layer._AEAD_CACHE) <= 8
+        finally:
+            record_layer.aead_cache_capacity(previous)
+
+    def test_fleet_sized_capacity(self):
+        # The default capacity must hold the working set of 10^4+ concurrent
+        # sessions (~6 contexts each with a middlebox chain) without thrash.
+        from repro.tls import record_layer
+
+        assert record_layer._AEAD_CACHE_MAX >= 6 * 10_000
+
+    def test_eviction_counter(self, rng):
+        import repro.obs as obs
+        from repro.tls import record_layer
+
+        suite = suite_by_code(0xC030)
+        previous = record_layer.aead_cache_capacity(4)
+        record_layer.reset_aead_cache()
+        try:
+            with obs.scoped() as plane:
+                for _ in range(10):
+                    record_layer.aead_for(suite, rng.random_bytes(32))
+                evicted = plane.metrics.counter_value("aead_cache.evictions")
+                size = plane.metrics.gauge_value("aead_cache.size")
+            assert evicted == 6
+            assert size == 4
+        finally:
+            record_layer.aead_cache_capacity(previous)
 
 
 class TestBatchedRecords:
