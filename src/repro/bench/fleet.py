@@ -20,7 +20,17 @@ fleet of supervised mbTLS sessions on one timer-wheel simulator, with
   shortly after establishing (flaky access networks give up more);
 * **admission control and backpressure**: the orchestrator defers
   admissions while middlebox outboxes sit near their 4 MiB bound or the
-  per-shard handshake-concurrency cap is hit.
+  per-shard handshake-concurrency cap is hit, and *sheds* outright under
+  combined overload.
+
+With ``chaos`` enabled the same fleet runs under deterministic weather
+(:func:`~repro.netsim.faults.chaos_schedule`): middlebox crash/restart
+waves fail sessions over to a standby :class:`MiddleboxService` sharing
+the primary's credential and session cache, server brownouts trigger
+retry storms the per-``(shard, server)`` circuit breakers and retry
+budgets must damp, and interrupted sessions redial — each arrival chain
+gets a verdict (clean/recovered/degraded/failed/shed) in the
+``BENCH_fleet_chaos.json`` report.
 
 Everything virtual is deterministic: two runs with the same seed produce
 byte-identical deterministic report cores (see :func:`deterministic_core`),
@@ -29,15 +39,18 @@ and any single shard can be replayed from ``(seed, shard_id)`` alone
 throughput lands in the separate ``"wall"`` section.
 
 ``run_fleet()`` returns the report dict written to ``BENCH_fleet.json``
-by ``python -m repro fleet``.
+(or ``BENCH_fleet_chaos.json``) by ``python -m repro fleet``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 import time
 from bisect import bisect_right
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
 from repro import obs
 from repro.bench.alexa import ServerDefect, SyntheticServer, generate_alexa_population
@@ -55,22 +68,32 @@ from repro.core.drivers import (
     SessionSupervisor,
     serve_mbtls,
 )
-from repro.core.orchestrator import SessionOrchestrator, Shard
+from repro.core.orchestrator import (
+    FailoverGroup,
+    ResiliencePolicy,
+    SessionOrchestrator,
+    Shard,
+)
 from repro.crypto.drbg import HmacDrbg
+from repro.netsim.faults import FaultInjector, chaos_schedule
 from repro.tls.config import TLSConfig
 from repro.tls.events import ApplicationData
 
 __all__ = [
     "FLEET_SCHEMA_VERSION",
+    "FLEET_CHAOS_SCHEMA_VERSION",
     "ABANDON_RATES",
     "FleetConfig",
     "quick_config",
     "full_config",
+    "chaos_config",
     "run_fleet",
     "deterministic_core",
+    "check_fleet_baseline",
 ]
 
 FLEET_SCHEMA_VERSION = 1
+FLEET_CHAOS_SCHEMA_VERSION = 1
 
 # Fraction of established sessions abandoned (closed almost immediately)
 # per client network type: flaky access networks give up more often than
@@ -103,6 +126,14 @@ class FleetConfig:
     establishing.  Keeping ``arrival_ramp < session_lifetime`` means every
     long-lived session overlaps every other one, so peak concurrency
     approaches the number of non-abandoned arrivals by construction.
+
+    With ``chaos`` set, each shard additionally runs the deterministic
+    fault schedule from :func:`~repro.netsim.faults.chaos_schedule`
+    (replayable from ``(seed, shard_id)``) against a primary/standby
+    middlebox pair, and interrupted sessions redial with their remaining
+    lifetime — unless the tail is shorter than
+    ``chaos_min_redial_lifetime``, in which case the chain settles as
+    *degraded* rather than redialing for nothing.
     """
 
     seed: bytes = b"fleet-bench"
@@ -120,6 +151,14 @@ class FleetConfig:
     outbox_high_watermark: float = 0.75
     response_bytes: int = 512
     store_capacity: int = 4096
+    chaos: bool = False
+    chaos_horizon: float = 12.0  # fault windows land in its first 70%
+    chaos_crash_waves: int = 2  # middlebox crash/restart waves per shard
+    chaos_server_brownouts: int = 1
+    chaos_loss_bursts: int = 2
+    chaos_corruption_bursts: int = 1
+    chaos_stalls: int = 1
+    chaos_min_redial_lifetime: float = 0.05
 
 
 def quick_config(seed: bytes = b"fleet-bench") -> FleetConfig:
@@ -131,9 +170,15 @@ def full_config(seed: bytes = b"fleet-bench") -> FleetConfig:
     return FleetConfig(seed=seed)
 
 
+def chaos_config(seed: bytes = b"fleet-bench", quick: bool = False) -> FleetConfig:
+    """The chaos-fleet run: fewer arrivals (faults multiply the event
+    count per session), full fault schedule."""
+    return FleetConfig(seed=seed, sessions=2_400 if quick else 8_000, chaos=True)
+
+
 @dataclass(frozen=True)
 class _Arrival:
-    """One planned session: everything drawn before the clock starts."""
+    """One planned session: everything drawn before its clock tick fires."""
 
     time: float
     site: str
@@ -142,7 +187,7 @@ class _Arrival:
     via_middlebox: bool
     abandoned: bool
     lifetime: float
-    phase: str  # "warmup" | "bulk"
+    phase: str  # "warmup" | "bulk" | "redial"
 
 
 # ------------------------------------------------------------------- planning
@@ -162,28 +207,32 @@ def _rank_cumulative(servers: list[SyntheticServer]) -> tuple[list[int], int]:
     return cumulative, total
 
 
-def _plan_shard(
+def _shard_arrivals(
     shard: Shard,
     config: FleetConfig,
     shard_sites: list[tuple[ClientSite, bool]],
     servers: list[SyntheticServer],
     bulk_count: int,
-) -> list[_Arrival]:
-    """Draw the shard's whole arrival schedule from its own RNG.
+) -> Iterator[_Arrival]:
+    """Yield the shard's arrival schedule lazily, in time order.
 
-    This is the first fork taken from ``shard.rng`` — the build-time fork
-    order is part of the per-shard replay contract.
+    The RNG is the first fork taken from ``shard.rng`` — the build-time
+    fork order is part of the per-shard replay contract — but each
+    arrival's draws happen only when the pump asks for it, so a 10^5
+    session fleet never materializes its whole plan up front.  Draw
+    order per arrival is fixed (site, server, abandon, lifetime, jitter),
+    and yielded times are nondecreasing by construction, which is what
+    lets the pump chain one timer per arrival.
     """
     rng = shard.rng.fork(b"arrivals")
     cumulative, total = _rank_cumulative(servers)
-    arrivals: list[_Arrival] = []
     # Warmup: one cold handshake per server, from a middlebox-routed site
     # so both the TLS stores and the middlebox session store get seeded.
     warm_site, _ = next(
         (entry for entry in shard_sites if entry[1]), shard_sites[0]
     )
     for index, server in enumerate(servers):
-        arrivals.append(_Arrival(
+        yield _Arrival(
             time=0.001 * index,
             site=warm_site.name,
             server=server.hostname,
@@ -192,7 +241,7 @@ def _plan_shard(
             abandoned=False,
             lifetime=config.warmup_lifetime,
             phase="warmup",
-        ))
+        )
     spacing = config.arrival_ramp / max(bulk_count, 1)
     for index in range(bulk_count):
         site, via_middlebox = shard_sites[
@@ -208,7 +257,7 @@ def _plan_shard(
             if abandoned
             else config.session_lifetime
         )
-        arrivals.append(_Arrival(
+        yield _Arrival(
             time=config.arrival_start + spacing * (index + rng.random()),
             site=site.name,
             server=server.hostname,
@@ -217,11 +266,19 @@ def _plan_shard(
             abandoned=abandoned,
             lifetime=lifetime,
             phase="bulk",
-        ))
-    return arrivals
+        )
 
 
 # ------------------------------------------------------------------- building
+
+
+@dataclass
+class _ShardWorld:
+    """Hooks the chaos plane needs back out of the topology builder."""
+
+    failover: FailoverGroup | None = None
+    #: server hostname -> re-register its listener (crash-restart hook).
+    reserve: dict[str, Callable[[], None]] = field(default_factory=dict)
 
 
 def _build_shard_world(
@@ -230,12 +287,25 @@ def _build_shard_world(
     pki: Pki,
     shard_sites: list[tuple[ClientSite, bool]],
     servers: list[SyntheticServer],
-) -> None:
-    """Hub topology: sites -> (mbcore ->) core -> servers, one per shard."""
+) -> _ShardWorld:
+    """Hub topology: sites -> (mbcore ->) core -> servers, one per shard.
+
+    Under chaos the middlebox leg grows a warm spare on the same path —
+    ``site -> mbcore -> mbstandby -> core`` — so when ``mbcore`` crashes
+    (packet forwarding survives; the processes die) new SYNs split at the
+    activated standby instead.  The standby presents the primary's
+    credential and shares the shard's middlebox session cache, so
+    abbreviated secondary handshakes survive the failover.
+    """
     network = shard.network
     network.add_host("core")
     network.add_host("mbcore")
-    network.add_link("core", "mbcore", 0.002)
+    if config.chaos:
+        network.add_host("mbstandby")
+        network.add_link("mbcore", "mbstandby", 0.001)
+        network.add_link("mbstandby", "core", 0.002)
+    else:
+        network.add_link("core", "mbcore", 0.002)
     for site, via_middlebox in shard_sites:
         network.add_host(site.name)
         network.add_link(
@@ -260,9 +330,16 @@ def _build_shard_world(
             role=MiddleboxRole.CLIENT_SIDE,
         )
 
-    shard.watch_service(
-        MiddleboxService(network.host("mbcore"), make_mb_config)
-    )
+    world = _ShardWorld()
+    primary = MiddleboxService(network.host("mbcore"), make_mb_config)
+    if config.chaos:
+        standby = MiddleboxService(
+            network.host("mbstandby"), make_mb_config, active=False
+        )
+        world.failover = FailoverGroup(shard.label, primary, standby)
+        shard.register_failover(world.failover)
+    else:
+        shard.watch_service(primary)
 
     response = b"F" * config.response_bytes
     for server in servers:
@@ -282,16 +359,32 @@ def _build_shard_world(
             if isinstance(event, ApplicationData):
                 driver.send_application_data(response)
 
-        serve_mbtls(
-            network.host(server.hostname),
-            make_server_config,
-            on_event=on_server_event,
-        )
+        def serve(
+            host=network.host(server.hostname),
+            make_config=make_server_config,
+            handler=on_server_event,
+        ) -> None:
+            serve_mbtls(host, make_config, on_event=handler)
+
+        serve()
+        world.reserve[server.hostname] = serve
+    return world
 
 
-def _session_factory(shard: Shard, arrival: _Arrival, pki: Pki,
-                     policy: RetryPolicy):
-    """Build the deferred-supervisor factory the orchestrator admits."""
+def _session_factory(
+    shard: Shard,
+    arrival: _Arrival,
+    pki: Pki,
+    policy: RetryPolicy,
+    orchestrator: SessionOrchestrator,
+    resubmit: Callable[[_Arrival, float], None] | None = None,
+):
+    """Build the deferred-supervisor factory the orchestrator admits.
+
+    ``resubmit`` (chaos only) is called with the arrival and remaining
+    lifetime when an *established* session closes before its planned
+    lifetime — a fault interrupted it; the chain redials.
+    """
 
     def factory(shard_obj: Shard, orchestrator_hook):
         sim = shard.network.sim
@@ -309,6 +402,19 @@ def _session_factory(shard: Shard, arrival: _Arrival, pki: Pki,
             )
 
         def hook(supervisor: SessionSupervisor, state: str) -> None:
+            remaining = None
+            if (
+                resubmit is not None
+                and state == "closed"
+                and supervisor.established_at is not None
+            ):
+                planned = supervisor.established_at + arrival.lifetime
+                if sim.now < planned - 1e-6:
+                    # A fault cut the session short of its planned life.
+                    # Mark the open ledger entry *before* the orchestrator
+                    # hook settles it, then redial the tail.
+                    remaining = planned - sim.now
+                    orchestrator.annotate(supervisor, interrupted=True)
             orchestrator_hook(supervisor, state)
             if state in ("established", "degraded"):
                 # One request/response exercises the data plane (and the
@@ -316,6 +422,8 @@ def _session_factory(shard: Shard, arrival: _Arrival, pki: Pki,
                 # session idles out its planned lifetime.
                 supervisor.send_application_data(_REQUEST)
                 sim.schedule(arrival.lifetime, supervisor.close)
+            elif remaining is not None:
+                resubmit(arrival, remaining)
 
         return SessionSupervisor(
             shard.network.host(arrival.site),
@@ -332,8 +440,91 @@ def _session_factory(shard: Shard, arrival: _Arrival, pki: Pki,
 # -------------------------------------------------------------------- running
 
 
+def _launch_shard(
+    orchestrator: SessionOrchestrator,
+    shard: Shard,
+    config: FleetConfig,
+    pki: Pki,
+    policy: RetryPolicy,
+    shard_sites: list[tuple[ClientSite, bool]],
+    servers: list[SyntheticServer],
+    bulk_count: int,
+) -> dict:
+    """Arm the shard's lazy arrival pump; returns its live counters.
+
+    One simulator event per arrival: the pump draws the next arrival from
+    the generator only when the previous one fires, so the fleet never
+    holds a full upfront plan (the old 10^5-entry list was the dominant
+    setup cost and resident allocation of a big run).
+    """
+    counts = {"submitted": 0, "next_sid": 0}
+    sim = orchestrator.sim
+
+    def submit(arrival: _Arrival, sid: int | None = None) -> None:
+        if sid is None:
+            sid = counts["next_sid"]
+            counts["next_sid"] += 1
+        counts["submitted"] += 1
+
+        def resubmit(prev: _Arrival, remaining: float) -> None:
+            if remaining < config.chaos_min_redial_lifetime:
+                return  # tail too short to redial; chain settles degraded
+            submit(
+                _Arrival(
+                    time=sim.now,
+                    site=prev.site,
+                    server=prev.server,
+                    network_type=prev.network_type,
+                    via_middlebox=prev.via_middlebox,
+                    abandoned=prev.abandoned,
+                    lifetime=remaining,
+                    phase="redial",
+                ),
+                sid=sid,
+            )
+
+        factory = _session_factory(
+            shard, arrival, pki, policy, orchestrator,
+            resubmit=resubmit if config.chaos else None,
+        )
+        orchestrator.submit(shard.id, factory, {
+            "sid": sid,
+            "phase": arrival.phase,
+            "site": arrival.site,
+            "server": arrival.server,
+            "network_type": arrival.network_type,
+            "via_middlebox": arrival.via_middlebox,
+            "abandoned": arrival.abandoned,
+        })
+
+    arrivals = _shard_arrivals(shard, config, shard_sites, servers, bulk_count)
+
+    def fire(arrival: _Arrival) -> None:
+        submit(arrival)
+        schedule_next()
+
+    def schedule_next() -> None:
+        arrival = next(arrivals, None)
+        if arrival is None:
+            return
+        sim.schedule(
+            max(arrival.time - sim.now, 0.0), lambda a=arrival: fire(a)
+        )
+
+    schedule_next()
+    return counts
+
+
+def _resilience_for(config: FleetConfig) -> ResiliencePolicy:
+    """Chaos runs the production-style retry gate (breakers + budgets cut
+    retry storms off); the clean bench replays a fixed arrival plan that
+    must *all* land, so its congestion-induced redial bursts get the
+    permissive gate — see :meth:`ResiliencePolicy.permissive`."""
+    return ResiliencePolicy() if config.chaos else ResiliencePolicy.permissive()
+
+
 def _run(config: FleetConfig, only_shard: int | None) -> tuple[
-    SessionOrchestrator, int
+    SessionOrchestrator, int, dict[int, FaultInjector]
 ]:
     # Order-independent splits: every stream below derives from the seed
     # by personalization, never by fork order, so a solo-shard replay
@@ -362,12 +553,14 @@ def _run(config: FleetConfig, only_shard: int | None) -> tuple[
         max_inflight_per_shard=config.max_inflight_per_shard,
         outbox_high_watermark=config.outbox_high_watermark,
         store_capacity=config.store_capacity,
+        resilience=_resilience_for(config),
     )
     policy = RetryPolicy()
 
     base = config.sessions // config.num_shards
     extra = config.sessions % config.num_shards
-    submitted = 0
+    shard_counts: list[dict] = []
+    injectors: dict[int, FaultInjector] = {}
     for shard in orchestrator.shards:
         if only_shard is not None and shard.id != only_shard:
             continue
@@ -376,32 +569,38 @@ def _run(config: FleetConfig, only_shard: int | None) -> tuple[
             for index, site in enumerate(sites)
             if index % config.num_shards == shard.id
         ]
-        _build_shard_world(shard, config, pki, shard_sites, servers)
-        bulk_count = base + (1 if shard.id < extra else 0)
-        arrivals = _plan_shard(shard, config, shard_sites, servers, bulk_count)
-        submitted += len(arrivals)
-        for arrival in arrivals:
-            factory = _session_factory(shard, arrival, pki, policy)
-            info = {
-                "phase": arrival.phase,
-                "site": arrival.site,
-                "server": arrival.server,
-                "network_type": arrival.network_type,
-                "via_middlebox": arrival.via_middlebox,
-                "abandoned": arrival.abandoned,
-            }
-            orchestrator.sim.schedule(
-                arrival.time,
-                lambda shard_id=shard.id, factory=factory, info=info:
-                    orchestrator.submit(shard_id, factory, info),
+        world = _build_shard_world(shard, config, pki, shard_sites, servers)
+        if config.chaos:
+            plan = chaos_schedule(
+                config.seed, shard.id,
+                horizon=config.chaos_horizon,
+                middlebox_hosts=("mbcore",),
+                server_hosts=tuple(server.hostname for server in servers),
+                crash_waves=config.chaos_crash_waves,
+                server_brownouts=config.chaos_server_brownouts,
+                loss_bursts=config.chaos_loss_bursts,
+                corruption_bursts=config.chaos_corruption_bursts,
+                stalls=config.chaos_stalls,
             )
+            injector = FaultInjector(shard.network, plan)
+            injector.on_crash("mbcore", world.failover.fail_over)
+            injector.on_restart("mbcore", world.failover.fail_back)
+            for hostname, serve_again in world.reserve.items():
+                injector.on_restart(hostname, serve_again)
+            injectors[shard.id] = injector
+        bulk_count = base + (1 if shard.id < extra else 0)
+        shard_counts.append(_launch_shard(
+            orchestrator, shard, config, pki, policy,
+            shard_sites, servers, bulk_count,
+        ))
     # Arrivals are future sim events, so the orchestrator's settled
     # predicate is vacuously true until the clock runs: drive the whole
     # schedule by draining the event queue (every session closes by
     # timer, so the queue empties exactly when the fleet has settled).
     orchestrator.sim.run(max_events=100_000_000)
     orchestrator.drain(timeout=1.0)  # assert-settled backstop
-    return orchestrator, submitted
+    submitted = sum(counts["submitted"] for counts in shard_counts)
+    return orchestrator, submitted, injectors
 
 
 def _percentile(sorted_values: list[float], pct: float) -> float | None:
@@ -420,6 +619,77 @@ def _counter_sum(plane, name: str, **labels) -> int:
     return total
 
 
+def _chaos_verdicts(entries: list[dict]) -> dict[str, int]:
+    """Classify every arrival *chain* (root submission plus its redials).
+
+    * ``shed`` — the chain's last submission was rejected by admission;
+    * ``failed`` — the last attempt failed or aborted;
+    * ``degraded`` — the chain ended interrupted (a tail too short to
+      redial) or settled on a degraded path;
+    * ``recovered`` — interrupted at least once, but a redial carried the
+      session through its remaining lifetime;
+    * ``clean`` — never touched by the weather.
+    """
+    chains: dict[tuple[int, int], list[dict]] = {}
+    for entry in entries:
+        sid = entry.get("sid")
+        if sid is None:
+            continue
+        chains.setdefault((entry["shard"], sid), []).append(entry)
+    verdicts = {"clean": 0, "recovered": 0, "degraded": 0, "failed": 0, "shed": 0}
+    for chain in chains.values():
+        chain.sort(key=lambda entry: entry["submitted_at"])
+        final = chain[-1]
+        outcome = final.get("outcome")
+        if outcome == "shed":
+            verdicts["shed"] += 1
+        elif outcome in ("failed", "aborted"):
+            verdicts["failed"] += 1
+        elif final.get("interrupted"):
+            verdicts["degraded"] += 1
+        elif len(chain) > 1:
+            verdicts["recovered"] += 1
+        elif outcome == "degraded":
+            verdicts["degraded"] += 1
+        else:
+            verdicts["clean"] += 1
+    return verdicts
+
+
+def _recovery_seconds(
+    entries: list[dict], injectors: dict[int, FaultInjector]
+) -> float:
+    """Virtual time back to steady state after the last damaging fault.
+
+    Steady state = the last redial re-establishing; the clock starts at
+    the latest structural fault (crash/restart) *preceding* it — later
+    faults that interrupted nothing don't extend the recovery window.
+    Returns 0.0 when the weather never forced a redial.
+    """
+    steady = None
+    for entry in entries:
+        if entry.get("phase") != "redial":
+            continue
+        if entry.get("outcome") not in ("established", "degraded"):
+            continue
+        latency = entry.get("handshake_seconds")
+        if latency is None:
+            continue
+        at = entry["submitted_at"] + latency
+        steady = at if steady is None else max(steady, at)
+    if steady is None:
+        return 0.0
+    disruptions = [
+        fault.time
+        for injector in injectors.values()
+        for fault in injector.log
+        if fault.kind in ("crash", "restart") and fault.time <= steady
+    ]
+    if not disruptions:
+        return 0.0
+    return round(steady - max(disruptions), 9)
+
+
 def run_fleet(
     config: FleetConfig | None = None,
     quick: bool = False,
@@ -429,18 +699,20 @@ def run_fleet(
 
     Args:
         config: run parameters (default: :func:`full_config`, or
-            :func:`quick_config` when ``quick`` is set).
+            :func:`quick_config` when ``quick`` is set).  A config with
+            ``chaos=True`` produces the ``BENCH_fleet_chaos.json`` shape
+            instead (``bench: "fleet_chaos"`` plus a ``chaos`` section).
         quick: use the CI smoke configuration.
         only_shard: replay exactly one shard from ``(seed, shard_id)``;
             the other shards are created (their RNG split costs nothing)
-            but get no world and no arrivals.  The replayed shard's
-            ledger digest matches the full-fleet run.
+            but get no world, no arrivals, and no weather.  The replayed
+            shard's ledger digest matches the full-fleet run.
     """
     if config is None:
         config = quick_config() if quick else full_config()
     with obs.scoped() as plane:
         started = time.perf_counter()
-        orchestrator, submitted = _run(config, only_shard)
+        orchestrator, submitted, injectors = _run(config, only_shard)
         wall_seconds = time.perf_counter() - started
 
         entries = [
@@ -469,10 +741,24 @@ def run_fleet(
         deferred_backpressure = _counter_sum(
             plane, "fleet.admission_deferred", reason="backpressure")
         admitted = _counter_sum(plane, "fleet.sessions_admitted")
+        shed = {
+            reason: _counter_sum(plane, "fleet.shed", reason=reason)
+            for reason in ("overload", "breaker_open")
+        }
+        retry_denied = {
+            reason: _counter_sum(plane, "fleet.retry_denied", reason=reason)
+            for reason in ("breaker", "budget")
+        }
+        breaker_transitions = {
+            state: _counter_sum(plane, "fleet.breaker_state", state=state)
+            for state in ("open", "half_open", "closed")
+        }
 
     report = {
-        "schema_version": FLEET_SCHEMA_VERSION,
-        "bench": "fleet",
+        "schema_version": (
+            FLEET_CHAOS_SCHEMA_VERSION if config.chaos else FLEET_SCHEMA_VERSION
+        ),
+        "bench": "fleet_chaos" if config.chaos else "fleet",
         "git": git_describe(),
         "quick": quick,
         "config": {
@@ -484,6 +770,7 @@ def run_fleet(
             "session_lifetime": config.session_lifetime,
             "middlebox_every": config.middlebox_every,
             "max_inflight_per_shard": config.max_inflight_per_shard,
+            "chaos": config.chaos,
             "only_shard": only_shard,
         },
         "sessions": {
@@ -493,7 +780,8 @@ def run_fleet(
             "resumed": resumed,
             "failed": len(failed),
             "abandoned_planned": sum(
-                1 for entry in entries if entry.get("abandoned")
+                1 for entry in entries
+                if entry.get("abandoned") and entry.get("phase") != "redial"
             ),
         },
         "concurrency": {
@@ -517,6 +805,7 @@ def run_fleet(
         "admission": {
             "deferred_capacity": deferred_capacity,
             "deferred_backpressure": deferred_backpressure,
+            "shed": shed,
         },
         "digests": orchestrator.digests(),
         "sim": {
@@ -531,7 +820,50 @@ def run_fleet(
             ),
         },
     }
+    if config.chaos:
+        per_shard_faults = {
+            str(shard_id): _fault_kinds(injector.log)
+            for shard_id, injector in sorted(injectors.items())
+        }
+        faults_total: dict[str, int] = {}
+        for kinds in per_shard_faults.values():
+            for kind, count in kinds.items():
+                faults_total[kind] = faults_total.get(kind, 0) + count
+        groups = [
+            group
+            for shard in orchestrator.shards
+            for group in shard.failover_groups
+        ]
+        report["chaos"] = {
+            "horizon": config.chaos_horizon,
+            "verdicts": _chaos_verdicts(entries),
+            "faults": faults_total,
+            "per_shard_faults": per_shard_faults,
+            "failover": {
+                "activations": sum(group.failovers for group in groups),
+                "restores": sum(group.failbacks for group in groups),
+                "sessions_drained": sum(
+                    group.sessions_drained for group in groups
+                ),
+            },
+            "retry_denied": retry_denied,
+            "breaker_transitions": breaker_transitions,
+            "recovery_virtual_seconds": _recovery_seconds(entries, injectors),
+            "stuck_sessions": orchestrator.stuck_report()["stuck_sessions"],
+        }
+        report["digest"] = hashlib.sha256(
+            json.dumps(
+                deterministic_core(report), sort_keys=True, separators=(",", ":")
+            ).encode()
+        ).hexdigest()
     return report
+
+
+def _fault_kinds(log) -> dict[str, int]:
+    kinds: dict[str, int] = {}
+    for fault in log:
+        kinds[fault.kind] = kinds.get(fault.kind, 0) + 1
+    return dict(sorted(kinds.items()))
 
 
 def deterministic_core(report: dict) -> dict:
@@ -543,4 +875,52 @@ def deterministic_core(report: dict) -> dict:
     core = dict(report)
     core.pop("wall", None)
     core.pop("git", None)
+    core.pop("digest", None)
     return core
+
+
+def check_fleet_baseline(
+    report: dict, baseline: dict, tolerance: float = 0.30
+) -> list[str]:
+    """Compare a fresh run against the committed ``BENCH_fleet.json``.
+
+    Only machine-independent dimensions are gated — virtual handshake
+    percentiles, the resumption hit-rate, simulator events per
+    established session, and the failed count — so the gate behaves
+    identically on a laptop and in CI.  Returns a list of problems
+    (empty = pass); never rewrites the baseline.
+    """
+    problems: list[str] = []
+    if report.get("schema_version") != baseline.get("schema_version"):
+        problems.append(
+            f"schema_version {report.get('schema_version')} != baseline "
+            f"{baseline.get('schema_version')}"
+        )
+    for key in ("p50", "p99"):
+        base = baseline.get("handshake_seconds", {}).get(key)
+        new = report.get("handshake_seconds", {}).get(key)
+        if base and new and new > base * (1.0 + tolerance):
+            problems.append(
+                f"virtual handshake {key} {new:.6f}s exceeds baseline "
+                f"{base:.6f}s by more than {tolerance:.0%}"
+            )
+    base_hit = baseline.get("resumption", {}).get("hit_rate")
+    new_hit = report.get("resumption", {}).get("hit_rate")
+    if base_hit is not None and new_hit is not None and new_hit < base_hit - 0.05:
+        problems.append(
+            f"resumption hit-rate {new_hit:.4f} dropped more than 0.05 "
+            f"below baseline {base_hit:.4f}"
+        )
+    base_established = max(baseline.get("sessions", {}).get("established", 0), 1)
+    new_established = max(report.get("sessions", {}).get("established", 0), 1)
+    base_events = baseline.get("sim", {}).get("events", 0) / base_established
+    new_events = report.get("sim", {}).get("events", 0) / new_established
+    if base_events and new_events > base_events * 1.3:
+        problems.append(
+            f"simulator events per established session {new_events:.1f} "
+            f"exceeds baseline {base_events:.1f} by more than 30%"
+        )
+    failed = report.get("sessions", {}).get("failed", 0)
+    if failed:
+        problems.append(f"{failed} sessions failed (baseline run has none)")
+    return problems

@@ -12,6 +12,8 @@ Usage::
     python -m repro selftest             # downgrade gauntlet, P1-P7 scorecard
     python -m repro bench --quick        # bulk-crypto + record-plane benches
     python -m repro fleet --quick        # fleet-scale session churn
+    python -m repro fleet --chaos --quick  # chaos fleet: failover + shedding
+    python -m repro fleet --check-baseline  # gate vs committed BENCH_fleet.json
     python -m repro metrics              # observability plane vs wiretap
     python -m repro all                  # everything
 """
@@ -335,19 +337,61 @@ def _cmd_bench(args) -> None:
 
 
 def _cmd_fleet(args) -> None:
+    import dataclasses
     import json
     from pathlib import Path
 
-    from repro.bench.fleet import FleetConfig, full_config, quick_config, run_fleet
+    from repro.bench.fleet import (
+        FleetConfig,
+        chaos_config,
+        check_fleet_baseline,
+        full_config,
+        quick_config,
+        run_fleet,
+    )
     from repro.bench.tables import render_table
 
-    config = quick_config(args.seed.encode()) if args.quick \
-        else full_config(args.seed.encode())
+    if args.check_baseline:
+        # Gate mode: rebuild the committed baseline's exact configuration
+        # (seed and all) and compare machine-independent ratios.  Never
+        # rewrites the baseline.
+        baseline_path = Path.cwd() / "BENCH_fleet.json"
+        baseline = json.loads(baseline_path.read_text())
+        recorded = baseline["config"]
+        config = FleetConfig(
+            seed=recorded["seed"].encode("latin-1"),
+            num_shards=recorded["num_shards"],
+            sessions=recorded["sessions"],
+            servers_per_shard=recorded["servers_per_shard"],
+            arrival_ramp=recorded["arrival_ramp"],
+            session_lifetime=recorded["session_lifetime"],
+            middlebox_every=recorded["middlebox_every"],
+            max_inflight_per_shard=recorded["max_inflight_per_shard"],
+        )
+        print(f"fleet baseline gate: replaying {config.sessions} sessions "
+              f"from {baseline_path.name} ...", file=sys.stderr)
+        report = run_fleet(config=config, quick=baseline.get("quick", False))
+        problems = check_fleet_baseline(report, baseline)
+        if problems:
+            for problem in problems:
+                print(f"FLEET REGRESSION: {problem}")
+            raise SystemExit(1)
+        print("fleet gate: ok (virtual latencies, resumption, and "
+              "events/session within tolerance of the checked-in baseline)")
+        return
+
+    if args.chaos:
+        config = chaos_config(args.seed.encode(), quick=args.quick)
+    elif args.quick:
+        config = quick_config(args.seed.encode())
+    else:
+        config = full_config(args.seed.encode())
     if args.sessions:
-        config = FleetConfig(seed=config.seed, sessions=args.sessions)
+        config = dataclasses.replace(config, sessions=args.sessions)
     print(f"fleet churn: {config.sessions} sessions across "
           f"{config.num_shards} shards, "
-          f"{config.servers_per_shard} servers/shard ...",
+          f"{config.servers_per_shard} servers/shard"
+          f"{' under chaos' if config.chaos else ''} ...",
           file=sys.stderr)
     report = run_fleet(config=config, quick=args.quick)
 
@@ -371,10 +415,31 @@ def _cmd_fleet(args) -> None:
         ["sessions/sec (wall)", wall["sessions_per_sec"]],
         ["wall seconds", wall["seconds"]],
     ]
-    print(render_table("Fleet-scale session churn", ["metric", "value"], rows))
+    if config.chaos:
+        chaos = report["chaos"]
+        rows += [
+            ["verdicts", " ".join(
+                f"{name}={count}"
+                for name, count in sorted(chaos["verdicts"].items())
+            )],
+            ["failovers (activate/restore)",
+             f"{chaos['failover']['activations']}/"
+             f"{chaos['failover']['restores']}"],
+            ["shed", sum(report["admission"]["shed"].values())],
+            ["retry denied (breaker/budget)",
+             f"{chaos['retry_denied']['breaker']}/"
+             f"{chaos['retry_denied']['budget']}"],
+            ["recovery (virtual s)", chaos["recovery_virtual_seconds"]],
+            ["stuck after drain", chaos["stuck_sessions"]],
+        ]
+        title = "Fleet-scale chaos resilience"
+    else:
+        title = "Fleet-scale session churn"
+    print(render_table(title, ["metric", "value"], rows))
     print(f"fleet digest: {report['digests']['fleet']}")
 
-    path = Path.cwd() / "BENCH_fleet.json"
+    name = "BENCH_fleet_chaos.json" if config.chaos else "BENCH_fleet.json"
+    path = Path.cwd() / name
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
 
@@ -427,9 +492,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="metrics: emit the schema-versioned JSON report "
                              "instead of tables")
     parser.add_argument("--check-baseline", action="store_true",
-                        help="bench: compare against the checked-in "
-                             "BENCH_crypto.json and fail on >30%% regression "
-                             "instead of rewriting it")
+                        help="bench/fleet: compare against the checked-in "
+                             "BENCH_crypto.json / BENCH_fleet.json and fail "
+                             "on >30%% regression instead of rewriting it")
+    parser.add_argument("--chaos", action="store_true",
+                        help="fleet: run the deterministic fault schedule "
+                             "(middlebox failover, brownouts, degradation) "
+                             "and write BENCH_fleet_chaos.json")
     args = parser.parse_args(argv)
 
     if args.command == "all":

@@ -160,6 +160,7 @@ class MiddleboxService:
         listen: bool = False,
         meter: CpuMeter | None = None,
         on_event: Callable[[object], None] | None = None,
+        active: bool = True,
     ) -> None:
         self.host = host
         self._make_config = make_config
@@ -169,14 +170,47 @@ class MiddleboxService:
         self.meter = meter if meter is not None else CpuMeter(host.name)
         self.on_event = on_event
         self.drivers: list[MiddleboxDriver] = []
-        self.reinstall()
+        #: Whether the service is registered on its host.  A *standby*
+        #: replica is built with ``active=False`` and only registers when a
+        #: failover controller calls :meth:`reinstall`.
+        self.active = active
+        if active:
+            self.reinstall()
 
     def reinstall(self) -> None:
-        """(Re-)register on the host — also the crash-restart hook."""
+        """(Re-)register on the host — the crash-restart/failover hook."""
+        self.active = True
         if self._intercept:
             self.host.intercept(self.port, self._on_intercept)
         if self._listen:
             self.host.listen(self.port, self._on_accept)
+
+    def uninstall(self) -> None:
+        """Deregister from the host (a standby going back to warm spare).
+
+        Connections already split here keep running; only *new* SYNs stop
+        being intercepted or accepted.
+        """
+        self.active = False
+        self.host.stop_intercepting(self.port)
+        if self._listen:
+            self.host.stop_listening(self.port)
+
+    def drain_sessions(self) -> int:
+        """Crash hook: drop every connection this service still tracks.
+
+        A crashed host has already reset its streams; draining closes any
+        surviving segment (e.g. an onward dial that outlived the crash),
+        forgets the drivers, and returns how many sessions were cut loose
+        so the failover controller can account for them.
+        """
+        drained = len(self.drivers)
+        for driver in self.drivers:
+            for socket in (driver.down, driver.up):
+                if socket is not None and not socket.closed:
+                    socket.close()
+        self.drivers.clear()
+        return drained
 
     def _config(self) -> MiddleboxConfig:
         if callable(self._make_config):
@@ -336,6 +370,7 @@ class SessionSupervisor:
         policy: RetryPolicy | None = None,
         start: bool = True,
         on_state: Callable[["SessionSupervisor", str], None] | None = None,
+        retry_gate: Callable[[str], bool] | None = None,
     ) -> None:
         self.host = host
         self.destination = destination
@@ -344,6 +379,14 @@ class SessionSupervisor:
         self.port = port
         self.meter = meter if meter is not None else CpuMeter(host.name)
         self.policy = policy if policy is not None else RetryPolicy()
+        #: Anti-amplification hook: consulted with the destination before
+        #: every redial.  Returning ``False`` (a spent retry budget or an
+        #: open circuit breaker) fails the session instead of dialing —
+        #: a retry storm cannot outrun the gate.  ``None`` means ungated
+        #: (the historical standalone-supervisor behaviour); a fleet
+        #: orchestrator injects its per-``(shard, server)`` gate at
+        #: admission time.
+        self.retry_gate = retry_gate
         self.attempt = 0
         self.state = "pending"
         self.outcome: str | None = None
@@ -510,6 +553,15 @@ class SessionSupervisor:
         if self.attempt >= self.policy.max_attempts:
             self._finish("failed")
             self.failure = error
+            return
+        if self.retry_gate is not None and not self.retry_gate(self.destination):
+            # Budget spent or breaker open: fail fast instead of piling a
+            # redial onto a path that is already melting down.
+            obs.counter(
+                "supervisor_redials_denied", destination=self.destination
+            ).inc()
+            self._finish("failed")
+            self.failure = f"{error} (redial denied by retry gate)"
             return
         delay = self.policy.backoff(self.attempt - 1)
         self._set_state("backoff")

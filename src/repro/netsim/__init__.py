@@ -18,6 +18,7 @@ from repro.netsim.faults import (
     LinkPartition,
     LossBurst,
     StreamStall,
+    chaos_schedule,
 )
 from repro.netsim.filters import FilterPolicy, TLSFilter
 from repro.netsim.fuzz import (
@@ -49,6 +50,7 @@ __all__ = [
     "LinkPartition",
     "LossBurst",
     "StreamStall",
+    "chaos_schedule",
     "FilterPolicy",
     "TLSFilter",
     "MUTATION_KINDS",

@@ -164,6 +164,19 @@ class EngineDriver:
     def session_over(self) -> bool:
         return bool(getattr(self.engine, "closed", False)) or self.socket.closed
 
+    @property
+    def pending_timer_count(self) -> int:
+        """How many of this driver's deadline timers are still armed.
+
+        Diagnostic surface for stuck-session reports: a live session with
+        zero armed timers can never make timer-driven progress again.
+        """
+        return sum(
+            1
+            for timer in (self._handshake_timer, self._idle_timer)
+            if timer is not None and not timer.fired
+        )
+
     def _service_timers(self) -> None:
         if self.session_over:
             self._cancel_timers()

@@ -40,6 +40,7 @@ __all__ = [
     "ChaosTap",
     "FaultInjector",
     "AppliedFault",
+    "chaos_schedule",
 ]
 
 
@@ -212,6 +213,87 @@ class FaultPlan:
         return cls(faults=tuple(faults), seed=seed)
 
 
+def chaos_schedule(
+    seed: bytes,
+    shard_id: int,
+    *,
+    horizon: float,
+    middlebox_hosts: tuple[str, ...] = (),
+    server_hosts: tuple[str, ...] = (),
+    crash_waves: int = 2,
+    server_brownouts: int = 1,
+    loss_bursts: int = 2,
+    corruption_bursts: int = 1,
+    stalls: int = 1,
+) -> FaultPlan:
+    """The per-shard fleet chaos schedule, replayable from ``(seed, shard_id)``.
+
+    Personalization-based splitting (the same contract as
+    ``repro.core.orchestrator.shard_rng``) keeps each shard's weather
+    independent of how many shards exist or when their plans are built, so
+    a solo-shard chaos replay sees byte-identical faults.
+
+    The schedule composes three fleet failure modes:
+
+    * **middlebox crash/restart waves** — every ``middlebox_hosts`` entry
+      dies ``crash_waves`` times inside the first 70% of the horizon and
+      restarts shortly after (services must re-register; a standby can
+      take over in between);
+    * **server brownouts** — rank-agnostic picks from ``server_hosts``
+      crash and come back, refusing SYNs and resetting live sessions in
+      the window (the retry-storm amplifier the admission path must damp);
+    * **link-degradation bursts** — loss/corruption/stall windows scoped
+      to the faulted hosts, the Table 2 path weather.
+    """
+    rng = HmacDrbg(seed, personalization=b"fleet/chaos/%d" % shard_id)
+    faults: list = []
+    for host in middlebox_hosts:
+        for _ in range(crash_waves):
+            crash_at = 0.2 + rng.random() * horizon * 0.7
+            faults.append(HostCrash(
+                time=crash_at,
+                host=host,
+                restart_after=0.4 + rng.random() * horizon * 0.15,
+            ))
+    for _ in range(server_brownouts):
+        if not server_hosts:
+            break
+        victim = rng.choice(list(server_hosts))
+        brownout_at = 0.2 + rng.random() * horizon * 0.7
+        faults.append(HostCrash(
+            time=brownout_at,
+            host=victim,
+            restart_after=0.5 + rng.random() * horizon * 0.2,
+        ))
+    degraded_hops = tuple(
+        frozenset({host}) for host in middlebox_hosts + server_hosts
+    ) or (None,)
+    for _ in range(loss_bursts):
+        faults.append(LossBurst(
+            start=rng.random() * horizon * 0.7,
+            duration=0.02 + rng.random() * horizon * 0.1,
+            rate=0.2 + rng.random() * 0.5,
+            hop=rng.choice(list(degraded_hops)),
+        ))
+    for _ in range(corruption_bursts):
+        faults.append(CorruptionBurst(
+            start=rng.random() * horizon * 0.7,
+            duration=0.02 + rng.random() * horizon * 0.05,
+            rate=0.2 + rng.random() * 0.4,
+            hop=rng.choice(list(degraded_hops)),
+        ))
+    for _ in range(stalls):
+        faults.append(StreamStall(
+            start=rng.random() * horizon * 0.7,
+            duration=0.05 + rng.random() * horizon * 0.1,
+            hop=rng.choice(list(degraded_hops)),
+        ))
+    return FaultPlan(
+        faults=tuple(faults),
+        seed=seed + b"/chaos/%d" % shard_id,
+    )
+
+
 class ChaosTap(Tap):
     """Applies a :class:`FaultPlan`'s window faults to one stream.
 
@@ -317,10 +399,15 @@ class FaultInjector:
         self.log: list[AppliedFault] = []
         self._rng = HmacDrbg(plan.seed, personalization=b"chaos-taps")
         self._tap_counter = 0
+        self._crash_hooks: dict[str, list[Callable[[], None]]] = {}
         self._restart_hooks: dict[str, list[Callable[[], None]]] = {}
         network.on_new_stream(self._on_stream)
         for crash in plan.crashes():
             network.sim.schedule_at(crash.time, lambda c=crash: self._crash(c))
+
+    def on_crash(self, host: str, hook: Callable[[], None]) -> None:
+        """Run ``hook`` right after ``host`` crashes (activate a standby)."""
+        self._crash_hooks.setdefault(host, []).append(hook)
 
     def on_restart(self, host: str, hook: Callable[[], None]) -> None:
         """Run ``hook`` when ``host`` restarts (re-register listeners)."""
@@ -333,8 +420,13 @@ class FaultInjector:
 
     def _crash(self, crash: HostCrash) -> None:
         sim = self.network.sim
+        if not self.network.host(crash.host).alive:
+            # Already down (overlapping waves): skip, keep one restart.
+            return
         _record(self.log, AppliedFault(sim.now, "crash", crash.host))
         self.network.crash_host(crash.host)
+        for hook in self._crash_hooks.get(crash.host, []):
+            hook()
         if crash.restart_after is not None:
             sim.schedule(crash.restart_after, lambda: self._restart(crash.host))
 

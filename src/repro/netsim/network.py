@@ -282,6 +282,9 @@ class Host:
     def stop_intercepting(self, port: int) -> None:
         self._interceptors.pop(port, None)
 
+    def stop_listening(self, port: int) -> None:
+        self._listeners.pop(port, None)
+
     def connect(self, destination: str, port: int) -> Socket:
         """Open a (possibly intercepted) connection toward ``destination``."""
         if not self.alive:
