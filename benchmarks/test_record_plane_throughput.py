@@ -38,14 +38,26 @@ def test_record_plane_throughput():
 
     legacy = report["legacy"]
     plane = report["record_plane"]
+    receive = report["receive"]
     emit(
         "Record plane throughput\n"
         f"  legacy drain : {legacy['records_per_sec']:>12,} rec/s  "
         f"{legacy['bytes_copied']:,} bytes copied\n"
         f"  record plane : {plane['records_per_sec']:>12,} rec/s  "
         f"{plane['bytes_copied']:,} bytes copied\n"
-        f"  copy ratio   : {report['bytes_copied_ratio']}"
+        f"  copy ratio   : {report['bytes_copied_ratio']}\n"
+        "Receive path (sealed AES-128-GCM flights)\n"
+        f"  legacy parse : {receive['legacy']['records_per_sec']:>12,} rec/s  "
+        f"{receive['legacy']['bytes_copied']:,} bytes copied\n"
+        f"  zero-copy    : {receive['record_plane']['records_per_sec']:>12,} rec/s  "
+        f"{receive['record_plane']['bytes_copied']:,} bytes copied\n"
+        f"  copy ratio   : {receive['bytes_copied_ratio']}"
     )
 
-    # The structural claim of the refactor: strictly fewer byte copies.
+    # The structural claim of the refactor: strictly fewer byte copies,
+    # on the send side and now on the receive side too.
     assert plane["bytes_copied"] < legacy["bytes_copied"]
+    assert (
+        receive["record_plane"]["bytes_copied"]
+        < receive["legacy"]["bytes_copied"]
+    )

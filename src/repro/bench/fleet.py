@@ -611,9 +611,31 @@ def _percentile(sorted_values: list[float], pct: float) -> float | None:
     return sorted_values[index]
 
 
-def _counter_sum(plane, name: str, **labels) -> int:
+#: Counter families the report reads; the worker path ships exactly these
+#: rows back from each shard process.
+_FLEET_COUNTER_FAMILIES = (
+    "fleet.admission_deferred",
+    "fleet.sessions_admitted",
+    "fleet.shed",
+    "fleet.retry_denied",
+    "fleet.breaker_state",
+)
+
+
+def _collect_counters(plane) -> dict[str, list[tuple[dict, int]]]:
+    """Snapshot the report's counter families off an observability plane."""
+    return {
+        name: [
+            (dict(labels), value)
+            for labels, value in plane.metrics.iter_counters(name)
+        ]
+        for name in _FLEET_COUNTER_FAMILIES
+    }
+
+
+def _counter_sum(counters: dict, name: str, **labels) -> int:
     total = 0
-    for entry_labels, value in plane.metrics.iter_counters(name):
+    for entry_labels, value in counters.get(name, []):
         if all(entry_labels.get(key) == val for key, val in labels.items()):
             total += value
     return total
@@ -657,7 +679,7 @@ def _chaos_verdicts(entries: list[dict]) -> dict[str, int]:
 
 
 def _recovery_seconds(
-    entries: list[dict], injectors: dict[int, FaultInjector]
+    entries: list[dict], fault_logs: dict[int, list[dict]]
 ) -> float:
     """Virtual time back to steady state after the last damaging fault.
 
@@ -680,20 +702,154 @@ def _recovery_seconds(
     if steady is None:
         return 0.0
     disruptions = [
-        fault.time
-        for injector in injectors.values()
-        for fault in injector.log
-        if fault.kind in ("crash", "restart") and fault.time <= steady
+        fault["time"]
+        for log in fault_logs.values()
+        for fault in log
+        if fault["kind"] in ("crash", "restart") and fault["time"] <= steady
     ]
     if not disruptions:
         return 0.0
     return round(steady - max(disruptions), 9)
 
 
+def _shard_worker(task: tuple[FleetConfig, int]) -> dict:
+    """Run one shard in a worker process; returns its serializable slice.
+
+    Shards are independent determinism domains (the per-shard replay
+    contract run_fleet's ``only_shard`` mode already pins): a solo run of
+    shard *i* produces a ledger byte-identical to shard *i*'s slice of a
+    full serial run, so the parent can merge worker results into the
+    same report the serial path builds — ledger digests included.
+    """
+    config, shard_id = task
+    with obs.scoped() as plane:
+        orchestrator, submitted, injectors = _run(config, only_shard=shard_id)
+        shard = orchestrator.shards[shard_id]
+        groups = shard.failover_groups
+        return {
+            "shard_id": shard_id,
+            "label": shard.label,
+            "ledger": shard.ledger,
+            "digest": shard.digest(),
+            "peak_live": shard.peak_live,
+            "submitted": submitted,
+            "virtual_seconds": orchestrator.sim.now,
+            "events": orchestrator.sim._events_processed,
+            "counters": _collect_counters(plane),
+            "fault_log": [
+                {"kind": fault.kind, "time": fault.time}
+                for injector in injectors.values()
+                for fault in injector.log
+            ],
+            "failover": {
+                "activations": sum(group.failovers for group in groups),
+                "restores": sum(group.failbacks for group in groups),
+                "sessions_drained": sum(
+                    group.sessions_drained for group in groups
+                ),
+            },
+            "stuck_sessions": orchestrator.stuck_report()["stuck_sessions"],
+        }
+
+
+def _merge_worker_results(results: list[dict]) -> dict:
+    """Fold per-shard worker slices into the serial path's data shape.
+
+    ``peak_concurrent`` is the one quantity a merged run cannot
+    reproduce: the serial number is the *instantaneous* cross-shard
+    maximum, which no set of independent shard runs can recover, so the
+    workers path reports the sum of per-shard peaks (an upper bound)
+    and says so via ``concurrency.peak_basis``.
+    """
+    results = sorted(results, key=lambda r: r["shard_id"])
+    per_shard = {result["label"]: result["digest"] for result in results}
+    counters: dict[str, list[tuple[dict, int]]] = {}
+    for result in results:
+        for name, rows in result["counters"].items():
+            counters.setdefault(name, []).extend(
+                (dict(labels), value) for labels, value in rows
+            )
+    return {
+        "entries": [
+            entry for result in results for entry in result["ledger"]
+        ],
+        "submitted": sum(result["submitted"] for result in results),
+        "peak_concurrent": sum(result["peak_live"] for result in results),
+        "peak_basis": "per_shard_sum",
+        "per_shard_peaks": {
+            result["label"]: result["peak_live"] for result in results
+        },
+        "digests": {
+            "shards": per_shard,
+            "fleet": hashlib.sha256(
+                "".join(per_shard[label] for label in sorted(per_shard)).encode()
+            ).hexdigest(),
+        },
+        "virtual_seconds": max(
+            result["virtual_seconds"] for result in results
+        ),
+        "events": sum(result["events"] for result in results),
+        "counters": counters,
+        "fault_logs": {
+            result["shard_id"]: result["fault_log"] for result in results
+        },
+        "failover": {
+            key: sum(result["failover"][key] for result in results)
+            for key in ("activations", "restores", "sessions_drained")
+        },
+        "stuck_sessions": sum(result["stuck_sessions"] for result in results),
+    }
+
+
+def _run_serial(config: FleetConfig, only_shard: int | None) -> dict:
+    """The in-process run; returns the same data shape as the merge."""
+    with obs.scoped() as plane:
+        orchestrator, submitted, injectors = _run(config, only_shard)
+        groups = [
+            group
+            for shard in orchestrator.shards
+            for group in shard.failover_groups
+        ]
+        return {
+            "entries": [
+                entry
+                for shard in orchestrator.shards
+                for entry in shard.ledger
+            ],
+            "submitted": submitted,
+            "peak_concurrent": orchestrator.peak_concurrent,
+            "peak_basis": "instantaneous",
+            "per_shard_peaks": {
+                shard.label: shard.peak_live
+                for shard in orchestrator.shards
+            },
+            "digests": orchestrator.digests(),
+            "virtual_seconds": orchestrator.sim.now,
+            "events": orchestrator.sim._events_processed,
+            "counters": _collect_counters(plane),
+            "fault_logs": {
+                shard_id: [
+                    {"kind": fault.kind, "time": fault.time}
+                    for fault in injector.log
+                ]
+                for shard_id, injector in sorted(injectors.items())
+            },
+            "failover": {
+                "activations": sum(group.failovers for group in groups),
+                "restores": sum(group.failbacks for group in groups),
+                "sessions_drained": sum(
+                    group.sessions_drained for group in groups
+                ),
+            },
+            "stuck_sessions": orchestrator.stuck_report()["stuck_sessions"],
+        }
+
+
 def run_fleet(
     config: FleetConfig | None = None,
     quick: bool = False,
     only_shard: int | None = None,
+    workers: int | None = None,
 ) -> dict:
     """Run the fleet and return the ``BENCH_fleet.json`` report dict.
 
@@ -707,52 +863,53 @@ def run_fleet(
             the other shards are created (their RNG split costs nothing)
             but get no world, no arrivals, and no weather.  The replayed
             shard's ledger digest matches the full-fleet run.
+        workers: with >= 2, run each shard in its own worker process
+            (one solo replay per shard, merged by
+            :func:`_merge_worker_results`); per-shard ledger digests and
+            the combined fleet digest are identical to a serial run.
+            Incompatible with ``only_shard``.
     """
     if config is None:
         config = quick_config() if quick else full_config()
-    with obs.scoped() as plane:
-        started = time.perf_counter()
-        orchestrator, submitted, injectors = _run(config, only_shard)
-        wall_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    if workers and workers >= 2:
+        if only_shard is not None:
+            raise ValueError("workers and only_shard are mutually exclusive")
+        import multiprocessing
 
-        entries = [
-            entry
-            for shard in orchestrator.shards
-            for entry in shard.ledger
-        ]
-        established = [
-            entry for entry in entries
-            if entry.get("outcome") in ("established", "degraded")
-        ]
-        bulk = [entry for entry in established if entry.get("phase") == "bulk"]
-        resumed = sum(1 for entry in bulk if entry.get("resumed"))
-        latencies = sorted(
-            entry["handshake_seconds"]
-            for entry in established
-            if entry.get("handshake_seconds") is not None
+        pool = multiprocessing.get_context("fork").Pool(
+            min(workers, config.num_shards)
         )
-        failed = [
-            entry for entry in entries
-            if entry.get("outcome") in ("failed", "aborted")
-        ]
+        try:
+            results = pool.map(
+                _shard_worker,
+                [(config, shard_id) for shard_id in range(config.num_shards)],
+            )
+        finally:
+            pool.terminate()
+            pool.join()
+        data = _merge_worker_results(results)
+    else:
+        data = _run_serial(config, only_shard)
+    wall_seconds = time.perf_counter() - started
 
-        deferred_capacity = _counter_sum(
-            plane, "fleet.admission_deferred", reason="capacity")
-        deferred_backpressure = _counter_sum(
-            plane, "fleet.admission_deferred", reason="backpressure")
-        admitted = _counter_sum(plane, "fleet.sessions_admitted")
-        shed = {
-            reason: _counter_sum(plane, "fleet.shed", reason=reason)
-            for reason in ("overload", "breaker_open")
-        }
-        retry_denied = {
-            reason: _counter_sum(plane, "fleet.retry_denied", reason=reason)
-            for reason in ("breaker", "budget")
-        }
-        breaker_transitions = {
-            state: _counter_sum(plane, "fleet.breaker_state", state=state)
-            for state in ("open", "half_open", "closed")
-        }
+    entries = data["entries"]
+    counters = data["counters"]
+    established = [
+        entry for entry in entries
+        if entry.get("outcome") in ("established", "degraded")
+    ]
+    bulk = [entry for entry in established if entry.get("phase") == "bulk"]
+    resumed = sum(1 for entry in bulk if entry.get("resumed"))
+    latencies = sorted(
+        entry["handshake_seconds"]
+        for entry in established
+        if entry.get("handshake_seconds") is not None
+    )
+    failed = [
+        entry for entry in entries
+        if entry.get("outcome") in ("failed", "aborted")
+    ]
 
     report = {
         "schema_version": (
@@ -772,10 +929,11 @@ def run_fleet(
             "max_inflight_per_shard": config.max_inflight_per_shard,
             "chaos": config.chaos,
             "only_shard": only_shard,
+            "workers": workers or None,
         },
         "sessions": {
-            "submitted": submitted,
-            "admitted": admitted,
+            "submitted": data["submitted"],
+            "admitted": _counter_sum(counters, "fleet.sessions_admitted"),
             "established": len(established),
             "resumed": resumed,
             "failed": len(failed),
@@ -785,11 +943,9 @@ def run_fleet(
             ),
         },
         "concurrency": {
-            "peak_concurrent": orchestrator.peak_concurrent,
-            "per_shard_peaks": {
-                shard.label: shard.peak_live
-                for shard in orchestrator.shards
-            },
+            "peak_concurrent": data["peak_concurrent"],
+            "peak_basis": data["peak_basis"],
+            "per_shard_peaks": data["per_shard_peaks"],
         },
         "handshake_seconds": {
             "count": len(latencies),
@@ -803,14 +959,19 @@ def run_fleet(
             "hit_rate": round(resumed / len(bulk), 6) if bulk else None,
         },
         "admission": {
-            "deferred_capacity": deferred_capacity,
-            "deferred_backpressure": deferred_backpressure,
-            "shed": shed,
+            "deferred_capacity": _counter_sum(
+                counters, "fleet.admission_deferred", reason="capacity"),
+            "deferred_backpressure": _counter_sum(
+                counters, "fleet.admission_deferred", reason="backpressure"),
+            "shed": {
+                reason: _counter_sum(counters, "fleet.shed", reason=reason)
+                for reason in ("overload", "breaker_open")
+            },
         },
-        "digests": orchestrator.digests(),
+        "digests": data["digests"],
         "sim": {
-            "virtual_seconds": round(orchestrator.sim.now, 9),
-            "events": orchestrator.sim._events_processed,
+            "virtual_seconds": round(data["virtual_seconds"], 9),
+            "events": data["events"],
         },
         "wall": {
             "seconds": round(wall_seconds, 3),
@@ -822,34 +983,32 @@ def run_fleet(
     }
     if config.chaos:
         per_shard_faults = {
-            str(shard_id): _fault_kinds(injector.log)
-            for shard_id, injector in sorted(injectors.items())
+            str(shard_id): _fault_kinds(log)
+            for shard_id, log in sorted(data["fault_logs"].items())
         }
         faults_total: dict[str, int] = {}
         for kinds in per_shard_faults.values():
             for kind, count in kinds.items():
                 faults_total[kind] = faults_total.get(kind, 0) + count
-        groups = [
-            group
-            for shard in orchestrator.shards
-            for group in shard.failover_groups
-        ]
         report["chaos"] = {
             "horizon": config.chaos_horizon,
             "verdicts": _chaos_verdicts(entries),
             "faults": faults_total,
             "per_shard_faults": per_shard_faults,
-            "failover": {
-                "activations": sum(group.failovers for group in groups),
-                "restores": sum(group.failbacks for group in groups),
-                "sessions_drained": sum(
-                    group.sessions_drained for group in groups
-                ),
+            "failover": data["failover"],
+            "retry_denied": {
+                reason: _counter_sum(
+                    counters, "fleet.retry_denied", reason=reason)
+                for reason in ("breaker", "budget")
             },
-            "retry_denied": retry_denied,
-            "breaker_transitions": breaker_transitions,
-            "recovery_virtual_seconds": _recovery_seconds(entries, injectors),
-            "stuck_sessions": orchestrator.stuck_report()["stuck_sessions"],
+            "breaker_transitions": {
+                state: _counter_sum(
+                    counters, "fleet.breaker_state", state=state)
+                for state in ("open", "half_open", "closed")
+            },
+            "recovery_virtual_seconds": _recovery_seconds(
+                entries, data["fault_logs"]),
+            "stuck_sessions": data["stuck_sessions"],
         }
         report["digest"] = hashlib.sha256(
             json.dumps(
@@ -859,10 +1018,10 @@ def run_fleet(
     return report
 
 
-def _fault_kinds(log) -> dict[str, int]:
+def _fault_kinds(log: list[dict]) -> dict[str, int]:
     kinds: dict[str, int] = {}
     for fault in log:
-        kinds[fault.kind] = kinds.get(fault.kind, 0) + 1
+        kinds[fault["kind"]] = kinds.get(fault["kind"], 0) + 1
     return dict(sorted(kinds.items()))
 
 

@@ -21,6 +21,7 @@ from repro import obs
 from repro.core.config import MbTLSEndpointConfig, MiddleboxConfig, MiddleboxRole
 from repro.core.config import SessionEstablished
 from repro.core.drivers import MiddleboxService, open_mbtls, serve_mbtls
+from repro.crypto import pool as aead_pool
 from repro.crypto.drbg import HmacDrbg
 from repro.errors import DecodeError
 from repro.netsim.adversary import GlobalAdversary
@@ -54,6 +55,7 @@ class ObservedRun:
     request_size: int
     response_size: int
     middlebox_names: list[str] = field(default_factory=list)
+    workers: int | None = None
 
 
 def run_observed(
@@ -63,8 +65,37 @@ def run_observed(
     request_size: int = 512,
     response_size: int = 2048,
     latency: float = 0.005,
+    workers: int | None = None,
 ) -> ObservedRun:
-    """Run the instrumented fetch and return the collected evidence."""
+    """Run the instrumented fetch and return the collected evidence.
+
+    With ``workers`` set, the AEAD process pool is installed for the
+    duration of the scenario; pool-eligible flights (size the response so
+    each one fragments into at least 8 records / 64 KiB) route their
+    seal/open batches through the workers, and the ``crypto.pool.*``
+    counters land on the scoped plane for the metrics cross-check.
+    """
+    if workers:
+        aead_pool.configure(workers)
+    try:
+        return _run_observed(
+            seed, middleboxes, flights, request_size, response_size,
+            latency, workers,
+        )
+    finally:
+        if workers:
+            aead_pool.reset()
+
+
+def _run_observed(
+    seed: str,
+    middleboxes: int,
+    flights: int,
+    request_size: int,
+    response_size: int,
+    latency: float,
+    workers: int | None,
+) -> ObservedRun:
     with obs.scoped() as plane:
         rng = HmacDrbg(seed.encode())
         from repro.bench.scenarios import Pki, build_chain_network
@@ -152,6 +183,7 @@ def run_observed(
             request_size=request_size,
             response_size=response_size,
             middlebox_names=mb_names,
+            workers=workers,
         )
 
 
@@ -262,6 +294,21 @@ def metrics_report(run: ObservedRun, include_trace: bool = True) -> dict:
         "wire": {hop: dict(sorted(types.items())) for hop, types in sorted(wire.items())},
         "metrics": metrics.snapshot(),
     }
+    if run.workers:
+        # Pool accounting for the cross-check: how many records each op
+        # routed through the workers, and the per-chunk-slot task counts
+        # (slots, not PIDs — slots are deterministic).
+        report["pool"] = {
+            "workers": run.workers,
+            "records": {
+                "seal": metrics.counter_value("crypto.pool.records", op="seal"),
+                "open": metrics.counter_value("crypto.pool.records", op="open"),
+            },
+            "tasks": [
+                {"worker": labels["worker"], "op": labels["op"], "value": value}
+                for labels, value in metrics.iter_counters("crypto.pool.tasks")
+            ],
+        }
     if include_trace:
         report["trace"] = run.plane.tracer.snapshot()
     return report

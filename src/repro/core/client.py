@@ -117,8 +117,31 @@ class MbTLSClientEngine:
             return []
         try:
             self._plane.feed(data)
-            for record in self._plane.pop_records():
+            records = self._plane.pop_records()
+            index = 0
+            total = len(records)
+            while index < total:
+                record = records[index]
+                if (
+                    record.content_type == ContentType.APPLICATION_DATA
+                    and self.established
+                    and self._plane.write_state is not None
+                ):
+                    # Batch the run of application data through one
+                    # unprotect_many (batched AEAD, pool-eligible).
+                    end = index + 1
+                    while (
+                        end < total
+                        and records[end].content_type
+                        == ContentType.APPLICATION_DATA
+                    ):
+                        end += 1
+                    if end - index > 1:
+                        self._process_data_batch(records[index:end])
+                        index = end
+                        continue
                 self._process_record(record)
+                index += 1
             self._check_established()
         except (IntegrityError, ProtocolError) as exc:
             # Unparseable or forged input on the primary stream: answer with
@@ -287,6 +310,26 @@ class MbTLSClientEngine:
         events = self.primary.receive_bytes(record.encode())
         self._drain_primary()
         self._emit_primary_events(events)
+
+    def _process_data_batch(self, records: list[Record]) -> None:
+        """Decrypt a run of application data in one batched call.
+
+        ``unprotect_many`` is all-or-nothing — no sequence number is
+        consumed on failure — so replaying the run per record reproduces
+        the serial tamper semantics (drop or abort per policy) exactly.
+        """
+        try:
+            plaintexts = self._plane.unprotect_many(records)
+        except IntegrityError:
+            for record in records:
+                if self.closed:
+                    return
+                self._process_data_record(record)
+            return
+        for plaintext in plaintexts:
+            if self.closed:
+                return
+            self._events.append(ApplicationData(data=plaintext))
 
     def _process_data_record(self, record: Record) -> None:
         try:

@@ -224,12 +224,40 @@ class MbTLSMiddlebox:
                 # buffer bound tripped: abort rather than buffer forever.
                 self._abort(AlertDescription.from_name(exc.alert), str(exc))
                 records = []
-            for record in records:
+            index = 0
+            total = len(records)
+            while index < total:
                 if self.closed:
                     break
+                record = records[index]
                 if self.mode == self.MODE_RELAY:
                     self._planes[1 - side].queue_encoded(record)
+                    index += 1
                     continue
+                if (
+                    record.content_type == ContentType.APPLICATION_DATA
+                    and self._can_batch_data()
+                ):
+                    # A run of application data in the steady state shares
+                    # one unprotect_many (batched AEAD, pool-eligible).
+                    end = index + 1
+                    while (
+                        end < total
+                        and records[end].content_type
+                        == ContentType.APPLICATION_DATA
+                    ):
+                        end += 1
+                    if end - index > 1:
+                        try:
+                            self._data_plane_many(side, records[index:end])
+                        except (DecodeError, IntegrityError, CryptoError):
+                            pass
+                        except ProtocolError as exc:
+                            self._abort(
+                                AlertDescription.from_name(exc.alert), str(exc)
+                            )
+                        index = end
+                        continue
                 try:
                     self._process(side, record)
                 except (DecodeError, IntegrityError, CryptoError):
@@ -238,9 +266,10 @@ class MbTLSMiddlebox:
                     # material): drop it. Endpoint AEAD/timers catch what
                     # the path mangled; a middlebox must never crash its
                     # driver over hostile bytes.
-                    continue
+                    pass
                 except ProtocolError as exc:
                     self._abort(AlertDescription.from_name(exc.alert), str(exc))
+                index += 1
         events = self._events
         self._events = []
         return events
@@ -613,6 +642,52 @@ class MbTLSMiddlebox:
             self._data_plane(_UP, record)
 
     # -------------------------------------------------------------- data path
+
+    def _can_batch_data(self) -> bool:
+        """Whether application data can take the batched decrypt path:
+        steady-state forwarding with hop keys installed (every special
+        case — pending keys, rejected, gave up — goes per record)."""
+        return (
+            self.mode in (self.MODE_CLIENT_SIDE, self.MODE_SERVER_SIDE)
+            and self.keys_installed
+            and not self.rejected
+            and not self.gave_up
+        )
+
+    def _data_plane_many(self, from_side: int, records: list[Record]) -> None:
+        """Decrypt a run of application data in one batched call.
+
+        ``unprotect_many`` is all-or-nothing — on any failure no sequence
+        number is consumed, so replaying the run through the per-record
+        path reproduces the serial semantics exactly (valid prefix
+        forwarded, the bad record dropped or aborted per policy).
+        """
+        plane = self._planes[from_side]
+        try:
+            plaintexts = plane.unprotect_many(records)
+        except (IntegrityError, CryptoError):
+            for record in records:
+                if self.closed:
+                    return
+                try:
+                    self._data_plane(from_side, record)
+                except (DecodeError, IntegrityError, CryptoError):
+                    continue  # same per-record drop as the serial loop
+            return
+        direction = "c2s" if from_side == _DOWN else "s2c"
+        counted = obs.counter(
+            "records_processed", party=self.config.name, direction=direction
+        )
+        out_plane = self._planes[1 - from_side]
+        for plaintext in plaintexts:
+            if self.closed:
+                return
+            plaintext = self._run_app(direction, plaintext)
+            self.records_processed += 1
+            counted.inc()
+            if plaintext is None:
+                continue  # the application consumed the chunk
+            out_plane.queue_record(ContentType.APPLICATION_DATA, plaintext)
 
     def _data_plane(self, from_side: int, record: Record) -> None:
         if self.rejected or self.gave_up:

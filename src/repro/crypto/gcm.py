@@ -147,7 +147,10 @@ class _GHash:
             for offset in range(offset, len(chunk), 16):
                 block = chunk[offset : offset + 16]
                 if len(block) < 16:
-                    block = block + b"\x00" * (16 - len(block))
+                    # bytes() first: ``chunk`` may be a memoryview from
+                    # the zero-copy receive path, and memoryview + bytes
+                    # doesn't concatenate.
+                    block = bytes(block) + b"\x00" * (16 - len(block))
                 y = self._mul_h(y ^ int.from_bytes(block, "big"))
         lengths = (len(aad) * 8) << 64 | (len(ciphertext) * 8)
         return self._mul_h(y ^ lengths)

@@ -1,0 +1,160 @@
+"""Multiprocessing seal/open pool for batched AEAD work.
+
+Per-hop record protection on an mbTLS chain is embarrassingly parallel:
+each record's seal/open is a pure function of ``(key, nonce, aad, data)``
+with no shared state, so a batch can be split across worker processes and
+the results merged back **in submission order** — the wire bytes are
+bit-identical to a serial run by construction.
+
+The pool is opt-in (``configure(workers=N)``; the CLI threads
+``--workers`` through) and conservative:
+
+* batches below :data:`_MIN_RECORDS` records or :data:`_MIN_BYTES` total
+  payload run serially — IPC overhead would beat the parallelism;
+* any pool-infrastructure failure (a dead worker, a pickling error)
+  falls back to the in-process serial path for that batch;
+* an :class:`~repro.errors.IntegrityError` from a worker is *not* a pool
+  failure — it propagates, preserving the all-or-nothing contract of
+  ``unprotect_many``.
+
+Workers rebuild AEAD contexts from ``(suite_code, key)`` on first use and
+cache them per process, so a long flight pays the key schedule once per
+worker. Per-chunk task counts land on the ``crypto.pool.tasks`` counter
+labelled by *chunk slot* (worker PIDs are scheduling-dependent; chunk
+slots are deterministic), which ``python -m repro metrics`` cross-checks
+against wiretap ground truth.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as _mp
+
+from repro import obs
+from repro.errors import CryptoError
+
+__all__ = ["AeadPool", "configure", "active", "reset"]
+
+#: Batches smaller than this many records always run serially.
+_MIN_RECORDS = 8
+#: Batches carrying less than this much payload always run serially.
+_MIN_BYTES = 64 * 1024
+
+#: Per-worker-process AEAD cache, keyed ``(suite_code, key)``.
+_WORKER_AEADS: dict[tuple[int, bytes], object] = {}
+
+
+def _worker_aead(suite_code: int, key: bytes):
+    cache_key = (suite_code, key)
+    aead = _WORKER_AEADS.get(cache_key)
+    if aead is None:
+        from repro.tls.ciphersuites import suite_by_code
+
+        if len(_WORKER_AEADS) > 1024:
+            _WORKER_AEADS.clear()
+        aead = suite_by_code(suite_code).new_aead(key)
+        _WORKER_AEADS[cache_key] = aead
+    return aead
+
+
+def _worker_seal(task):
+    suite_code, key, items = task
+    return _worker_aead(suite_code, key).seal_many(items)
+
+
+def _worker_open(task):
+    suite_code, key, items = task
+    return _worker_aead(suite_code, key).open_many(items)
+
+
+class AeadPool:
+    """An order-preserving multiprocessing pool for seal_many/open_many."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise CryptoError("AeadPool needs at least 2 workers")
+        self.workers = workers
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            # Fork keeps startup cheap and inherits the imported modules;
+            # workers never touch inherited mutable state (every task
+            # carries its full inputs).
+            self._pool = _mp.get_context("fork").Pool(self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    @staticmethod
+    def _normalize(items):
+        # Tasks cross a pickle boundary; memoryview inputs (the zero-copy
+        # receive path) must be materialized here.
+        return [
+            (bytes(nonce), bytes(data), bytes(aad)) for nonce, data, aad in items
+        ]
+
+    def _chunks(self, items):
+        n = len(items)
+        per = -(-n // self.workers)
+        return [items[i : i + per] for i in range(0, n, per)]
+
+    def _run(self, worker, op: str, suite, key: bytes, items):
+        chunks = self._chunks(self._normalize(items))
+        tasks = [(suite.code, key, chunk) for chunk in chunks]
+        results = self._ensure_pool().map(worker, tasks)
+        for slot, chunk in enumerate(chunks):
+            obs.counter("crypto.pool.tasks", worker=str(slot), op=op).inc()
+            obs.counter("crypto.pool.records", op=op).inc(len(chunk))
+        merged: list[bytes] = []
+        for part in results:
+            merged.extend(part)
+        return merged
+
+    def seal_many(self, suite, key: bytes, items) -> list[bytes]:
+        """Seal ``(nonce, plaintext, aad)`` items across the workers."""
+        return self._run(_worker_seal, "seal", suite, key, items)
+
+    def open_many(self, suite, key: bytes, items) -> list[bytes]:
+        """Open ``(nonce, ciphertext, aad)`` items across the workers.
+
+        Chunk boundaries don't weaken the all-or-nothing contract: a tag
+        failure in any chunk raises before any plaintext is returned.
+        """
+        return self._run(_worker_open, "open", suite, key, items)
+
+    def eligible(self, items) -> bool:
+        """Whether a batch is big enough to beat the IPC overhead."""
+        if len(items) < _MIN_RECORDS:
+            return False
+        total = 0
+        for _, data, _ in items:
+            total += len(data)
+        return total >= _MIN_BYTES
+
+
+_ACTIVE: AeadPool | None = None
+
+
+def configure(workers: int | None) -> AeadPool | None:
+    """Install (or with ``None``/``0``/``1``, remove) the process pool."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+        _ACTIVE = None
+    if workers and workers >= 2:
+        _ACTIVE = AeadPool(workers)
+    return _ACTIVE
+
+
+def active() -> AeadPool | None:
+    """The installed pool, or ``None`` when running serial."""
+    return _ACTIVE
+
+
+def reset() -> None:
+    """Tear down the installed pool (test/bench hygiene)."""
+    configure(None)

@@ -130,7 +130,15 @@ class RecordPlane:
         self._inbound.feed(data)
 
     def pop_records(self) -> list[Record]:
-        return self._inbound.pop_records()
+        """Complete inbound records, payloads as zero-copy views.
+
+        Payloads are memoryview slices of one per-flight snapshot (see
+        :meth:`RecordBuffer.pop_record_views`): a batched open slices the
+        ciphertext straight out of the inbound buffer without per-record
+        ``bytes()`` materialization.  :meth:`unprotect` /
+        :meth:`unprotect_many` still hand plaintext out as ``bytes``.
+        """
+        return self._inbound.pop_record_views()
 
     def unprotect(self, record: Record) -> bytes:
         """Decrypt under the read state; plaintext passthrough before keys."""
@@ -140,7 +148,8 @@ class RecordPlane:
             records.inc()
             size.inc(len(plaintext))
             return plaintext
-        return record.payload
+        payload = record.payload
+        return payload if isinstance(payload, bytes) else bytes(payload)
 
     def unprotect_many(self, records: list[Record]) -> list[bytes]:
         """Decrypt a run of records in one batched call.
@@ -151,7 +160,10 @@ class RecordPlane:
         """
         state = self.read_state
         if state is None:
-            return [record.payload for record in records]
+            return [
+                payload if isinstance(payload, bytes) else bytes(payload)
+                for payload in (record.payload for record in records)
+            ]
         unprotect_many = getattr(state, "unprotect_many", None)
         if unprotect_many is not None and len(records) > 1:
             plaintexts = unprotect_many(records)

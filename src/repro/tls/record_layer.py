@@ -12,7 +12,8 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro import obs
-from repro.errors import IntegrityError, ProtocolError
+from repro.crypto import pool as aead_pool
+from repro.errors import CryptoError, IntegrityError, ProtocolError
 from repro.tls.ciphersuites import CipherSuite
 from repro.wire.records import ContentType, MAX_FRAGMENT, Record, TLS12_VERSION
 
@@ -136,7 +137,9 @@ class ConnectionState:
         payload = record.payload
         if len(payload) < EXPLICIT_NONCE_LENGTH + self._aead.tag_length:
             raise IntegrityError("protected record too short")
-        explicit_nonce = payload[:EXPLICIT_NONCE_LENGTH]
+        # bytes() tolerates memoryview payloads from the zero-copy
+        # receive path (bytes + memoryview doesn't concatenate).
+        explicit_nonce = bytes(payload[:EXPLICIT_NONCE_LENGTH])
         ciphertext = payload[EXPLICIT_NONCE_LENGTH:]
         nonce = self.fixed_iv + explicit_nonce
         plaintext_length = len(ciphertext) - self._aead.tag_length
@@ -144,6 +147,41 @@ class ConnectionState:
         plaintext = self._aead.decrypt(nonce, ciphertext, aad)
         self.sequence += 1
         return plaintext
+
+    def _seal_batch(self, batch: list[tuple[bytes, bytes, bytes]]) -> list[bytes]:
+        """Seal a prepared batch, via the process pool when configured.
+
+        Each record is a pure function of its tuple, and the pool merges
+        results in submission order, so pooled output is byte-identical
+        to the serial path; pool-infrastructure failures fall back to
+        serial for the batch.
+        """
+        pool = aead_pool.active()
+        if pool is not None and pool.eligible(batch):
+            try:
+                return pool.seal_many(self.suite, self.key, batch)
+            except CryptoError:
+                raise
+            except Exception:
+                pass
+        return self._aead.seal_many(batch)
+
+    def _open_batch(self, batch: list[tuple[bytes, bytes, bytes]]) -> list[bytes]:
+        """Open a prepared batch, via the process pool when configured.
+
+        IntegrityError (a CryptoError) propagates from workers untouched
+        — a tag failure is a verdict, not a pool malfunction — keeping
+        unprotect_many's all-or-nothing contract.
+        """
+        pool = aead_pool.active()
+        if pool is not None and pool.eligible(batch):
+            try:
+                return pool.open_many(self.suite, self.key, batch)
+            except CryptoError:
+                raise
+            except Exception:
+                pass
+        return self._aead.open_many(batch)
 
     def protect_many(
         self, items: list[tuple[ContentType, bytes]]
@@ -166,7 +204,7 @@ class ConnectionState:
                 self._aad(content_type, len(plaintext), sequence),
             ))
             sequence += 1
-        sealed = self._aead.seal_many(batch)
+        sealed = self._seal_batch(batch)
         self.sequence = sequence
         return [
             Record(
@@ -195,13 +233,13 @@ class ConnectionState:
                 raise IntegrityError("protected record too short")
             ciphertext = payload[EXPLICIT_NONCE_LENGTH:]
             batch.append((
-                fixed_iv + payload[:EXPLICIT_NONCE_LENGTH],
+                fixed_iv + bytes(payload[:EXPLICIT_NONCE_LENGTH]),
                 ciphertext,
                 self._aad(record.content_type,
                           len(ciphertext) - tag_length, sequence),
             ))
             sequence += 1
-        plaintexts = self._aead.open_many(batch)
+        plaintexts = self._open_batch(batch)
         self.sequence = sequence
         return plaintexts
 

@@ -105,6 +105,49 @@ class RecordBuffer:
             records.append(record)
         return records
 
+    def pop_record_views(self) -> list[Record]:
+        """Like :meth:`pop_records`, but payloads are memoryview slices.
+
+        All complete records are located first, then the consumed region
+        is snapshotted **once** and each payload is a zero-copy slice of
+        that snapshot — so a flight of N records costs one copy instead
+        of 2N (the per-record ``bytes(...)`` plus the decode slice).
+        Callers that keep plaintext payloads past the flight must
+        materialize them; the batched-open path consumes the ciphertext
+        views immediately.
+
+        Raises the same :class:`DecodeError`s in the same order as
+        :meth:`pop_records` (oversize length even on an incomplete
+        record, unknown content type only on a complete one).
+        """
+        buffer = self._buffer
+        available = len(buffer)
+        spans: list[tuple[int, ContentType, int, int]] = []
+        offset = 0
+        while available - offset >= RECORD_HEADER_LEN:
+            length = int.from_bytes(buffer[offset + 3 : offset + 5], "big")
+            if length > MAX_CIPHERTEXT:
+                raise DecodeError("record payload exceeds maximum size")
+            if available - offset < RECORD_HEADER_LEN + length:
+                break
+            raw_type = buffer[offset]
+            try:
+                content_type = ContentType(raw_type)
+            except ValueError as exc:
+                raise DecodeError(f"unknown record content type {raw_type}") from exc
+            version = int.from_bytes(buffer[offset + 1 : offset + 3], "big")
+            spans.append((offset + RECORD_HEADER_LEN, content_type, version, length))
+            offset += RECORD_HEADER_LEN + length
+        if not spans:
+            return []
+        snapshot = memoryview(bytes(buffer[:offset]))
+        del buffer[:offset]
+        return [
+            Record(content_type=ct, payload=snapshot[start : start + length],
+                   version=version)
+            for start, ct, version, length in spans
+        ]
+
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered but not yet forming a complete record."""

@@ -1,0 +1,156 @@
+"""AEAD process-pool coverage: pooled output must be byte-identical to
+serial, tag failures must propagate with the all-or-nothing contract
+intact, and the record layer must fall back to serial whenever the pool
+is absent or the batch is too small to pay for IPC."""
+
+import pytest
+
+from repro.crypto import pool as aead_pool
+from repro.crypto.pool import _MIN_BYTES, _MIN_RECORDS, AeadPool
+from repro.errors import CryptoError, IntegrityError
+from repro.tls.ciphersuites import (
+    TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256 as AES_SUITE,
+    TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256 as CHACHA_SUITE,
+)
+from repro.tls.record_layer import ConnectionState
+from repro.wire.records import ContentType
+
+
+@pytest.fixture
+def pool():
+    pool = AeadPool(workers=2)
+    yield pool
+    pool.close()
+
+
+@pytest.fixture(autouse=True)
+def _reset_module_pool():
+    yield
+    aead_pool.reset()
+
+
+def _items(rng, count=10, size=16384):
+    return [
+        (rng.random_bytes(12), rng.random_bytes(size), rng.random_bytes(13))
+        for _ in range(count)
+    ]
+
+
+@pytest.mark.parametrize("suite", [AES_SUITE, CHACHA_SUITE],
+                         ids=["aes128", "chacha"])
+class TestPoolEqualsSerial:
+    def test_seal_many_byte_identical(self, suite, pool, rng):
+        key = rng.random_bytes(suite.key_length)
+        items = _items(rng)
+        assert pool.seal_many(suite, key, items) == suite.new_aead(
+            key
+        ).seal_many(items)
+
+    def test_open_many_byte_identical(self, suite, pool, rng):
+        key = rng.random_bytes(suite.key_length)
+        aead = suite.new_aead(key)
+        items = _items(rng)
+        sealed = aead.seal_many(items)
+        wire = [(n, c, a) for (n, _, a), c in zip(items, sealed)]
+        assert pool.open_many(suite, key, wire) == [p for _, p, _ in items]
+
+    def test_memoryview_items_accepted(self, suite, pool, rng):
+        # The zero-copy receive path hands the pool memoryview payloads;
+        # they must be normalized before crossing the pickle boundary.
+        key = rng.random_bytes(suite.key_length)
+        items = _items(rng, count=9)
+        views = [(n, memoryview(d), memoryview(a)) for n, d, a in items]
+        assert pool.seal_many(suite, key, views) == suite.new_aead(
+            key
+        ).seal_many(items)
+
+
+class TestFailurePropagation:
+    def test_tampered_batch_raises_integrity_error(self, pool, rng):
+        key = rng.random_bytes(AES_SUITE.key_length)
+        aead = AES_SUITE.new_aead(key)
+        items = _items(rng, count=9)
+        sealed = aead.seal_many(items)
+        wire = [(n, c, a) for (n, _, a), c in zip(items, sealed)]
+        bad = bytearray(wire[5][1])
+        bad[0] ^= 0x01
+        wire[5] = (wire[5][0], bytes(bad), wire[5][2])
+        with pytest.raises(IntegrityError):
+            pool.open_many(AES_SUITE, key, wire)
+
+    def test_needs_at_least_two_workers(self):
+        with pytest.raises(CryptoError):
+            AeadPool(workers=1)
+
+
+class TestEligibility:
+    def test_small_batches_stay_serial(self, pool, rng):
+        too_few = _items(rng, count=_MIN_RECORDS - 1, size=16384)
+        assert not pool.eligible(too_few)
+        per = _MIN_BYTES // _MIN_RECORDS
+        too_small = _items(rng, count=_MIN_RECORDS, size=per - 64)
+        assert not pool.eligible(too_small)
+        assert pool.eligible(_items(rng, count=_MIN_RECORDS, size=per))
+
+    def test_configure_and_reset(self):
+        assert aead_pool.active() is None
+        assert aead_pool.configure(4) is aead_pool.active()
+        assert aead_pool.active().workers == 4
+        assert aead_pool.configure(0) is None
+        assert aead_pool.active() is None
+
+
+class TestRecordLayerDispatch:
+    def _flight(self, rng, records=10, size=16384):
+        return [
+            (ContentType.APPLICATION_DATA, rng.random_bytes(size))
+            for _ in range(records)
+        ]
+
+    @pytest.mark.parametrize("suite", [AES_SUITE, CHACHA_SUITE],
+                             ids=["aes128", "chacha"])
+    def test_pooled_protect_many_is_byte_identical(self, suite, rng):
+        key = rng.random_bytes(suite.key_length)
+        fixed_iv = rng.random_bytes(suite.fixed_iv_length)
+        flight = self._flight(rng)
+
+        serial_state = ConnectionState(suite, key, fixed_iv)
+        serial = [r.encode() for r in serial_state.protect_many(flight)]
+
+        aead_pool.configure(2)
+        pooled_state = ConnectionState(suite, key, fixed_iv)
+        pooled = [r.encode() for r in pooled_state.protect_many(flight)]
+
+        assert pooled == serial
+        assert pooled_state.sequence == serial_state.sequence
+
+    def test_pooled_unprotect_many_roundtrip(self, rng):
+        suite = AES_SUITE
+        key = rng.random_bytes(suite.key_length)
+        fixed_iv = rng.random_bytes(suite.fixed_iv_length)
+        flight = self._flight(rng)
+        sealed = ConnectionState(suite, key, fixed_iv).protect_many(flight)
+
+        aead_pool.configure(2)
+        reader = ConnectionState(suite, key, fixed_iv)
+        plaintexts = reader.unprotect_many(sealed)
+        assert plaintexts == [payload for _, payload in flight]
+
+    def test_tamper_consumes_no_sequence_under_pool(self, rng):
+        suite = AES_SUITE
+        key = rng.random_bytes(suite.key_length)
+        fixed_iv = rng.random_bytes(suite.fixed_iv_length)
+        flight = self._flight(rng)
+        sealed = ConnectionState(suite, key, fixed_iv).protect_many(flight)
+        tampered = bytearray(sealed[3].payload)
+        tampered[-1] ^= 0x80
+        sealed[3] = type(sealed[3])(sealed[3].content_type, bytes(tampered))
+
+        aead_pool.configure(2)
+        reader = ConnectionState(suite, key, fixed_iv)
+        with pytest.raises(IntegrityError):
+            reader.unprotect_many(sealed)
+        # All-or-nothing: the failed batch consumed no sequence numbers,
+        # so the per-record replay still opens the valid prefix.
+        assert reader.sequence == 0
+        assert reader.unprotect(sealed[0]) == flight[0][1]

@@ -96,6 +96,27 @@ class TestFleetDeterminism:
         shards = small_report["digests"]["shards"]
         assert shards["0"] != shards["1"]
 
+    def test_worker_processes_match_serial(self, small_report):
+        # Shards are independent determinism domains: running them in
+        # worker processes must reproduce every per-shard digest, the
+        # fleet digest, and the session outcomes bit for bit.
+        workers = run_fleet(SMALL, workers=2)
+        assert workers["digests"] == small_report["digests"]
+        assert workers["sessions"] == small_report["sessions"]
+        assert workers["handshake_seconds"] == small_report["handshake_seconds"]
+        assert workers["config"]["workers"] == 2
+        # Cross-process peaks are summed per shard, not interleaved.
+        assert workers["concurrency"]["peak_basis"] == "per_shard_sum"
+        assert small_report["concurrency"]["peak_basis"] == "instantaneous"
+        assert (
+            workers["concurrency"]["peak_concurrent"]
+            >= small_report["concurrency"]["peak_concurrent"]
+        )
+
+    def test_workers_reject_solo_shard_replay(self):
+        with pytest.raises(ValueError):
+            run_fleet(SMALL, only_shard=1, workers=2)
+
 
 # --------------------------------------------------------------------- report
 

@@ -1,0 +1,121 @@
+"""Zero-copy receive path: ``pop_record_views`` must parse exactly like
+``pop_records`` while materializing one snapshot per flight instead of
+one ``bytes`` per record, and the record plane must hand those views to
+the batched open without copying."""
+
+import pytest
+
+from repro.errors import DecodeError
+from repro.io.record_plane import RecordPlane
+from repro.tls.ciphersuites import TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256
+from repro.tls.record_layer import ConnectionState
+from repro.wire.records import ContentType, Record, RecordBuffer
+
+
+def _wire(*payloads, content_type=ContentType.APPLICATION_DATA):
+    return b"".join(
+        Record(content_type, payload).encode() for payload in payloads
+    )
+
+
+class TestPopRecordViews:
+    def test_matches_pop_records(self):
+        wire = _wire(b"alpha", b"", b"b" * 1000) + _wire(
+            b"\x01", content_type=ContentType.CHANGE_CIPHER_SPEC
+        )
+        copying, views = RecordBuffer(), RecordBuffer()
+        copying.feed(wire)
+        views.feed(wire)
+        expected = copying.pop_records()
+        got = views.pop_record_views()
+        assert len(got) == len(expected)
+        for view_record, record in zip(got, expected):
+            assert view_record.content_type == record.content_type
+            assert view_record.version == record.version
+            assert bytes(view_record.payload) == record.payload
+
+    def test_payloads_share_one_snapshot(self):
+        buffer = RecordBuffer()
+        buffer.feed(_wire(b"one", b"two", b"three"))
+        records = buffer.pop_record_views()
+        payloads = [record.payload for record in records]
+        assert all(isinstance(payload, memoryview) for payload in payloads)
+        # One materialization per flight: every view slices the same base.
+        base = payloads[0].obj
+        assert all(payload.obj is base for payload in payloads)
+
+    def test_partial_record_retained(self):
+        buffer = RecordBuffer()
+        wire = _wire(b"complete") + _wire(b"partial-record")[:-3]
+        buffer.feed(wire)
+        records = buffer.pop_record_views()
+        assert [bytes(r.payload) for r in records] == [b"complete"]
+        assert buffer.pending_bytes == len(_wire(b"partial-record")) - 3
+        buffer.feed(_wire(b"x")[-3:][:0])  # no-op feed keeps state intact
+        buffer.feed(_wire(b"partial-record")[-3:])
+        assert [bytes(r.payload) for r in buffer.pop_record_views()] == [
+            b"partial-record"
+        ]
+
+    def test_empty_buffer(self):
+        assert RecordBuffer().pop_record_views() == []
+
+    def test_oversize_length_raises_even_when_incomplete(self):
+        # Same error order as pop_records: a hostile length field trips
+        # before the record body ever arrives.
+        for method in ("pop_records", "pop_record_views"):
+            buffer = RecordBuffer()
+            buffer.feed(bytes([23, 3, 3, 0xFF, 0xFF]))
+            with pytest.raises(DecodeError):
+                getattr(buffer, method)()
+
+    def test_unknown_content_type_only_on_complete_record(self):
+        header = bytes([99, 3, 3, 0, 4])
+        for method in ("pop_records", "pop_record_views"):
+            buffer = RecordBuffer()
+            buffer.feed(header)  # incomplete: no error yet
+            assert getattr(buffer, method)() == []
+            buffer.feed(b"body")
+            with pytest.raises(DecodeError):
+                getattr(buffer, method)()
+
+
+class TestPlaneReceivePath:
+    def _sealed_wire(self, payloads):
+        suite = TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256
+        key = bytes(range(suite.key_length))
+        fixed_iv = b"\x0b" * suite.fixed_iv_length
+        writer = ConnectionState(suite, key, fixed_iv)
+        items = [(ContentType.APPLICATION_DATA, p) for p in payloads]
+        wire = b"".join(r.encode() for r in writer.protect_many(items))
+        return wire, ConnectionState(suite, key, fixed_iv)
+
+    def test_pop_records_returns_views(self):
+        plane = RecordPlane()
+        plane.feed(_wire(b"a" * 100, b"b" * 200))
+        records = plane.pop_records()
+        assert all(isinstance(r.payload, memoryview) for r in records)
+
+    def test_unprotect_many_accepts_views(self):
+        payloads = [b"p%d" % i * 512 for i in range(6)]
+        wire, read_state = self._sealed_wire(payloads)
+        plane = RecordPlane()
+        plane.read_state = read_state
+        plane.feed(wire)
+        records = plane.pop_records()
+        assert plane.unprotect_many(records) == payloads
+
+    def test_plaintext_passthrough_returns_bytes(self):
+        # Before keys, consumers receive bytes even though the parser
+        # produced views — downstream code stores payloads past the flight.
+        plane = RecordPlane()
+        plane.feed(_wire(b"hello", b"world"))
+        records = plane.pop_records()
+        assert plane.unprotect_many(records) == [b"hello", b"world"]
+        assert all(
+            isinstance(p, bytes) for p in plane.unprotect_many(records)
+        )
+        plane.feed(_wire(b"solo"))
+        (record,) = plane.pop_records()
+        assert plane.unprotect(record) == b"solo"
+        assert isinstance(plane.unprotect(record), bytes)
