@@ -82,3 +82,35 @@ def test_fig6_wan_latency(benchmark, bench_pki, bench_rng):
     assert mean_delta < 0.02, "mbTLS must not inflate handshake latency"
     assert worst < 0.05
     assert mean_delta > -0.30, "speedup beyond split-TCP savings is a bug"
+
+
+def test_fig6_companion_mdtls_flight_parity(benchmark):
+    """Figure 6's latency claim rests on flight count: a handshake that
+    adds no flights adds (at zero CPU) no WAN latency. mdTLS's proxy
+    signatures piggyback on the four TLS flights, so its WAN story matches
+    mbTLS's — verify flight parity and that the data plane still carries
+    full throughput through a middlebox chain.
+    """
+    from repro.bench.chains import measure_matrix
+
+    results = benchmark.pedantic(
+        lambda: measure_matrix(
+            cases=("tls", "mbtls", "mbtls_middlebox", "mdtls", "mdtls_middlebox")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_case = {result.case: result for result in results}
+    emit(
+        "flight counts: "
+        + "  ".join(f"{r.case}={r.flights}" for r in results)
+    )
+    # No added flights relative to TLS, with or without a middlebox.
+    for case in ("mbtls", "mdtls", "mdtls_middlebox"):
+        assert by_case[case].flights == by_case["tls"].flights, case
+    # The per-hop re-encrypting data plane keeps real throughput: within
+    # an order of magnitude of mbTLS's middlebox chain.
+    assert (
+        by_case["mdtls_middlebox"].throughput_bytes_per_second
+        > 0.1 * by_case["mbtls_middlebox"].throughput_bytes_per_second
+    )

@@ -18,6 +18,12 @@ from repro.baselines.mctls import (
     McTLSRecordConnection,
     McTLSSession,
 )
+from repro.baselines.mdtls import (
+    MdTLSClientConnection,
+    MdTLSDeployment,
+    MdTLSMiddleboxConnection,
+    MdTLSServerConnection,
+)
 from repro.baselines.relay import SpliceRelay, SpliceRelayService
 from repro.baselines.shared_key import (
     KeySharingClient,
@@ -41,6 +47,10 @@ __all__ = [
     "McTLSParty",
     "McTLSRecordConnection",
     "McTLSSession",
+    "MdTLSClientConnection",
+    "MdTLSDeployment",
+    "MdTLSMiddleboxConnection",
+    "MdTLSServerConnection",
     "SpliceRelay",
     "SpliceRelayService",
     "KeySharingClient",

@@ -1,0 +1,171 @@
+"""Chain comparison harness for the sans-IO implementation matrix.
+
+The Figure 5/6 harnesses drive the engine-based protocols (TLS, mbTLS,
+split TLS) over the simulated network.  The sans-IO baselines — and the
+mdTLS proxy-signature party in particular — live on the
+:class:`~repro.io.connection.Connection` plane instead, so this module
+measures the three quantities the paper's comparison figures need
+directly on that plane:
+
+* **handshake CPU** — process time from ``start()`` to both endpoints
+  established, adversary-free;
+* **flight count** — how many endpoint-originated batches of bytes cross
+  the chain before establishment (mdTLS's claim: proxy signatures ride
+  the existing four flights, unlike mbTLS's secondary handshakes which
+  add encapsulated traffic inside the same flights);
+* **chain throughput** — application bytes delivered end-to-end per CPU
+  second through the established chain, including every per-hop
+  re-encryption a middlebox performs.
+
+Implementations are addressed by the same case names the fuzz corpus and
+the connection contract pin, so ``measure_matrix`` stays in lockstep with
+the implementations under test.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.bench.fuzzing import build_parties
+from repro.tls.events import ApplicationData
+
+__all__ = ["COMPARE_CASES", "ChainMeasurement", "measure_case", "measure_matrix"]
+
+#: mdTLS against mbTLS and the five comparison baselines, middlebox-free
+#: and one-middlebox chains alike.
+COMPARE_CASES = (
+    "tls",
+    "mbtls",
+    "mbtls_middlebox",
+    "mctls",
+    "split_tls",
+    "splice_relay",
+    "shared_key",
+    "mdtls",
+    "mdtls_middlebox",
+)
+
+_MAX_ROUNDS = 60
+
+
+@dataclass(frozen=True)
+class ChainMeasurement:
+    """One implementation's handshake and data-plane costs."""
+
+    case: str
+    handshake_cpu_seconds: float
+    flights: int
+    throughput_bytes_per_second: float
+
+
+def _pump_round(parties, sink: list) -> tuple[bool, int]:
+    """One full c2s + s2c pass; returns (progressed, endpoint_flights).
+
+    Only endpoint-originated drains count as flights — middlebox
+    forwarding continues the same flight rather than starting one.
+    """
+    left, middles, right = parties.left, parties.middles, parties.right
+    progressed = False
+    flights = 0
+    data = left.data_to_send()
+    if data:
+        progressed, flights = True, flights + 1
+        if middles:
+            middles[0].receive_down(data)
+        else:
+            sink.extend(right.receive_bytes(data))
+    for index, middle in enumerate(middles):
+        data = middle.data_to_send_up()
+        if data:
+            progressed = True
+            if index + 1 < len(middles):
+                middles[index + 1].receive_down(data)
+            else:
+                sink.extend(right.receive_bytes(data))
+    data = right.data_to_send()
+    if data:
+        progressed, flights = True, flights + 1
+        if middles:
+            middles[-1].receive_up(data)
+        else:
+            left.receive_bytes(data)
+    for index in range(len(middles) - 1, -1, -1):
+        data = middles[index].data_to_send_down()
+        if data:
+            progressed = True
+            if index > 0:
+                middles[index - 1].receive_up(data)
+            else:
+                left.receive_bytes(data)
+    return progressed, flights
+
+
+def _established(parties) -> bool:
+    if not parties.needs_handshake:
+        return True
+    return all(
+        getattr(party, "established", False)
+        or getattr(party, "handshake_complete", False)
+        for party in (parties.left, parties.right)
+    )
+
+
+def measure_case(
+    name: str,
+    seed: bytes = b"chain-compare",
+    payload_bytes: int = 16384,
+    batches: int = 8,
+) -> ChainMeasurement:
+    """Handshake CPU, flight count, and c2s throughput for one case."""
+    parties = build_parties(name, seed)
+    sink: list = []
+    flights = 0
+    handshake_start = time.process_time()
+    parties.left.start()
+    for middle in parties.middles:
+        middle.start()
+    parties.right.start()
+    for _ in range(_MAX_ROUNDS):
+        progressed, new_flights = _pump_round(parties, sink)
+        flights += new_flights
+        if not progressed:
+            break
+        if _established(parties):
+            break
+    handshake_cpu = time.process_time() - handshake_start
+    if not _established(parties):
+        raise RuntimeError(f"{name} failed to establish adversary-free")
+    if parties.after_handshake is not None:
+        parties.after_handshake()
+
+    sink.clear()
+    payload = b"\xa5" * payload_bytes
+    data_start = time.process_time()
+    for _ in range(batches):
+        parties.left.send_application_data(payload)
+        for _ in range(_MAX_ROUNDS):
+            progressed, _ = _pump_round(parties, sink)
+            if not progressed:
+                break
+    data_cpu = time.process_time() - data_start
+    delivered = sum(
+        len(event.data) for event in sink if isinstance(event, ApplicationData)
+    )
+    if delivered != batches * payload_bytes:
+        raise RuntimeError(
+            f"{name} delivered {delivered} of {batches * payload_bytes} bytes"
+        )
+    return ChainMeasurement(
+        case=name,
+        handshake_cpu_seconds=handshake_cpu,
+        flights=flights,
+        throughput_bytes_per_second=delivered / data_cpu if data_cpu else 0.0,
+    )
+
+
+def measure_matrix(
+    cases=COMPARE_CASES, seed: bytes = b"chain-compare"
+) -> list[ChainMeasurement]:
+    """Measure every comparison case with a shared seed."""
+    return [measure_case(name, seed) for name in cases]

@@ -1,8 +1,8 @@
 """Fuzz-conformance harness: every party versus the mutation corpus.
 
-Builds an in-memory session for each of the ten
+Builds an in-memory session for each of the twelve
 :class:`repro.io.Connection` / :class:`~repro.io.DuplexConnection`
-implementations (the same ten ``tests/test_connection_contract.py`` pins),
+implementations (the same twelve ``tests/test_connection_contract.py`` pins),
 applies one deterministic :class:`~repro.netsim.fuzz.ChunkMutator` to the
 client-to-server byte stream, and checks the abort invariant:
 
@@ -38,6 +38,7 @@ from repro.baselines.mctls import (
     McTLSRecordConnection,
     McTLSSession,
 )
+from repro.baselines.mdtls import MdTLSDeployment
 from repro.baselines.relay import SpliceRelay
 from repro.baselines.shared_key import KeySharingConnection, KeySharingMiddlebox
 from repro.baselines.split_tls import SplitTLSMiddlebox
@@ -251,6 +252,34 @@ def _build_blindbox_inspector(pki, rng, seed) -> _Parties:
     )
 
 
+def _mdtls_deployment(pki, rng, middleboxes=()) -> MdTLSDeployment:
+    return MdTLSDeployment(
+        rng=rng.fork(b"mdtls"),
+        trust_store=pki.trust,
+        client_credential=pki.credential("client"),
+        server_credential=pki.credential("server"),
+        middleboxes=[(name, pki.credential(name)) for name in middleboxes],
+    )
+
+
+def _build_mdtls(pki, rng, seed) -> _Parties:
+    deployment = _mdtls_deployment(pki, rng)
+    return _Parties(
+        left=deployment.build_client(),
+        middles=[],
+        right=deployment.build_server(),
+    )
+
+
+def _build_mdtls_middlebox(pki, rng, seed) -> _Parties:
+    deployment = _mdtls_deployment(pki, rng, middleboxes=("mbox",))
+    return _Parties(
+        left=deployment.build_client(),
+        middles=[deployment.build_middlebox(0)],
+        right=deployment.build_server(),
+    )
+
+
 _BUILDERS = {
     "tls": _build_tls,
     "mbtls": _build_mbtls,
@@ -262,6 +291,8 @@ _BUILDERS = {
     "shared_key": _build_shared_key,
     "mctls_inspector": _build_mctls_inspector,
     "blindbox_inspector": _build_blindbox_inspector,
+    "mdtls": _build_mdtls,
+    "mdtls_middlebox": _build_mdtls_middlebox,
 }
 
 CASE_NAMES = tuple(_BUILDERS)

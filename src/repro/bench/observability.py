@@ -305,7 +305,7 @@ def metrics_report(run: ObservedRun, include_trace: bool = True) -> dict:
                 "open": metrics.counter_value("crypto.pool.records", op="open"),
             },
             "tasks": [
-                {"worker": labels["worker"], "op": labels["op"], "value": value}
+                {"chunk": labels["chunk"], "op": labels["op"], "value": value}
                 for labels, value in metrics.iter_counters("crypto.pool.tasks")
             ],
         }

@@ -68,17 +68,18 @@ PROPERTIES = {
 _PROPERTY_KINDS = {
     "P1": ("suite_delete", "suite_inject"),
     "P2": ATTACK_KINDS,
-    "P3": ("forge_announcement", "replay_announcement"),
+    "P3": ("forge_announcement", "replay_announcement", "tamper_delegation"),
     "P4": ("suppress_announcement", "corrupt_secondary"),
     "P5": ("strip_support", "strip_server_hello"),
     "P6": ("strip_support",),
     "P7": (),
 }
 
-#: Implementations that speak mbTLS on the wire: the discovery signal is
-#: present, so stripping it must be *detected* (P6); for everything else
-#: stripping is vacuous and P6 is not applicable.
-_MBTLS_IMPLS = frozenset({"mbtls", "mbtls_middlebox"})
+#: Implementations whose ClientHello carries a private-use signal (the
+#: mbTLS discovery extension, or mdTLS delegation certificates): the
+#: signal is present, so stripping it must be *detected* (P6); for
+#: everything else stripping is vacuous and P6 is not applicable.
+_MBTLS_IMPLS = frozenset({"mbtls", "mbtls_middlebox", "mdtls", "mdtls_middlebox"})
 
 #: Where each attack's adversary sits. ``(direction, edge)``: c2s/left is
 #: the hop leaving the client, c2s/right the hop entering the server, and
@@ -95,6 +96,7 @@ _PLACEMENT = {
     "suppress_announcement": ("c2s", "right"),
     "strip_server_hello": ("s2c", "right"),
     "corrupt_secondary": ("s2c", "left"),
+    "tamper_delegation": ("c2s", "left"),
 }
 
 _VERDICT_OK = frozenset({"detected", "fallback", "stalled", "harmless"})

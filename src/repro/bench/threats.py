@@ -695,6 +695,235 @@ def downgrade_forced_fallback() -> ThreatOutcome:
     )
 
 
+# -- mdTLS proxy-signature rows (arXiv 2306.03573) -----------------------
+
+
+def _mdtls_chain(seed: bytes, now: float = 0.0):
+    """A client / one-middlebox / server mdTLS trio with its own PKI.
+
+    Returns ``(deployment, client, mbox, server, creds)`` where ``creds``
+    maps subject name to its issued credential (for forging material).
+    """
+    from repro.baselines.mdtls import MdTLSDeployment
+
+    rng = HmacDrbg(seed)
+    ca = CertificateAuthority("root", rng.fork(b"ca"))
+    trust = TrustStore([ca.certificate])
+    creds = {
+        name: ca.issue_credential(name, now=now)
+        for name in ("client", "server", "mbox")
+    }
+    deployment = MdTLSDeployment(
+        rng=rng.fork(b"deploy"),
+        trust_store=trust,
+        client_credential=creds["client"],
+        server_credential=creds["server"],
+        middleboxes=[("mbox", creds["mbox"])],
+        now=now,
+    )
+    return (
+        deployment,
+        deployment.build_client(),
+        deployment.build_middlebox(0),
+        deployment.build_server(),
+        creds,
+    )
+
+
+def _pump_mdtls(client, mbox, server, rewrite_c2s=None, rewrite_s2c=None):
+    """Drive the trio to quiescence, optionally rewriting each direction."""
+    client.start(), mbox.start(), server.start()
+    for _ in range(16):
+        progressed = False
+        for data, deliver, rewrite in (
+            (client.data_to_send(), mbox.receive_down, rewrite_c2s),
+            (mbox.data_to_send_up(), server.receive_bytes, None),
+            (server.data_to_send(), mbox.receive_up, None),
+            (mbox.data_to_send_down(), client.receive_bytes, rewrite_s2c),
+        ):
+            if data:
+                progressed = True
+                try:
+                    deliver(rewrite(data) if rewrite else data)
+                except Exception:  # noqa: BLE001 - outcome read off .abort
+                    pass
+        if not progressed:
+            break
+
+
+def _rewrite_first_hello(data: bytes, rewrite_warrant):
+    """Rewrite the delegation warrants riding a flight's ClientHello."""
+    from repro.wire.extensions import ExtensionType
+    from repro.wire.handshake import ClientHello, Handshake, HandshakeBuffer, HandshakeType
+    from repro.wire.mdtls import DelegationCertificateExtension
+    from repro.wire.records import Record
+
+    buffer = RecordBuffer()
+    buffer.feed(data)
+    out = bytearray()
+    for record in buffer.pop_records():
+        if record.content_type == ContentType.HANDSHAKE:
+            handshakes = HandshakeBuffer()
+            handshakes.feed(record.payload)
+            messages = handshakes.pop_messages()
+            if messages and messages[0].msg_type == HandshakeType.CLIENT_HELLO:
+                hello = ClientHello.decode_body(messages[0].body)
+                extension = hello.find_extension(
+                    ExtensionType.DELEGATION_CERTIFICATE
+                )
+                batch = DelegationCertificateExtension.from_extension(extension)
+                forged = DelegationCertificateExtension(
+                    tuple(rewrite_warrant(w) for w in batch.warrants)
+                ).to_extension()
+                hello = ClientHello(
+                    random=hello.random,
+                    session_id=hello.session_id,
+                    cipher_suites=hello.cipher_suites,
+                    extensions=tuple(
+                        forged
+                        if e.extension_type == ExtensionType.DELEGATION_CERTIFICATE
+                        else e
+                        for e in hello.extensions
+                    ),
+                    version=hello.version,
+                )
+                rebuilt = Handshake(
+                    msg_type=HandshakeType.CLIENT_HELLO, body=hello.encode_body()
+                ).encode() + b"".join(m.encode() for m in messages[1:])
+                record = Record(
+                    content_type=ContentType.HANDSHAKE,
+                    payload=rebuilt,
+                    version=record.version,
+                )
+        out += record.encode()
+    return bytes(out)
+
+
+def _rewrite_proxy_signatures(data: bytes, forge_signature):
+    """Replace every s2c ProxySignature's signature bytes in a flight."""
+    from repro.wire.handshake import Handshake, HandshakeBuffer, HandshakeType
+    from repro.wire.mdtls import ProxySignature
+    from repro.wire.records import Record
+
+    buffer = RecordBuffer()
+    buffer.feed(data)
+    out = bytearray()
+    for record in buffer.pop_records():
+        if record.content_type == ContentType.HANDSHAKE:
+            handshakes = HandshakeBuffer()
+            handshakes.feed(record.payload)
+            rebuilt = b""
+            for message in handshakes.pop_messages():
+                if message.msg_type == HandshakeType.MDTLS_PROXY_SIGNATURE:
+                    signature = ProxySignature.decode_body(message.body)
+                    message = Handshake(
+                        msg_type=HandshakeType.MDTLS_PROXY_SIGNATURE,
+                        body=ProxySignature(
+                            middlebox=signature.middlebox,
+                            direction=signature.direction,
+                            signature=forge_signature(signature),
+                        ).encode_body(),
+                    )
+                rebuilt += message.encode()
+            record = Record(
+                content_type=ContentType.HANDSHAKE,
+                payload=rebuilt,
+                version=record.version,
+            )
+        out += record.encode()
+    return bytes(out)
+
+
+def mdtls_expired_warrant() -> ThreatOutcome:
+    """An honestly-signed but expired delegation warrant rides the hello.
+
+    The forger re-issues the warrant with the client's own (compromised or
+    coerced) delegator key, so the signature verifies — only the validity
+    window has lapsed. Every warrant-checking party must still refuse it."""
+    from dataclasses import replace as _replace
+
+    from repro.wire.mdtls import DelegationCertificate
+
+    deployment, client, mbox, server, creds = _mdtls_chain(b"md-t1", now=5000.0)
+
+    def expire(warrant):
+        stale = _replace(warrant, not_before=0.0, not_after=1.0)
+        return _replace(
+            stale, signature=creds["client"].private_key.sign(stale.tbs_bytes())
+        )
+
+    _pump_mdtls(
+        client, mbox, server,
+        rewrite_c2s=lambda data: _rewrite_first_hello(data, expire),
+    )
+    aborted = [
+        party.abort for party in (mbox, server, client) if party.abort is not None
+    ]
+    defended = not client.established and any(
+        abort.alert == "certificate_expired" for abort in aborted
+    )
+    return ThreatOutcome(
+        "expired delegation warrant presented", "mdTLS", defended,
+        "delegation validity window",
+    )
+
+
+def mdtls_unwarranted_proxy_signature() -> ThreatOutcome:
+    """A proxy signature produced by a key the warrant does not bind."""
+    deployment, client, mbox, server, creds = _mdtls_chain(b"md-t2")
+    rng = HmacDrbg(b"md-t2-rogue")
+    from repro.crypto.rsa import generate_rsa_key
+
+    rogue = generate_rsa_key(1024, rng)
+    _pump_mdtls(
+        client, mbox, server,
+        rewrite_s2c=lambda data: _rewrite_proxy_signatures(
+            data, lambda sig: rogue.sign(b"rogue attestation of " + sig.middlebox.encode())
+        ),
+    )
+    defended = (
+        not client.established
+        and client.abort is not None
+        and client.abort.alert == "decrypt_error"
+    )
+    return ThreatOutcome(
+        "proxy signature by unwarranted key", "mdTLS", defended,
+        "warrant key binding",
+    )
+
+
+def mdtls_truncated_transcript_signature() -> ThreatOutcome:
+    """The warranted key signs a *truncated* transcript: a middlebox (or an
+    adversary holding its key) vouches for less than the full handshake.
+    The client recomputes the hash over everything it sent and received, so
+    coverage gaps are indistinguishable from forgery."""
+    import hashlib
+
+    from repro.wire.mdtls import ProxySignature
+
+    deployment, client, mbox, server, creds = _mdtls_chain(b"md-t3")
+    truncated = hashlib.sha256(b"prefix of the real transcript").digest()
+    mbox_key = creds["mbox"].private_key
+    _pump_mdtls(
+        client, mbox, server,
+        rewrite_s2c=lambda data: _rewrite_proxy_signatures(
+            data,
+            lambda sig: mbox_key.sign(
+                ProxySignature.signed_payload(sig.direction, truncated)
+            ),
+        ),
+    )
+    defended = (
+        not client.established
+        and client.abort is not None
+        and client.abort.alert == "decrypt_error"
+    )
+    return ThreatOutcome(
+        "proxy signature over truncated transcript", "mdTLS", defended,
+        "proxy-signature transcript binding",
+    )
+
+
 THREATS = [
     wire_secrecy_tls,
     wire_secrecy_mbtls,
@@ -715,6 +944,9 @@ THREATS = [
     downgrade_replay_announcement,
     downgrade_suppress_announcement,
     downgrade_forced_fallback,
+    mdtls_expired_warrant,
+    mdtls_unwarranted_proxy_signature,
+    mdtls_truncated_transcript_signature,
 ]
 
 

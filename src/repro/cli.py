@@ -290,7 +290,7 @@ def _cmd_metrics(args) -> None:
                            ["counter", "labels", "value"], rows))
     pool = report.get("pool")
     if pool:
-        rows = [[f"worker {t['worker']}", t["op"], t["value"]]
+        rows = [[f"chunk {t['chunk']}", t["op"], t["value"]]
                 for t in pool["tasks"]]
         rows.append(["total records", "seal", pool["records"]["seal"]])
         rows.append(["total records", "open", pool["records"]["open"]])
@@ -318,7 +318,7 @@ def _cmd_metrics(args) -> None:
         for op in ("seal", "open"):
             tasked = sum(t["value"] for t in pool["tasks"] if t["op"] == op)
             if tasked <= 0:
-                problems.append(f"no {op} tasks reached any worker slot")
+                problems.append(f"no {op} tasks reached any chunk slot")
         if problems:
             raise SystemExit("pool cross-check failed: " + "; ".join(problems))
     if mismatches:

@@ -28,6 +28,7 @@ against wiretap ground truth.
 from __future__ import annotations
 
 import multiprocessing as _mp
+import threading
 
 from repro import obs
 from repro.errors import CryptoError
@@ -38,6 +39,10 @@ __all__ = ["AeadPool", "configure", "active", "reset"]
 _MIN_RECORDS = 8
 #: Batches carrying less than this much payload always run serially.
 _MIN_BYTES = 64 * 1024
+
+#: How long a graceful worker join may take before escalating to
+#: ``terminate`` (and how long the post-terminate join gets).
+_JOIN_TIMEOUT = 5.0
 
 #: Per-worker-process AEAD cache, keyed ``(suite_code, key)``.
 _WORKER_AEADS: dict[tuple[int, bytes], object] = {}
@@ -84,10 +89,36 @@ class AeadPool:
         return self._pool
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Tear the workers down: graceful close+join, bounded fallback.
+
+        ``terminate()`` kills workers mid-task, which can leave the
+        shared task queue in a state the follow-up ``join()`` waits on
+        forever. So: ask the workers to drain and exit, give the join a
+        bounded window, and only then escalate to ``terminate``. Never
+        raises — this must be safe from ``atexit``/interpreter teardown,
+        where helper machinery may already be gone.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.close()
+            if not self._join(pool, _JOIN_TIMEOUT):
+                pool.terminate()
+                self._join(pool, _JOIN_TIMEOUT)
+        except Exception:
+            try:
+                pool.terminate()
+            except Exception:
+                pass
+
+    @staticmethod
+    def _join(pool, timeout: float) -> bool:
+        """``pool.join()`` with a deadline; True if the join completed."""
+        joiner = threading.Thread(target=pool.join, daemon=True)
+        joiner.start()
+        joiner.join(timeout)
+        return not joiner.is_alive()
 
     @staticmethod
     def _normalize(items):
@@ -107,7 +138,7 @@ class AeadPool:
         tasks = [(suite.code, key, chunk) for chunk in chunks]
         results = self._ensure_pool().map(worker, tasks)
         for slot, chunk in enumerate(chunks):
-            obs.counter("crypto.pool.tasks", worker=str(slot), op=op).inc()
+            obs.counter("crypto.pool.tasks", chunk=str(slot), op=op).inc()
             obs.counter("crypto.pool.records", op=op).inc(len(chunk))
         merged: list[bytes] = []
         for part in results:
@@ -156,5 +187,8 @@ def active() -> AeadPool | None:
 
 
 def reset() -> None:
-    """Tear down the installed pool (test/bench hygiene)."""
-    configure(None)
+    """Tear down the installed pool (test/bench hygiene; atexit-safe)."""
+    try:
+        configure(None)
+    except Exception:
+        pass

@@ -18,7 +18,11 @@ cooperation protocols like mbTLS:
   record, breaking a middlebox's secondary handshake to force the
   endpoint toward a weaker party set (forced fallback);
 * ``suite_delete`` / ``suite_inject`` — thin the client's cipher-suite
-  list down to one DRBG-chosen suite, or prepend weak/unknown codes.
+  list down to one DRBG-chosen suite, or prepend weak/unknown codes;
+* ``tamper_delegation`` — rewrite one mdTLS delegation certificate inside
+  the ClientHello (expire its validity window, swap the warranted key, or
+  corrupt the delegator's signature) so a forged warrant rides the
+  handshake; vacuous against stacks that carry no delegation extension.
 
 Unlike :class:`~repro.netsim.fuzz.ChunkMutator`, these adversaries *parse*
 the stream: a :class:`DowngradeAdversary` reassembles TLS records from the
@@ -35,10 +39,11 @@ with ``seed`` and personalized with the case index.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro import obs
 from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import generate_rsa_key
 from repro.errors import DecodeError
 from repro.netsim.network import Host, Stream, Tap
 from repro.wire.handshake import (
@@ -48,7 +53,9 @@ from repro.wire.handshake import (
     HandshakeType,
     ServerHello,
 )
+from repro.wire.extensions import ExtensionType
 from repro.wire.mbtls import EncapsulatedRecord, MiddleboxAnnouncement
+from repro.wire.mdtls import DelegationCertificateExtension
 from repro.wire.records import ContentType, Record, RecordBuffer
 
 __all__ = [
@@ -61,9 +68,9 @@ __all__ = [
     "forged_announcement_bytes",
 ]
 
-# The downgrade corpus. Four MAMI attack classes: extension stripping,
-# announcement forgery/suppression/replay, forced fallback, and
-# cipher-suite downgrade.
+# The downgrade corpus. Five attack classes: extension stripping,
+# announcement forgery/suppression/replay, forced fallback,
+# cipher-suite downgrade, and mdTLS delegation-certificate forgery.
 ATTACK_KINDS = (
     "strip_support",
     "strip_server_hello",
@@ -73,6 +80,7 @@ ATTACK_KINDS = (
     "replay_announcement",
     "suppress_announcement",
     "corrupt_secondary",
+    "tamper_delegation",
 )
 
 #: Which direction of the session each attack targets. ``c2s`` adversaries
@@ -86,6 +94,7 @@ ATTACK_DIRECTIONS = {
     "replay_announcement": "c2s",
     "suppress_announcement": "c2s",
     "corrupt_secondary": "s2c",
+    "tamper_delegation": "c2s",
 }
 
 # Suite codes an injecting adversary offers on the client's behalf: export-
@@ -183,6 +192,8 @@ class DowngradeAdversary:
             return self._suppress_announcement(index, record)
         if kind == "corrupt_secondary":
             return self._corrupt_secondary(index, record)
+        if kind == "tamper_delegation":
+            return self._tamper_delegation(index, record)
         raise ValueError(f"unknown attack kind {kind!r}")
 
     def _first_handshake(
@@ -353,6 +364,86 @@ class DowngradeAdversary:
             Record(
                 content_type=record.content_type,
                 payload=bytes(mutated),
+                version=record.version,
+            )
+        ]
+
+    def _tamper_delegation(self, index: int, record: Record) -> list[Record]:
+        """Forge one delegation certificate riding the ClientHello.
+
+        The DRBG picks among three forgeries: shifting the validity window
+        out of range (an expired/not-yet-valid warrant), swapping the
+        warranted middlebox key, or corrupting the delegator's signature.
+        Every variant breaks the signature over the to-be-signed bytes, so
+        a verifying mdTLS party must reject the warrant; against stacks
+        that carry no delegation extension the attack is a no-op.
+        """
+        if self._hello_rewritten:
+            return [record]
+        messages = self._first_handshake(record, HandshakeType.CLIENT_HELLO)
+        if messages is None:
+            return [record]
+        try:
+            hello = ClientHello.decode_body(messages[0].body)
+        except DecodeError:
+            return [record]
+        extension = hello.find_extension(ExtensionType.DELEGATION_CERTIFICATE)
+        if extension is None:
+            return [record]
+        try:
+            batch = DelegationCertificateExtension.from_extension(extension)
+        except DecodeError:
+            return [record]
+        if not batch.warrants:
+            return [record]
+        warrant = batch.warrants[0]
+        variant = self._rng.choice(
+            ("expire_validity", "wrong_key", "corrupt_signature")
+        )
+        if variant == "expire_validity":
+            forged = replace(
+                warrant,
+                not_before=warrant.not_after + 1.0,
+                not_after=warrant.not_after + 2.0,
+            )
+            detail = f"shifted warrant for {warrant.middlebox!r} out of validity"
+        elif variant == "wrong_key":
+            forged = replace(
+                warrant,
+                middlebox_key=generate_rsa_key(512, self._rng).public_key,
+            )
+            detail = f"swapped the warranted key for {warrant.middlebox!r}"
+        else:
+            signature = bytearray(warrant.signature)
+            signature[0] ^= 0x01
+            forged = replace(warrant, signature=bytes(signature))
+            detail = f"corrupted the delegation signature for {warrant.middlebox!r}"
+        rebuilt_ext = DelegationCertificateExtension(
+            (forged,) + batch.warrants[1:]
+        ).to_extension()
+        extensions = tuple(
+            rebuilt_ext
+            if ext.extension_type == ExtensionType.DELEGATION_CERTIFICATE
+            else ext
+            for ext in hello.extensions
+        )
+        hello = ClientHello(
+            random=hello.random,
+            session_id=hello.session_id,
+            cipher_suites=hello.cipher_suites,
+            extensions=extensions,
+            version=hello.version,
+        )
+        self._hello_rewritten = True
+        self._log(index, detail)
+        rebuilt = Handshake(
+            msg_type=HandshakeType.CLIENT_HELLO, body=hello.encode_body()
+        ).encode()
+        trailer = b"".join(message.encode() for message in messages[1:])
+        return [
+            Record(
+                content_type=ContentType.HANDSHAKE,
+                payload=rebuilt + trailer,
                 version=record.version,
             )
         ]

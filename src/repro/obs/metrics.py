@@ -22,7 +22,9 @@ from typing import Iterator
 #: Version of the snapshot layout emitted by :meth:`MetricsRegistry.snapshot`.
 #: Bump whenever the JSON shape changes so downstream diffing (the CI
 #: obs-smoke job) can detect incompatible output.
-SCHEMA_VERSION = 1
+#: v2: the ``pool.tasks`` entries are keyed ``chunk`` (deterministic chunk
+#: slot), replacing the misleading ``worker`` key (slots are not PIDs).
+SCHEMA_VERSION = 2
 
 #: Default bucket bounds for time-valued histograms, in (sim) seconds.
 TIME_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)

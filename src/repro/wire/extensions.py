@@ -32,6 +32,8 @@ class ExtensionType(IntEnum):
     # Private-use code points for the mbTLS extensions.
     MIDDLEBOX_SUPPORT = 0xFF01
     ATTESTATION_REQUEST = 0xFF02
+    # mdTLS (arXiv 2306.03573): endpoint-issued delegation certificates.
+    DELEGATION_CERTIFICATE = 0xFF03
 
 
 @dataclass(frozen=True)

@@ -45,6 +45,10 @@ class HandshakeType(IntEnum):
     CLIENT_KEY_EXCHANGE = 16
     SGX_ATTESTATION = 17  # mbTLS Appendix A.2
     FINISHED = 20
+    # mdTLS (arXiv 2306.03573) proxy-signature handshake plane. Private-use
+    # codes; bodies live in repro.wire.mdtls.
+    MDTLS_PROXY_SIGNATURE = 24
+    MDTLS_KEY_DELIVERY = 25
 
 
 class KexAlgorithm(IntEnum):

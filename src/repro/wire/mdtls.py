@@ -1,0 +1,322 @@
+"""mdTLS wire structures (arXiv 2306.03573).
+
+mdTLS replaces mbTLS's per-hop secondary handshakes with *delegation*:
+each endpoint issues a signed warrant (a :class:`DelegationCertificate`)
+binding a middlebox's identity, public key, and permissions to the
+endpoint's own certificate chain, and every middlebox *proxy-signs* the
+primary handshake transcript instead of negotiating its own session.  The
+endpoints then verify the aggregate signature chain before installing hop
+keys.
+
+Three wire structures carry that design:
+
+* :class:`DelegationCertificate` — the warrant itself, signed by the
+  delegating endpoint over its TBS bytes and carried (batched) in the
+  :class:`DelegationCertificateExtension` on ClientHello / ServerHello.
+* :class:`ProxySignature` — a middlebox's signature over the handshake
+  transcript hash, appended to the Finished flight in each direction.
+* :class:`HopKeyDelivery` — the client's per-middlebox hop-secret
+  delivery, RSA-encrypted under the warranted middlebox key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
+from repro.errors import CertificateError, DecodeError
+from repro.wire.codec import Reader, Writer
+from repro.wire.extensions import Extension, ExtensionType
+from repro.wire.handshake import HandshakeType
+
+if TYPE_CHECKING:  # imported lazily at runtime: pki depends on wire.codec
+    from repro.pki.certificate import Certificate
+    from repro.pki.store import TrustStore
+
+__all__ = [
+    "DelegationCertificate",
+    "DelegationCertificateExtension",
+    "ProxySignature",
+    "HopKeyDelivery",
+    "PROXY_SIGNATURE_CONTEXT",
+]
+
+# Domain-separation prefix for proxy signatures: a middlebox signs this
+# context, the direction byte, and the transcript hash — never raw
+# transcript bytes — so a proxy signature can't be replayed as anything
+# else (and vice versa).
+PROXY_SIGNATURE_CONTEXT = b"mdtls proxy signature\x00"
+
+
+@dataclass(frozen=True)
+class DelegationCertificate:
+    """An endpoint-issued warrant for one middlebox.
+
+    Attributes:
+        delegator: subject name of the issuing endpoint (its certificate
+            chain leaf).
+        middlebox: the warranted middlebox's name.
+        permissions: the rights granted (``"read"`` / ``"read-write"``).
+        not_before / not_after: validity window in simulated epoch seconds.
+        middlebox_key: the middlebox public key the warrant binds.
+        delegator_chain: the delegator's encoded certificate chain, leaf
+            first, so a verifier can anchor the warrant in its trust store.
+        signature: the delegator's signature over :meth:`tbs_bytes`.
+    """
+
+    delegator: str
+    middlebox: str
+    permissions: str
+    not_before: float
+    not_after: float
+    middlebox_key: RSAPublicKey
+    delegator_chain: tuple[bytes, ...]
+    signature: bytes
+
+    def tbs_bytes(self) -> bytes:
+        """The byte string the delegating endpoint signs."""
+        writer = Writer()
+        writer.write_vector(self.delegator.encode(), 2)
+        writer.write_vector(self.middlebox.encode(), 2)
+        writer.write_vector(self.permissions.encode(), 2)
+        writer.write_u64(int(self.not_before * 1000))
+        writer.write_u64(int(self.not_after * 1000))
+        writer.write_vector(self.middlebox_key.to_bytes(), 2)
+        return writer.getvalue()
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        writer.write_vector(self.tbs_bytes(), 2)
+        writer.write_u8(len(self.delegator_chain))
+        for cert in self.delegator_chain:
+            writer.write_vector(cert, 3)
+        writer.write_vector(self.signature, 2)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DelegationCertificate":
+        outer = Reader(data)
+        tbs = outer.read_vector(2)
+        chain = tuple(outer.read_vector(3) for _ in range(outer.read_u8()))
+        signature = outer.read_vector(2)
+        outer.expect_end()
+        reader = Reader(tbs)
+        delegator = reader.read_vector(2).decode()
+        middlebox = reader.read_vector(2).decode()
+        permissions = reader.read_vector(2).decode()
+        not_before = reader.read_u64() / 1000
+        not_after = reader.read_u64() / 1000
+        middlebox_key = RSAPublicKey.from_bytes(reader.read_vector(2))
+        reader.expect_end()
+        if not_after < not_before:
+            raise DecodeError("delegation validity window is inverted")
+        return cls(
+            delegator=delegator,
+            middlebox=middlebox,
+            permissions=permissions,
+            not_before=not_before,
+            not_after=not_after,
+            middlebox_key=middlebox_key,
+            delegator_chain=chain,
+            signature=signature,
+        )
+
+    @classmethod
+    def issue(
+        cls,
+        *,
+        delegator: str,
+        delegator_key: RSAPrivateKey,
+        delegator_chain: tuple[bytes, ...],
+        middlebox: str,
+        middlebox_key: RSAPublicKey,
+        permissions: str = "read-write",
+        not_before: float = 0.0,
+        not_after: float = 10**9,
+    ) -> "DelegationCertificate":
+        """Build and sign a warrant with the delegator's private key."""
+        unsigned = cls(
+            delegator=delegator,
+            middlebox=middlebox,
+            permissions=permissions,
+            not_before=not_before,
+            not_after=not_after,
+            middlebox_key=middlebox_key,
+            delegator_chain=delegator_chain,
+            signature=b"",
+        )
+        signature = delegator_key.sign(unsigned.tbs_bytes())
+        return cls(
+            delegator=delegator,
+            middlebox=middlebox,
+            permissions=permissions,
+            not_before=not_before,
+            not_after=not_after,
+            middlebox_key=middlebox_key,
+            delegator_chain=delegator_chain,
+            signature=signature,
+        )
+
+    def valid_at(self, now: float) -> bool:
+        return self.not_before <= now <= self.not_after
+
+    def verify(
+        self,
+        trust_store: "TrustStore",
+        *,
+        now: float = 0.0,
+        middlebox: str | None = None,
+        middlebox_key: RSAPublicKey | None = None,
+    ) -> "Certificate":
+        """Verify the warrant; returns the delegator's verified leaf cert.
+
+        Checks, in order: the delegator chain anchors in ``trust_store``,
+        the chain leaf actually names :attr:`delegator`, the warrant
+        signature verifies under the leaf key, the validity window covers
+        ``now``, and (when given) the warranted middlebox name / key match
+        the caller's expectation.
+
+        Raises:
+            CertificateError: on any failure, with the TLS alert name a
+                real stack would send.
+        """
+        from repro.pki.certificate import Certificate
+
+        try:
+            chain = tuple(Certificate.decode(cert) for cert in self.delegator_chain)
+        except DecodeError as exc:
+            raise CertificateError(
+                f"undecodable delegator chain in warrant for {self.middlebox!r}"
+            ) from exc
+        leaf = trust_store.validate_chain(chain, None, now)
+        if leaf.subject != self.delegator:
+            raise CertificateError(
+                f"warrant delegator {self.delegator!r} does not match chain "
+                f"leaf {leaf.subject!r}"
+            )
+        if not leaf.public_key.verify(self.tbs_bytes(), self.signature):
+            raise CertificateError(
+                f"bad delegation signature on warrant for {self.middlebox!r}"
+            )
+        if not self.valid_at(now):
+            raise CertificateError(
+                f"warrant for {self.middlebox!r} outside validity window",
+                alert="certificate_expired",
+            )
+        if middlebox is not None and self.middlebox != middlebox:
+            raise CertificateError(
+                f"warrant names middlebox {self.middlebox!r}, expected "
+                f"{middlebox!r}"
+            )
+        if middlebox_key is not None and self.middlebox_key != middlebox_key:
+            raise CertificateError(
+                f"warrant for {self.middlebox!r} binds a different "
+                f"middlebox key"
+            )
+        return leaf
+
+
+@dataclass(frozen=True)
+class DelegationCertificateExtension:
+    """The ``delegation_certificate`` hello extension: a warrant batch.
+
+    The client's ClientHello carries its warrants for every on-path
+    middlebox; the server's ServerHello answers with its own.  Its presence
+    in a ClientHello is the in-band signal that the client speaks mdTLS —
+    which is exactly what a downgrade box would strip.
+    """
+
+    warrants: tuple[DelegationCertificate, ...] = ()
+
+    extension_type = ExtensionType.DELEGATION_CERTIFICATE
+
+    def to_extension(self) -> Extension:
+        writer = Writer()
+        writer.write_u8(len(self.warrants))
+        for warrant in self.warrants:
+            writer.write_vector(warrant.encode(), 2)
+        return Extension(int(self.extension_type), writer.getvalue())
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "DelegationCertificateExtension":
+        reader = Reader(extension.data)
+        warrants = tuple(
+            DelegationCertificate.decode(reader.read_vector(2))
+            for _ in range(reader.read_u8())
+        )
+        reader.expect_end()
+        return cls(warrants=warrants)
+
+
+@dataclass(frozen=True)
+class ProxySignature:
+    """A middlebox's signature over the handshake transcript hash.
+
+    One per middlebox per direction: after forwarding the client's
+    Finished a middlebox appends its client-to-server proxy signature;
+    after the server's Finished, its server-to-client one.  Endpoints
+    verify the aggregate chain against the warranted keys before
+    installing hop keys.
+    """
+
+    middlebox: str
+    direction: int  # 0 = client-to-server, 1 = server-to-client
+    signature: bytes
+
+    msg_type = HandshakeType.MDTLS_PROXY_SIGNATURE
+
+    @staticmethod
+    def signed_payload(direction: int, transcript_hash: bytes) -> bytes:
+        return PROXY_SIGNATURE_CONTEXT + bytes([direction]) + transcript_hash
+
+    def encode_body(self) -> bytes:
+        return (
+            Writer()
+            .write_vector(self.middlebox.encode(), 2)
+            .write_u8(self.direction)
+            .write_vector(self.signature, 2)
+            .getvalue()
+        )
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "ProxySignature":
+        reader = Reader(body)
+        middlebox = reader.read_vector(2).decode()
+        direction = reader.read_u8()
+        if direction not in (0, 1):
+            raise DecodeError(f"unknown proxy-signature direction {direction}")
+        signature = reader.read_vector(2)
+        reader.expect_end()
+        return cls(middlebox=middlebox, direction=direction, signature=signature)
+
+
+@dataclass(frozen=True)
+class HopKeyDelivery:
+    """Per-middlebox hop-secret delivery, sealed to the warranted key.
+
+    ``encrypted_secrets`` is the RSA-PKCS#1 encryption (under the warrant's
+    middlebox key) of the two 32-byte hop secrets flanking that middlebox:
+    the client-side hop followed by the server-side hop.
+    """
+
+    middlebox: str
+    encrypted_secrets: bytes
+
+    msg_type = HandshakeType.MDTLS_KEY_DELIVERY
+
+    def encode_body(self) -> bytes:
+        return (
+            Writer()
+            .write_vector(self.middlebox.encode(), 2)
+            .write_vector(self.encrypted_secrets, 2)
+            .getvalue()
+        )
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "HopKeyDelivery":
+        reader = Reader(body)
+        middlebox = reader.read_vector(2).decode()
+        encrypted = reader.read_vector(2)
+        reader.expect_end()
+        return cls(middlebox=middlebox, encrypted_secrets=encrypted)

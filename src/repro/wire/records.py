@@ -90,20 +90,21 @@ class RecordBuffer:
         self._buffer += data
 
     def pop_records(self) -> list[Record]:
-        records = []
-        while True:
-            if len(self._buffer) < RECORD_HEADER_LEN:
-                break
-            length = int.from_bytes(self._buffer[3:5], "big")
-            if length > MAX_CIPHERTEXT:
-                raise DecodeError("record payload exceeds maximum size")
-            total = RECORD_HEADER_LEN + length
-            if len(self._buffer) < total:
-                break
-            record, consumed = Record.decode_prefix(bytes(self._buffer[:total]))
-            del self._buffer[:consumed]
-            records.append(record)
-        return records
+        """All complete records, with payloads materialized as ``bytes``.
+
+        Shares :meth:`pop_record_views`' single-snapshot scan: the consumed
+        region is copied once and each payload is one slice of that
+        snapshot, instead of re-materializing the buffer prefix and
+        shifting the remainder once per record (quadratic in flight size).
+        """
+        return [
+            Record(
+                content_type=view.content_type,
+                payload=bytes(view.payload),
+                version=view.version,
+            )
+            for view in self.pop_record_views()
+        ]
 
     def pop_record_views(self) -> list[Record]:
         """Like :meth:`pop_records`, but payloads are memoryview slices.

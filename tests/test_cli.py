@@ -60,7 +60,7 @@ class TestCli:
 
         assert main(["metrics", "--quick", "--json", "--seed", "cli-test"]) == 0
         report = json.loads(capsys.readouterr().out)
-        assert report["schema_version"] == 1
+        assert report["schema_version"] == 2
         assert report["scenario"]["established"] is True
         assert len(report["per_hop"]) == 6
 

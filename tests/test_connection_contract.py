@@ -35,6 +35,7 @@ from repro.baselines.mctls import (
     McTLSRecordConnection,
     McTLSSession,
 )
+from repro.baselines.mdtls import MdTLSDeployment
 from repro.baselines.relay import SpliceRelay
 from repro.baselines.shared_key import KeySharingConnection, KeySharingMiddlebox
 from repro.baselines.split_tls import SplitTLSMiddlebox
@@ -90,6 +91,21 @@ def _mctls_pair(pki, rng):
     )
 
 
+def _mdtls_deployment(pki, rng, middleboxes=()):
+    return MdTLSDeployment(
+        rng=rng.fork(b"mdtls"),
+        trust_store=pki.trust,
+        client_credential=pki.credential("client"),
+        server_credential=pki.credential("server"),
+        middleboxes=[(name, pki.credential(name)) for name in middleboxes],
+    )
+
+
+def _mdtls_pair(pki, rng):
+    deployment = _mdtls_deployment(pki, rng)
+    return deployment.build_client(), deployment.build_server()
+
+
 def _blindbox_pair(pki, rng):
     key = rng.fork(b"tok").random_bytes(32)
     return (
@@ -104,6 +120,7 @@ ENDPOINT_CASES = {
     "tls": (_tls_pair, True),
     "mbtls": (_mbtls_pair, True),
     "mctls": (_mctls_pair, False),
+    "mdtls": (_mdtls_pair, True),
     "blindbox": (_blindbox_pair, False),
 }
 
@@ -131,6 +148,19 @@ def _stimulate_mbtls(middlebox, pki, rng):
     )
     client.start()
     middlebox.receive_down(client.data_to_send())
+
+
+def _mdtls_middlebox(pki, rng):
+    deployment = _mdtls_deployment(pki, rng, middleboxes=("mbox",))
+    conn = deployment.build_middlebox(0)
+    conn._deployment = deployment
+    return conn
+
+
+def _stimulate_mdtls(conn, pki, rng):
+    client = conn._deployment.build_client()
+    client.start()
+    conn.receive_down(client.data_to_send())
 
 
 def _split_tls(pki, rng):
@@ -183,6 +213,7 @@ def _stimulate_raw(conn, pki, rng):
 # already produces output).
 DUPLEX_CASES = {
     "mbtls_middlebox": (_mbtls_middlebox, _stimulate_mbtls),
+    "mdtls_middlebox": (_mdtls_middlebox, _stimulate_mdtls),
     "split_tls": (_split_tls, None),
     "splice_relay": (lambda pki, rng: SpliceRelay(), _stimulate_raw),
     "shared_key": (_key_sharing, _stimulate_raw),
@@ -404,6 +435,81 @@ def test_tls_transcript_golden():
     assert (
         wire.hexdigest()
         == "512e83a045db37e41c54cb971b6dfe3428e5d7dc47c8b3b272683f6507ce0e7b"
+    )
+
+
+def test_mdtls_transcript_golden():
+    """One-middlebox mdTLS run: same seed, byte-identical wire transcript."""
+    rng = HmacDrbg(b"golden-mdtls")
+    pki = Pki(rng=rng.fork(b"pki"))
+    deployment = MdTLSDeployment(
+        rng=rng.fork(b"deploy"),
+        trust_store=pki.trust,
+        client_credential=pki.credential("client"),
+        server_credential=pki.credential("server"),
+        middleboxes=[("mbox", pki.credential("mbox"))],
+    )
+    client = deployment.build_client()
+    middlebox = deployment.build_middlebox(0)
+    server = deployment.build_server()
+    client.start()
+    middlebox.start()
+    server.start()
+
+    wire = hashlib.sha256()
+    events: list = []
+    for _ in range(12):
+        progressed = False
+        data = client.data_to_send()
+        if data:
+            wire.update(b"C" + data)
+            middlebox.receive_down(data)
+            progressed = True
+        data = middlebox.data_to_send_up()
+        if data:
+            wire.update(b"MU" + data)
+            events += [
+                ("server", type(e).__name__) for e in server.receive_bytes(data)
+            ]
+            progressed = True
+        data = server.data_to_send()
+        if data:
+            wire.update(b"S" + data)
+            middlebox.receive_up(data)
+            progressed = True
+        data = middlebox.data_to_send_down()
+        if data:
+            wire.update(b"MD" + data)
+            events += [
+                ("client", type(e).__name__) for e in client.receive_bytes(data)
+            ]
+            progressed = True
+        if not progressed:
+            break
+
+    assert events == [
+        ("server", "HandshakeComplete"),
+        ("client", "HandshakeComplete"),
+    ]
+    assert client.established and middlebox.established and server.established
+
+    client.send_application_data(b"GOLDEN-MDTLS")
+    data = client.data_to_send()
+    wire.update(b"C" + data)
+    middlebox.receive_down(data)
+    data = middlebox.data_to_send_up()
+    wire.update(b"MU" + data)
+    received = server.receive_bytes(data)
+    assert [type(e).__name__ for e in received] == ["ApplicationData"]
+    assert received[0].data == b"GOLDEN-MDTLS"
+
+    assert (
+        hashlib.sha256(bytes(client._transcript)).hexdigest()
+        == "2f4692cb2a98ca7a53d89b6702364251b4eb17b48223733786a0597c67261603"
+    )
+    assert (
+        wire.hexdigest()
+        == "270422efa68c48c3253846fc7095321e2da9b1564fbca0b6ce51c33bd63d51eb"
     )
 
 

@@ -100,6 +100,50 @@ class TestEligibility:
         assert aead_pool.active() is None
 
 
+class TestTeardown:
+    def test_close_joins_workers_gracefully(self, rng):
+        """close() lets the workers drain and exit (exitcode 0) instead
+        of SIGTERMing them mid-task, and is idempotent."""
+        pool = AeadPool(workers=2)
+        key = rng.random_bytes(AES_SUITE.key_length)
+        pool.seal_many(AES_SUITE, key, _items(rng, count=4, size=256))
+        workers = list(pool._pool._pool)
+        pool.close()
+        assert pool._pool is None
+        assert all(worker.exitcode == 0 for worker in workers)
+        pool.close()  # second close is a no-op, not an error
+
+    def test_repeated_reconfigure_does_not_leak_processes(self, rng):
+        """configure/reset cycles must reap every worker they spawn."""
+        import multiprocessing
+
+        baseline = len(multiprocessing.active_children())
+        key = rng.random_bytes(AES_SUITE.key_length)
+        for _ in range(5):
+            pool = aead_pool.configure(2)
+            pool.seal_many(AES_SUITE, key, _items(rng, count=4, size=256))
+            aead_pool.reset()
+        # active_children() reaps exited processes; a leak shows up as a
+        # monotonically growing set of live workers.
+        assert len(multiprocessing.active_children()) <= baseline
+
+    def test_reset_never_raises(self):
+        """reset() runs from atexit, where raising would mask the real
+        interpreter shutdown; it must swallow teardown failures."""
+        pool = aead_pool.configure(2)
+
+        class _ExplodingPool:
+            def close(self):
+                raise RuntimeError("teardown race")
+
+            def terminate(self):
+                raise RuntimeError("already gone")
+
+        pool._pool = _ExplodingPool()
+        aead_pool.reset()  # must not raise
+        assert aead_pool.active() is None
+
+
 class TestRecordLayerDispatch:
     def _flight(self, rng, records=10, size=16384):
         return [

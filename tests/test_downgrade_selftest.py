@@ -154,6 +154,151 @@ class TestDowngradeAdversary:
         assert b"".join(parts) == whole
 
 
+class TestDelegationTamper:
+    """The mdTLS delegation-certificate forgeries (satellite of the
+    proxy-signature party): expired warrants, swapped middlebox keys,
+    corrupted signatures, and proxy signatures over truncated transcripts
+    must all end detected, never silent."""
+
+    def _warrant_hello(self, pki):
+        from repro.wire.mdtls import DelegationCertificate, DelegationCertificateExtension
+
+        delegator = pki.credential("client.example")
+        mbox = pki.credential("mbox")
+        warrant = DelegationCertificate.issue(
+            delegator=delegator.certificate.subject,
+            delegator_key=delegator.private_key,
+            delegator_chain=delegator.encoded_chain(),
+            middlebox="mbox",
+            middlebox_key=mbox.private_key.public_key,
+            not_before=0.0,
+            not_after=1000.0,
+        )
+        extension = DelegationCertificateExtension((warrant,)).to_extension()
+        return warrant, _client_hello_record(extensions=[extension])
+
+    def test_every_tamper_variant_breaks_warrant_verification(self, pki):
+        """Across seeds the DRBG exercises all three forgeries, and each
+        rewritten warrant fails verification at a warrant-checking party."""
+        from repro.errors import CertificateError
+        from repro.wire.extensions import ExtensionType as ExtType
+        from repro.wire.mdtls import DelegationCertificateExtension
+
+        _, wire = self._warrant_hello(pki)
+        details = set()
+        for index in range(12):
+            adversary = DowngradeAdversary(
+                b"td-%d" % index, 0, "tamper_delegation"
+            )
+            out = adversary.process_chunk(wire)
+            assert adversary.applied, "tamper never fired"
+            details.add(adversary.applied[0].detail.split(" ", 1)[0])
+            hello = _parse_hello(out)
+            extension = hello.find_extension(ExtType.DELEGATION_CERTIFICATE)
+            (forged,) = DelegationCertificateExtension.from_extension(
+                extension
+            ).warrants
+            with pytest.raises(CertificateError):
+                forged.verify(
+                    pki.trust,
+                    now=500.0,
+                    middlebox="mbox",
+                    middlebox_key=pki.credential("mbox").private_key.public_key,
+                )
+        assert details == {"shifted", "swapped", "corrupted"}
+
+    def test_tamper_is_noop_without_the_extension(self, pki):
+        wire = _client_hello_record()
+        adversary = DowngradeAdversary(b"td", 0, "tamper_delegation")
+        assert adversary.process_chunk(wire) == wire
+        assert adversary.applied == []
+
+    def test_tamper_delegation_detected_on_mdtls_middlebox(self):
+        index = ATTACK_KINDS.index("tamper_delegation")
+        verdict = run_case("mdtls_middlebox", DowngradeCase(b"st-0", index))
+        assert verdict.verdict == "detected", verdict.describe()
+        assert verdict.attacks, "the forgery never fired"
+
+    def test_tamper_delegation_vacuous_without_middleboxes(self):
+        """A middlebox-free mdTLS hello carries no warrants to forge."""
+        index = ATTACK_KINDS.index("tamper_delegation")
+        verdict = run_case("mdtls", DowngradeCase(b"st-0", index))
+        assert verdict.verdict == "harmless", verdict.describe()
+        assert verdict.attacks == ()
+
+    def test_proxy_signature_over_truncated_transcript_rejected(self, pki, rng):
+        """A proxy signature by the *warranted* key but over a truncated
+        transcript hash must not complete the client's chain verify."""
+        from hashlib import sha256
+
+        from repro.baselines.mdtls import MdTLSDeployment
+        from repro.wire.handshake import HandshakeType
+        from repro.wire.mdtls import ProxySignature
+
+        deployment = MdTLSDeployment(
+            rng=rng.fork(b"trunc"),
+            trust_store=pki.trust,
+            client_credential=pki.credential("client"),
+            server_credential=pki.credential("server"),
+            middleboxes=[("mbox", pki.credential("mbox"))],
+        )
+        client = deployment.build_client()
+        mbox = deployment.build_middlebox(0)
+        server = deployment.build_server()
+        mbox_key = pki.credential("mbox").private_key
+        truncated = sha256(b"truncated transcript").digest()
+
+        def tamper(data: bytes) -> bytes:
+            buffer = RecordBuffer()
+            buffer.feed(data)
+            out = bytearray()
+            for record in buffer.pop_records():
+                if record.content_type == ContentType.HANDSHAKE:
+                    handshakes = HandshakeBuffer()
+                    handshakes.feed(record.payload)
+                    messages = handshakes.pop_messages()
+                    rebuilt = b""
+                    for message in messages:
+                        if message.msg_type == HandshakeType.MDTLS_PROXY_SIGNATURE:
+                            forged = ProxySignature(
+                                middlebox="mbox",
+                                direction=1,
+                                signature=mbox_key.sign(
+                                    ProxySignature.signed_payload(1, truncated)
+                                ),
+                            )
+                            message = Handshake(
+                                msg_type=HandshakeType.MDTLS_PROXY_SIGNATURE,
+                                body=forged.encode_body(),
+                            )
+                        rebuilt += message.encode()
+                    record = Record(
+                        content_type=ContentType.HANDSHAKE,
+                        payload=rebuilt,
+                        version=record.version,
+                    )
+                out += record.encode()
+            return bytes(out)
+
+        client.start(), mbox.start(), server.start()
+        for _ in range(12):
+            data = client.data_to_send()
+            if data:
+                mbox.receive_down(data)
+            data = mbox.data_to_send_up()
+            if data:
+                server.receive_bytes(data)
+            data = server.data_to_send()
+            if data:
+                mbox.receive_up(data)
+            data = mbox.data_to_send_down()
+            if data:
+                client.receive_bytes(tamper(data))
+        assert not client.established
+        assert client.abort is not None
+        assert client.abort.alert == "decrypt_error"
+
+
 class TestSelftestScoring:
     def test_case_replays_from_seed_and_index_alone(self):
         first = run_case("mbtls", DowngradeCase(b"replay", 0))

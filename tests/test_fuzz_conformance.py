@@ -1,7 +1,7 @@
 """Fuzz-conformance suite: the abort invariant under the mutation corpus.
 
 Layered on the connection contract (``test_connection_contract.py``): every
-one of the ten Connection/DuplexConnection implementations is driven
+one of the twelve Connection/DuplexConnection implementations is driven
 through a session whose client-to-server byte stream is mutated by one
 deterministic :class:`~repro.netsim.fuzz.ChunkMutator`, and must
 
@@ -84,7 +84,7 @@ class TestChunkMutator:
 
 
 # ---------------------------------------------------------------------------
-# The corpus: 10 implementations x 8 kinds x 5 seeds
+# The corpus: 12 implementations x 8 kinds x 5 seeds
 # ---------------------------------------------------------------------------
 
 
@@ -133,8 +133,8 @@ def test_tampering_is_actually_observed():
 
 
 def test_case_names_cover_the_contract_matrix():
-    """The fuzz corpus and the connection contract pin the same ten."""
-    assert len(CASE_NAMES) == 10
+    """The fuzz corpus and the connection contract pin the same twelve."""
+    assert len(CASE_NAMES) == 12
     assert set(CASE_NAMES) == {
         "tls",
         "mbtls",
@@ -146,6 +146,8 @@ def test_case_names_cover_the_contract_matrix():
         "shared_key",
         "mctls_inspector",
         "blindbox_inspector",
+        "mdtls",
+        "mdtls_middlebox",
     }
 
 

@@ -77,6 +77,15 @@ class TestTable1Matrix:
     def test_forced_fallback_fails_closed(self):
         assert threats.downgrade_forced_fallback().defended
 
+    def test_expired_delegation_warrant_rejected(self):
+        assert threats.mdtls_expired_warrant().defended
+
+    def test_unwarranted_proxy_signature_rejected(self):
+        assert threats.mdtls_unwarranted_proxy_signature().defended
+
+    def test_truncated_transcript_signature_rejected(self):
+        assert threats.mdtls_truncated_transcript_signature().defended
+
 
 #: The full Table 1 threat/defense matrix, pinned. A diff here means a
 #: security behaviour changed: deliberate (update the snapshot alongside
@@ -103,6 +112,9 @@ TABLE1_SNAPSHOT = [
     ("prior-session announcement replayed", "mbTLS", True),
     ("middlebox announcements suppressed", "mbTLS", True),
     ("forced fallback to a weaker party set", "mbTLS", True),
+    ("expired delegation warrant presented", "mdTLS", True),
+    ("proxy signature by unwarranted key", "mdTLS", True),
+    ("proxy signature over truncated transcript", "mdTLS", True),
 ]
 
 

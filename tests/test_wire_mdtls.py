@@ -1,0 +1,200 @@
+"""Codec round-trips and verification for the mdTLS wire structures."""
+
+import pytest
+
+from repro.crypto.rsa import generate_rsa_key
+from repro.errors import CertificateError, DecodeError
+from repro.wire.handshake import Handshake, HandshakeBuffer, HandshakeType
+from repro.wire.mdtls import (
+    DelegationCertificate,
+    DelegationCertificateExtension,
+    HopKeyDelivery,
+    ProxySignature,
+)
+
+
+@pytest.fixture(scope="module")
+def warrant_world(pki):
+    """A delegator credential, a middlebox key, and a signed warrant."""
+    delegator = pki.credential("client.example")
+    mbox = pki.credential("cache-1")
+    warrant = DelegationCertificate.issue(
+        delegator=delegator.certificate.subject,
+        delegator_key=delegator.private_key,
+        delegator_chain=delegator.encoded_chain(),
+        middlebox="cache-1",
+        middlebox_key=mbox.private_key.public_key,
+        permissions="read-write",
+        not_before=0.0,
+        not_after=1000.0,
+    )
+    return delegator, mbox, warrant
+
+
+class TestDelegationCertificate:
+    def test_roundtrip(self, warrant_world):
+        _, _, warrant = warrant_world
+        assert DelegationCertificate.decode(warrant.encode()) == warrant
+
+    def test_verify_accepts_honest_warrant(self, pki, warrant_world):
+        _, mbox, warrant = warrant_world
+        leaf = warrant.verify(
+            pki.trust,
+            now=500.0,
+            middlebox="cache-1",
+            middlebox_key=mbox.private_key.public_key,
+        )
+        assert leaf.subject == "client.example"
+
+    def test_verify_rejects_expired_warrant(self, pki, warrant_world):
+        _, _, warrant = warrant_world
+        with pytest.raises(CertificateError) as excinfo:
+            warrant.verify(pki.trust, now=2000.0)
+        assert excinfo.value.alert == "certificate_expired"
+
+    def test_verify_rejects_wrong_middlebox_key(self, pki, rng, warrant_world):
+        _, _, warrant = warrant_world
+        other = generate_rsa_key(512, rng).public_key
+        with pytest.raises(CertificateError, match="different"):
+            warrant.verify(pki.trust, now=500.0, middlebox_key=other)
+
+    def test_verify_rejects_wrong_middlebox_name(self, pki, warrant_world):
+        _, _, warrant = warrant_world
+        with pytest.raises(CertificateError, match="names middlebox"):
+            warrant.verify(pki.trust, now=500.0, middlebox="cache-2")
+
+    def test_verify_rejects_tampered_tbs(self, pki, warrant_world):
+        """Extending the validity window invalidates the signature."""
+        _, _, warrant = warrant_world
+        forged = DelegationCertificate(
+            delegator=warrant.delegator,
+            middlebox=warrant.middlebox,
+            permissions=warrant.permissions,
+            not_before=warrant.not_before,
+            not_after=warrant.not_after + 10_000.0,
+            middlebox_key=warrant.middlebox_key,
+            delegator_chain=warrant.delegator_chain,
+            signature=warrant.signature,
+        )
+        with pytest.raises(CertificateError, match="bad delegation signature"):
+            forged.verify(pki.trust, now=500.0)
+
+    def test_verify_rejects_untrusted_delegator(self, rng, pki, warrant_world):
+        """A warrant chained to a self-signed delegator does not anchor."""
+        from repro.pki.authority import CertificateAuthority
+
+        rogue = CertificateAuthority("rogue", rng, key_bits=512)
+        cred = rogue.issue_credential("mallory", key_bits=512)
+        _, mbox, _ = warrant_world
+        warrant = DelegationCertificate.issue(
+            delegator="mallory",
+            delegator_key=cred.private_key,
+            delegator_chain=cred.encoded_chain(),
+            middlebox="cache-1",
+            middlebox_key=mbox.private_key.public_key,
+        )
+        with pytest.raises(CertificateError) as excinfo:
+            warrant.verify(pki.trust, now=500.0)
+        assert excinfo.value.alert == "unknown_ca"
+
+    def test_inverted_window_rejected_at_decode(self, warrant_world):
+        _, _, warrant = warrant_world
+        inverted = DelegationCertificate(
+            delegator=warrant.delegator,
+            middlebox=warrant.middlebox,
+            permissions=warrant.permissions,
+            not_before=1000.0,
+            not_after=0.0,
+            middlebox_key=warrant.middlebox_key,
+            delegator_chain=warrant.delegator_chain,
+            signature=warrant.signature,
+        )
+        with pytest.raises(DecodeError, match="inverted"):
+            DelegationCertificate.decode(inverted.encode())
+
+
+class TestDelegationCertificateExtension:
+    def test_roundtrip(self, warrant_world):
+        _, _, warrant = warrant_world
+        extension = DelegationCertificateExtension((warrant, warrant)).to_extension()
+        decoded = DelegationCertificateExtension.from_extension(extension)
+        assert decoded.warrants == (warrant, warrant)
+
+    def test_empty_batch_roundtrip(self):
+        extension = DelegationCertificateExtension().to_extension()
+        assert DelegationCertificateExtension.from_extension(extension).warrants == ()
+
+    def test_trailing_garbage_rejected(self, warrant_world):
+        _, _, warrant = warrant_world
+        extension = DelegationCertificateExtension((warrant,)).to_extension()
+        from repro.wire.extensions import Extension
+
+        with pytest.raises(DecodeError):
+            DelegationCertificateExtension.from_extension(
+                Extension(extension.extension_type, extension.data + b"\x00")
+            )
+
+
+class TestProxySignature:
+    def test_roundtrip(self):
+        message = ProxySignature(middlebox="cache-1", direction=1, signature=b"s" * 128)
+        assert ProxySignature.decode_body(message.encode_body()) == message
+
+    def test_unknown_direction_rejected(self):
+        message = ProxySignature(middlebox="cache-1", direction=1, signature=b"sig")
+        body = bytearray(message.encode_body())
+        body[2 + len("cache-1")] = 7  # the direction byte after the name vector
+        with pytest.raises(DecodeError, match="direction"):
+            ProxySignature.decode_body(bytes(body))
+
+    def test_signed_payload_is_domain_separated(self):
+        transcript = b"\xab" * 32
+        c2s = ProxySignature.signed_payload(0, transcript)
+        s2c = ProxySignature.signed_payload(1, transcript)
+        assert c2s != s2c
+        assert transcript in c2s
+        assert c2s.startswith(b"mdtls proxy signature")
+
+    def test_handshake_framing_roundtrip(self):
+        """The new HandshakeType survives HandshakeBuffer reassembly."""
+        message = ProxySignature(middlebox="m", direction=0, signature=b"x" * 64)
+        framed = Handshake(
+            msg_type=HandshakeType.MDTLS_PROXY_SIGNATURE,
+            body=message.encode_body(),
+        ).encode()
+        buffer = HandshakeBuffer()
+        buffer.feed(framed[:5])
+        assert buffer.pop_messages() == []
+        buffer.feed(framed[5:])
+        (reassembled,) = buffer.pop_messages()
+        assert reassembled.msg_type == HandshakeType.MDTLS_PROXY_SIGNATURE
+        assert ProxySignature.decode_body(reassembled.body) == message
+
+
+class TestHopKeyDelivery:
+    def test_roundtrip(self):
+        message = HopKeyDelivery(middlebox="cache-1", encrypted_secrets=b"c" * 128)
+        assert HopKeyDelivery.decode_body(message.encode_body()) == message
+
+    def test_handshake_framing_roundtrip(self):
+        message = HopKeyDelivery(middlebox="m", encrypted_secrets=b"e" * 96)
+        framed = Handshake(
+            msg_type=HandshakeType.MDTLS_KEY_DELIVERY,
+            body=message.encode_body(),
+        ).encode()
+        buffer = HandshakeBuffer()
+        buffer.feed(framed)
+        (reassembled,) = buffer.pop_messages()
+        assert reassembled.msg_type == HandshakeType.MDTLS_KEY_DELIVERY
+        assert HopKeyDelivery.decode_body(reassembled.body) == message
+
+    def test_seal_open_under_warranted_key(self, warrant_world):
+        """The two 32-byte hop secrets fit a 1024-bit RSA encryption."""
+        from repro.crypto.drbg import HmacDrbg
+
+        _, mbox, warrant = warrant_world
+        secrets = b"A" * 32 + b"B" * 32
+        sealed = warrant.middlebox_key.encrypt(secrets, HmacDrbg(b"seal"))
+        message = HopKeyDelivery(middlebox="cache-1", encrypted_secrets=sealed)
+        decoded = HopKeyDelivery.decode_body(message.encode_body())
+        assert mbox.private_key.decrypt(decoded.encrypted_secrets) == secrets

@@ -80,6 +80,52 @@ class TestRecordBuffer:
         assert buffer.drain_raw() == b"\x16\x03"
         assert buffer.pending_bytes == 0
 
+    def test_pop_records_payloads_are_bytes(self):
+        """Unlike pop_record_views, popped payloads are owning ``bytes``
+        that survive subsequent feeds and pops."""
+        buffer = RecordBuffer()
+        buffer.feed(Record(ContentType.HANDSHAKE, b"first").encode())
+        (first,) = buffer.pop_records()
+        buffer.feed(Record(ContentType.HANDSHAKE, b"second").encode())
+        buffer.pop_records()
+        assert type(first.payload) is bytes
+        assert first.payload == b"first"
+
+    def test_pop_records_single_snapshot_accounting(self):
+        """A flight of N records costs one buffer consumption and one
+        bounded pass of slicing, not a prefix re-materialization plus a
+        remainder shift per record (the old quadratic discipline)."""
+
+        class _AccountingBuffer(bytearray):
+            deletions = 0
+            sliced_bytes = 0
+
+            def __getitem__(self, key):
+                result = bytearray.__getitem__(self, key)
+                if isinstance(key, slice):
+                    _AccountingBuffer.sliced_bytes += len(result)
+                return result
+
+            def __delitem__(self, key):
+                _AccountingBuffer.deletions += 1
+                bytearray.__delitem__(self, key)
+
+        _AccountingBuffer.deletions = 0
+        _AccountingBuffer.sliced_bytes = 0
+        records = [
+            Record(ContentType.APPLICATION_DATA, bytes([index % 256]) * 100)
+            for index in range(64)
+        ]
+        wire = b"".join(record.encode() for record in records)
+        buffer = RecordBuffer()
+        buffer._buffer = _AccountingBuffer()
+        buffer.feed(wire)
+        assert buffer.pop_records() == records
+        assert _AccountingBuffer.deletions == 1
+        # One snapshot of the consumed region plus the 4 header-peek bytes
+        # per record; the old path sliced ~N/2 times the wire size.
+        assert _AccountingBuffer.sliced_bytes <= len(wire) + 4 * len(records)
+
     @settings(max_examples=50, deadline=None)
     @given(
         payloads=st.lists(st.binary(max_size=100), min_size=1, max_size=10),
